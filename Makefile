@@ -1,0 +1,30 @@
+# Convenience targets for the Chiron reproduction.
+
+PYTHON ?= python3
+
+.PHONY: install test bench repro repro-paper report clean
+
+install:
+	pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Regenerate every paper figure/table at quick scale and rebuild the report.
+repro:
+	$(PYTHON) -m repro.experiments run all --out results/
+	$(PYTHON) -m repro.experiments report results/
+
+# The paper-sized workloads (hours).
+repro-paper:
+	$(PYTHON) -m repro.experiments run all --scale paper --out results-paper/
+
+report:
+	$(PYTHON) -m repro.experiments report results/
+
+clean:
+	rm -rf build dist src/repro.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,47 @@
+"""Robustness extension — node churn.
+
+Not in the paper (its §VIII future work gestures at dynamics like this):
+each node is reachable with probability ``availability`` per round.  The
+bench trains Chiron under three churn levels and prints the degradation
+curve; the assertion is that the mechanism still lands in the healthy
+policy band with a third of the fleet flickering.
+"""
+
+from repro.core import build_environment
+from repro.experiments.mechanisms import make_mechanism
+from repro.experiments.results import EvaluationSummary
+from repro.experiments.runner import evaluate_mechanism, train_mechanism
+
+
+def run_with_availability(availability, episodes, seed=0):
+    build = build_environment(
+        task_name="mnist", n_nodes=5, budget=40.0, accuracy_mode="surrogate",
+        seed=seed, availability=availability, max_rounds=200,
+    )
+    mech = make_mechanism("chiron", build.env, rng=1, tier="quick")
+    train_mechanism(build.env, mech, episodes)
+    return EvaluationSummary.from_episodes(
+        "chiron", evaluate_mechanism(build.env, mech, 3)
+    )
+
+
+def test_churn_robustness(benchmark, scale):
+    episodes = 80 if scale == "quick" else 500
+    result = {}
+
+    def target():
+        for availability in (1.0, 0.8, 0.66):
+            result[availability] = run_with_availability(availability, episodes)
+        return {k: v.utility_mean for k, v in result.items()}
+
+    benchmark.pedantic(target, rounds=1, iterations=1)
+
+    print()
+    for availability, summary in result.items():
+        print(
+            f"availability={availability:.2f} acc={summary.accuracy_mean:.3f} "
+            f"rounds={summary.rounds_mean:.1f} eff={summary.efficiency_mean:.3f} "
+            f"utility={summary.utility_mean:.1f}"
+        )
+    assert result[0.66].utility_mean > 1400.0
+    assert result[0.66].accuracy_mean > 0.85

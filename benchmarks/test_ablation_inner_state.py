@@ -1,0 +1,56 @@
+"""Ablation — inner state design: total price only (paper) vs + last times.
+
+The paper's inner state is just ``s^I = p_total``; the allocation network
+must *memorize* node-specific compensation with no per-node feedback in
+its input.  This bench gives the inner agent the previous round's
+per-node times as well and measures the time-efficiency difference.
+"""
+
+from dataclasses import replace
+
+from repro.core import ChironAgent, ChironConfig, build_environment
+from repro.experiments.mechanisms import quick_ppo_config
+from repro.experiments.results import EvaluationSummary
+from repro.experiments.runner import evaluate_mechanism, train_mechanism
+
+
+def run_variant(observes_times, episodes, seed=0):
+    build = build_environment(
+        task_name="mnist", n_nodes=5, budget=40.0, accuracy_mode="surrogate",
+        seed=seed, max_rounds=200,
+    )
+    ppo = quick_ppo_config()
+    inner = replace(ppo, gamma=0.0, gae_lambda=0.0)
+    agent = ChironAgent(
+        build.env,
+        ChironConfig(
+            exterior=ppo, inner=inner, inner_observes_times=observes_times
+        ),
+        rng=1,
+    )
+    train_mechanism(build.env, agent, episodes)
+    return EvaluationSummary.from_episodes(
+        "chiron", evaluate_mechanism(build.env, agent, 3)
+    )
+
+
+def test_inner_state_ablation(benchmark, scale):
+    episodes = 100 if scale == "quick" else 500
+    result = {}
+
+    def target():
+        result["price_only"] = run_variant(False, episodes)
+        result["price_plus_times"] = run_variant(True, episodes)
+        return {k: v.efficiency_mean for k, v in result.items()}
+
+    benchmark.pedantic(target, rounds=1, iterations=1)
+
+    print()
+    for label, summary in result.items():
+        print(
+            f"{label:17s} eff={summary.efficiency_mean:.3f} "
+            f"acc={summary.accuracy_mean:.3f} utility={summary.utility_mean:.1f}"
+        )
+    # Both variants must work; the richer state must not degrade badly.
+    assert result["price_only"].efficiency_mean > 0.75
+    assert result["price_plus_times"].efficiency_mean > 0.70

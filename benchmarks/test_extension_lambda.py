@@ -1,0 +1,41 @@
+"""Extension — the preference coefficient λ actually steers the trade-off.
+
+§III introduces λ as the knob trading model performance against learning
+time but the paper never sweeps it.  Expected shape: larger λ values the
+accuracy term more, so the trained policy affords more (slower, cheaper)
+rounds — total learning time rises and accuracy rises (until the task
+ceiling).
+"""
+
+import numpy as np
+
+from repro.experiments.figures import render_lambda_sweep
+from repro.experiments.preference import run_lambda_sweep
+
+
+def test_lambda_preference_sweep(benchmark, scale):
+    episodes = 80 if scale == "quick" else 500
+    result = {}
+
+    def target():
+        result["sweep"] = run_lambda_sweep(
+            lams=(250.0, 2000.0, 16000.0),
+            budget=40.0,
+            train_episodes=episodes,
+            seed=0,
+        )
+        return result["sweep"].to_payload()
+
+    benchmark.pedantic(target, rounds=1, iterations=1)
+
+    sweep = result["sweep"]
+    print()
+    print(render_lambda_sweep(sweep))
+
+    accuracy = np.array([r.accuracy_mean for r in sweep.rows])
+    time_ = np.array([r.time_mean for r in sweep.rows])
+    # The frontier endpoint ordering: the most accuracy-hungry λ must not
+    # end with less accuracy than the most time-hungry one, and must spend
+    # at least as much wall-clock on learning.
+    assert accuracy[-1] >= accuracy[0] - 0.01
+    assert time_[-1] >= time_[0] * 0.8

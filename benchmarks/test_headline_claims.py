@@ -1,0 +1,44 @@
+"""The abstract's headline numbers, recomputed.
+
+Paper: "the final global model accuracy and time efficiency can be
+increased by 6.5% and 39%, respectively" (vs the strongest baseline under
+the same budget).  This bench runs a compact MNIST sweep and prints the
+measured counterparts.
+"""
+
+from repro.experiments.budget_sweep import run_budget_sweep
+from repro.experiments.claims import headline_claims
+
+
+def test_headline_claims(benchmark, scale):
+    episodes = 60 if scale == "quick" else 500
+    result = {}
+
+    def target():
+        sweep = run_budget_sweep(
+            task="mnist",
+            budgets=(20.0, 40.0, 60.0),
+            mechanisms=("chiron", "drl_single", "greedy"),
+            n_nodes=5,
+            train_episodes=episodes,
+            eval_episodes=3,
+            seed=0,
+        )
+        result["claims"] = headline_claims(sweep)
+        return result["claims"].to_payload()
+
+    benchmark.pedantic(target, rounds=1, iterations=1)
+
+    claims = result["claims"]
+    print()
+    print(
+        f"accuracy gain:   measured {claims.accuracy_gain:+.3f} "
+        f"(@η={claims.accuracy_gain_budget:g})  paper +0.065"
+    )
+    print(
+        f"efficiency gain: measured {claims.efficiency_gain:+.3f} "
+        f"(@η={claims.efficiency_gain_budget:g})  paper +0.39 (relative)"
+    )
+    # Shape: Chiron's best-budget advantage is positive on both axes.
+    assert claims.accuracy_gain > 0.0
+    assert claims.efficiency_gain > 0.0

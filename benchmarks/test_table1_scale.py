@@ -1,0 +1,42 @@
+"""Table I — Chiron at 100 nodes under MNIST.
+
+Paper rows (η → accuracy / rounds / time efficiency):
+    140 → 0.916 / 16 / 71.3%
+    220 → 0.929 / 23 / 72.2%
+    300 → 0.938 / 31 / 72.7%
+    380 → 0.943 / 34 / 73.4%
+
+Shape assertions: accuracy and rounds increase with the budget; time
+efficiency sits in the ~0.6-0.85 band (well below the ≈100% of the 5-node
+runs — equalizing 100 heterogeneous nodes leaves little pricing slack).
+"""
+
+import numpy as np
+
+from repro.experiments.registry import get_experiment
+
+from conftest import run_and_print
+
+
+def test_table1_100_nodes(benchmark, scale):
+    payload = run_and_print(benchmark, get_experiment("table1").runner, scale)
+    rows = payload["rows"]
+    assert [row["budget"] for row in rows] == [140.0, 220.0, 300.0, 380.0]
+
+    accuracy = np.array([row["accuracy"] for row in rows])
+    rounds = np.array([row["rounds"] for row in rows])
+    efficiency = np.array([row["efficiency"] for row in rows])
+
+    # More budget -> more rounds -> better model.  Each budget trains an
+    # independent agent at quick scale, so only the end-to-end trend is
+    # asserted, not per-step monotonicity.
+    assert accuracy[-1] > accuracy[0]
+    assert rounds[-1] > rounds[0]
+
+    # Large-fleet efficiency band around the paper's ~72%.
+    assert np.all(efficiency > 0.55)
+    assert np.all(efficiency < 0.9)
+
+    # Within shouting distance of the paper's accuracy column.
+    paper_acc = np.array([row["paper"]["accuracy"] for row in rows])
+    assert np.all(np.abs(accuracy - paper_acc) < 0.08)

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Robust aggregation under a poisoned node (substrate extension demo).
+
+One of five nodes is Byzantine: it returns its local update scaled by a
+large negative factor (a classic model-poisoning attack).  Plain FedAvg
+(the paper's Eqn 4) is wrecked; coordinate-wise median aggregation
+shrugs it off.  Demonstrates ``ParameterServer(aggregator=...)``.
+
+Run:  python examples/byzantine_robustness.py   (~1 minute)
+"""
+
+import numpy as np
+
+from repro.datasets import make_task, partition_dataset
+from repro.economics import sample_profiles
+from repro.fl import (
+    EdgeNode,
+    FederatedSession,
+    LocalTrainingConfig,
+    ParameterServer,
+    median_aggregate,
+)
+from repro.nn import McMahanCNN
+
+N_NODES = 5
+ROUNDS = 4
+ATTACKER = 0
+
+
+class ByzantineNode(EdgeNode):
+    """Trains honestly, then reports the update negated and amplified."""
+
+    def local_update(self, model, global_state):
+        honest = super().local_update(model, global_state)
+        return {
+            name: global_state[name]
+            - 10.0 * (honest[name] - global_state[name])
+            for name in honest
+        }
+
+
+def run(aggregator, label):
+    task = make_task("mnist", rng=0)
+    train, test = task.train_test_split(300, 200, rng=1)
+    parts = partition_dataset(train, N_NODES, scheme="iid", rng=2)
+    profiles = sample_profiles(N_NODES, rng=3)
+    config = LocalTrainingConfig(local_epochs=3, batch_size=10)
+
+    server = ParameterServer(
+        lambda: McMahanCNN(rng=4), test, aggregator=aggregator
+    )
+    nodes = []
+    for i in range(N_NODES):
+        cls = ByzantineNode if i == ATTACKER else EdgeNode
+        nodes.append(cls(i, parts[i], profiles[i], config, rng=10 + i))
+    session = FederatedSession(server, nodes)
+
+    accuracies = [session.run_round().accuracy for _ in range(ROUNDS)]
+    curve = "  ".join(f"{a:.3f}" for a in accuracies)
+    print(f"{label:22s} accuracy per round: {curve}")
+    return accuracies[-1]
+
+
+def main() -> None:
+    print(f"{N_NODES} nodes, node {ATTACKER} poisoned (−10× update)\n")
+    fedavg_final = run(None, "FedAvg (Eqn 4)")
+    median_final = run(median_aggregate, "coordinate-wise median")
+    print(
+        f"\nfinal accuracy: FedAvg {fedavg_final:.3f} vs median "
+        f"{median_final:.3f} — the order statistic discards the outlier "
+        "update each round."
+    )
+
+
+if __name__ == "__main__":
+    main()

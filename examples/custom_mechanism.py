@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Extend the library: write your own incentive mechanism.
+
+Implements ``BudgetPacer`` — a hand-crafted heuristic that (1) plans for a
+target number of rounds, splitting the budget evenly across them, and (2)
+allocates each round's spend with the Lemma-1 equal-time rule.  It plugs
+into the same :class:`IncentiveMechanism` interface Chiron uses, so the
+experiment runner compares them on identical episodes.
+
+This is the "downstream user" path: subclass, implement
+``propose_prices``, run.
+
+Run:  python examples/custom_mechanism.py
+"""
+
+import numpy as np
+
+from repro.core import build_environment
+from repro.core.mechanism import IncentiveMechanism, Observation
+from repro.economics.pricing import equal_time_prices
+from repro.experiments.mechanisms import make_mechanism
+from repro.experiments.results import EvaluationSummary
+from repro.experiments.runner import evaluate_mechanism, train_mechanism
+
+
+class BudgetPacer(IncentiveMechanism):
+    """Even budget pacing + equal-time allocation (no learning)."""
+
+    name = "budget_pacer"
+
+    def __init__(self, env, target_rounds: int = 15):
+        super().__init__(env)
+        if target_rounds <= 0:
+            raise ValueError(f"target_rounds must be positive, got {target_rounds}")
+        self.target_rounds = target_rounds
+
+    def propose_prices(self, obs: Observation) -> np.ndarray:
+        rounds_left = max(self.target_rounds - obs.round_index, 1)
+        spend_target = obs.remaining_budget / rounds_left
+
+        # Binary-search the total price whose induced payment hits the
+        # per-round spend target (payment = Σ p_i ζ_i*(p_i) is monotone).
+        low, high = self.env.min_total_price, self.env.max_total_price
+        for _ in range(40):
+            mid = 0.5 * (low + high)
+            prices = equal_time_prices(
+                self.env.profiles, mid, self.env.config.local_epochs
+            )
+            payment = sum(
+                node.kappa(self.env.config.local_epochs)
+                * min(p / node.kappa(self.env.config.local_epochs), node.zeta_max) ** 2
+                for node, p in zip(self.env.profiles, prices)
+            )
+            if payment > spend_target:
+                high = mid
+            else:
+                low = mid
+        prices = equal_time_prices(
+            self.env.profiles, high, self.env.config.local_epochs
+        )
+        # Guarantee participation: never price below a node's floor.
+        return np.maximum(prices, self.env.price_floors * 1.0001)
+
+
+def main() -> None:
+    results = {}
+    for label in ("budget_pacer", "chiron"):
+        build = build_environment(
+            task_name="mnist", n_nodes=5, budget=60.0,
+            accuracy_mode="surrogate", seed=0,
+        )
+        if label == "budget_pacer":
+            mech = BudgetPacer(build.env, target_rounds=15)
+        else:
+            mech = make_mechanism("chiron", build.env, rng=1, tier="quick")
+            train_mechanism(build.env, mech, episodes=120)
+        summary = EvaluationSummary.from_episodes(
+            label, evaluate_mechanism(build.env, mech, episodes=3)
+        )
+        results[label] = summary
+        print(
+            f"{label:13s} accuracy={summary.accuracy_mean:.3f} "
+            f"rounds={summary.rounds_mean:.0f} "
+            f"efficiency={summary.efficiency_mean:.1%} "
+            f"utility={summary.utility_mean:.0f}"
+        )
+
+    print(
+        "\nThe pacer needs the nodes' private κ_i to run Lemma 1 exactly — "
+        "information the paper's server cannot see.  Chiron learns a "
+        "comparable policy from observable feedback alone."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Look inside a trained Chiron policy and the market it prices.
+
+Three lenses:
+
+1. market analysis (``repro.economics.market``) — what rounds *cost* at
+   each total price, before any learning;
+2. the learned exterior pricing curve — total price vs remaining budget;
+3. the learned inner allocation — how the total splits across nodes, next
+   to the Lemma-1 oracle split.
+
+Run:  python examples/policy_analysis.py
+"""
+
+import numpy as np
+
+from repro.core import build_environment
+from repro.core.introspection import (
+    exterior_pricing_curve,
+    implied_round_plan,
+    inner_allocation_map,
+)
+from repro.economics import equal_time_prices, quote_curve
+from repro.experiments.mechanisms import make_mechanism
+from repro.experiments.runner import train_mechanism
+
+
+def main() -> None:
+    build = build_environment(
+        task_name="mnist", n_nodes=5, budget=60.0, accuracy_mode="surrogate",
+        seed=0,
+    )
+    env = build.env
+
+    # ---- 1. the market, before learning --------------------------------- #
+    print("price-speed frontier (equal-time allocation):")
+    totals = np.geomspace(env.min_total_price, env.max_total_price, 6)
+    print(f"{'total price':>12} {'payment':>8} {'T_k':>6} {'nodes':>5} {'eff':>5}")
+    for quote in quote_curve(env.profiles, totals, env.config.local_epochs):
+        print(
+            f"{quote.total_price:12.3e} {quote.payment:8.2f} "
+            f"{quote.makespan:6.1f} {quote.participants:5d} "
+            f"{quote.time_efficiency:5.2f}"
+        )
+
+    # ---- 2. train and read the exterior policy --------------------------- #
+    agent = make_mechanism("chiron", env, rng=1, tier="quick")
+    train_mechanism(env, agent, episodes=120)
+    curve = exterior_pricing_curve(agent, budget_fractions=(1.0, 0.6, 0.3, 0.1))
+    print("\nlearned exterior policy (round 0 shape):")
+    for fraction, total in zip(curve.budget_fractions, curve.total_prices):
+        print(f"  remaining budget {fraction:4.0%} -> total price {total:.3e}")
+
+    # ---- 3. the inner allocation vs the Lemma-1 oracle ------------------- #
+    plan = implied_round_plan(agent)
+    oracle = equal_time_prices(
+        env.profiles, plan["total_price"], env.config.local_epochs
+    )
+    oracle_props = oracle / oracle.sum()
+    print("\ninner allocation at the learned total price:")
+    print(f"  learned : {np.round(plan['proportions'], 3)}")
+    print(f"  Lemma 1 : {np.round(oracle_props, 3)}")
+    print(
+        f"\nimplied plan: pay ~{plan['round_payment']:.2f}/round, "
+        f"{plan['participants']}/5 nodes, "
+        f"~{plan['expected_rounds']} rounds from budget {env.config.budget:.0f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Use the federated-learning substrate directly (no incentive layer).
+
+Trains the paper's McMahan CNN (21,840 parameters) on the synthetic MNIST
+task with FedAvg across 5 edge nodes, comparing an IID split against the
+pathological label-shard split.  Demonstrates the ``repro.fl`` public API:
+ParameterServer, EdgeNode, FederatedSession.
+
+Run:  python examples/real_federated_training.py     (~1-2 minutes)
+"""
+
+from repro.datasets import make_task, partition_dataset
+from repro.economics import sample_profiles
+from repro.fl import EdgeNode, FederatedSession, LocalTrainingConfig, ParameterServer
+from repro.nn import McMahanCNN
+
+N_NODES = 5
+ROUNDS = 5
+
+
+def run_split(scheme: str) -> list:
+    task = make_task("mnist", rng=0)
+    train, test = task.train_test_split(train_size=400, test_size=300, rng=1)
+    parts = partition_dataset(train, N_NODES, scheme=scheme, rng=2)
+    profiles = sample_profiles(N_NODES, rng=3)
+
+    server = ParameterServer(lambda: McMahanCNN(rng=4), test)
+    config = LocalTrainingConfig(local_epochs=5, batch_size=10, learning_rate=0.01)
+    nodes = [
+        EdgeNode(i, parts[i], profiles[i], config, rng=10 + i)
+        for i in range(N_NODES)
+    ]
+    session = FederatedSession(server, nodes)
+
+    accuracies = []
+    for _ in range(ROUNDS):
+        record = session.run_round()
+        accuracies.append(record.accuracy)
+    return accuracies
+
+
+def main() -> None:
+    print(f"FedAvg, {N_NODES} nodes, {ROUNDS} rounds, McMahan CNN (21,840 params)")
+    for scheme in ("iid", "shards"):
+        accuracies = run_split(scheme)
+        curve = "  ".join(f"{a:.3f}" for a in accuracies)
+        print(f"{scheme:7s} accuracy per round: {curve}")
+    print(
+        "\nThe shard (non-IID) split converges slower — each node sees only "
+        "a couple of classes, so local updates pull the global model apart."
+    )
+
+
+if __name__ == "__main__":
+    main()

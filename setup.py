@@ -1,0 +1,9 @@
+"""Legacy shim so editable installs work without the `wheel` package.
+
+The canonical metadata lives in pyproject.toml; this file only enables
+``pip install -e . --no-build-isolation`` / ``python setup.py develop`` in
+offline environments whose setuptools lacks bdist_wheel support.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,265 @@
+"""Composite and image-specific differentiable functions.
+
+Everything here consumes and returns :class:`~repro.autograd.tensor.Tensor`
+objects.  Convolution is implemented with the classic ``im2col`` lowering
+(turn sliding windows into a matrix product), max pooling with a kernel-
+position stack + argmax scatter, both with exact custom backward passes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+def _pair(value: IntPair, name: str) -> Tuple[int, int]:
+    if isinstance(value, int):
+        if value < 0:
+            raise ValueError(f"{name} must be >= 0, got {value}")
+        return (value, value)
+    pair = tuple(int(v) for v in value)
+    if len(pair) != 2 or any(v < 0 for v in pair):
+        raise ValueError(f"{name} must be a non-negative int or pair, got {value}")
+    return pair  # type: ignore[return-value]
+
+
+# --------------------------------------------------------------------------- #
+# numerically stable softmax family
+# --------------------------------------------------------------------------- #
+def logsumexp(x: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
+    """Differentiable, numerically stable ``log(sum(exp(x)))``."""
+    x_max = Tensor(x.data.max(axis=axis, keepdims=True))  # constant shift
+    shifted = x - x_max
+    out = shifted.exp().sum(axis=axis, keepdims=True).log() + x_max
+    if not keepdims:
+        out = out.reshape(tuple(np.squeeze(np.empty(out.shape), axis=axis).shape))
+    return out
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Log of the softmax along ``axis`` (stable)."""
+    x_max = Tensor(x.data.max(axis=axis, keepdims=True))
+    shifted = x - x_max
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Softmax along ``axis`` (stable)."""
+    return log_softmax(x, axis=axis).exp()
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Integer labels ``(n,)`` to a one-hot float matrix ``(n, num_classes)``."""
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError(
+            f"labels must be in [0, {num_classes}), got range "
+            f"[{labels.min()}, {labels.max()}]"
+        )
+    encoded = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    encoded[np.arange(labels.shape[0]), labels] = 1.0
+    return encoded
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean cross-entropy between ``logits`` ``(n, c)`` and integer labels."""
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be (n, classes), got {logits.shape}")
+    log_probs = log_softmax(logits, axis=1)
+    targets = one_hot(labels, logits.shape[1])
+    return -(log_probs * Tensor(targets)).sum() * (1.0 / logits.shape[0])
+
+
+def nll_loss(log_probs: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean negative log likelihood given precomputed log-probabilities."""
+    targets = one_hot(labels, log_probs.shape[1])
+    return -(log_probs * Tensor(targets)).sum() * (1.0 / log_probs.shape[0])
+
+
+def mse_loss(prediction: Tensor, target: Union[Tensor, np.ndarray]) -> Tensor:
+    """Mean squared error."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+# --------------------------------------------------------------------------- #
+# im2col convolution
+# --------------------------------------------------------------------------- #
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Output extent of a conv/pool along one spatial axis."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"invalid conv geometry: size={size} kernel={kernel} "
+            f"stride={stride} padding={padding}"
+        )
+    return out
+
+
+def _im2col_index_arrays(
+    channels: int,
+    height: int,
+    width: int,
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int, int]:
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    out_h = conv_output_size(height, kh, sh, ph)
+    out_w = conv_output_size(width, kw, sw, pw)
+
+    i0 = np.repeat(np.arange(kh), kw)
+    i0 = np.tile(i0, channels)
+    i1 = sh * np.repeat(np.arange(out_h), out_w)
+    j0 = np.tile(np.arange(kw), kh * channels)
+    j1 = sw * np.tile(np.arange(out_w), out_h)
+    i = i0.reshape(-1, 1) + i1.reshape(1, -1)
+    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    k = np.repeat(np.arange(channels), kh * kw).reshape(-1, 1)
+    return k, i, j, out_h, out_w
+
+
+def im2col(
+    x: Tensor,
+    kernel: IntPair,
+    stride: IntPair = 1,
+    padding: IntPair = 0,
+) -> Tensor:
+    """Lower sliding windows of ``x`` ``(n, c, h, w)`` into columns.
+
+    Returns a tensor of shape ``(n, c*kh*kw, out_h*out_w)``; the backward
+    pass (``col2im``) scatters gradients back, summing overlaps.
+    """
+    if x.ndim != 4:
+        raise ValueError(f"im2col expects (n, c, h, w), got {x.shape}")
+    kernel = _pair(kernel, "kernel")
+    stride = _pair(stride, "stride")
+    padding = _pair(padding, "padding")
+    n, c, h, w = x.shape
+    ph, pw = padding
+    k, i, j, out_h, out_w = _im2col_index_arrays(c, h, w, kernel, stride, padding)
+
+    padded = np.pad(x.data, ((0, 0), (0, 0), (ph, ph), (pw, pw)), mode="constant")
+    cols = padded[:, k, i, j]
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        grad_padded = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=np.float64)
+        np.add.at(grad_padded, (slice(None), k, i, j), grad)
+        if ph or pw:
+            grad_x = grad_padded[:, :, ph : ph + h, pw : pw + w]
+        else:
+            grad_x = grad_padded
+        x._accumulate(grad_x)
+
+    return Tensor._make(cols, (x,), "im2col", backward)
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: IntPair = 1,
+    padding: IntPair = 0,
+) -> Tensor:
+    """2-D cross-correlation, matching ``torch.nn.functional.conv2d``.
+
+    Shapes: ``x (n, c_in, h, w)``, ``weight (c_out, c_in, kh, kw)``,
+    ``bias (c_out,)`` → output ``(n, c_out, out_h, out_w)``.
+    """
+    if x.ndim != 4:
+        raise ValueError(f"conv2d input must be 4-D, got {x.shape}")
+    if weight.ndim != 4:
+        raise ValueError(f"conv2d weight must be 4-D, got {weight.shape}")
+    if x.shape[1] != weight.shape[1]:
+        raise ValueError(
+            f"channel mismatch: input has {x.shape[1]}, weight expects {weight.shape[1]}"
+        )
+    stride_p = _pair(stride, "stride")
+    padding_p = _pair(padding, "padding")
+    out_c, in_c, kh, kw = weight.shape
+    n = x.shape[0]
+    out_h = conv_output_size(x.shape[2], kh, stride_p[0], padding_p[0])
+    out_w = conv_output_size(x.shape[3], kw, stride_p[1], padding_p[1])
+
+    cols = im2col(x, (kh, kw), stride_p, padding_p)  # (n, c*kh*kw, L)
+    w_mat = weight.reshape(out_c, in_c * kh * kw)  # (c_out, c*kh*kw)
+    out = w_mat @ cols  # broadcasting matmul -> (n, c_out, L)
+    out = out.reshape(n, out_c, out_h, out_w)
+    if bias is not None:
+        if bias.shape != (out_c,):
+            raise ValueError(f"bias must be ({out_c},), got {bias.shape}")
+        out = out + bias.reshape(1, out_c, 1, 1)
+    return out
+
+
+def max_pool2d(x: Tensor, kernel: IntPair, stride: Optional[IntPair] = None) -> Tensor:
+    """Max pooling over non-overlapping or strided windows.
+
+    Gradient is routed to the (first) argmax element of each window, the
+    same tie-break PyTorch uses.
+    """
+    if x.ndim != 4:
+        raise ValueError(f"max_pool2d expects (n, c, h, w), got {x.shape}")
+    kh, kw = _pair(kernel, "kernel")
+    sh, sw = _pair(stride if stride is not None else (kh, kw), "stride")
+    if sh == 0 or sw == 0:
+        raise ValueError("stride must be positive")
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kh, sh, 0)
+    out_w = conv_output_size(w, kw, sw, 0)
+
+    # Stack each kernel offset as a candidate plane: (kh*kw, n, c, out_h, out_w)
+    planes = np.empty((kh * kw, n, c, out_h, out_w), dtype=np.float64)
+    for idx in range(kh * kw):
+        di, dj = divmod(idx, kw)
+        planes[idx] = x.data[
+            :, :, di : di + sh * out_h : sh, dj : dj + sw * out_w : sw
+        ]
+    arg = planes.argmax(axis=0)  # first max wins, matching torch
+    out_data = np.take_along_axis(planes, arg[None], axis=0)[0]
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        grad_x = np.zeros_like(x.data)
+        for idx in range(kh * kw):
+            di, dj = divmod(idx, kw)
+            mask = arg == idx
+            if not mask.any():
+                continue
+            n_i, c_i, oh_i, ow_i = np.nonzero(mask)
+            rows = oh_i * sh + di
+            cols_ = ow_i * sw + dj
+            np.add.at(grad_x, (n_i, c_i, rows, cols_), grad[mask])
+        x._accumulate(grad_x)
+
+    return Tensor._make(out_data, (x,), "max_pool2d", backward)
+
+
+def avg_pool2d(x: Tensor, kernel: IntPair, stride: Optional[IntPair] = None) -> Tensor:
+    """Average pooling (differentiable composite over slices)."""
+    if x.ndim != 4:
+        raise ValueError(f"avg_pool2d expects (n, c, h, w), got {x.shape}")
+    kh, kw = _pair(kernel, "kernel")
+    sh, sw = _pair(stride if stride is not None else (kh, kw), "stride")
+    out_h = conv_output_size(x.shape[2], kh, sh, 0)
+    out_w = conv_output_size(x.shape[3], kw, sw, 0)
+    total: Optional[Tensor] = None
+    for di in range(kh):
+        for dj in range(kw):
+            piece = x[:, :, di : di + sh * out_h : sh, dj : dj + sw * out_w : sw]
+            total = piece if total is None else total + piece
+    assert total is not None
+    return total * (1.0 / (kh * kw))

@@ -1,0 +1,62 @@
+"""Finite-difference gradient checking for autograd ops and modules."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+def numerical_gradient(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    wrt: int,
+    eps: float = 1e-6,
+) -> np.ndarray:
+    """Central finite-difference gradient of ``sum(fn(*inputs))`` wrt one input."""
+    target = inputs[wrt]
+    grad = np.zeros_like(target.data)
+    flat = target.data.ravel()
+    grad_flat = grad.ravel()
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = float(fn(*inputs).sum().item())
+        flat[i] = original - eps
+        minus = float(fn(*inputs).sum().item())
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def gradcheck(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    eps: float = 1e-6,
+    atol: float = 1e-6,
+    rtol: float = 1e-4,
+) -> bool:
+    """Compare analytic and numerical gradients of ``sum(fn(*inputs))``.
+
+    Raises ``AssertionError`` with a diagnostic message on mismatch; returns
+    ``True`` otherwise (so it can sit inside a bare ``assert``).
+    """
+    inputs = list(inputs)
+    for t in inputs:
+        t.zero_grad()
+    out = fn(*inputs).sum()
+    out.backward()
+    for idx, t in enumerate(inputs):
+        if not t.requires_grad:
+            continue
+        analytic = t.grad if t.grad is not None else np.zeros_like(t.data)
+        numeric = numerical_gradient(fn, inputs, idx, eps=eps)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            worst = np.abs(analytic - numeric).max()
+            raise AssertionError(
+                f"gradient mismatch on input {idx}: max abs err {worst:.3e}\n"
+                f"analytic:\n{analytic}\nnumeric:\n{numeric}"
+            )
+    return True

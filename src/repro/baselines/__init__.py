@@ -1,0 +1,30 @@
+"""Comparison mechanisms.
+
+* :class:`DRLSingleAgent` — the paper's "DRL-based" baseline (Zhan et al.,
+  INFOCOM'20): one flat PPO agent pricing every node directly, optimizing
+  the *single-round* objective (myopic: discount γ = 0).
+* :class:`GreedyMechanism` — the paper's "Greedy" baseline: ε-greedy
+  replay over randomly generated pricing actions.
+* :class:`FixedPriceMechanism`, :class:`RandomMechanism` — ablation
+  references.
+* :class:`EqualTimeOracle` — a non-realizable upper bound that uses the
+  nodes' private hardware to allocate by Lemma 1 exactly.
+"""
+
+from repro.baselines.drl_single import DRLSingleAgent, DRLSingleConfig
+from repro.baselines.greedy import GreedyMechanism, GreedyConfig
+from repro.baselines.fixed_price import FixedPriceMechanism
+from repro.baselines.random_policy import RandomMechanism
+from repro.baselines.oracle import EqualTimeOracle
+from repro.baselines.myopic_planner import MyopicPlannerOracle
+
+__all__ = [
+    "DRLSingleAgent",
+    "DRLSingleConfig",
+    "GreedyMechanism",
+    "GreedyConfig",
+    "FixedPriceMechanism",
+    "RandomMechanism",
+    "EqualTimeOracle",
+    "MyopicPlannerOracle",
+]

@@ -1,0 +1,33 @@
+"""Fixed-markup pricing: pay every node a constant multiple of its floor.
+
+An ablation reference, not from the paper: it isolates what adaptivity
+buys — this mechanism guarantees participation but never reacts to budget
+state or node heterogeneity beyond the floors themselves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.env import EdgeLearningEnv
+from repro.core.mechanism import Observation, StaticMechanism
+from repro.utils.validation import check_positive
+
+
+class FixedPriceMechanism(StaticMechanism):
+    """Prices ``markup × participation floor`` every round for every node."""
+
+    name = "fixed_price"
+
+    def __init__(self, env: EdgeLearningEnv, markup: float = 1.5):
+        super().__init__(env)
+        check_positive("markup", markup)
+        if markup < 1.0:
+            raise ValueError(
+                f"markup below 1.0 ({markup}) would attract no participants"
+            )
+        self.markup = float(markup)
+        self._prices = np.minimum(markup * env.price_floors, env.price_caps)
+
+    def propose_prices(self, obs: Observation) -> np.ndarray:
+        return self._prices.copy()

@@ -1,0 +1,124 @@
+"""The "Greedy" baseline (§VI-A).
+
+Quoting the paper: "At the beginning, the agent randomly generates a
+series of actions to form the replay buffer.  Then it will greedily choose
+the action with maximum reward from the replay buffer with a high
+probability, or explore new actions with a small probability."
+
+The action here is a full per-node price vector; the remembered reward is
+the single-round exterior reward the action earned (averaged over replays,
+so a lucky noisy draw does not dominate forever).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.env import EdgeLearningEnv, StepResult
+from repro.core.mechanism import IncentiveMechanism, Observation
+from repro.utils.rng import RNGLike, as_generator
+from repro.utils.validation import check_in_range, check_positive
+
+
+@dataclass(frozen=True)
+class GreedyConfig:
+    """Exploration/replay parameters of the Greedy baseline."""
+
+    warmup_actions: int = 16  # random actions seeding the buffer
+    epsilon: float = 0.1  # exploration probability after warmup
+    buffer_size: int = 64  # max remembered actions
+
+    def __post_init__(self):
+        check_positive("warmup_actions", self.warmup_actions)
+        check_in_range("epsilon", self.epsilon, 0.0, 1.0)
+        check_positive("buffer_size", self.buffer_size)
+        if self.buffer_size < self.warmup_actions:
+            raise ValueError("buffer_size must be >= warmup_actions")
+
+
+class _ActionRecord:
+    """One remembered price vector with a running mean reward."""
+
+    __slots__ = ("prices", "total_reward", "uses")
+
+    def __init__(self, prices: np.ndarray):
+        self.prices = prices
+        self.total_reward = 0.0
+        self.uses = 0
+
+    @property
+    def mean_reward(self) -> float:
+        return self.total_reward / self.uses if self.uses else -np.inf
+
+    def record(self, reward: float) -> None:
+        self.total_reward += reward
+        self.uses += 1
+
+
+class GreedyMechanism(IncentiveMechanism):
+    """ε-greedy replay over randomly generated pricing actions."""
+
+    name = "greedy"
+
+    def __init__(
+        self,
+        env: EdgeLearningEnv,
+        config: Optional[GreedyConfig] = None,
+        rng: RNGLike = None,
+    ):
+        super().__init__(env)
+        self.config = config or GreedyConfig()
+        self._rng = as_generator(rng)
+        self._buffer: List[_ActionRecord] = []
+        self._last: Optional[_ActionRecord] = None
+        self._episode_reward = 0.0
+        self.training = True
+
+    def _random_prices(self) -> np.ndarray:
+        floors, caps = self.per_node_price_bounds()
+        return self._rng.uniform(floors, caps)
+
+    def propose_prices(self, obs: Observation) -> np.ndarray:
+        explore = (
+            len(self._buffer) < self.config.warmup_actions
+            or (self.training and self._rng.random() < self.config.epsilon)
+        )
+        if explore:
+            record = _ActionRecord(self._random_prices())
+            self._buffer.append(record)
+            if len(self._buffer) > self.config.buffer_size:
+                # Drop the worst remembered action, keeping the buffer elite.
+                worst = min(range(len(self._buffer)), key=lambda i: self._buffer[i].mean_reward)
+                self._buffer.pop(worst)
+        else:
+            record = max(self._buffer, key=lambda r: r.mean_reward)
+        self._last = record
+        return record.prices.copy()
+
+    def begin_episode(self, obs: Observation) -> None:
+        self._last = None
+        self._episode_reward = 0.0
+
+    def observe(self, prices: np.ndarray, result: StepResult) -> None:
+        if self._last is None:
+            raise RuntimeError("observe() without a preceding propose_prices()")
+        self._last.record(result.reward_exterior)
+        self._episode_reward += result.reward_exterior
+        self._last = None
+
+    def end_episode(self) -> Dict[str, float]:
+        return {
+            "episode_reward_exterior": self._episode_reward,
+            "buffer_size": float(len(self._buffer)),
+        }
+
+    def train_mode(self) -> "GreedyMechanism":
+        self.training = True
+        return self
+
+    def eval_mode(self) -> "GreedyMechanism":
+        self.training = False
+        return self

@@ -1,0 +1,93 @@
+"""Perfect-information myopic planner.
+
+The strongest possible single-round optimizer: it sees everything the
+paper's information model hides — the nodes' private ``κ_i`` (so it can
+run Lemma-1 equal-time allocation exactly) *and* the surrogate accuracy
+curve (so it can evaluate the true one-round reward ``λ·ΔA − T̃``) — and
+each round grid-searches the total price maximizing that round's reward,
+ignoring the budget entirely.
+
+It upper-bounds every myopic mechanism (the paper's DRL-based and Greedy
+baselines approximate it from feedback).  The gap between this planner
+and Chiron therefore isolates exactly the paper's thesis: *long-term*
+budget pacing is what a single-round optimum cannot deliver.  Only
+available on surrogate-mode environments (the real trainer exposes no
+closed-form ΔA).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.env import EdgeLearningEnv
+from repro.core.mechanism import Observation, StaticMechanism
+from repro.core.rewards import exterior_reward
+from repro.economics.pricing import equal_time_prices, node_response
+from repro.fl.accuracy import SurrogateAccuracy
+from repro.utils.validation import check_positive
+
+
+class MyopicPlannerOracle(StaticMechanism):
+    """Grid-searches the single-round-optimal total price every round."""
+
+    name = "oracle_myopic"
+
+    def __init__(self, env: EdgeLearningEnv, grid: int = 24):
+        super().__init__(env)
+        check_positive("grid", grid)
+        if not isinstance(env.learning, SurrogateAccuracy):
+            raise TypeError(
+                "MyopicPlannerOracle needs a surrogate-mode environment "
+                "(closed-form accuracy); got "
+                f"{type(env.learning).__name__}"
+            )
+        self.grid = int(grid)
+        self._totals = np.geomspace(
+            env.min_total_price, env.max_total_price, self.grid
+        )
+
+    def _round_reward(self, total_price: float) -> Optional[float]:
+        """True expected reward of pricing this round at ``total_price``."""
+        env = self.env
+        sigma = env.config.local_epochs
+        prices = np.maximum(
+            equal_time_prices(env.profiles, total_price, sigma),
+            0.0,
+        )
+        responses = [
+            node_response(p, float(pr), sigma)
+            for p, pr in zip(env.profiles, prices)
+        ]
+        participants = [i for i, r in enumerate(responses) if r.participates]
+        if not participants:
+            return None
+        times = np.array([responses[i].time for i in participants])
+        weights = env.learning.data_weights
+        effective = env.learning.effective_rounds
+        curve = env.learning.curve
+        delta_a = curve.accuracy(
+            effective + float(weights[participants].sum())
+        ) - curve.accuracy(effective)
+        return exterior_reward(
+            env.config.rewards,
+            accuracy=delta_a,
+            previous_accuracy=0.0,
+            round_time=float(times.max()),
+        )
+
+    def propose_prices(self, obs: Observation) -> np.ndarray:
+        env = self.env
+        sigma = env.config.local_epochs
+        best_total = self._totals[0]
+        best_reward = -np.inf
+        for total in self._totals:
+            reward = self._round_reward(float(total))
+            if reward is not None and reward > best_reward:
+                best_reward = reward
+                best_total = float(total)
+        prices = equal_time_prices(env.profiles, best_total, sigma)
+        # Never starve a node below its floor: the equal-time split plus a
+        # hair of slack keeps the full fleet in the round.
+        return np.maximum(prices, env.price_floors * 1.0001)

@@ -1,0 +1,44 @@
+"""Equal-time oracle: Lemma 1 applied with full knowledge of private info.
+
+Not realizable in the paper's information model (the server cannot see
+``κ_i``), but a valuable upper bound: it achieves exact time consistency
+at any total price, so it bounds what the inner agent can learn, and its
+budget pacing parameter isolates the exterior agent's contribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.env import EdgeLearningEnv
+from repro.core.mechanism import Observation, StaticMechanism
+from repro.economics.pricing import equal_time_prices
+from repro.utils.validation import check_in_range
+
+
+class EqualTimeOracle(StaticMechanism):
+    """Splits a fixed total price per Lemma 1 using true hardware profiles.
+
+    ``spend_fraction`` sets the total price as a point between the fleet's
+    participation floor and its price cap — the oracle's (static) answer to
+    the exterior agent's question.
+    """
+
+    name = "oracle_equal_time"
+
+    def __init__(self, env: EdgeLearningEnv, spend_fraction: float = 0.3):
+        super().__init__(env)
+        check_in_range("spend_fraction", spend_fraction, 0.0, 1.0)
+        self.spend_fraction = float(spend_fraction)
+        low = env.min_total_price
+        high = env.max_total_price
+        total = low + self.spend_fraction * (high - low)
+        prices = equal_time_prices(
+            env.profiles, total, env.config.local_epochs
+        )
+        # Lift any node that would decline up to its floor; the tiny extra
+        # spend preserves the equal-time structure in practice.
+        self._prices = np.maximum(prices, env.price_floors * 1.0001)
+
+    def propose_prices(self, obs: Observation) -> np.ndarray:
+        return self._prices.copy()

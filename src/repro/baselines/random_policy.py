@@ -1,0 +1,23 @@
+"""Uniform-random pricing — the weakest sanity baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.env import EdgeLearningEnv
+from repro.core.mechanism import Observation, StaticMechanism
+from repro.utils.rng import RNGLike, as_generator
+
+
+class RandomMechanism(StaticMechanism):
+    """Draws each node's price uniformly between its floor and cap."""
+
+    name = "random"
+
+    def __init__(self, env: EdgeLearningEnv, rng: RNGLike = None):
+        super().__init__(env)
+        self._rng = as_generator(rng)
+
+    def propose_prices(self, obs: Observation) -> np.ndarray:
+        floors, caps = self.per_node_price_bounds()
+        return self._rng.uniform(floors, caps)

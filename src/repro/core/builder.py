@@ -1,0 +1,189 @@
+"""One-call construction of a fully wired edge-learning environment.
+
+Ties the substrates together coherently: the synthetic task fixes the
+image geometry; the partition fixes each node's dataset size ``D_i``; the
+dataset size fixes the node's training workload ``d_i`` (bits/epoch) used
+by the economic model; and the chosen accuracy backend (real CNN training
+or the calibrated surrogate) closes the loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.env import EdgeLearningEnv, EnvConfig
+from repro.datasets.base import ArrayDataset
+from repro.datasets.partition import iid_partition, partition_dataset
+from repro.datasets.synthetic import TASK_SPECS, make_task
+from repro.economics.hardware import HardwareProfile, HardwareSpec, sample_profiles
+from repro.fl.accuracy import (
+    LearningProcess,
+    RealTrainingAccuracy,
+    SurrogateAccuracy,
+    build_learning_process,
+)
+from repro.fl.node import EdgeNode, LocalTrainingConfig
+from repro.fl.server import ParameterServer
+from repro.fl.session import FederatedSession
+from repro.nn.models import build_model
+from repro.utils.rng import SeedSequenceFactory
+from repro.utils.validation import check_positive
+
+#: CPU work per *stored* data bit.  Training touches each byte many times
+#: (forward/backward over σ epochs), so the effective workload is the raw
+#: dataset bits times this factor; 10 keeps computation time commensurate
+#: with the 10-20 s communication window of §VI-A.
+COMPUTE_AMPLIFICATION = 10.0
+
+
+@dataclass
+class BuildResult:
+    """Environment plus every component that went into it."""
+
+    env: EdgeLearningEnv
+    profiles: List[HardwareProfile]
+    learning: LearningProcess
+    data_sizes: np.ndarray  # samples per node (D_i)
+    task_name: str
+    accuracy_mode: str
+    session: Optional[FederatedSession] = None  # only for mode="real"
+
+
+def _bits_per_epoch(task_name: str, samples: np.ndarray) -> np.ndarray:
+    """Per-node training workload d_i derived from dataset size."""
+    spec = TASK_SPECS[task_name]
+    bytes_per_sample = spec.channels * spec.image_size**2 * 8  # float64 images
+    return samples.astype(float) * bytes_per_sample * 8.0 * COMPUTE_AMPLIFICATION
+
+
+def build_environment(
+    task_name: str = "mnist",
+    n_nodes: int = 5,
+    budget: float = 100.0,
+    accuracy_mode: str = "surrogate",
+    seed: int = 0,
+    samples_per_node: int = 120,
+    test_size: int = 400,
+    partition_scheme: str = "iid",
+    local_epochs: int = 5,
+    history: int = 4,
+    max_rounds: int = 500,
+    availability: float = 1.0,
+    env_config: Optional[EnvConfig] = None,
+    hardware_spec: Optional[HardwareSpec] = None,
+    training_config: Optional[LocalTrainingConfig] = None,
+) -> BuildResult:
+    """Construct an :class:`EdgeLearningEnv` for a named task.
+
+    ``accuracy_mode``:
+
+    * ``"surrogate"`` — fast calibrated curve; datasets are not
+      materialized, only their sizes (suits DRL training and benchmarks).
+    * ``"real"`` — full numpy-CNN federated training per round (suits
+      small-scale validation; ~seconds per round).
+    """
+    if task_name not in TASK_SPECS:
+        raise ValueError(
+            f"unknown task {task_name!r}; available: {sorted(TASK_SPECS)}"
+        )
+    if accuracy_mode not in ("surrogate", "real"):
+        raise ValueError(
+            f"accuracy_mode must be 'surrogate' or 'real', got {accuracy_mode!r}"
+        )
+    check_positive("n_nodes", n_nodes)
+    check_positive("samples_per_node", samples_per_node)
+    check_positive("test_size", test_size)
+
+    seeds = SeedSequenceFactory(seed)
+    train_size = n_nodes * samples_per_node
+
+    session: Optional[FederatedSession] = None
+    if accuracy_mode == "real":
+        task = make_task(task_name, rng=seeds.generator("task"))
+        train, test = task.train_test_split(
+            train_size, test_size, rng=seeds.generator("data")
+        )
+        parts = partition_dataset(
+            train, n_nodes, scheme=partition_scheme, rng=seeds.generator("partition")
+        )
+        data_sizes = np.array([len(p) for p in parts], dtype=np.int64)
+        profiles = sample_profiles(
+            n_nodes,
+            spec=hardware_spec,
+            rng=seeds.generator("hardware"),
+            bits_per_epoch=_bits_per_epoch(task_name, data_sizes),
+        )
+        model_name = TASK_SPECS[task_name].model
+        model_rng = seeds.generator("model")
+        server = ParameterServer(
+            lambda: build_model(model_name, rng=model_rng), test
+        )
+        node_rngs = seeds.child("nodes")
+        nodes = [
+            EdgeNode(
+                i,
+                parts[i],
+                profiles[i],
+                config=training_config or LocalTrainingConfig(),
+                rng=node_rngs.generator(f"node{i}"),
+            )
+            for i in range(n_nodes)
+        ]
+        session = FederatedSession(server, nodes)
+        learning: LearningProcess = RealTrainingAccuracy(session)
+    else:
+        # Surrogate: only sizes matter; reuse the IID/scheme split on indices.
+        if partition_scheme == "iid":
+            parts_idx = iid_partition(
+                train_size, n_nodes, rng=seeds.generator("partition")
+            )
+            data_sizes = np.array([p.shape[0] for p in parts_idx], dtype=np.int64)
+        else:
+            # Label-dependent schemes need labels; draw a cheap label vector.
+            gen = seeds.generator("labels")
+            labels = gen.integers(0, TASK_SPECS[task_name].num_classes, train_size)
+            from repro.datasets.partition import dirichlet_partition, shard_partition
+
+            if partition_scheme == "dirichlet":
+                parts_idx = dirichlet_partition(
+                    labels, n_nodes, rng=seeds.generator("partition")
+                )
+            elif partition_scheme == "shards":
+                parts_idx = shard_partition(
+                    labels, n_nodes, rng=seeds.generator("partition")
+                )
+            else:
+                raise ValueError(f"unknown partition scheme {partition_scheme!r}")
+            data_sizes = np.array([p.shape[0] for p in parts_idx], dtype=np.int64)
+        profiles = sample_profiles(
+            n_nodes,
+            spec=hardware_spec,
+            rng=seeds.generator("hardware"),
+            bits_per_epoch=_bits_per_epoch(task_name, data_sizes),
+        )
+        weights = data_sizes / data_sizes.sum()
+        learning = build_learning_process(
+            task_name, weights, rng=seeds.generator("surrogate")
+        )
+
+    config = env_config or EnvConfig(
+        budget=budget,
+        local_epochs=local_epochs,
+        history=history,
+        max_rounds=max_rounds,
+        availability=availability,
+        availability_seed=seed,
+    )
+    env = EdgeLearningEnv(profiles, learning, config)
+    return BuildResult(
+        env=env,
+        profiles=profiles,
+        learning=learning,
+        data_sizes=data_sizes,
+        task_name=task_name,
+        accuracy_mode=accuracy_mode,
+        session=session,
+    )

@@ -1,0 +1,325 @@
+"""The edge-learning incentive MDP (§V).
+
+One :meth:`EdgeLearningEnv.step` is one training round ``k``:
+
+1. the mechanism posts a per-node price vector ``p_{·,k}``;
+2. every node best-responds (Eqn 11) and decides participation;
+3. payments are charged against the budget ``η`` — an overdraw discards
+   the round and terminates the episode (Algorithm 1, line 17);
+4. participants run one federated round; the learning process reports the
+   new global accuracy ``A(ω_k)``;
+5. exterior (Eqn 14) and inner (Eqn 15) rewards are emitted and the
+   history-window state advances.
+
+The environment is mechanism-agnostic: Chiron and every baseline interact
+with it through the same price-vector action.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.rewards import RewardConfig, exterior_reward, inner_reward
+from repro.core.state import ExteriorStateEncoder
+from repro.economics.budget import BudgetLedger
+from repro.economics.hardware import HardwareProfile
+from repro.economics.pricing import min_participation_price, node_response
+from repro.economics.timing import time_efficiency
+from repro.fl.accuracy import LearningProcess
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class EnvConfig:
+    """Environment parameters (paper §V-A / §VI-A defaults).
+
+    ``availability`` extends the paper's model with node churn: each round
+    every node is independently reachable with this probability.  An
+    unavailable node ignores its price (trains nothing, is paid nothing)
+    and — unlike a node priced out — does not count as idle in the inner
+    reward, since no allocation could have recruited it.  The default 1.0
+    reproduces the paper exactly.
+    """
+
+    budget: float  # η
+    local_epochs: int = 5  # σ
+    history: int = 4  # L, the state history window
+    max_rounds: int = 500  # safety truncation (the paper's episodes are
+    # naturally bounded by the budget; this cap only guards degenerate
+    # near-zero pricing policies)
+    availability: float = 1.0  # per-node per-round reachability probability
+    availability_seed: int = 0  # stream for churn draws
+    rewards: RewardConfig = field(default_factory=RewardConfig)
+
+    def __post_init__(self):
+        check_positive("budget", self.budget)
+        check_positive("local_epochs", self.local_epochs)
+        check_positive("history", self.history)
+        check_positive("max_rounds", self.max_rounds)
+        if not 0.0 < self.availability <= 1.0:
+            raise ValueError(
+                f"availability must be in (0, 1], got {self.availability}"
+            )
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """Everything observable after one round."""
+
+    state: np.ndarray  # next exterior state s_{k+1}^E
+    reward_exterior: float  # r_k^E (Eqn 14)
+    reward_inner: float  # r_k^I (Eqn 15)
+    done: bool  # episode over (budget out / truncated)
+    truncated: bool  # True when ended by max_rounds, not budget
+    round_kept: bool  # False when the round overdrew and was discarded
+    accuracy: float  # A(ω_k) — unchanged if the round was discarded
+    round_time: float  # T_k (0 when no participants / discarded)
+    efficiency: float  # Eqn (16) over participants (0 if none)
+    participants: List[int]
+    unavailable: List[int]  # nodes unreachable this round (churn extension)
+    payments: np.ndarray  # per-node payments actually made
+    zetas: np.ndarray  # per-node chosen frequencies (0 for decliners)
+    times: np.ndarray  # per-node total times (0 for decliners)
+    utilities: np.ndarray  # per-node utilities
+    remaining_budget: float
+    round_index: int
+
+
+class EdgeLearningEnv:
+    """Budget-bounded pricing MDP over a fleet of self-interested nodes."""
+
+    def __init__(
+        self,
+        profiles: Sequence[HardwareProfile],
+        learning: LearningProcess,
+        config: EnvConfig,
+    ):
+        profiles = list(profiles)
+        if not profiles:
+            raise ValueError("need at least one hardware profile")
+        if learning.num_nodes != len(profiles):
+            raise ValueError(
+                f"learning process covers {learning.num_nodes} nodes but "
+                f"{len(profiles)} profiles were given"
+            )
+        self.profiles = profiles
+        self.learning = learning
+        self.config = config
+        self.n_nodes = len(profiles)
+
+        sigma = config.local_epochs
+        #: price at which node i runs flat out (ζ* = ζ_max); prices above
+        #: this are pure overpayment.
+        self.price_caps = np.array(
+            [p.kappa(sigma) * p.zeta_max for p in profiles]
+        )
+        #: smallest price at which node i participates at all.
+        self.price_floors = np.array(
+            [min_participation_price(p, sigma) for p in profiles]
+        )
+        #: characteristic scales used for state normalization and by agents
+        #: to size their action ranges.
+        self.max_total_price = float(self.price_caps.sum())
+        self.min_total_price = float(self.price_floors.sum())
+        time_scale = float(
+            np.mean([p.comm_time for p in profiles])
+            + np.mean(
+                [
+                    sigma * p.cycles_per_bit * p.bits_per_epoch / p.zeta_max
+                    for p in profiles
+                ]
+            )
+        )
+        if config.rewards.time_scale is None:
+            # Resolve the reward normalization to this fleet's natural
+            # round-time scale (see RewardConfig.time_scale).
+            import dataclasses
+
+            config = dataclasses.replace(
+                config,
+                rewards=dataclasses.replace(config.rewards, time_scale=time_scale),
+            )
+            self.config = config
+        self.encoder = ExteriorStateEncoder(
+            n_nodes=self.n_nodes,
+            history=config.history,
+            budget_scale=config.budget,
+            price_scale=float(np.mean(self.price_caps)),
+            time_scale=time_scale,
+            max_rounds=config.max_rounds,
+        )
+        self.ledger = BudgetLedger(config.budget)
+        self._churn_rng = np.random.default_rng(config.availability_seed)
+        self._accuracy = 0.0
+        self._round = 0
+        self._done = True  # must reset() before stepping
+
+    # ------------------------------------------------------------------ #
+    # properties
+    # ------------------------------------------------------------------ #
+    @property
+    def state_dim(self) -> int:
+        return self.encoder.dim
+
+    @property
+    def accuracy(self) -> float:
+        """Current global model accuracy A(ω_k)."""
+        return self._accuracy
+
+    @property
+    def round_index(self) -> int:
+        return self._round
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    # ------------------------------------------------------------------ #
+    # episode control
+    # ------------------------------------------------------------------ #
+    def reset(self) -> np.ndarray:
+        """Start a new episode; returns the initial exterior state."""
+        self.ledger.reset()
+        self.encoder.reset()
+        self._accuracy = float(self.learning.reset())
+        self._round = 0
+        self._done = False
+        return self.encoder.encode(self.ledger.remaining, self._round)
+
+    def step(self, prices: Sequence[float]) -> StepResult:
+        """Run one round under the posted per-node price vector."""
+        if self._done:
+            raise RuntimeError("step() on a finished episode; call reset()")
+        prices = np.asarray(prices, dtype=np.float64)
+        if prices.shape != (self.n_nodes,):
+            raise ValueError(
+                f"prices must have shape ({self.n_nodes},), got {prices.shape}"
+            )
+        if np.any(prices < 0) or not np.all(np.isfinite(prices)):
+            raise ValueError(f"prices must be finite and non-negative: {prices}")
+
+        cfg = self.config
+        if cfg.availability < 1.0:
+            available = self._churn_rng.random(self.n_nodes) < cfg.availability
+        else:
+            available = np.ones(self.n_nodes, dtype=bool)
+        unavailable = [i for i in range(self.n_nodes) if not available[i]]
+
+        responses = [
+            node_response(prof, float(p), cfg.local_epochs)
+            for prof, p in zip(self.profiles, prices)
+        ]
+        participates = np.array(
+            [r.participates and available[i] for i, r in enumerate(responses)]
+        )
+        participants = [i for i in range(self.n_nodes) if participates[i]]
+        payments = np.array(
+            [r.payment if participates[i] else 0.0 for i, r in enumerate(responses)]
+        )
+        zetas = np.array(
+            [r.zeta if participates[i] else 0.0 for i, r in enumerate(responses)]
+        )
+        times = np.array(
+            [r.time if participates[i] else 0.0 for i, r in enumerate(responses)]
+        )
+        utilities = np.array(
+            [r.utility if participates[i] else 0.0 for i, r in enumerate(responses)]
+        )
+        total_payment = float(payments.sum())
+
+        # --- no participation: wasted round, nothing charged ------------- #
+        if not participants:
+            self._round += 1
+            truncated = self._round >= cfg.max_rounds
+            self._done = truncated
+            self.encoder.record_round(zetas, prices, times)
+            state = self.encoder.encode(self.ledger.remaining, self._round)
+            penalty = cfg.rewards.no_participation_penalty
+            return StepResult(
+                state=state,
+                reward_exterior=-cfg.rewards.time_weight * penalty,
+                reward_inner=0.0,
+                done=self._done,
+                truncated=truncated,
+                round_kept=False,
+                accuracy=self._accuracy,
+                round_time=0.0,
+                efficiency=0.0,
+                participants=[],
+                unavailable=unavailable,
+                payments=np.zeros(self.n_nodes),
+                zetas=zetas,
+                times=times,
+                utilities=utilities,
+                remaining_budget=self.ledger.remaining,
+                round_index=self._round,
+            )
+
+        # --- budget check (Algorithm 1 line 17) -------------------------- #
+        if not self.ledger.charge(total_payment):
+            # Overdraw: the round is discarded and learning stops.
+            self._done = True
+            state = self.encoder.encode(0.0, self._round)
+            return StepResult(
+                state=state,
+                reward_exterior=0.0,
+                reward_inner=0.0,
+                done=True,
+                truncated=False,
+                round_kept=False,
+                accuracy=self._accuracy,
+                round_time=0.0,
+                efficiency=0.0,
+                participants=[],
+                unavailable=unavailable,
+                payments=np.zeros(self.n_nodes),
+                zetas=np.zeros(self.n_nodes),
+                times=np.zeros(self.n_nodes),
+                utilities=np.zeros(self.n_nodes),
+                remaining_budget=self.ledger.remaining,
+                round_index=self._round,
+            )
+
+        # --- the federated round ----------------------------------------- #
+        previous_accuracy = self._accuracy
+        self._accuracy = float(self.learning.step(participants))
+        participant_times = times[participants]
+        round_time = float(participant_times.max())
+        efficiency = time_efficiency(participant_times)
+
+        r_ext = exterior_reward(
+            cfg.rewards, self._accuracy, previous_accuracy, round_time
+        )
+        # Over *available* nodes: `times` holds 0 for priced-out decliners,
+        # so they count as fully idle; unavailable nodes are excluded — no
+        # allocation could have recruited them.
+        r_inn = inner_reward(cfg.rewards, times[available])
+
+        self._round += 1
+        self.encoder.record_round(zetas, prices, times)
+        truncated = self._round >= cfg.max_rounds
+        budget_out = self.ledger.remaining <= 0
+        self._done = truncated or budget_out
+        state = self.encoder.encode(self.ledger.remaining, self._round)
+        return StepResult(
+            state=state,
+            reward_exterior=r_ext,
+            reward_inner=r_inn,
+            done=self._done,
+            truncated=truncated and not budget_out,
+            round_kept=True,
+            accuracy=self._accuracy,
+            round_time=round_time,
+            efficiency=efficiency,
+            participants=participants,
+            unavailable=unavailable,
+            payments=payments,
+            zetas=zetas,
+            times=times,
+            utilities=utilities,
+            remaining_budget=self.ledger.remaining,
+            round_index=self._round,
+        )

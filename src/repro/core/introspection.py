@@ -1,0 +1,111 @@
+"""Introspection of trained Chiron policies.
+
+Turns the learned networks back into the economic quantities a human can
+read: the exterior pricing curve (total price as a function of remaining
+budget and round index) and the inner allocation map (per-node proportions
+as a function of the posted total).  Used by the analysis example and the
+interpretability tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.chiron import ChironAgent, _softmax
+
+
+@dataclass(frozen=True)
+class PricingCurve:
+    """Exterior policy slice: total price vs remaining budget."""
+
+    budget_fractions: np.ndarray  # x-axis: remaining budget / η
+    round_index: int
+    total_prices: np.ndarray  # learned deterministic total price
+
+
+@dataclass(frozen=True)
+class AllocationMap:
+    """Inner policy slice: node proportions vs total price."""
+
+    total_prices: np.ndarray
+    proportions: np.ndarray  # shape (len(total_prices), n_nodes)
+
+
+def exterior_pricing_curve(
+    agent: ChironAgent,
+    budget_fractions: Sequence[float] = tuple(np.linspace(0.05, 1.0, 20)),
+    round_index: int = 0,
+) -> PricingCurve:
+    """Evaluate the deterministic exterior policy on synthetic states.
+
+    History is zeroed (the round-0 shape); only the two scalar features
+    vary.  This is a *slice* of a high-dimensional policy — meaningful for
+    reading trends, not a complete description.
+    """
+    env = agent.env
+    fractions = np.asarray(list(budget_fractions), dtype=float)
+    totals = np.empty(fractions.shape[0])
+    for i, fraction in enumerate(fractions):
+        env.encoder.reset()
+        state = env.encoder.encode(
+            fraction * env.config.budget, round_index
+        )
+        norm = agent.exterior._normalize(state)
+        raw, _ = agent.exterior.policy.act(norm, deterministic=True)
+        totals[i] = agent._total_price_from_raw(float(raw[0]))
+    return PricingCurve(
+        budget_fractions=fractions,
+        round_index=round_index,
+        total_prices=totals,
+    )
+
+
+def inner_allocation_map(
+    agent: ChironAgent,
+    total_prices: Sequence[float] = (),
+    grid: int = 10,
+) -> AllocationMap:
+    """Evaluate the deterministic inner policy across total prices."""
+    env = agent.env
+    if len(total_prices) == 0:
+        total_prices = np.linspace(
+            agent._price_low, agent._price_high, grid
+        )
+    totals = np.asarray(list(total_prices), dtype=float)
+    proportions = np.empty((totals.shape[0], env.n_nodes))
+    for i, total in enumerate(totals):
+        obs = agent._inner_obs(float(total))
+        norm = agent.inner._normalize(obs)
+        raw, _ = agent.inner.policy.act(norm, deterministic=True)
+        proportions[i] = _softmax(raw)
+    return AllocationMap(total_prices=totals, proportions=proportions)
+
+
+def implied_round_plan(agent: ChironAgent, round_index: int = 0) -> dict:
+    """One-glance summary of what the trained policy does at full budget."""
+    curve = exterior_pricing_curve(
+        agent, budget_fractions=(1.0,), round_index=round_index
+    )
+    total = float(curve.total_prices[0])
+    allocation = inner_allocation_map(agent, total_prices=(total,))
+    proportions = allocation.proportions[0]
+    prices = total * proportions
+    from repro.economics.pricing import node_response
+
+    responses = [
+        node_response(p, float(pr), agent.env.config.local_epochs)
+        for p, pr in zip(agent.env.profiles, prices)
+    ]
+    payment = sum(r.payment for r in responses if r.participates)
+    return {
+        "total_price": total,
+        "proportions": proportions,
+        "participants": sum(r.participates for r in responses),
+        "round_payment": payment,
+        "expected_rounds": (
+            int(agent.env.config.budget // payment) if payment > 0 else 0
+        ),
+    }

@@ -1,0 +1,87 @@
+"""Reward shaping for the two hierarchical agents (Eqns 14 and 15).
+
+The paper writes the exterior reward as ``λ(A(ω_k) − A(ω_{k−1})) − λ·T_k``
+(Eqn 14) while the server utility it telescopes to is ``λ·A(ω_K) − Σ T_k``
+(Eqn 9).  The two are consistent only when the time term's weight is 1, so
+this module keeps separate coefficients: ``accuracy_weight`` (= λ = 2000
+by default, §VI-A) and ``time_weight`` (= 1 by default, matching Eqn 9).
+Setting ``time_weight = accuracy_weight`` recovers the literal Eqn (14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class RewardConfig:
+    """Coefficients of the exterior/inner rewards.
+
+    ``time_scale`` converts seconds into the O(1) units the λ = 2000
+    accuracy term is balanced against (the paper's reported behaviour —
+    Chiron stretching the budget over ~21 cheap rounds — is only reward-
+    optimal when ``T_k`` enters the reward normalized; raw seconds would
+    make every extra round net-negative).  ``None`` lets the environment
+    substitute its characteristic round time.
+    """
+
+    accuracy_weight: float = 2000.0  # λ, the preference coefficient of §VI-A
+    time_weight: float = 1.0  # weight on normalized T_k in the exterior reward
+    idle_weight: float = 1.0  # weight on the normalized inner idle-time penalty
+    time_scale: Optional[float] = None  # seconds per reward unit; None -> env's
+    no_participation_penalty: float = 4.0  # normalized time units charged when
+    # pricing attracts nobody
+
+    def __post_init__(self):
+        check_positive("accuracy_weight", self.accuracy_weight)
+        check_positive("time_weight", self.time_weight, strict=False)
+        check_positive("idle_weight", self.idle_weight, strict=False)
+        if self.time_scale is not None:
+            check_positive("time_scale", self.time_scale)
+        check_positive(
+            "no_participation_penalty", self.no_participation_penalty, strict=False
+        )
+
+    def resolved_time_scale(self) -> float:
+        """The scale to divide seconds by (1.0 if never resolved)."""
+        return self.time_scale if self.time_scale is not None else 1.0
+
+
+def exterior_reward(
+    config: RewardConfig,
+    accuracy: float,
+    previous_accuracy: float,
+    round_time: float,
+) -> float:
+    """Eqn (14): ``λ·ΔA − time_weight·(T_k / time_scale)``."""
+    return (
+        config.accuracy_weight * (accuracy - previous_accuracy)
+        - config.time_weight * round_time / config.resolved_time_scale()
+    )
+
+
+def inner_reward(config: RewardConfig, all_times: Sequence[float]) -> float:
+    """Eqn (15): negative total idle time ``−Σ_{i=1}^N (T_k − T_{i,k})``.
+
+    The sum runs over *all* N nodes, per the paper.  A node that declined
+    participation has ``T_{i,k} = 0`` (it did no work), contributing the
+    full makespan ``T_k`` as idle time — without this, the inner agent can
+    game the metric by pricing slow nodes out of the round entirely.
+    Normalized by the fleet's time scale like the exterior reward.
+    """
+    times = np.asarray(all_times, dtype=float)
+    if times.size == 0:
+        return 0.0
+    makespan = float(times.max())
+    idle = makespan - times
+    return (
+        -config.idle_weight * float(idle.sum()) / config.resolved_time_scale()
+    )

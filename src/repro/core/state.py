@@ -1,0 +1,111 @@
+"""Exterior-state assembly (§V-A).
+
+The exterior agent observes, per the paper::
+
+    s_k^E = {ζ_{k−L..k−1}, p_{k−L..k−1}, T_{k−L..k−1}, η_remaining, k}
+
+i.e. an ``L``-round history of node frequency profiles, price profiles and
+per-node times, plus the remaining budget and the round index.  Nonexistent
+history (``k < L``) reads as zeros.  All components are scaled to O(1) so
+one observation-normalization layer suffices downstream.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Tuple
+
+import numpy as np
+
+from repro.economics.hardware import GHZ
+from repro.utils.validation import check_positive
+
+
+class ExteriorStateEncoder:
+    """Fixed-size rolling encoding of the edge-learning system state."""
+
+    def __init__(
+        self,
+        n_nodes: int,
+        history: int,
+        budget_scale: float,
+        price_scale: float,
+        time_scale: float,
+        max_rounds: int,
+    ):
+        check_positive("n_nodes", n_nodes)
+        check_positive("history", history)
+        check_positive("budget_scale", budget_scale)
+        check_positive("price_scale", price_scale)
+        check_positive("time_scale", time_scale)
+        check_positive("max_rounds", max_rounds)
+        self.n_nodes = int(n_nodes)
+        self.history = int(history)
+        self.budget_scale = float(budget_scale)
+        self.price_scale = float(price_scale)
+        self.time_scale = float(time_scale)
+        self.max_rounds = int(max_rounds)
+        self._rows: Deque[np.ndarray] = deque(maxlen=self.history)
+        self.reset()
+
+    @property
+    def dim(self) -> int:
+        """Observation dimension: ``3·N·L + 2``."""
+        return 3 * self.n_nodes * self.history + 2
+
+    def reset(self) -> None:
+        self._rows.clear()
+        zero = np.zeros(3 * self.n_nodes)
+        for _ in range(self.history):
+            self._rows.append(zero.copy())
+
+    def record_round(
+        self,
+        zetas: np.ndarray,
+        prices: np.ndarray,
+        times: np.ndarray,
+    ) -> None:
+        """Append one completed round's profiles to the history window.
+
+        ``times`` entries for non-participating nodes should be 0 (they did
+        not train); infinities are rejected.
+        """
+        zetas = np.asarray(zetas, dtype=np.float64)
+        prices = np.asarray(prices, dtype=np.float64)
+        times = np.asarray(times, dtype=np.float64)
+        for name, arr in (("zetas", zetas), ("prices", prices), ("times", times)):
+            if arr.shape != (self.n_nodes,):
+                raise ValueError(
+                    f"{name} must have shape ({self.n_nodes},), got {arr.shape}"
+                )
+            if not np.all(np.isfinite(arr)):
+                raise ValueError(f"{name} contains non-finite entries")
+        row = np.concatenate(
+            [
+                zetas / GHZ,
+                prices / self.price_scale,
+                times / self.time_scale,
+            ]
+        )
+        self._rows.append(row)
+
+    def encode(self, remaining_budget: float, round_index: int) -> np.ndarray:
+        """Current observation vector (history oldest-first, then scalars)."""
+        flat = np.concatenate(list(self._rows))
+        tail = np.array(
+            [
+                remaining_budget / self.budget_scale,
+                round_index / self.max_rounds,
+            ]
+        )
+        return np.concatenate([flat, tail])
+
+    def last_round(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Most recent (zetas, prices, times) row, de-normalized."""
+        row = self._rows[-1]
+        n = self.n_nodes
+        return (
+            row[:n] * GHZ,
+            row[n : 2 * n] * self.price_scale,
+            row[2 * n :] * self.time_scale,
+        )

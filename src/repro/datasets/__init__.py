@@ -1,0 +1,42 @@
+"""Datasets: synthetic image-classification tasks and federated partitioners.
+
+Real MNIST / Fashion-MNIST / CIFAR-10 cannot be downloaded in an offline
+environment, so :mod:`repro.datasets.synthetic` generates class-conditional
+image distributions with the same tensor shapes, class counts and a matching
+difficulty ordering (see DESIGN.md §3).  The partitioners implement the
+standard federated splits (IID, label shards, Dirichlet).
+"""
+
+from repro.datasets.base import ArrayDataset, DataLoader
+from repro.datasets.synthetic import (
+    SyntheticImageTask,
+    TaskSpec,
+    make_task,
+    TASK_SPECS,
+)
+from repro.datasets.partition import (
+    dirichlet_partition,
+    iid_partition,
+    shard_partition,
+    partition_dataset,
+)
+from repro.datasets.transforms import normalize_images, per_channel_stats
+from repro.datasets.idx import load_idx_dataset, load_mnist_if_available, read_idx
+
+__all__ = [
+    "ArrayDataset",
+    "DataLoader",
+    "SyntheticImageTask",
+    "TaskSpec",
+    "make_task",
+    "TASK_SPECS",
+    "iid_partition",
+    "shard_partition",
+    "dirichlet_partition",
+    "partition_dataset",
+    "normalize_images",
+    "per_channel_stats",
+    "read_idx",
+    "load_idx_dataset",
+    "load_mnist_if_available",
+]

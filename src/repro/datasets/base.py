@@ -1,0 +1,103 @@
+"""Dataset containers and mini-batch iteration."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RNGLike, as_generator
+from repro.utils.validation import check_positive
+
+
+class ArrayDataset:
+    """In-memory supervised dataset: image tensor ``x`` and labels ``y``.
+
+    ``x`` has shape ``(n, c, h, w)`` (float) and ``y`` shape ``(n,)`` (int).
+    """
+
+    def __init__(self, x: np.ndarray, y: np.ndarray):
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        if x.ndim != 4:
+            raise ValueError(f"x must be (n, c, h, w), got shape {x.shape}")
+        if y.ndim != 1:
+            raise ValueError(f"y must be 1-D, got shape {y.shape}")
+        if x.shape[0] != y.shape[0]:
+            raise ValueError(
+                f"x and y disagree on sample count: {x.shape[0]} vs {y.shape[0]}"
+            )
+        self.x = x
+        self.y = y
+
+    def __len__(self) -> int:
+        return self.x.shape[0]
+
+    def __getitem__(self, index) -> Tuple[np.ndarray, np.ndarray]:
+        return self.x[index], self.y[index]
+
+    @property
+    def image_shape(self) -> Tuple[int, int, int]:
+        return self.x.shape[1:]
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.y.max()) + 1 if len(self) else 0
+
+    def subset(self, indices: Sequence[int]) -> "ArrayDataset":
+        """Dataset restricted to ``indices`` (copies the slices)."""
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= len(self)):
+            raise IndexError(
+                f"indices out of range [0, {len(self)}): "
+                f"[{idx.min()}, {idx.max()}]"
+            )
+        return ArrayDataset(self.x[idx], self.y[idx])
+
+    def class_histogram(self, num_classes: Optional[int] = None) -> np.ndarray:
+        """Counts per class label."""
+        n = num_classes if num_classes is not None else self.num_classes
+        return np.bincount(self.y, minlength=n)
+
+    def nbytes(self) -> int:
+        """Storage footprint in bytes (used by the economics layer: d_i)."""
+        return int(self.x.nbytes + self.y.nbytes)
+
+
+class DataLoader:
+    """Seeded mini-batch iterator over an :class:`ArrayDataset`.
+
+    Each call to ``iter()`` reshuffles (when ``shuffle=True``) using the
+    loader's private generator, so epochs differ but runs are reproducible.
+    """
+
+    def __init__(
+        self,
+        dataset: ArrayDataset,
+        batch_size: int,
+        shuffle: bool = True,
+        drop_last: bool = False,
+        rng: RNGLike = None,
+    ):
+        check_positive("batch_size", batch_size)
+        self.dataset = dataset
+        self.batch_size = int(batch_size)
+        self.shuffle = bool(shuffle)
+        self.drop_last = bool(drop_last)
+        self._rng = as_generator(rng)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        order = np.arange(n)
+        if self.shuffle:
+            self._rng.shuffle(order)
+        stop = (n // self.batch_size) * self.batch_size if self.drop_last else n
+        for start in range(0, stop, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            yield self.dataset.x[idx], self.dataset.y[idx]

@@ -1,0 +1,42 @@
+"""Image preprocessing helpers."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.datasets.base import ArrayDataset
+
+
+def per_channel_stats(x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-channel mean and std of an ``(n, c, h, w)`` image tensor."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 4:
+        raise ValueError(f"expected (n, c, h, w), got shape {x.shape}")
+    mean = x.mean(axis=(0, 2, 3))
+    std = x.std(axis=(0, 2, 3))
+    return mean, std
+
+
+def normalize_images(
+    x: np.ndarray,
+    mean: np.ndarray,
+    std: np.ndarray,
+    eps: float = 1e-8,
+) -> np.ndarray:
+    """Channel-wise standardization ``(x - mean) / std``."""
+    x = np.asarray(x, dtype=np.float64)
+    mean = np.asarray(mean, dtype=np.float64).reshape(1, -1, 1, 1)
+    std = np.asarray(std, dtype=np.float64).reshape(1, -1, 1, 1)
+    if mean.shape[1] != x.shape[1] or std.shape[1] != x.shape[1]:
+        raise ValueError(
+            f"stats have {mean.shape[1]} channels, images have {x.shape[1]}"
+        )
+    return (x - mean) / (std + eps)
+
+
+def normalize_dataset(dataset: ArrayDataset) -> ArrayDataset:
+    """Standardize a dataset with its own statistics."""
+    mean, std = per_channel_stats(dataset.x)
+    return ArrayDataset(normalize_images(dataset.x, mean, std), dataset.y)

@@ -1,0 +1,80 @@
+"""The paper's system model: hardware, timing, energy, utility, pricing, budget.
+
+Implements Eqns (6)-(12) and the time-efficiency metric (16).  Everything is
+expressed in SI units (Hz, seconds, joules) with the constants of §VI-A:
+``c_i = 20`` cycles/bit, ``ζ_i^max ∈ U[1.0, 2.0] GHz``, communication time
+``∈ U[10, 20] s``, effective capacitance ``α = 2×10⁻²⁸``.
+"""
+
+from repro.economics.hardware import (
+    GHZ,
+    HardwareProfile,
+    HardwareSpec,
+    sample_profiles,
+)
+from repro.economics.timing import (
+    communication_time,
+    computation_time,
+    idle_times,
+    round_time,
+    time_efficiency,
+    total_times,
+)
+from repro.economics.energy import (
+    communication_energy,
+    computing_energy,
+    total_energy,
+)
+from repro.economics.utility import node_utility, server_round_utility, server_utility
+from repro.economics.pricing import (
+    best_response_frequency,
+    equal_time_prices,
+    min_participation_price,
+    node_response,
+    NodeResponse,
+)
+from repro.economics.budget import BudgetExhausted, BudgetLedger
+from repro.economics.market import (
+    RoundQuote,
+    feasible_rounds,
+    fleet_cost_bounds,
+    participation_curve,
+    participation_fraction,
+    quote_curve,
+    quote_round,
+    welfare,
+)
+
+__all__ = [
+    "GHZ",
+    "HardwareProfile",
+    "HardwareSpec",
+    "sample_profiles",
+    "computation_time",
+    "communication_time",
+    "total_times",
+    "round_time",
+    "idle_times",
+    "time_efficiency",
+    "computing_energy",
+    "communication_energy",
+    "total_energy",
+    "node_utility",
+    "server_utility",
+    "server_round_utility",
+    "best_response_frequency",
+    "node_response",
+    "NodeResponse",
+    "min_participation_price",
+    "equal_time_prices",
+    "BudgetLedger",
+    "BudgetExhausted",
+    "RoundQuote",
+    "participation_fraction",
+    "participation_curve",
+    "quote_round",
+    "quote_curve",
+    "feasible_rounds",
+    "fleet_cost_bounds",
+    "welfare",
+]

@@ -1,0 +1,77 @@
+"""Budget accounting for the parameter server (the constraint of OP_PS)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.utils.validation import check_positive
+
+
+class BudgetExhausted(RuntimeError):
+    """Raised when a charge is attempted after the ledger closed."""
+
+
+class BudgetLedger:
+    """Tracks ``η`` across rounds, mirroring Algorithm 1 lines 11 and 17.
+
+    The paper's semantics: the server posts prices, nodes train, payments
+    are subtracted, and *if the remaining budget goes negative, the round
+    that overdrew is discarded and learning stops immediately*.  ``charge``
+    therefore returns ``False`` (and records nothing) for an overdraw, after
+    which the ledger is closed.
+    """
+
+    def __init__(self, total: float):
+        check_positive("total", total)
+        self.total = float(total)
+        self._spent = 0.0
+        self._closed = False
+        self._round_payments: List[float] = []
+
+    @property
+    def spent(self) -> float:
+        return self._spent
+
+    @property
+    def remaining(self) -> float:
+        return self.total - self._spent
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def rounds_charged(self) -> int:
+        return len(self._round_payments)
+
+    @property
+    def round_payments(self) -> List[float]:
+        return list(self._round_payments)
+
+    def can_afford(self, amount: float) -> bool:
+        return not self._closed and amount <= self.remaining
+
+    def charge(self, amount: float) -> bool:
+        """Attempt to pay ``amount``; returns whether the round is kept.
+
+        On overdraw the ledger closes and the amount is *not* recorded —
+        "all the training information in this round will not be recorded
+        and the edge learning must be immediately stopped" (§V-A).
+        """
+        check_positive("amount", amount, strict=False)
+        if self._closed:
+            raise BudgetExhausted(
+                "charge() after the budget was exhausted; start a new episode"
+            )
+        if amount > self.remaining:
+            self._closed = True
+            return False
+        self._spent += amount
+        self._round_payments.append(amount)
+        return True
+
+    def reset(self) -> None:
+        """Reopen the ledger with the full budget (new episode)."""
+        self._spent = 0.0
+        self._closed = False
+        self._round_payments.clear()

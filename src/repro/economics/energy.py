@@ -1,0 +1,33 @@
+"""Energy model of §III: computing plus communication energy."""
+
+from __future__ import annotations
+
+from repro.economics.hardware import HardwareProfile
+from repro.utils.validation import check_positive
+
+
+def computing_energy(
+    profile: HardwareProfile, zeta: float, local_epochs: int
+) -> float:
+    """``E_cmp = σ α_i c_i d_i ζ²`` (equivalently ``(κ_i/2) ζ²``)."""
+    check_positive("zeta", zeta)
+    check_positive("local_epochs", local_epochs)
+    return (
+        local_epochs
+        * profile.capacitance
+        * profile.cycles_per_bit
+        * profile.bits_per_epoch
+        * zeta**2
+    )
+
+
+def communication_energy(profile: HardwareProfile) -> float:
+    """``E_com = ε_i T_com`` — upload power times upload time."""
+    return profile.comm_power * profile.comm_time
+
+
+def total_energy(profile: HardwareProfile, zeta: float, local_epochs: int) -> float:
+    """``E_i = E_cmp + E_com``."""
+    return computing_energy(profile, zeta, local_epochs) + communication_energy(
+        profile
+    )

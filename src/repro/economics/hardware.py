@@ -1,0 +1,147 @@
+"""Edge-node hardware profiles (the private information of §IV).
+
+A :class:`HardwareProfile` carries everything a node needs to best-respond
+to a price: CPU cycles per bit ``c_i``, training workload per epoch ``d_i``
+(bits), capacitance coefficient ``α_i``, CPU frequency range, communication
+time / energy characteristics and the reserve utility ``μ_i``.
+
+The parameter server never reads these fields directly — only the node's
+observable behaviour (chosen frequency, timing) leaks out, exactly as in
+the paper's information model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+import numpy as np
+
+from repro.utils.rng import RNGLike, as_generator
+from repro.utils.validation import check_positive
+
+#: One gigahertz, in hertz.
+GHZ = 1e9
+
+
+@dataclass(frozen=True)
+class HardwareProfile:
+    """Private hardware/economic parameters of one edge node."""
+
+    node_id: int
+    cycles_per_bit: float  # c_i
+    bits_per_epoch: float  # d_i
+    capacitance: float  # α_i, effective switched capacitance
+    zeta_min: float  # minimal CPU frequency (Hz)
+    zeta_max: float  # maximal CPU frequency (Hz)
+    comm_time: float  # ξ / B_i : model upload time (s)
+    comm_power: float  # ε_i : upload power draw (W)
+    reserve_utility: float  # μ_i : participation threshold
+
+    def __post_init__(self):
+        check_positive("cycles_per_bit", self.cycles_per_bit)
+        check_positive("bits_per_epoch", self.bits_per_epoch)
+        check_positive("capacitance", self.capacitance)
+        check_positive("zeta_min", self.zeta_min)
+        check_positive("zeta_max", self.zeta_max)
+        if self.zeta_min > self.zeta_max:
+            raise ValueError(
+                f"zeta_min {self.zeta_min} exceeds zeta_max {self.zeta_max}"
+            )
+        check_positive("comm_time", self.comm_time)
+        check_positive("comm_power", self.comm_power, strict=False)
+        check_positive("reserve_utility", self.reserve_utility, strict=False)
+
+    def kappa(self, local_epochs: int) -> float:
+        """``κ_i = 2 σ α_i c_i d_i`` — the curvature of the energy cost.
+
+        The best-response frequency (Eqn 11) is ``ζ* = p / κ_i`` and the
+        computing energy is ``(κ_i / 2) ζ²``.
+        """
+        check_positive("local_epochs", local_epochs)
+        return (
+            2.0
+            * local_epochs
+            * self.capacitance
+            * self.cycles_per_bit
+            * self.bits_per_epoch
+        )
+
+    def with_workload(self, bits_per_epoch: float) -> "HardwareProfile":
+        """Copy of this profile with a different per-epoch workload."""
+        return replace(self, bits_per_epoch=float(bits_per_epoch))
+
+
+@dataclass(frozen=True)
+class HardwareSpec:
+    """Population distribution for node hardware (paper §VI-A defaults)."""
+
+    cycles_per_bit: float = 20.0
+    capacitance: float = 2e-28
+    zeta_max_low: float = 1.0 * GHZ
+    zeta_max_high: float = 2.0 * GHZ
+    zeta_min_fraction: float = 0.1  # ζ_min = fraction · ζ_max
+    comm_time_low: float = 10.0
+    comm_time_high: float = 20.0
+    comm_power: float = 0.002  # W; keeps E_com well below peak E_cmp so the
+    # participation price stays in the interior best-response region
+    reserve_utility: float = 0.01
+    default_bits_per_epoch: float = 6.0e7  # effective training workload per
+    # epoch in bits; sized so computation time (≈4-35 s across the ζ range)
+    # is commensurate with the 10-20 s communication time, giving prices
+    # real leverage over round time (see DESIGN.md §3)
+
+    def __post_init__(self):
+        check_positive("cycles_per_bit", self.cycles_per_bit)
+        check_positive("capacitance", self.capacitance)
+        check_positive("zeta_max_low", self.zeta_max_low)
+        if self.zeta_max_low > self.zeta_max_high:
+            raise ValueError("zeta_max_low exceeds zeta_max_high")
+        if not 0 < self.zeta_min_fraction <= 1:
+            raise ValueError(
+                f"zeta_min_fraction must be in (0, 1], got {self.zeta_min_fraction}"
+            )
+        if self.comm_time_low > self.comm_time_high:
+            raise ValueError("comm_time_low exceeds comm_time_high")
+
+
+def sample_profiles(
+    n_nodes: int,
+    spec: Optional[HardwareSpec] = None,
+    rng: RNGLike = None,
+    bits_per_epoch: Optional[np.ndarray] = None,
+) -> List[HardwareProfile]:
+    """Draw ``n_nodes`` hardware profiles from ``spec``.
+
+    ``bits_per_epoch`` optionally pins each node's training workload
+    (computed from its actual dataset size); otherwise the spec default
+    applies uniformly.
+    """
+    check_positive("n_nodes", n_nodes)
+    spec = spec or HardwareSpec()
+    gen = as_generator(rng)
+    if bits_per_epoch is not None:
+        bits = np.asarray(bits_per_epoch, dtype=float)
+        if bits.shape != (n_nodes,):
+            raise ValueError(
+                f"bits_per_epoch must have shape ({n_nodes},), got {bits.shape}"
+            )
+    else:
+        bits = np.full(n_nodes, spec.default_bits_per_epoch)
+
+    zeta_max = gen.uniform(spec.zeta_max_low, spec.zeta_max_high, size=n_nodes)
+    comm_time = gen.uniform(spec.comm_time_low, spec.comm_time_high, size=n_nodes)
+    return [
+        HardwareProfile(
+            node_id=i,
+            cycles_per_bit=spec.cycles_per_bit,
+            bits_per_epoch=float(bits[i]),
+            capacitance=spec.capacitance,
+            zeta_min=float(spec.zeta_min_fraction * zeta_max[i]),
+            zeta_max=float(zeta_max[i]),
+            comm_time=float(comm_time[i]),
+            comm_power=spec.comm_power,
+            reserve_utility=spec.reserve_utility,
+        )
+        for i in range(n_nodes)
+    ]

@@ -1,0 +1,156 @@
+"""Market-level analysis of a fleet of edge nodes.
+
+Offline tools for reasoning about a hardware population before (or
+instead of) training a DRL mechanism: participation thresholds, the cost
+and makespan of one round as a function of the total price, feasible
+round counts under a budget, and welfare decomposition.  The experiment
+notebooks and the ``BudgetPacer`` example are built on these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.economics.hardware import HardwareProfile
+from repro.economics.pricing import (
+    equal_time_prices,
+    min_participation_price,
+    node_response,
+)
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class RoundQuote:
+    """What one round costs and delivers at a given total price."""
+
+    total_price: float
+    payment: float  # Σ p_i ζ_i actually paid
+    makespan: float  # T_k
+    participants: int
+    time_efficiency: float
+    node_surplus: float  # Σ u_i over participants
+
+
+def participation_fraction(
+    profiles: Sequence[HardwareProfile],
+    price: float,
+    local_epochs: int,
+) -> float:
+    """Fraction of the fleet that accepts a uniform per-node price."""
+    responses = [node_response(p, price, local_epochs) for p in profiles]
+    return sum(r.participates for r in responses) / len(responses)
+
+
+def participation_curve(
+    profiles: Sequence[HardwareProfile],
+    prices: Sequence[float],
+    local_epochs: int,
+) -> np.ndarray:
+    """Participation fraction at each uniform price in ``prices``."""
+    return np.array(
+        [participation_fraction(profiles, float(p), local_epochs) for p in prices]
+    )
+
+
+def quote_round(
+    profiles: Sequence[HardwareProfile],
+    total_price: float,
+    local_epochs: int,
+    allocation: str = "equal_time",
+) -> RoundQuote:
+    """Price one round under an allocation rule.
+
+    ``allocation``:
+
+    * ``"equal_time"`` — Lemma-1 split (what a perfect inner agent does);
+    * ``"uniform"`` — every node gets ``total_price / N``.
+    """
+    check_positive("total_price", total_price)
+    profiles = list(profiles)
+    if allocation == "equal_time":
+        prices = equal_time_prices(profiles, total_price, local_epochs)
+    elif allocation == "uniform":
+        prices = np.full(len(profiles), total_price / len(profiles))
+    else:
+        raise ValueError(
+            f"unknown allocation {allocation!r}; expected 'equal_time' or 'uniform'"
+        )
+    responses = [
+        node_response(p, float(pr), local_epochs)
+        for p, pr in zip(profiles, prices)
+    ]
+    active = [r for r in responses if r.participates]
+    if not active:
+        return RoundQuote(
+            total_price=float(total_price),
+            payment=0.0,
+            makespan=0.0,
+            participants=0,
+            time_efficiency=0.0,
+            node_surplus=0.0,
+        )
+    times = np.array([r.time for r in active])
+    return RoundQuote(
+        total_price=float(total_price),
+        payment=float(sum(r.payment for r in active)),
+        makespan=float(times.max()),
+        participants=len(active),
+        time_efficiency=float(times.sum() / (times.size * times.max())),
+        node_surplus=float(sum(r.utility for r in active)),
+    )
+
+
+def quote_curve(
+    profiles: Sequence[HardwareProfile],
+    total_prices: Sequence[float],
+    local_epochs: int,
+    allocation: str = "equal_time",
+) -> List[RoundQuote]:
+    """Quotes along a grid of total prices (the price-speed frontier)."""
+    return [
+        quote_round(profiles, float(tp), local_epochs, allocation)
+        for tp in total_prices
+    ]
+
+
+def feasible_rounds(
+    profiles: Sequence[HardwareProfile],
+    budget: float,
+    total_price: float,
+    local_epochs: int,
+    allocation: str = "equal_time",
+) -> int:
+    """How many rounds the budget affords at a steady total price."""
+    check_positive("budget", budget)
+    quote = quote_round(profiles, total_price, local_epochs, allocation)
+    if quote.payment <= 0:
+        return 0
+    return int(budget // quote.payment)
+
+
+def fleet_cost_bounds(
+    profiles: Sequence[HardwareProfile], local_epochs: int
+) -> tuple:
+    """(cheapest, most expensive) possible per-round payment for the fleet.
+
+    The floor pays every node exactly its participation price; the cap pays
+    every node enough to run at ζ_max.
+    """
+    floor = 0.0
+    cap = 0.0
+    for profile in profiles:
+        p_min = min_participation_price(profile, local_epochs)
+        floor += node_response(profile, p_min * 1.000001, local_epochs).payment
+        cap += profile.kappa(local_epochs) * profile.zeta_max**2
+    return floor, cap
+
+
+def welfare(
+    server_utility: float, node_surplus: float
+) -> float:
+    """Social welfare: server utility plus total node surplus."""
+    return server_utility + node_surplus

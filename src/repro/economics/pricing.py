@@ -1,0 +1,194 @@
+"""Node best responses and pricing helpers (Eqns 10-12, Lemma 1).
+
+Given a posted price ``p``, a rational node maximizes Eqn (8) over its CPU
+frequency.  The unconstrained optimum is ``ζ* = p / κ_i`` (Eqn 11) with
+``κ_i = 2σ α_i c_i d_i``; the feasible optimum clips this to the node's
+frequency range.  A node participates only when its best achievable
+utility clears the reserve ``μ_i``.
+
+:func:`equal_time_prices` computes the Lemma-1 oracle: the price vector
+under which every node finishes at the same instant — the inner agent's
+ideal, used as a baseline and as ground truth in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import sqrt
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.economics.energy import communication_energy, total_energy
+from repro.economics.hardware import HardwareProfile
+from repro.economics.timing import communication_time, computation_time
+from repro.utils.validation import check_positive
+
+
+def best_response_frequency(
+    profile: HardwareProfile, price: float, local_epochs: int
+) -> float:
+    """Eqn (11) clipped to the feasible range ``[ζ_min, ζ_max]``."""
+    check_positive("price", price, strict=False)
+    if price == 0.0:
+        return profile.zeta_min
+    kappa = profile.kappa(local_epochs)
+    unconstrained = price / kappa
+    return float(np.clip(unconstrained, profile.zeta_min, profile.zeta_max))
+
+
+@dataclass(frozen=True)
+class NodeResponse:
+    """A node's reaction to a posted price."""
+
+    participates: bool
+    zeta: float  # chosen CPU frequency (Hz); zeta_min when declining
+    utility: float  # utility at the chosen frequency
+    payment: float  # p · ζ actually paid (0 when declining)
+    time: float  # total round time T_i (inf when declining)
+    energy: float  # energy spent (0 when declining)
+
+
+def node_response(
+    profile: HardwareProfile,
+    price: float,
+    local_epochs: int,
+) -> NodeResponse:
+    """Full best response: frequency choice plus the participation decision.
+
+    A declining node contributes nothing, costs nothing and is treated as
+    infinitely slow (it never gates the round makespan because the caller
+    excludes non-participants).
+    """
+    zeta = best_response_frequency(profile, price, local_epochs)
+    utility = price * zeta - total_energy(profile, zeta, local_epochs)
+    if utility < profile.reserve_utility:
+        return NodeResponse(
+            participates=False,
+            zeta=profile.zeta_min,
+            utility=0.0,
+            payment=0.0,
+            time=float("inf"),
+            energy=0.0,
+        )
+    time = computation_time(profile, zeta, local_epochs) + communication_time(
+        profile
+    )
+    return NodeResponse(
+        participates=True,
+        zeta=zeta,
+        utility=utility,
+        payment=price * zeta,
+        time=time,
+        energy=total_energy(profile, zeta, local_epochs),
+    )
+
+
+def min_participation_price(profile: HardwareProfile, local_epochs: int) -> float:
+    """Smallest price at which the node's best-response utility hits ``μ_i``.
+
+    Solved in closed form per branch of the clipped best response:
+
+    * interior (``ζ* = p/κ ∈ [ζ_min, ζ_max]``): ``u = p²/(2κ) − E_com`` so
+      ``p = sqrt(2κ(μ + E_com))``;
+    * below range (``p < κ ζ_min``): node pins ``ζ_min`` and
+      ``u = p ζ_min − (κ/2)ζ_min² − E_com``, giving
+      ``p = (μ + E_com + (κ/2)ζ_min²) / ζ_min``;
+    * above range handled symmetrically with ``ζ_max``.
+    """
+    kappa = profile.kappa(local_epochs)
+    e_com = communication_energy(profile)
+    mu = profile.reserve_utility
+
+    interior = sqrt(2.0 * kappa * (mu + e_com))
+    if kappa * profile.zeta_min <= interior <= kappa * profile.zeta_max:
+        return interior
+    if interior < kappa * profile.zeta_min:
+        return (mu + e_com + 0.5 * kappa * profile.zeta_min**2) / profile.zeta_min
+    return (mu + e_com + 0.5 * kappa * profile.zeta_max**2) / profile.zeta_max
+
+
+def price_for_frequency(
+    profile: HardwareProfile, zeta: float, local_epochs: int
+) -> float:
+    """Price that makes ``zeta`` the node's interior best response.
+
+    Inverse of Eqn (11); only meaningful for ``ζ ∈ [ζ_min, ζ_max]``.
+    """
+    if not profile.zeta_min <= zeta <= profile.zeta_max:
+        raise ValueError(
+            f"zeta {zeta:.3e} outside [{profile.zeta_min:.3e}, "
+            f"{profile.zeta_max:.3e}]"
+        )
+    return profile.kappa(local_epochs) * zeta
+
+
+def price_for_time(
+    profile: HardwareProfile, target_time: float, local_epochs: int
+) -> Optional[float]:
+    """Price inducing total round time ``target_time``, if achievable.
+
+    Returns ``None`` when the target lies outside the node's reachable time
+    window ``[T(ζ_max), T(ζ_min)]``.
+    """
+    check_positive("target_time", target_time)
+    cmp_time = target_time - communication_time(profile)
+    if cmp_time <= 0:
+        return None
+    work = local_epochs * profile.cycles_per_bit * profile.bits_per_epoch
+    zeta = work / cmp_time
+    if not profile.zeta_min <= zeta <= profile.zeta_max:
+        return None
+    return price_for_frequency(profile, zeta, local_epochs)
+
+
+def equal_time_prices(
+    profiles: Sequence[HardwareProfile],
+    total_price: float,
+    local_epochs: int,
+    tolerance: float = 1e-9,
+    max_iterations: int = 200,
+) -> np.ndarray:
+    """Lemma-1 oracle: split ``total_price`` so all nodes finish together.
+
+    Uses bisection on the common finish time ``T``: for a candidate ``T``
+    each node's required price is ``κ_i ζ_i(T)`` (clipped to its frequency
+    range), and the total required price is monotone decreasing in ``T``.
+    The returned vector sums to ``total_price`` exactly (the residual from
+    clipping is spread proportionally).
+    """
+    check_positive("total_price", total_price)
+    profiles = list(profiles)
+    if not profiles:
+        raise ValueError("equal_time_prices needs at least one profile")
+
+    def price_at(time_budget: float) -> np.ndarray:
+        prices = np.empty(len(profiles))
+        for i, prof in enumerate(profiles):
+            work = local_epochs * prof.cycles_per_bit * prof.bits_per_epoch
+            cmp_time = max(time_budget - communication_time(prof), 1e-12)
+            zeta = np.clip(work / cmp_time, prof.zeta_min, prof.zeta_max)
+            prices[i] = prof.kappa(local_epochs) * zeta
+        return prices
+
+    # Bracket: fastest possible finish vs slowest possible finish.
+    t_low = min(
+        computation_time(p, p.zeta_max, local_epochs) + communication_time(p)
+        for p in profiles
+    )
+    t_high = max(
+        computation_time(p, p.zeta_min, local_epochs) + communication_time(p)
+        for p in profiles
+    )
+    lo, hi = t_low, t_high
+    for _ in range(max_iterations):
+        mid = 0.5 * (lo + hi)
+        if price_at(mid).sum() > total_price:
+            lo = mid  # too expensive -> allow more time
+        else:
+            hi = mid
+        if hi - lo < tolerance * max(1.0, t_high):
+            break
+    prices = price_at(hi)
+    scale = total_price / prices.sum()
+    return prices * scale

@@ -1,0 +1,67 @@
+"""Round timing: Eqns (6), (7), the round makespan and time efficiency (16)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.economics.hardware import HardwareProfile
+from repro.utils.validation import check_positive
+
+
+def computation_time(
+    profile: HardwareProfile, zeta: float, local_epochs: int
+) -> float:
+    """Eqn (6): ``T_cmp = σ c_i d_i / ζ``."""
+    check_positive("zeta", zeta)
+    check_positive("local_epochs", local_epochs)
+    return (
+        local_epochs * profile.cycles_per_bit * profile.bits_per_epoch / zeta
+    )
+
+
+def communication_time(profile: HardwareProfile) -> float:
+    """Eqn (7): model upload time ``ξ / B_i`` (precomputed in the profile)."""
+    return profile.comm_time
+
+
+def total_times(
+    profiles: Sequence[HardwareProfile],
+    zetas: Sequence[float],
+    local_epochs: int,
+) -> np.ndarray:
+    """Per-node round time ``T_i = T_cmp + T_com`` for a whole fleet."""
+    if len(profiles) != len(zetas):
+        raise ValueError(
+            f"{len(profiles)} profiles but {len(zetas)} frequencies"
+        )
+    return np.array(
+        [
+            computation_time(p, z, local_epochs) + communication_time(p)
+            for p, z in zip(profiles, zetas)
+        ]
+    )
+
+
+def round_time(times: Sequence[float]) -> float:
+    """Round makespan ``T_k = max_i T_{i,k}`` (Fig. 1)."""
+    times = np.asarray(times, dtype=float)
+    if times.size == 0:
+        raise ValueError("round_time needs at least one node time")
+    return float(times.max())
+
+
+def idle_times(times: Sequence[float]) -> np.ndarray:
+    """Per-node idle time ``T_k − T_{i,k}`` (the black bars in Fig. 1)."""
+    times = np.asarray(times, dtype=float)
+    return round_time(times) - times
+
+
+def time_efficiency(times: Sequence[float]) -> float:
+    """Eqn (16): ``Σ_i T_{i,k} / (N · T_k)`` — 1.0 means zero idle time."""
+    times = np.asarray(times, dtype=float)
+    makespan = round_time(times)
+    if makespan <= 0:
+        raise ValueError(f"round makespan must be positive, got {makespan}")
+    return float(times.sum() / (times.size * makespan))

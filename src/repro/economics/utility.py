@@ -1,0 +1,45 @@
+"""Utility functions of both sides of the market (Eqns 8 and 9)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.economics.energy import total_energy
+from repro.economics.hardware import HardwareProfile
+from repro.utils.validation import check_positive
+
+
+def node_utility(
+    profile: HardwareProfile,
+    price: float,
+    zeta: float,
+    local_epochs: int,
+) -> float:
+    """Eqn (8): ``u_i = p_i ζ_i − E_i``.
+
+    ``price`` is the per-unit-frequency price the server posts; the node is
+    paid ``p_i ζ_i`` for contributing frequency ``ζ_i``.
+    """
+    check_positive("price", price, strict=False)
+    return price * zeta - total_energy(profile, zeta, local_epochs)
+
+
+def server_round_utility(
+    accuracy_gain: float, round_time_s: float, lam: float
+) -> float:
+    """Per-round slice of Eqn (9): ``λ·ΔA − T_k``.
+
+    Summed over rounds this telescopes to ``λ·A(ω_K) − Σ_k T_k`` (up to the
+    initial accuracy, a constant).
+    """
+    return lam * accuracy_gain - round_time_s
+
+
+def server_utility(
+    final_accuracy: float, round_times: Sequence[float], lam: float
+) -> float:
+    """Eqn (9): ``u = λ·A(ω_K) − Σ_k T_k``."""
+    times = np.asarray(round_times, dtype=float)
+    return lam * final_accuracy - float(times.sum())

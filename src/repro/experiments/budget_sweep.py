@@ -1,0 +1,138 @@
+"""Budget sweeps: Figs. 4 (MNIST), 5 (Fashion-MNIST) and 6 (CIFAR-10).
+
+For every budget η in a grid and every mechanism, train on the same fleet
+(same seed → identical hardware/data draws) and evaluate: final accuracy
+(panel a), rounds completed (panel b) and time efficiency (panel c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.builder import build_environment
+from repro.experiments.mechanisms import make_mechanism
+from repro.experiments.results import EvaluationSummary
+from repro.experiments.runner import evaluate_mechanism, train_mechanism
+from repro.utils.logging import get_logger
+from repro.utils.rng import SeedSequenceFactory
+from repro.utils.validation import check_positive
+
+_log = get_logger("experiments.budget_sweep")
+
+#: Budget grids per task.  CIFAR-10's grid is larger because "processing
+#: the same number of samples requires more computing resources, which
+#: leads to different budget constraints" (§VI-B) — its images are ~4× the
+#: bits, so per-round payments are ~4× higher.
+DEFAULT_BUDGETS: Dict[str, tuple] = {
+    "mnist": (20.0, 40.0, 60.0, 80.0, 100.0),
+    "fashion_mnist": (20.0, 40.0, 60.0, 80.0, 100.0),
+    "cifar10": (80.0, 160.0, 240.0, 320.0, 400.0),
+}
+
+
+@dataclass
+class BudgetSweepResult:
+    """All series of one figure (a/b/c panels for every mechanism)."""
+
+    task: str
+    n_nodes: int
+    budgets: List[float]
+    #: mechanism -> list of summaries aligned with ``budgets``
+    summaries: Dict[str, List[EvaluationSummary]] = field(default_factory=dict)
+
+    def series(self, mechanism: str, metric: str) -> np.ndarray:
+        """One panel's y-series: metric ∈ {accuracy, rounds, efficiency}."""
+        attr = {
+            "accuracy": "accuracy_mean",
+            "rounds": "rounds_mean",
+            "efficiency": "efficiency_mean",
+        }[metric]
+        return np.array([getattr(s, attr) for s in self.summaries[mechanism]])
+
+    def to_payload(self) -> Dict:
+        return {
+            "task": self.task,
+            "n_nodes": self.n_nodes,
+            "budgets": self.budgets,
+            "mechanisms": {
+                name: [
+                    {
+                        "accuracy": s.accuracy_mean,
+                        "accuracy_std": s.accuracy_std,
+                        "rounds": s.rounds_mean,
+                        "efficiency": s.efficiency_mean,
+                        "total_time": s.time_mean,
+                        "utility": s.utility_mean,
+                    }
+                    for s in summaries
+                ]
+                for name, summaries in self.summaries.items()
+            },
+        }
+
+
+def run_budget_sweep(
+    task: str = "mnist",
+    budgets: Sequence[float] = (),
+    mechanisms: Sequence[str] = ("chiron", "drl_single", "greedy"),
+    n_nodes: int = 5,
+    train_episodes: int = 40,
+    eval_episodes: int = 5,
+    seed: int = 0,
+    tier: str = "quick",
+    accuracy_mode: str = "surrogate",
+    max_rounds: int = 300,
+    n_seeds: int = 1,
+) -> BudgetSweepResult:
+    """Regenerate one of Figs. 4/5/6 as numeric series.
+
+    ``n_seeds`` > 1 trains independent agents on independently drawn
+    fleets per (mechanism, budget) cell and pools their evaluation
+    episodes, trading runtime for variance.
+    """
+    check_positive("train_episodes", train_episodes)
+    check_positive("eval_episodes", eval_episodes)
+    check_positive("n_seeds", n_seeds)
+    budgets = list(budgets) or list(DEFAULT_BUDGETS[task])
+    result = BudgetSweepResult(task=task, n_nodes=n_nodes, budgets=budgets)
+    seeds = SeedSequenceFactory(seed)
+
+    for name in mechanisms:
+        result.summaries[name] = []
+        for budget in budgets:
+            episodes = []
+            for seed_offset in range(n_seeds):
+                build = build_environment(
+                    task_name=task,
+                    n_nodes=n_nodes,
+                    budget=budget,
+                    accuracy_mode=accuracy_mode,
+                    # same seed -> identical fleet across mechanisms
+                    seed=seed + seed_offset,
+                    max_rounds=max_rounds,
+                )
+                mechanism = make_mechanism(
+                    name,
+                    build.env,
+                    rng=seeds.generator(f"{name}/{budget}/{seed_offset}"),
+                    tier=tier,
+                )
+                train_mechanism(build.env, mechanism, train_episodes)
+                episodes.extend(
+                    evaluate_mechanism(build.env, mechanism, eval_episodes)
+                )
+            summary = EvaluationSummary.from_episodes(name, episodes)
+            result.summaries[name].append(summary)
+            _log.info(
+                "%s/%s η=%g: acc=%.3f rounds=%.1f eff=%.2f",
+                task,
+                name,
+                budget,
+                summary.accuracy_mean,
+                summary.rounds_mean,
+                summary.efficiency_mean,
+            )
+    return result

@@ -1,0 +1,81 @@
+"""The paper's headline claims, recomputed from sweep results.
+
+Abstract: "compared with the state-of-the-art methods under the same
+budget constraint, the final global model accuracy and time efficiency
+can be increased by 6.5% and 39%, respectively."  This module extracts
+the same two statistics — Chiron's best advantage over the strongest
+baseline at any single budget — from a :class:`BudgetSweepResult`, so
+EXPERIMENTS.md can report paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.experiments.budget_sweep import BudgetSweepResult
+
+PAPER_ACCURACY_GAIN = 0.065
+PAPER_EFFICIENCY_GAIN = 0.39
+
+
+@dataclass(frozen=True)
+class HeadlineClaims:
+    """Measured counterparts of the abstract's two numbers."""
+
+    accuracy_gain: float  # max over budgets of (chiron − best baseline)
+    accuracy_gain_budget: float  # the budget where that maximum occurs
+    efficiency_gain: float  # same for time efficiency (absolute points)
+    efficiency_gain_budget: float
+    mean_accuracy_gain: float  # averaged over the whole sweep
+    mean_efficiency_gain: float
+
+    def to_payload(self) -> Dict:
+        return {
+            "accuracy_gain": self.accuracy_gain,
+            "accuracy_gain_budget": self.accuracy_gain_budget,
+            "efficiency_gain": self.efficiency_gain,
+            "efficiency_gain_budget": self.efficiency_gain_budget,
+            "mean_accuracy_gain": self.mean_accuracy_gain,
+            "mean_efficiency_gain": self.mean_efficiency_gain,
+            "paper": {
+                "accuracy_gain": PAPER_ACCURACY_GAIN,
+                "efficiency_gain": PAPER_EFFICIENCY_GAIN,
+            },
+        }
+
+
+def headline_claims(
+    sweep: BudgetSweepResult,
+    chiron: str = "chiron",
+    baselines: Sequence[str] = ("drl_single", "greedy"),
+) -> HeadlineClaims:
+    """Compute the abstract's two statistics from a budget sweep."""
+    missing = [m for m in (chiron, *baselines) if m not in sweep.summaries]
+    if missing:
+        raise KeyError(f"sweep lacks mechanisms {missing}")
+
+    budgets = np.asarray(sweep.budgets, dtype=float)
+    chiron_acc = sweep.series(chiron, "accuracy")
+    chiron_eff = sweep.series(chiron, "efficiency")
+    base_acc = np.max(
+        np.stack([sweep.series(b, "accuracy") for b in baselines]), axis=0
+    )
+    base_eff = np.max(
+        np.stack([sweep.series(b, "efficiency") for b in baselines]), axis=0
+    )
+
+    acc_gain = chiron_acc - base_acc
+    eff_gain = chiron_eff - base_eff
+    best_acc = int(np.argmax(acc_gain))
+    best_eff = int(np.argmax(eff_gain))
+    return HeadlineClaims(
+        accuracy_gain=float(acc_gain[best_acc]),
+        accuracy_gain_budget=float(budgets[best_acc]),
+        efficiency_gain=float(eff_gain[best_eff]),
+        efficiency_gain_budget=float(budgets[best_eff]),
+        mean_accuracy_gain=float(acc_gain.mean()),
+        mean_efficiency_gain=float(eff_gain.mean()),
+    )

@@ -1,0 +1,175 @@
+"""Terminal rendering of experiment series: aligned tables and sparklines.
+
+The harness is plot-library-free by design; every figure is reproduced as
+the numeric series the paper plots, rendered as text.  JSON payloads are
+written alongside for anyone who wants to re-plot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Unicode sparkline of a numeric series (downsampled to ``width``)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return ""
+    if arr.size > width:
+        # Downsample by averaging equal chunks.
+        chunks = np.array_split(arr, width)
+        arr = np.array([c.mean() for c in chunks])
+    lo, hi = float(arr.min()), float(arr.max())
+    if hi - lo < 1e-12:
+        return _SPARK_CHARS[0] * arr.size
+    idx = ((arr - lo) / (hi - lo) * (len(_SPARK_CHARS) - 1)).round().astype(int)
+    return "".join(_SPARK_CHARS[i] for i in idx)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str = "",
+) -> str:
+    """Monospace table with right-aligned numeric columns."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if abs(cell) >= 1000 or (cell != 0 and abs(cell) < 0.01):
+            return f"{cell:.3g}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def render_round_timeline(result, width: int = 44) -> str:
+    """Fig.-1 style per-node timeline of one round.
+
+    Each participating node's bar shows computation (``#``), communication
+    (``=``) and idle-until-makespan (``.``); decliners/unavailable nodes
+    show ``(declined)``.  Takes a :class:`repro.core.env.StepResult`.
+    """
+    lines = []
+    makespan = float(result.round_time) if result.round_time else 0.0
+    if makespan <= 0:
+        return "(no participants this round)"
+    for node, total in enumerate(result.times):
+        if node not in result.participants:
+            lines.append(f"node {node:>3}  (declined)")
+            continue
+        # communication time is total − computation; we only know the
+        # total here, so approximate the split via the recorded zeta-free
+        # remainder: callers wanting exactness use telemetry fields.
+        filled = int(round(width * total / makespan))
+        idle = width - filled
+        lines.append(
+            f"node {node:>3}  [{'#' * filled}{'.' * idle}] {total:6.1f}s"
+        )
+    lines.append(
+        f"{'':>9}  makespan T_k = {makespan:.1f}s, "
+        f"efficiency = {result.efficiency:.2f}"
+    )
+    return "\n".join(lines)
+
+
+def render_lambda_sweep(result) -> str:
+    """Preference-sweep frontier table."""
+    headers = ["lambda", "accuracy", "rounds", "total time (s)", "efficiency"]
+    rows = [
+        [lam, row.accuracy_mean, row.rounds_mean, row.time_mean, row.efficiency_mean]
+        for lam, row in zip(result.lams, result.rows)
+    ]
+    return format_table(
+        headers,
+        rows,
+        title=(
+            f"λ preference sweep — {result.task}, N={result.n_nodes}, "
+            f"η={result.budget:g}"
+        ),
+    )
+
+
+def render_convergence(result) -> str:
+    """Fig. 3 / Fig. 7 style: reward curve as a sparkline + summary."""
+    lines = [
+        f"[{result.mechanism}] {result.task}, N={result.n_nodes}, "
+        f"η={result.budget}: {result.rewards.size} episodes",
+        f"  episode reward   {sparkline(result.rewards)}",
+        f"  smoothed         {sparkline(result.smoothed)}",
+        f"  first-quarter mean {result.smoothed[: max(1, len(result.smoothed) // 4)].mean():.1f}"
+        f"  last-quarter mean {result.smoothed[-max(1, len(result.smoothed) // 4):].mean():.1f}"
+        f"  (improvement {result.improved:+.1f})",
+    ]
+    return "\n".join(lines)
+
+
+def render_budget_sweep(result) -> str:
+    """Fig. 4/5/6 style: three panels as one table per metric."""
+    blocks = []
+    for metric, label in (
+        ("accuracy", "(a) final global model accuracy"),
+        ("rounds", "(b) training rounds completed"),
+        ("efficiency", "(c) time efficiency (Eqn 16)"),
+    ):
+        headers = ["budget"] + list(result.summaries)
+        rows = []
+        for i, budget in enumerate(result.budgets):
+            row = [budget] + [
+                float(result.series(name, metric)[i]) for name in result.summaries
+            ]
+            rows.append(row)
+        blocks.append(
+            format_table(
+                headers, rows, title=f"{result.task} — {label}"
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def render_table1(result) -> str:
+    """Table I with paper reference values side by side."""
+    from repro.experiments.table1 import PAPER_TABLE1
+
+    headers = [
+        "budget",
+        "accuracy",
+        "paper acc",
+        "rounds",
+        "paper rounds",
+        "efficiency",
+        "paper eff",
+    ]
+    rows = []
+    for budget, summary in zip(result.budgets, result.rows):
+        paper = PAPER_TABLE1.get(budget, {})
+        rows.append(
+            [
+                budget,
+                summary.accuracy_mean,
+                paper.get("accuracy", float("nan")),
+                summary.rounds_mean,
+                paper.get("rounds", float("nan")),
+                summary.efficiency_mean,
+                paper.get("efficiency", float("nan")),
+            ]
+        )
+    return format_table(
+        headers, rows, title=f"Table I — Chiron, {result.n_nodes} nodes, MNIST"
+    )

@@ -1,0 +1,101 @@
+"""Preference-coefficient (λ) sensitivity sweep.
+
+§III: "As different edge learning tasks have different preferences on
+learning time and model performance, λ can be used to customize the
+preference."  The paper never sweeps λ; this experiment does: for each λ
+a fresh Chiron is trained and evaluated, tracing out the accuracy ↔ total
+learning-time frontier the coefficient is supposed to control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.core.builder import build_environment
+from repro.core.env import EnvConfig
+from repro.core.rewards import RewardConfig
+from repro.experiments.mechanisms import make_mechanism
+from repro.experiments.results import EvaluationSummary
+from repro.experiments.runner import evaluate_mechanism, train_mechanism
+from repro.utils.logging import get_logger
+from repro.utils.validation import check_positive
+
+_log = get_logger("experiments.preference")
+
+
+@dataclass
+class PreferenceSweepResult:
+    """Frontier traced by the preference coefficient."""
+
+    task: str
+    n_nodes: int
+    budget: float
+    lams: List[float]
+    rows: List[EvaluationSummary] = field(default_factory=list)
+
+    def to_payload(self) -> Dict:
+        return {
+            "task": self.task,
+            "n_nodes": self.n_nodes,
+            "budget": self.budget,
+            "rows": [
+                {
+                    "lambda": lam,
+                    "accuracy": row.accuracy_mean,
+                    "rounds": row.rounds_mean,
+                    "total_time": row.time_mean,
+                    "efficiency": row.efficiency_mean,
+                }
+                for lam, row in zip(self.lams, self.rows)
+            ],
+        }
+
+
+def run_lambda_sweep(
+    lams: Sequence[float] = (250.0, 2000.0, 16000.0),
+    task: str = "mnist",
+    n_nodes: int = 5,
+    budget: float = 40.0,
+    train_episodes: int = 80,
+    eval_episodes: int = 3,
+    seed: int = 0,
+    tier: str = "quick",
+    max_rounds: int = 300,
+) -> PreferenceSweepResult:
+    """Train Chiron at each preference coefficient and evaluate."""
+    check_positive("train_episodes", train_episodes)
+    result = PreferenceSweepResult(
+        task=task, n_nodes=n_nodes, budget=budget, lams=list(lams)
+    )
+    for lam in lams:
+        check_positive("lambda", lam)
+        config = EnvConfig(
+            budget=budget,
+            max_rounds=max_rounds,
+            rewards=RewardConfig(accuracy_weight=float(lam)),
+        )
+        build = build_environment(
+            task_name=task,
+            n_nodes=n_nodes,
+            budget=budget,
+            accuracy_mode="surrogate",
+            seed=seed,
+            env_config=config,
+        )
+        mechanism = make_mechanism(
+            "chiron", build.env, rng=seed + 17, tier=tier
+        )
+        train_mechanism(build.env, mechanism, train_episodes)
+        summary = EvaluationSummary.from_episodes(
+            "chiron", evaluate_mechanism(build.env, mechanism, eval_episodes)
+        )
+        result.rows.append(summary)
+        _log.info(
+            "λ=%g: acc=%.3f rounds=%.1f time=%.0fs",
+            lam,
+            summary.accuracy_mean,
+            summary.rounds_mean,
+            summary.time_mean,
+        )
+    return result

@@ -1,0 +1,129 @@
+"""Generate a paper-vs-measured markdown report from saved result payloads.
+
+``chiron-repro run all --out results/`` writes one JSON payload per
+experiment; ``chiron-repro report results/`` turns the directory into the
+EXPERIMENTS.md body, so the recorded numbers are always regenerable from
+one command pair.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.experiments.table1 import PAPER_TABLE1
+from repro.utils.serialization import from_json_file
+
+PathLike = Union[str, Path]
+
+
+def _load_payloads(results_dir: PathLike) -> Dict[str, dict]:
+    """Newest payload per experiment id from ``<exp>_<scale>_seed<k>.json``."""
+    directory = Path(results_dir)
+    if not directory.is_dir():
+        raise FileNotFoundError(f"results directory {directory} does not exist")
+    payloads: Dict[str, dict] = {}
+    for path in sorted(directory.glob("*.json")):
+        exp_id = path.name.split("_")[0]
+        payloads[exp_id] = from_json_file(path)
+    if not payloads:
+        raise FileNotFoundError(f"no .json payloads found in {directory}")
+    return payloads
+
+
+def _convergence_section(exp_id: str, payload: dict, paper_claim: str) -> List[str]:
+    lines = [
+        f"### {exp_id} — {payload['mechanism']} convergence, "
+        f"N={payload['n_nodes']}, η={payload['budget']:g}",
+        "",
+        f"*Paper claim:* {paper_claim}",
+        "",
+        f"* episodes: {len(payload['rewards'])} "
+        f"(metric: {payload.get('metric', 'exterior')} episode reward)",
+        f"* smoothed reward, first quarter → last quarter: "
+        f"{_quarter(payload['smoothed'], 0):.1f} → "
+        f"{_quarter(payload['smoothed'], -1):.1f} "
+        f"(improvement {payload['improved']:+.1f})",
+        "",
+    ]
+    return lines
+
+
+def _quarter(series: List[float], which: int) -> float:
+    n = max(1, len(series) // 4)
+    chunk = series[:n] if which == 0 else series[-n:]
+    return sum(chunk) / len(chunk)
+
+
+def _sweep_section(exp_id: str, payload: dict) -> List[str]:
+    task = payload["task"]
+    budgets = payload["budgets"]
+    mechanisms = payload["mechanisms"]
+    lines = [
+        f"### {exp_id} — {task} budget sweep (N={payload['n_nodes']})",
+        "",
+        "| η | " + " | ".join(
+            f"{m} acc" for m in mechanisms
+        ) + " | " + " | ".join(f"{m} rounds" for m in mechanisms)
+        + " | " + " | ".join(f"{m} eff" for m in mechanisms) + " |",
+        "|" + "---|" * (1 + 3 * len(mechanisms)),
+    ]
+    for i, budget in enumerate(budgets):
+        row = [f"| {budget:g} "]
+        for key, fmt in (("accuracy", "{:.3f}"), ("rounds", "{:.0f}"), ("efficiency", "{:.2f}")):
+            for mech in mechanisms:
+                row.append("| " + fmt.format(mechanisms[mech][i][key]) + " ")
+        lines.append("".join(row) + "|")
+    lines.append("")
+    return lines
+
+
+def _table1_section(payload: dict) -> List[str]:
+    lines = [
+        f"### table1 — Chiron at {payload['n_nodes']} nodes (MNIST)",
+        "",
+        "| η | accuracy | paper | rounds | paper | efficiency | paper |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for row in payload["rows"]:
+        paper = row.get("paper") or PAPER_TABLE1.get(row["budget"], {})
+        lines.append(
+            f"| {row['budget']:g} | {row['accuracy']:.3f} | "
+            f"{paper.get('accuracy', float('nan')):.3f} | "
+            f"{row['rounds']:.1f} | {paper.get('rounds', float('nan')):.0f} | "
+            f"{row['efficiency']:.3f} | "
+            f"{paper.get('efficiency', float('nan')):.3f} |"
+        )
+    lines.append("")
+    return lines
+
+
+_CONVERGENCE_CLAIMS = {
+    "fig3": "the average reward of each episode increases over time — "
+    "Chiron learns a better and better pricing policy.",
+    "fig7a": "Chiron still converges at 100 nodes (the 1-D exterior action "
+    "and simplex inner action scale).",
+    "fig7b": "the flat single-agent baseline cannot converge at 100 nodes "
+    "(a 100-dimensional Gaussian action space).",
+}
+
+
+def build_report(results_dir: PathLike) -> str:
+    """Assemble the markdown report from a results directory."""
+    payloads = _load_payloads(results_dir)
+    lines: List[str] = []
+    for exp_id in ("fig3", "fig4", "fig5", "fig6", "fig7a", "fig7b", "table1"):
+        if exp_id not in payloads:
+            lines.append(f"### {exp_id} — not run")
+            lines.append("")
+            continue
+        payload = payloads[exp_id]
+        if exp_id in _CONVERGENCE_CLAIMS:
+            lines.extend(
+                _convergence_section(exp_id, payload, _CONVERGENCE_CLAIMS[exp_id])
+            )
+        elif exp_id == "table1":
+            lines.extend(_table1_section(payload))
+        else:
+            lines.extend(_sweep_section(exp_id, payload))
+    return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""Result records shared by all experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class EpisodeResult:
+    """Outcome of one full budget-bounded episode."""
+
+    rounds: int  # training rounds actually kept
+    final_accuracy: float  # A(ω_K)
+    mean_time_efficiency: float  # Eqn (16) averaged over kept rounds
+    total_learning_time: float  # Σ_k T_k (seconds)
+    budget_spent: float
+    reward_exterior: float  # Σ_k r_k^E
+    reward_inner: float  # Σ_k r_k^I
+    wasted_rounds: int = 0  # rounds with no participants
+
+    @property
+    def server_utility(self) -> float:
+        """λ·A − ΣT is already folded into reward_exterior (telescoped)."""
+        return self.reward_exterior
+
+
+@dataclass
+class TrainingHistory:
+    """Per-episode series collected while training a mechanism."""
+
+    mechanism: str
+    episodes: List[EpisodeResult] = field(default_factory=list)
+    diagnostics: List[Dict[str, float]] = field(default_factory=list)
+
+    def append(self, result: EpisodeResult, diag: Dict[str, float]) -> None:
+        self.episodes.append(result)
+        self.diagnostics.append(dict(diag))
+
+    @property
+    def reward_curve(self) -> np.ndarray:
+        """Exterior episode rewards over training (Fig. 3 / Fig. 7 series)."""
+        return np.array([e.reward_exterior for e in self.episodes])
+
+    @property
+    def accuracy_curve(self) -> np.ndarray:
+        return np.array([e.final_accuracy for e in self.episodes])
+
+    @property
+    def rounds_curve(self) -> np.ndarray:
+        return np.array([e.rounds for e in self.episodes])
+
+    def smoothed_rewards(self, window: int = 10) -> np.ndarray:
+        """Trailing moving average of the reward curve."""
+        rewards = self.reward_curve
+        if rewards.size == 0:
+            return rewards
+        window = max(1, min(window, rewards.size))
+        kernel = np.ones(window) / window
+        padded = np.concatenate([np.full(window - 1, rewards[0]), rewards])
+        return np.convolve(padded, kernel, mode="valid")
+
+    def __len__(self) -> int:
+        return len(self.episodes)
+
+
+@dataclass(frozen=True)
+class EvaluationSummary:
+    """Mean ± std over evaluation episodes for one mechanism."""
+
+    mechanism: str
+    n_episodes: int
+    accuracy_mean: float
+    accuracy_std: float
+    rounds_mean: float
+    rounds_std: float
+    efficiency_mean: float
+    efficiency_std: float
+    time_mean: float
+    utility_mean: float
+
+    @staticmethod
+    def from_episodes(
+        mechanism: str, episodes: List[EpisodeResult]
+    ) -> "EvaluationSummary":
+        if not episodes:
+            raise ValueError("cannot summarize zero episodes")
+        acc = np.array([e.final_accuracy for e in episodes])
+        rounds = np.array([e.rounds for e in episodes], dtype=float)
+        eff = np.array([e.mean_time_efficiency for e in episodes])
+        time_ = np.array([e.total_learning_time for e in episodes])
+        util = np.array([e.server_utility for e in episodes])
+        return EvaluationSummary(
+            mechanism=mechanism,
+            n_episodes=len(episodes),
+            accuracy_mean=float(acc.mean()),
+            accuracy_std=float(acc.std()),
+            rounds_mean=float(rounds.mean()),
+            rounds_std=float(rounds.std()),
+            efficiency_mean=float(eff.mean()),
+            efficiency_std=float(eff.std()),
+            time_mean=float(time_.mean()),
+            utility_mean=float(util.mean()),
+        )

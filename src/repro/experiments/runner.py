@@ -1,0 +1,104 @@
+"""Drive mechanisms through episodes of the edge-learning MDP."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.env import EdgeLearningEnv
+from repro.core.mechanism import IncentiveMechanism, Observation
+from repro.experiments.results import EpisodeResult, TrainingHistory
+from repro.utils.logging import get_logger
+from repro.utils.validation import check_positive
+
+_log = get_logger("experiments.runner")
+
+
+def run_episode(env: EdgeLearningEnv, mechanism: IncentiveMechanism) -> Tuple[
+    EpisodeResult, dict
+]:
+    """Run one episode to budget exhaustion; returns (result, diagnostics)."""
+    state = env.reset()
+    obs = Observation(state, env.ledger.remaining, env.round_index)
+    mechanism.begin_episode(obs)
+
+    efficiencies: List[float] = []
+    total_time = 0.0
+    reward_ext = 0.0
+    reward_inn = 0.0
+    kept = 0
+    wasted = 0
+    while not env.done:
+        prices = mechanism.propose_prices(obs)
+        result = env.step(prices)
+        mechanism.observe(prices, result)
+        reward_ext += result.reward_exterior
+        reward_inn += result.reward_inner
+        if result.round_kept:
+            kept += 1
+            efficiencies.append(result.efficiency)
+            total_time += result.round_time
+        elif not result.done:
+            wasted += 1
+        obs = Observation(result.state, result.remaining_budget, result.round_index)
+
+    diagnostics = mechanism.end_episode()
+    episode = EpisodeResult(
+        rounds=kept,
+        final_accuracy=env.accuracy,
+        mean_time_efficiency=float(np.mean(efficiencies)) if efficiencies else 0.0,
+        total_learning_time=total_time,
+        budget_spent=env.ledger.spent,
+        reward_exterior=reward_ext,
+        reward_inner=reward_inn,
+        wasted_rounds=wasted,
+    )
+    return episode, diagnostics
+
+
+def train_mechanism(
+    env: EdgeLearningEnv,
+    mechanism: IncentiveMechanism,
+    episodes: int,
+    log_every: Optional[int] = None,
+) -> TrainingHistory:
+    """Train a mechanism for ``episodes`` budget-bounded episodes."""
+    check_positive("episodes", episodes)
+    if hasattr(mechanism, "train_mode"):
+        mechanism.train_mode()
+    history = TrainingHistory(mechanism=mechanism.name)
+    for episode_idx in range(episodes):
+        result, diag = run_episode(env, mechanism)
+        history.append(result, diag)
+        if log_every and (episode_idx + 1) % log_every == 0:
+            _log.info(
+                "%s episode %d/%d: reward=%.1f acc=%.3f rounds=%d eff=%.2f",
+                mechanism.name,
+                episode_idx + 1,
+                episodes,
+                result.reward_exterior,
+                result.final_accuracy,
+                result.rounds,
+                result.mean_time_efficiency,
+            )
+    return history
+
+
+def evaluate_mechanism(
+    env: EdgeLearningEnv,
+    mechanism: IncentiveMechanism,
+    episodes: int = 5,
+) -> List[EpisodeResult]:
+    """Run evaluation episodes with learning frozen (when supported)."""
+    check_positive("episodes", episodes)
+    had_train_mode = hasattr(mechanism, "eval_mode")
+    if had_train_mode:
+        mechanism.eval_mode()
+    results = []
+    for _ in range(episodes):
+        result, _diag = run_episode(env, mechanism)
+        results.append(result)
+    if had_train_mode:
+        mechanism.train_mode()
+    return results

@@ -1,0 +1,118 @@
+"""Structured per-round telemetry.
+
+``EpisodeRecorder`` captures every :class:`StepResult` of an episode as a
+flat dict and can dump the trace as JSON-lines or CSV — the raw material
+for custom plots and post-hoc analysis without re-running experiments.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.core.env import EdgeLearningEnv, StepResult
+from repro.core.mechanism import IncentiveMechanism, Observation
+
+PathLike = Union[str, Path]
+
+_SCALAR_FIELDS = (
+    "round_index",
+    "reward_exterior",
+    "reward_inner",
+    "accuracy",
+    "round_time",
+    "efficiency",
+    "remaining_budget",
+    "round_kept",
+    "done",
+)
+
+
+def flatten_step(result: StepResult) -> Dict[str, object]:
+    """One StepResult as a flat, JSON-ready record."""
+    record: Dict[str, object] = {
+        field: getattr(result, field) for field in _SCALAR_FIELDS
+    }
+    record["n_participants"] = len(result.participants)
+    record["n_unavailable"] = len(result.unavailable)
+    record["total_payment"] = float(result.payments.sum())
+    record["mean_zeta_ghz"] = (
+        float(result.zetas[result.participants].mean() / 1e9)
+        if result.participants
+        else 0.0
+    )
+    record["total_node_utility"] = float(result.utilities.sum())
+    return record
+
+
+class EpisodeRecorder:
+    """Collects per-round records while an episode runs."""
+
+    def __init__(self):
+        self.records: List[Dict[str, object]] = []
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def observe(self, result: StepResult) -> None:
+        self.records.append(flatten_step(result))
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def to_jsonl(self, path: PathLike) -> Path:
+        """Write one JSON object per line."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with target.open("w", encoding="utf-8") as handle:
+            for record in self.records:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        return target
+
+    def to_csv(self, path: PathLike) -> Path:
+        """Write all records as CSV with a header row."""
+        if not self.records:
+            raise ValueError("no records to write")
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        fieldnames = list(self.records[0].keys())
+        with target.open("w", encoding="utf-8", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=fieldnames)
+            writer.writeheader()
+            writer.writerows(self.records)
+        return target
+
+    def series(self, field: str) -> np.ndarray:
+        """Column of one numeric field across the trace."""
+        if not self.records:
+            return np.empty(0)
+        if field not in self.records[0]:
+            raise KeyError(
+                f"unknown telemetry field {field!r}; "
+                f"available: {sorted(self.records[0])}"
+            )
+        return np.array([float(r[field]) for r in self.records])
+
+
+def record_episode(
+    env: EdgeLearningEnv,
+    mechanism: IncentiveMechanism,
+    recorder: Optional[EpisodeRecorder] = None,
+) -> EpisodeRecorder:
+    """Run one episode, capturing per-round telemetry."""
+    recorder = recorder if recorder is not None else EpisodeRecorder()
+    state = env.reset()
+    obs = Observation(state, env.ledger.remaining, env.round_index)
+    mechanism.begin_episode(obs)
+    while not env.done:
+        prices = mechanism.propose_prices(obs)
+        result = env.step(prices)
+        mechanism.observe(prices, result)
+        recorder.observe(result)
+        obs = Observation(result.state, result.remaining_budget, result.round_index)
+    mechanism.end_episode()
+    return recorder

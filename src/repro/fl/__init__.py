@@ -1,0 +1,41 @@
+"""Edge-learning (federated) simulator.
+
+Implements the paper's §II-A training loop: per-round model broadcast,
+``σ`` epochs of local SGD on each participating node, and data-weighted
+FedAvg aggregation (Eqn 4).  The :mod:`repro.fl.accuracy` module exposes a
+common ``LearningProcess`` interface with two interchangeable backends —
+real numpy-CNN training and a calibrated surrogate curve (DESIGN.md §3,
+substitution 3).
+"""
+
+from repro.fl.aggregation import fedavg, get_aggregator, median_aggregate, trimmed_mean_aggregate
+from repro.fl.metrics import evaluate
+from repro.fl.node import EdgeNode, LocalTrainingConfig
+from repro.fl.server import ParameterServer
+from repro.fl.session import FederatedSession
+from repro.fl.accuracy import (
+    LearningProcess,
+    RealTrainingAccuracy,
+    SurrogateAccuracy,
+    SurrogateCurve,
+    SURROGATE_CURVES,
+    build_learning_process,
+)
+
+__all__ = [
+    "fedavg",
+    "median_aggregate",
+    "trimmed_mean_aggregate",
+    "get_aggregator",
+    "evaluate",
+    "EdgeNode",
+    "LocalTrainingConfig",
+    "ParameterServer",
+    "FederatedSession",
+    "LearningProcess",
+    "RealTrainingAccuracy",
+    "SurrogateAccuracy",
+    "SurrogateCurve",
+    "SURROGATE_CURVES",
+    "build_learning_process",
+]

@@ -1,0 +1,192 @@
+"""Accuracy substrates: real federated training and a calibrated surrogate.
+
+The incentive environment only consumes a scalar — the global model's test
+accuracy after each round.  Two interchangeable backends provide it:
+
+* :class:`RealTrainingAccuracy` — actually runs the numpy CNN federated
+  round (exact paper pipeline; expensive).
+* :class:`SurrogateAccuracy` — a saturating power-law accuracy curve whose
+  per-task parameters are calibrated against the real simulator
+  (``tests/integration/test_surrogate_fidelity.py``).  Used for paper-scale
+  DRL runs where the paper burned GPU-days retraining CNNs inside every
+  PPO episode (DESIGN.md §3, substitution 3).
+
+Both implement the same duck-typed interface::
+
+    process.reset() -> float            # initial accuracy
+    process.step(participant_ids) -> float  # accuracy after one round
+    process.data_weights -> np.ndarray  # normalized D_i / D
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.fl.session import FederatedSession
+from repro.utils.rng import RNGLike, as_generator
+from repro.utils.validation import check_in_range, check_positive, check_probability_vector
+
+
+@runtime_checkable
+class LearningProcess(Protocol):
+    """What the incentive environment needs from the learning side."""
+
+    @property
+    def num_nodes(self) -> int: ...
+
+    @property
+    def data_weights(self) -> np.ndarray: ...
+
+    def reset(self) -> float: ...
+
+    def step(self, participant_ids: Sequence[int]) -> float: ...
+
+
+@dataclass(frozen=True)
+class SurrogateCurve:
+    """Saturating accuracy-vs-effective-rounds curve.
+
+    ``A(e) = a_max − (a_max − a_init) · (1 + e/τ)^(−β)`` where ``e`` is the
+    cumulative participation-weighted round count.  ``a_init`` is chance
+    accuracy, ``a_max`` the task ceiling; ``τ`` and ``β`` set the speed of
+    convergence and the strength of diminishing returns.
+    """
+
+    a_init: float
+    a_max: float
+    tau: float
+    beta: float
+    noise_std: float = 0.002
+
+    def __post_init__(self):
+        check_in_range("a_init", self.a_init, 0.0, 1.0)
+        check_in_range("a_max", self.a_max, 0.0, 1.0)
+        if self.a_max <= self.a_init:
+            raise ValueError(
+                f"a_max ({self.a_max}) must exceed a_init ({self.a_init})"
+            )
+        check_positive("tau", self.tau)
+        check_positive("beta", self.beta)
+        check_positive("noise_std", self.noise_std, strict=False)
+
+    def accuracy(self, effective_rounds: float) -> float:
+        """Noise-free curve value at ``effective_rounds >= 0``."""
+        check_positive("effective_rounds", effective_rounds, strict=False)
+        gap = self.a_max - self.a_init
+        return self.a_max - gap * (1.0 + effective_rounds / self.tau) ** (-self.beta)
+
+
+#: Curves calibrated against the real numpy-CNN simulator on the synthetic
+#: tasks (5 nodes, IID split, σ=5 local epochs, batch 10, lr 0.01).  The
+#: ceilings respect the paper's difficulty ordering.
+SURROGATE_CURVES: Dict[str, SurrogateCurve] = {
+    "mnist": SurrogateCurve(a_init=0.10, a_max=0.965, tau=0.5, beta=1.5),
+    "fashion_mnist": SurrogateCurve(a_init=0.10, a_max=0.885, tau=0.8, beta=1.2),
+    "cifar10": SurrogateCurve(a_init=0.10, a_max=0.700, tau=1.5, beta=1.0),
+}
+
+
+class SurrogateAccuracy:
+    """Surrogate learning process driven by a :class:`SurrogateCurve`.
+
+    Each :meth:`step` advances the effective round count by the participating
+    nodes' combined data weight (partial participation learns slower), then
+    reports the curve value plus small observation noise.  Reported accuracy
+    is clamped to be non-decreasing only in its noise-free component — the
+    observed value can dip, as real federated accuracy does.
+    """
+
+    def __init__(
+        self,
+        curve: SurrogateCurve,
+        data_weights: Sequence[float],
+        rng: RNGLike = None,
+    ):
+        weights = np.asarray(data_weights, dtype=np.float64)
+        check_probability_vector("data_weights", weights)
+        self.curve = curve
+        self._weights = weights
+        self._rng = as_generator(rng)
+        self._effective_rounds = 0.0
+        self._accuracy = curve.a_init
+
+    @property
+    def num_nodes(self) -> int:
+        return self._weights.shape[0]
+
+    @property
+    def data_weights(self) -> np.ndarray:
+        return self._weights.copy()
+
+    @property
+    def effective_rounds(self) -> float:
+        return self._effective_rounds
+
+    def reset(self) -> float:
+        self._effective_rounds = 0.0
+        self._accuracy = self.curve.a_init
+        return self._accuracy
+
+    def step(self, participant_ids: Sequence[int]) -> float:
+        ids = sorted(set(participant_ids))
+        if not ids:
+            raise ValueError("step() needs at least one participant")
+        if min(ids) < 0 or max(ids) >= self.num_nodes:
+            raise IndexError(
+                f"participant ids {ids} out of range [0, {self.num_nodes})"
+            )
+        self._effective_rounds += float(self._weights[ids].sum())
+        clean = self.curve.accuracy(self._effective_rounds)
+        noisy = clean + self._rng.normal(0.0, self.curve.noise_std)
+        self._accuracy = float(np.clip(noisy, 0.0, 1.0))
+        return self._accuracy
+
+
+class RealTrainingAccuracy:
+    """Learning process backed by actual federated CNN training."""
+
+    def __init__(self, session: FederatedSession):
+        self.session = session
+        sizes = np.array(
+            [session.nodes[i].data_size for i in session.node_ids], dtype=float
+        )
+        self._weights = sizes / sizes.sum()
+        self._initial_accuracy: Optional[float] = None
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.session.nodes)
+
+    @property
+    def data_weights(self) -> np.ndarray:
+        return self._weights.copy()
+
+    def reset(self) -> float:
+        self.session.reset()
+        if self._initial_accuracy is None:
+            self._initial_accuracy = self.session.server.evaluate().accuracy
+        return self._initial_accuracy
+
+    def step(self, participant_ids: Sequence[int]) -> float:
+        return self.session.run_round(participant_ids).accuracy
+
+
+def build_learning_process(
+    task_name: str,
+    data_weights: Sequence[float],
+    rng: RNGLike = None,
+    curve: Optional[SurrogateCurve] = None,
+) -> SurrogateAccuracy:
+    """Build a surrogate process for a registered task name."""
+    if curve is None:
+        try:
+            curve = SURROGATE_CURVES[task_name]
+        except KeyError:
+            raise ValueError(
+                f"no surrogate curve for task {task_name!r}; "
+                f"available: {sorted(SURROGATE_CURVES)}"
+            ) from None
+    return SurrogateAccuracy(curve, data_weights, rng=rng)

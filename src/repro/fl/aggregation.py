@@ -1,0 +1,131 @@
+"""Model aggregation rules.
+
+:func:`fedavg` is the paper's Eqn (4).  :func:`median_aggregate` and
+:func:`trimmed_mean_aggregate` are the classic Byzantine-robust
+alternatives (coordinate-wise statistics) the paper's related work [15]
+points at; :func:`get_aggregator` resolves a rule by name so the server
+can be configured declaratively.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_finite, check_in_range
+
+
+StateDict = "OrderedDict[str, np.ndarray]"
+Aggregator = Callable[[Sequence[Dict[str, np.ndarray]], Sequence[float]], "OrderedDict[str, np.ndarray]"]
+
+
+def _check_states(states: Sequence[Dict[str, np.ndarray]]) -> list:
+    if not states:
+        raise ValueError("aggregation needs at least one model state")
+    keys = list(states[0].keys())
+    for i, state in enumerate(states[1:], start=1):
+        if list(state.keys()) != keys:
+            raise KeyError(f"state {i} keys differ from state 0")
+    return keys
+
+
+def fedavg(
+    states: Sequence[Dict[str, np.ndarray]],
+    weights: Sequence[float],
+) -> "OrderedDict[str, np.ndarray]":
+    """Eqn (4): data-weighted parameter averaging.
+
+    ``weights`` are typically the nodes' dataset sizes ``D_i``; they are
+    normalized internally so any positive scale works.
+    """
+    if not states:
+        raise ValueError("fedavg needs at least one model state")
+    if len(states) != len(weights):
+        raise ValueError(
+            f"{len(states)} states but {len(weights)} weights"
+        )
+    w = np.asarray(weights, dtype=np.float64)
+    if np.any(w < 0):
+        raise ValueError(f"weights must be non-negative, got {w}")
+    total = w.sum()
+    if total <= 0:
+        raise ValueError("weights must not all be zero")
+    w = w / total
+
+    keys = _check_states(states)
+    merged: "OrderedDict[str, np.ndarray]" = OrderedDict()
+    for key in keys:
+        stacked = np.stack([np.asarray(s[key], dtype=np.float64) for s in states])
+        merged[key] = np.tensordot(w, stacked, axes=(0, 0))
+        check_finite(f"aggregated[{key}]", merged[key])
+    return merged
+
+
+def median_aggregate(
+    states: Sequence[Dict[str, np.ndarray]],
+    weights: Sequence[float] = (),
+) -> "OrderedDict[str, np.ndarray]":
+    """Coordinate-wise median; robust to a minority of poisoned updates.
+
+    ``weights`` is accepted for interface compatibility and ignored — the
+    median is an unweighted order statistic.
+    """
+    keys = _check_states(states)
+    merged: "OrderedDict[str, np.ndarray]" = OrderedDict()
+    for key in keys:
+        stacked = np.stack([np.asarray(s[key], dtype=np.float64) for s in states])
+        merged[key] = np.median(stacked, axis=0)
+        check_finite(f"aggregated[{key}]", merged[key])
+    return merged
+
+
+def trimmed_mean_aggregate(
+    states: Sequence[Dict[str, np.ndarray]],
+    weights: Sequence[float] = (),
+    trim_ratio: float = 0.2,
+) -> "OrderedDict[str, np.ndarray]":
+    """Coordinate-wise mean after dropping the ``trim_ratio`` tails.
+
+    With ``k = floor(trim_ratio · n)`` the ``k`` largest and ``k`` smallest
+    values per coordinate are discarded before averaging.  ``weights`` is
+    ignored (order statistics are unweighted).
+    """
+    check_in_range("trim_ratio", trim_ratio, 0.0, 0.5, inclusive=(True, False))
+    keys = _check_states(states)
+    n = len(states)
+    k = int(trim_ratio * n)
+    merged: "OrderedDict[str, np.ndarray]" = OrderedDict()
+    for key in keys:
+        stacked = np.sort(
+            np.stack([np.asarray(s[key], dtype=np.float64) for s in states]),
+            axis=0,
+        )
+        kept = stacked[k : n - k] if k > 0 else stacked
+        merged[key] = kept.mean(axis=0)
+        check_finite(f"aggregated[{key}]", merged[key])
+    return merged
+
+
+def get_aggregator(name: str, **kwargs) -> Aggregator:
+    """Resolve an aggregation rule by name.
+
+    ``fedavg`` (default, data-weighted), ``median``, ``trimmed_mean``
+    (accepts ``trim_ratio``).
+    """
+    if name == "fedavg":
+        return fedavg
+    if name == "median":
+        return median_aggregate
+    if name == "trimmed_mean":
+        ratio = kwargs.get("trim_ratio", 0.2)
+
+        def rule(states, weights):
+            return trimmed_mean_aggregate(states, weights, trim_ratio=ratio)
+
+        return rule
+    raise ValueError(
+        f"unknown aggregation rule {name!r}; "
+        "expected 'fedavg', 'median' or 'trimmed_mean'"
+    )

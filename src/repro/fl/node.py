@@ -1,0 +1,132 @@
+"""Edge node: local data, local training, and economic self-interest."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.datasets.base import ArrayDataset, DataLoader
+from repro.economics.hardware import HardwareProfile
+from repro.economics.pricing import NodeResponse, node_response
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.module import Module
+from repro.nn.optim import SGD
+from repro.utils.rng import RNGLike, as_generator
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class LocalTrainingConfig:
+    """Hyper-parameters of one node's local update (paper §VI-A).
+
+    ``proximal_mu`` > 0 enables FedProx local training: the loss gains a
+    proximal term ``(μ/2)·‖ω − ω_global‖²`` that keeps heterogeneous local
+    updates anchored to the broadcast model — useful under non-IID splits.
+    0 reproduces the paper's plain local SGD.
+    """
+
+    local_epochs: int = 5  # σ
+    batch_size: int = 10
+    learning_rate: float = 0.01
+    momentum: float = 0.5
+    proximal_mu: float = 0.0
+
+    def __post_init__(self):
+        check_positive("local_epochs", self.local_epochs)
+        check_positive("batch_size", self.batch_size)
+        check_positive("learning_rate", self.learning_rate)
+        if not 0 <= self.momentum < 1:
+            raise ValueError(f"momentum must be in [0, 1), got {self.momentum}")
+        check_positive("proximal_mu", self.proximal_mu, strict=False)
+
+
+class EdgeNode:
+    """One self-interested participant in edge learning.
+
+    Couples three concerns the paper keeps together: the private dataset
+    (``D_i``), the private hardware profile, and the best-response economic
+    behaviour.  Local training (``local_update``) mutates the supplied model
+    in place and returns its new state dict, mirroring the round structure
+    of §II-A.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        dataset: ArrayDataset,
+        profile: HardwareProfile,
+        config: Optional[LocalTrainingConfig] = None,
+        rng: RNGLike = None,
+    ):
+        if node_id != profile.node_id:
+            raise ValueError(
+                f"node_id {node_id} does not match profile.node_id "
+                f"{profile.node_id}"
+            )
+        if len(dataset) == 0:
+            raise ValueError(f"node {node_id} received an empty dataset")
+        self.node_id = node_id
+        self.dataset = dataset
+        self.profile = profile
+        self.config = config or LocalTrainingConfig()
+        self._rng = as_generator(rng)
+        self._loss = CrossEntropyLoss()
+
+    @property
+    def data_size(self) -> int:
+        """``D_i`` — the node's sample count (FedAvg weight)."""
+        return len(self.dataset)
+
+    def respond_to_price(self, price: float) -> NodeResponse:
+        """Best response of §IV-B to the posted per-frequency price."""
+        return node_response(self.profile, price, self.config.local_epochs)
+
+    def local_update(
+        self, model: Module, global_state: Dict[str, np.ndarray]
+    ) -> Dict[str, np.ndarray]:
+        """Run ``σ`` epochs of local SGD starting from ``global_state``.
+
+        ``model`` is a scratch network whose architecture matches the global
+        model; its parameters are overwritten, trained on this node's data,
+        and the resulting state dict is returned for aggregation.
+        """
+        model.load_state_dict(global_state)
+        model.train()
+        optimizer = SGD(
+            model.parameters(),
+            lr=self.config.learning_rate,
+            momentum=self.config.momentum,
+        )
+        loader = DataLoader(
+            self.dataset,
+            batch_size=self.config.batch_size,
+            shuffle=True,
+            rng=self._rng,
+        )
+        mu = self.config.proximal_mu
+        anchors = (
+            {name: Tensor(array) for name, array in global_state.items()}
+            if mu > 0
+            else None
+        )
+        for _epoch in range(self.config.local_epochs):
+            for xb, yb in loader:
+                optimizer.zero_grad()
+                loss = self._loss(model(xb), yb)
+                if anchors is not None:
+                    # FedProx proximal term: (μ/2)·‖ω − ω_global‖².
+                    for name, param in model.named_parameters():
+                        diff = param - anchors[name]
+                        loss = loss + (mu / 2.0) * (diff * diff).sum()
+                loss.backward()
+                optimizer.step()
+        return model.state_dict()
+
+    def __repr__(self) -> str:
+        return (
+            f"EdgeNode(id={self.node_id}, samples={self.data_size}, "
+            f"zeta_max={self.profile.zeta_max / 1e9:.2f}GHz)"
+        )

@@ -1,0 +1,64 @@
+"""Parameter server: holds the global model and aggregates updates."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.datasets.base import ArrayDataset
+from repro.fl.aggregation import fedavg
+from repro.fl.metrics import EvalResult, evaluate
+from repro.nn.module import Module
+
+
+class ParameterServer:
+    """Global-model custodian (the cloud side of Fig. 1).
+
+    The server owns the authoritative model, distributes its state at the
+    start of each round, folds node updates back in with FedAvg and
+    evaluates on a held-out test set.
+    """
+
+    def __init__(
+        self,
+        model_factory: Callable[[], Module],
+        test_set: ArrayDataset,
+        aggregator=None,
+    ):
+        if len(test_set) == 0:
+            raise ValueError("test_set must not be empty")
+        self._model_factory = model_factory
+        self.model = model_factory()
+        self.test_set = test_set
+        #: aggregation rule (states, weights) -> state; defaults to Eqn (4).
+        self.aggregator = aggregator or fedavg
+        self._initial_state = self.model.state_dict()
+        self.round_index = 0
+
+    def make_worker_model(self) -> Module:
+        """A scratch model with the same architecture (for node updates)."""
+        return self._model_factory()
+
+    def broadcast(self) -> Dict[str, np.ndarray]:
+        """Current global state dict (what nodes download)."""
+        return self.model.state_dict()
+
+    def aggregate(
+        self,
+        states: Sequence[Dict[str, np.ndarray]],
+        data_sizes: Sequence[float],
+    ) -> None:
+        """Fold the received updates into the global model (Eqn 4 default)."""
+        merged = self.aggregator(states, data_sizes)
+        self.model.load_state_dict(merged)
+        self.round_index += 1
+
+    def evaluate(self) -> EvalResult:
+        """Accuracy/loss of the current global model on the test set."""
+        return evaluate(self.model, self.test_set)
+
+    def reset(self) -> None:
+        """Restore the initial (round-0) model, starting a fresh episode."""
+        self.model.load_state_dict(self._initial_state)
+        self.round_index = 0

@@ -1,0 +1,91 @@
+"""One federated training session: server + nodes, driven round by round."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.datasets.base import ArrayDataset
+from repro.fl.metrics import EvalResult
+from repro.fl.node import EdgeNode
+from repro.fl.server import ParameterServer
+from repro.nn.module import Module
+
+
+@dataclass(frozen=True)
+class RoundResult:
+    """Outcome of one federated round."""
+
+    round_index: int
+    participant_ids: List[int]
+    accuracy: float
+    loss: float
+
+
+class FederatedSession:
+    """Round-driven federated learning over a fixed fleet of nodes.
+
+    The incentive layer decides *who* participates each round (by pricing);
+    this class runs the ML consequence: local updates on participants,
+    FedAvg with their data weights, evaluation of the new global model.
+    """
+
+    def __init__(self, server: ParameterServer, nodes: Sequence[EdgeNode]):
+        if not nodes:
+            raise ValueError("a session needs at least one edge node")
+        ids = [n.node_id for n in nodes]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate node ids: {sorted(ids)}")
+        self.server = server
+        self.nodes = {n.node_id: n for n in nodes}
+        self._worker: Module = server.make_worker_model()
+        self.history: List[RoundResult] = []
+
+    @property
+    def node_ids(self) -> List[int]:
+        return sorted(self.nodes)
+
+    def run_round(self, participant_ids: Optional[Sequence[int]] = None) -> RoundResult:
+        """Execute one round with the given participants (default: all).
+
+        Raises ``ValueError`` when no participants are given — the caller
+        (the incentive environment) is responsible for ending an episode
+        when pricing attracts nobody.
+        """
+        if participant_ids is None:
+            participant_ids = self.node_ids
+        participant_ids = sorted(set(participant_ids))
+        if not participant_ids:
+            raise ValueError("run_round needs at least one participant")
+        unknown = [i for i in participant_ids if i not in self.nodes]
+        if unknown:
+            raise KeyError(f"unknown node ids: {unknown}")
+
+        global_state = self.server.broadcast()
+        states = []
+        weights = []
+        for node_id in participant_ids:
+            node = self.nodes[node_id]
+            states.append(node.local_update(self._worker, global_state))
+            weights.append(node.data_size)
+        self.server.aggregate(states, weights)
+        result = self.server.evaluate()
+        record = RoundResult(
+            round_index=self.server.round_index,
+            participant_ids=list(participant_ids),
+            accuracy=result.accuracy,
+            loss=result.loss,
+        )
+        self.history.append(record)
+        return record
+
+    def run(self, n_rounds: int) -> List[RoundResult]:
+        """Run ``n_rounds`` full-participation rounds (plain FedAvg)."""
+        return [self.run_round() for _ in range(n_rounds)]
+
+    def reset(self) -> None:
+        """Reset the global model and history (new episode)."""
+        self.server.reset()
+        self.history.clear()

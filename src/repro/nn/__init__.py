@@ -1,0 +1,58 @@
+"""Neural-network building blocks on top of :mod:`repro.autograd`.
+
+This mirrors the small slice of ``torch.nn`` / ``torch.optim`` the paper's
+implementation uses: modules with registered parameters, convolution /
+pooling / linear layers, the standard losses, SGD/Adam, and the exact model
+architectures from the paper's §VI-A (McMahan CNN with 21,840 parameters,
+LeNet with 62,006 parameters).
+"""
+
+from repro.nn.parameter import Parameter
+from repro.nn.module import Module
+from repro.nn.layers import (
+    AvgPool2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Linear,
+    LogSoftmax,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Softmax,
+    Tanh,
+)
+from repro.nn.losses import CrossEntropyLoss, MSELoss, NLLLoss
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn import init
+from repro.nn.models import LeNet5, McMahanCNN, MLP, build_model, count_parameters
+
+__all__ = [
+    "Parameter",
+    "Module",
+    "Linear",
+    "Conv2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "Softmax",
+    "LogSoftmax",
+    "Dropout",
+    "Flatten",
+    "Sequential",
+    "CrossEntropyLoss",
+    "MSELoss",
+    "NLLLoss",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "init",
+    "McMahanCNN",
+    "LeNet5",
+    "MLP",
+    "build_model",
+    "count_parameters",
+]

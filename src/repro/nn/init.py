@@ -1,0 +1,71 @@
+"""Weight initialization schemes (numpy-generator based, fully seedable)."""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.rng import RNGLike, as_generator
+
+
+def _fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Fan-in / fan-out of a weight tensor (linear or conv layout)."""
+    if len(shape) < 2:
+        raise ValueError(f"fan computation needs >= 2 dims, got {shape}")
+    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    fan_in = shape[1] * receptive
+    fan_out = shape[0] * receptive
+    return fan_in, fan_out
+
+
+def uniform(shape: Tuple[int, ...], low: float, high: float, rng: RNGLike = None) -> np.ndarray:
+    """Uniform ``U[low, high)`` initialization."""
+    gen = as_generator(rng)
+    return gen.uniform(low, high, size=shape)
+
+
+def normal(shape: Tuple[int, ...], std: float = 0.01, rng: RNGLike = None) -> np.ndarray:
+    """Zero-mean Gaussian initialization."""
+    gen = as_generator(rng)
+    return gen.normal(0.0, std, size=shape)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float64)
+
+
+def kaiming_uniform(shape: Tuple[int, ...], rng: RNGLike = None, a: float = math.sqrt(5)) -> np.ndarray:
+    """He-uniform init, matching PyTorch's default for Linear/Conv weights."""
+    fan_in, _ = _fan_in_out(shape)
+    gain = math.sqrt(2.0 / (1.0 + a * a))
+    bound = gain * math.sqrt(3.0 / fan_in)
+    return uniform(shape, -bound, bound, rng)
+
+
+def xavier_uniform(shape: Tuple[int, ...], rng: RNGLike = None, gain: float = 1.0) -> np.ndarray:
+    """Glorot-uniform init."""
+    fan_in, fan_out = _fan_in_out(shape)
+    bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
+    return uniform(shape, -bound, bound, rng)
+
+
+def bias_uniform(weight_shape: Tuple[int, ...], bias_size: int, rng: RNGLike = None) -> np.ndarray:
+    """PyTorch's default bias init: ``U[-1/sqrt(fan_in), 1/sqrt(fan_in)]``."""
+    fan_in, _ = _fan_in_out(weight_shape)
+    bound = 1.0 / math.sqrt(fan_in) if fan_in > 0 else 0.0
+    return uniform((bias_size,), -bound, bound, rng)
+
+
+def orthogonal(shape: Tuple[int, ...], rng: RNGLike = None, gain: float = 1.0) -> np.ndarray:
+    """Orthogonal init (used for RL policy/value networks)."""
+    if len(shape) != 2:
+        raise ValueError(f"orthogonal init expects a 2-D shape, got {shape}")
+    gen = as_generator(rng)
+    a = gen.normal(size=(max(shape), min(shape)))
+    q, r = np.linalg.qr(a)
+    q *= np.sign(np.diag(r))  # make the decomposition unique
+    if q.shape != shape:
+        q = q.T
+    return gain * q[: shape[0], : shape[1]]

@@ -1,0 +1,24 @@
+"""Layer modules."""
+
+from repro.nn.layers.linear import Linear
+from repro.nn.layers.conv import Conv2d
+from repro.nn.layers.pooling import AvgPool2d, MaxPool2d
+from repro.nn.layers.activations import LogSoftmax, ReLU, Sigmoid, Softmax, Tanh
+from repro.nn.layers.dropout import Dropout
+from repro.nn.layers.flatten import Flatten
+from repro.nn.layers.container import Sequential
+
+__all__ = [
+    "Linear",
+    "Conv2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "Softmax",
+    "LogSoftmax",
+    "Dropout",
+    "Flatten",
+    "Sequential",
+]

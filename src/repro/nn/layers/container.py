@@ -1,0 +1,44 @@
+"""Module containers."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        for index, module in enumerate(modules):
+            if not isinstance(module, Module):
+                raise TypeError(
+                    f"Sequential accepts Module instances, got "
+                    f"{type(module).__name__} at position {index}"
+                )
+            setattr(self, f"layer{index}", module)
+        self._length = len(modules)
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __iter__(self) -> Iterator[Module]:
+        for index in range(self._length):
+            yield getattr(self, f"layer{index}")
+
+    def __getitem__(self, index: int) -> Module:
+        if not -self._length <= index < self._length:
+            raise IndexError(f"index {index} out of range for {self._length} layers")
+        return getattr(self, f"layer{index % self._length}")
+
+    def forward(self, x) -> Tensor:
+        for module in self:
+            x = module(x)
+        return x
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(m) for m in self)
+        return f"Sequential({inner})"

@@ -1,0 +1,39 @@
+"""Loss modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module, require_tensor
+
+
+class CrossEntropyLoss(Module):
+    """Softmax + NLL over integer class labels (mean over the batch)."""
+
+    def forward(self, logits, labels) -> Tensor:
+        return F.cross_entropy(require_tensor(logits), np.asarray(labels))
+
+    def __repr__(self) -> str:
+        return "CrossEntropyLoss()"
+
+
+class NLLLoss(Module):
+    """Mean negative log-likelihood over precomputed log-probabilities."""
+
+    def forward(self, log_probs, labels) -> Tensor:
+        return F.nll_loss(require_tensor(log_probs), np.asarray(labels))
+
+    def __repr__(self) -> str:
+        return "NLLLoss()"
+
+
+class MSELoss(Module):
+    """Mean squared error."""
+
+    def forward(self, prediction, target) -> Tensor:
+        return F.mse_loss(require_tensor(prediction), require_tensor(target))
+
+    def __repr__(self) -> str:
+        return "MSELoss()"

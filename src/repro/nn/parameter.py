@@ -1,0 +1,31 @@
+"""Trainable parameter type."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import ArrayLike, Tensor
+
+
+class Parameter(Tensor):
+    """A :class:`Tensor` that always requires gradients.
+
+    Modules register attributes of this type automatically; optimizers
+    iterate over them via :meth:`repro.nn.module.Module.parameters`.
+    """
+
+    def __init__(self, data: ArrayLike):
+        super().__init__(data, requires_grad=True)
+        # Parameters must require grad even when constructed inside a
+        # no_grad() block (e.g. a model built during evaluation).
+        self.requires_grad = True
+
+    def copy_(self, values: np.ndarray) -> None:
+        """Overwrite parameter values in place (used by FedAvg broadcast)."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != self.data.shape:
+            raise ValueError(
+                f"cannot copy shape {values.shape} into parameter of shape "
+                f"{self.data.shape}"
+            )
+        self.data[...] = values

@@ -1,0 +1,130 @@
+"""Trajectory storage and generalized advantage estimation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RNGLike, as_generator
+from repro.utils.validation import check_in_range, check_positive
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One environment step as stored by the agent."""
+
+    obs: np.ndarray
+    action: np.ndarray
+    reward: float
+    value: float
+    log_prob: float
+    done: bool
+
+
+@dataclass(frozen=True)
+class Batch:
+    """Flattened training arrays handed to the PPO update."""
+
+    obs: np.ndarray
+    actions: np.ndarray
+    log_probs: np.ndarray
+    advantages: np.ndarray
+    returns: np.ndarray
+
+    def __len__(self) -> int:
+        return self.obs.shape[0]
+
+
+class RolloutBuffer:
+    """Episode buffer with GAE(λ) advantage computation.
+
+    Mirrors the experience replay buffers ``D^E`` / ``D^I`` of Algorithm 1:
+    transitions accumulate over an episode and are consumed in one on-policy
+    update when the budget runs out, then cleared.
+    """
+
+    def __init__(self, gamma: float = 0.95, gae_lambda: float = 0.95):
+        check_in_range("gamma", gamma, 0.0, 1.0)
+        check_in_range("gae_lambda", gae_lambda, 0.0, 1.0)
+        self.gamma = float(gamma)
+        self.gae_lambda = float(gae_lambda)
+        self._transitions: List[Transition] = []
+
+    def __len__(self) -> int:
+        return len(self._transitions)
+
+    def push(
+        self,
+        obs: np.ndarray,
+        action: np.ndarray,
+        reward: float,
+        value: float,
+        log_prob: float,
+        done: bool,
+    ) -> None:
+        self._transitions.append(
+            Transition(
+                obs=np.asarray(obs, dtype=np.float64).copy(),
+                action=np.asarray(action, dtype=np.float64).copy(),
+                reward=float(reward),
+                value=float(value),
+                log_prob=float(log_prob),
+                done=bool(done),
+            )
+        )
+
+    def clear(self) -> None:
+        self._transitions.clear()
+
+    def compute(self, last_value: float = 0.0) -> Batch:
+        """Assemble arrays with GAE advantages and discounted returns.
+
+        ``last_value`` bootstraps the value beyond the final stored step when
+        the episode was truncated rather than terminated.
+        """
+        if not self._transitions:
+            raise ValueError("cannot compute a batch from an empty buffer")
+        n = len(self._transitions)
+        obs = np.stack([t.obs for t in self._transitions])
+        actions = np.stack([t.action for t in self._transitions])
+        rewards = np.array([t.reward for t in self._transitions])
+        values = np.array([t.value for t in self._transitions])
+        log_probs = np.array([t.log_prob for t in self._transitions])
+        dones = np.array([t.done for t in self._transitions], dtype=bool)
+
+        advantages = np.zeros(n)
+        gae = 0.0
+        for step in reversed(range(n)):
+            next_value = last_value if step == n - 1 else values[step + 1]
+            non_terminal = 0.0 if dones[step] else 1.0
+            delta = rewards[step] + self.gamma * next_value * non_terminal - values[step]
+            gae = delta + self.gamma * self.gae_lambda * non_terminal * gae
+            advantages[step] = gae
+        returns = advantages + values
+        return Batch(
+            obs=obs,
+            actions=actions,
+            log_probs=log_probs,
+            advantages=advantages,
+            returns=returns,
+        )
+
+    @staticmethod
+    def minibatches(
+        batch: Batch, size: int, rng: RNGLike = None
+    ) -> Iterator[Batch]:
+        """Shuffle and yield minibatches of at most ``size`` rows."""
+        check_positive("size", size)
+        gen = as_generator(rng)
+        order = gen.permutation(len(batch))
+        for start in range(0, len(batch), size):
+            idx = order[start : start + size]
+            yield Batch(
+                obs=batch.obs[idx],
+                actions=batch.actions[idx],
+                log_probs=batch.log_probs[idx],
+                advantages=batch.advantages[idx],
+                returns=batch.returns[idx],
+            )

@@ -1,0 +1,53 @@
+"""Streaming mean/variance for observation normalization (Welford/Chan)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+class RunningMeanStd:
+    """Parallel-merge running mean and variance over vectors.
+
+    Uses Chan et al.'s batch update, numerically stable for long streams.
+    Matches the normalizer used by standard PPO implementations.
+    """
+
+    def __init__(self, shape: Tuple[int, ...], epsilon: float = 1e-4):
+        self.mean = np.zeros(shape, dtype=np.float64)
+        self.var = np.ones(shape, dtype=np.float64)
+        self.count = float(epsilon)
+
+    def update(self, batch: np.ndarray) -> None:
+        """Fold a batch of rows (leading axis = samples) into the stats."""
+        batch = np.asarray(batch, dtype=np.float64)
+        if batch.ndim == len(self.mean.shape):
+            batch = batch[None]
+        if batch.shape[1:] != self.mean.shape:
+            raise ValueError(
+                f"batch rows have shape {batch.shape[1:]}, "
+                f"expected {self.mean.shape}"
+            )
+        batch_mean = batch.mean(axis=0)
+        batch_var = batch.var(axis=0)
+        batch_count = batch.shape[0]
+
+        delta = batch_mean - self.mean
+        total = self.count + batch_count
+        new_mean = self.mean + delta * batch_count / total
+        m_a = self.var * self.count
+        m_b = batch_var * batch_count
+        m2 = m_a + m_b + delta**2 * self.count * batch_count / total
+        self.mean = new_mean
+        self.var = m2 / total
+        self.count = total
+
+    @property
+    def std(self) -> np.ndarray:
+        return np.sqrt(np.maximum(self.var, 1e-12))
+
+    def normalize(self, x: np.ndarray, clip: float = 10.0) -> np.ndarray:
+        """Standardize ``x`` with the current stats, clipped to ``±clip``."""
+        x = np.asarray(x, dtype=np.float64)
+        return np.clip((x - self.mean) / self.std, -clip, clip)

@@ -1,0 +1,45 @@
+"""Continuous action/observation spaces."""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+import numpy as np
+
+from repro.utils.rng import RNGLike, as_generator
+
+
+class Box:
+    """Axis-aligned box in R^n (a minimal ``gym.spaces.Box``)."""
+
+    def __init__(
+        self,
+        low: Union[float, np.ndarray],
+        high: Union[float, np.ndarray],
+        shape: Tuple[int, ...],
+    ):
+        self.shape = tuple(int(s) for s in shape)
+        self.low = np.broadcast_to(np.asarray(low, dtype=np.float64), self.shape).copy()
+        self.high = np.broadcast_to(np.asarray(high, dtype=np.float64), self.shape).copy()
+        if np.any(self.low > self.high):
+            raise ValueError("low must be elementwise <= high")
+
+    @property
+    def dim(self) -> int:
+        return int(np.prod(self.shape))
+
+    def sample(self, rng: RNGLike = None) -> np.ndarray:
+        gen = as_generator(rng)
+        return gen.uniform(self.low, self.high)
+
+    def contains(self, x: np.ndarray, atol: float = 1e-9) -> bool:
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != self.shape:
+            return False
+        return bool(np.all(x >= self.low - atol) and np.all(x <= self.high + atol))
+
+    def clip(self, x: np.ndarray) -> np.ndarray:
+        return np.clip(np.asarray(x, dtype=np.float64), self.low, self.high)
+
+    def __repr__(self) -> str:
+        return f"Box(shape={self.shape}, low={self.low.min()}, high={self.high.max()})"

@@ -1,0 +1,34 @@
+"""Shared utilities: seeded randomness, validation, logging, serialization.
+
+These helpers are deliberately dependency-free (numpy only) so every other
+subpackage can use them without import cycles.
+"""
+
+from repro.utils.rng import SeedSequenceFactory, as_generator, spawn_generators
+from repro.utils.validation import (
+    check_finite,
+    check_in_range,
+    check_positive,
+    check_probability_vector,
+    check_shape,
+)
+from repro.utils.logging import get_logger, set_verbosity
+from repro.utils.serialization import from_json_file, to_json_file
+from repro.utils.moving import ExponentialMovingAverage, MovingWindow
+
+__all__ = [
+    "SeedSequenceFactory",
+    "as_generator",
+    "spawn_generators",
+    "check_finite",
+    "check_in_range",
+    "check_positive",
+    "check_probability_vector",
+    "check_shape",
+    "get_logger",
+    "set_verbosity",
+    "from_json_file",
+    "to_json_file",
+    "ExponentialMovingAverage",
+    "MovingWindow",
+]

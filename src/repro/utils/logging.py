@@ -1,0 +1,50 @@
+"""Thin wrapper over :mod:`logging` with a library-wide namespace.
+
+All loggers live under the ``repro`` root so applications can control the
+whole library with one handler.  The library never configures the root
+logger; ``set_verbosity`` only touches the ``repro`` subtree.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+_ROOT_NAME = "repro"
+_configured = False
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """Return a logger namespaced under ``repro``.
+
+    ``get_logger("rl.ppo")`` returns the ``repro.rl.ppo`` logger.  Passing a
+    fully qualified module name (``repro.rl.ppo``) works too.
+    """
+    if not name:
+        return logging.getLogger(_ROOT_NAME)
+    if name.startswith(_ROOT_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def set_verbosity(level: int = logging.INFO, stream=None) -> logging.Logger:
+    """Attach a stream handler to the library root logger.
+
+    Idempotent: calling twice adjusts the level instead of duplicating
+    handlers.  Returns the root library logger.
+    """
+    global _configured
+    root = logging.getLogger(_ROOT_NAME)
+    root.setLevel(level)
+    if not _configured:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+        )
+        root.addHandler(handler)
+        _configured = True
+    else:
+        for handler in root.handlers:
+            handler.setLevel(level)
+    return root

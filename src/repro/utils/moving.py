@@ -1,0 +1,94 @@
+"""Streaming statistics: moving windows and exponential averages.
+
+Used for reward smoothing in convergence figures and for observation
+normalization diagnostics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+import numpy as np
+
+from repro.utils.validation import check_in_range, check_positive
+
+
+class MovingWindow:
+    """Fixed-capacity FIFO of floats with O(1) mean/sum queries."""
+
+    def __init__(self, capacity: int):
+        check_positive("capacity", capacity)
+        self._capacity = int(capacity)
+        self._buffer: Deque[float] = deque(maxlen=self._capacity)
+        self._running_sum = 0.0
+
+    def push(self, value: float) -> None:
+        value = float(value)
+        if len(self._buffer) == self._capacity:
+            self._running_sum -= self._buffer[0]
+        self._buffer.append(value)
+        self._running_sum += value
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def full(self) -> bool:
+        return len(self._buffer) == self._capacity
+
+    def mean(self) -> float:
+        """Mean of the current window (0.0 when empty)."""
+        if not self._buffer:
+            return 0.0
+        return self._running_sum / len(self._buffer)
+
+    def sum(self) -> float:
+        return self._running_sum
+
+    def std(self) -> float:
+        """Population standard deviation of the window (0.0 when empty)."""
+        if not self._buffer:
+            return 0.0
+        return float(np.std(np.fromiter(self._buffer, dtype=float)))
+
+    def values(self) -> List[float]:
+        return list(self._buffer)
+
+
+class ExponentialMovingAverage:
+    """EMA with optional bias correction (as used by Adam-style estimators)."""
+
+    def __init__(self, alpha: float, bias_correction: bool = True):
+        check_in_range("alpha", alpha, 0.0, 1.0, inclusive=(False, True))
+        self._alpha = float(alpha)
+        self._bias_correction = bias_correction
+        self._value: Optional[float] = None
+        self._steps = 0
+
+    def push(self, value: float) -> float:
+        """Fold ``value`` in and return the updated average."""
+        value = float(value)
+        self._steps += 1
+        if self._value is None:
+            self._value = 0.0 if self._bias_correction else value
+        self._value = (1 - self._alpha) * self._value + self._alpha * value
+        return self.value
+
+    @property
+    def value(self) -> float:
+        """Current (bias-corrected) average; 0.0 before any push."""
+        if self._value is None:
+            return 0.0
+        if not self._bias_correction:
+            return self._value
+        correction = 1.0 - (1.0 - self._alpha) ** self._steps
+        return self._value / correction
+
+    @property
+    def steps(self) -> int:
+        return self._steps

@@ -1,0 +1,53 @@
+"""JSON (de)serialization that understands numpy scalars/arrays and dataclasses.
+
+Experiment results are persisted as JSON so they can be diffed, versioned
+and re-plotted without the library installed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Union
+
+import numpy as np
+
+PathLike = Union[str, Path]
+
+
+class _ReproJSONEncoder(json.JSONEncoder):
+    """JSON encoder accepting numpy types and dataclass instances."""
+
+    def default(self, o: Any) -> Any:  # noqa: D102 - interface method
+        if isinstance(o, np.integer):
+            return int(o)
+        if isinstance(o, np.floating):
+            return float(o)
+        if isinstance(o, np.bool_):
+            return bool(o)
+        if isinstance(o, np.ndarray):
+            return o.tolist()
+        if dataclasses.is_dataclass(o) and not isinstance(o, type):
+            return dataclasses.asdict(o)
+        if isinstance(o, Path):
+            return str(o)
+        return super().default(o)
+
+
+def to_json_string(obj: Any, indent: int = 2) -> str:
+    """Serialize ``obj`` (dicts/lists/dataclasses/numpy) to a JSON string."""
+    return json.dumps(obj, cls=_ReproJSONEncoder, indent=indent, sort_keys=True)
+
+
+def to_json_file(obj: Any, path: PathLike, indent: int = 2) -> Path:
+    """Serialize ``obj`` to ``path`` and return the resolved path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(to_json_string(obj, indent=indent) + "\n", encoding="utf-8")
+    return target.resolve()
+
+
+def from_json_file(path: PathLike) -> Any:
+    """Load a JSON document written by :func:`to_json_file`."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,142 @@
+"""Convolution and pooling: forward values vs a reference, exact gradients."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, functional as F, gradcheck
+
+
+def reference_conv2d(x, w, b, stride, padding):
+    """Naive loop implementation as ground truth."""
+    n, c_in, h, w_in = x.shape
+    c_out, _, kh, kw = w.shape
+    ph, pw = padding, padding
+    xp = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    out_h = (h + 2 * ph - kh) // stride + 1
+    out_w = (w_in + 2 * pw - kw) // stride + 1
+    out = np.zeros((n, c_out, out_h, out_w))
+    for ni in range(n):
+        for co in range(c_out):
+            for i in range(out_h):
+                for j in range(out_w):
+                    patch = xp[ni, :, i * stride : i * stride + kh, j * stride : j * stride + kw]
+                    out[ni, co, i, j] = (patch * w[co]).sum()
+            if b is not None:
+                out[ni, co] += b[co]
+    return out
+
+
+class TestConv2dForward:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 2), (2, 0), (2, 1)])
+    def test_matches_reference(self, stride, padding, rng):
+        x = rng.normal(size=(2, 3, 9, 9))
+        w = rng.normal(size=(4, 3, 3, 3))
+        b = rng.normal(size=(4,))
+        got = F.conv2d(
+            Tensor(x), Tensor(w), Tensor(b), stride=stride, padding=padding
+        )
+        expected = reference_conv2d(x, w, b, stride, padding)
+        np.testing.assert_allclose(got.data, expected, atol=1e-10)
+
+    def test_no_bias(self, rng):
+        x = rng.normal(size=(1, 2, 5, 5))
+        w = rng.normal(size=(3, 2, 3, 3))
+        got = F.conv2d(Tensor(x), Tensor(w), None)
+        expected = reference_conv2d(x, w, None, 1, 0)
+        np.testing.assert_allclose(got.data, expected, atol=1e-10)
+
+    def test_channel_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            F.conv2d(Tensor(np.zeros((1, 3, 5, 5))), Tensor(np.zeros((2, 4, 3, 3))))
+
+    def test_bad_input_ndim(self):
+        with pytest.raises(ValueError):
+            F.conv2d(Tensor(np.zeros((3, 5, 5))), Tensor(np.zeros((2, 3, 3, 3))))
+
+    def test_bad_bias_shape(self, rng):
+        with pytest.raises(ValueError):
+            F.conv2d(
+                Tensor(np.zeros((1, 1, 5, 5))),
+                Tensor(np.zeros((2, 1, 3, 3))),
+                Tensor(np.zeros(3)),
+            )
+
+
+class TestConv2dGradients:
+    def test_gradcheck_all_inputs(self, rng):
+        x = Tensor(rng.normal(size=(2, 2, 6, 6)), requires_grad=True)
+        w = Tensor(rng.normal(size=(3, 2, 3, 3)) * 0.2, requires_grad=True)
+        b = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        assert gradcheck(
+            lambda x, w, b: F.conv2d(x, w, b, stride=1, padding=1),
+            [x, w, b],
+            atol=1e-5,
+        )
+
+    def test_gradcheck_strided(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 7, 7)), requires_grad=True)
+        w = Tensor(rng.normal(size=(2, 2, 3, 3)) * 0.2, requires_grad=True)
+        assert gradcheck(
+            lambda x, w: F.conv2d(x, w, None, stride=2, padding=0),
+            [x, w],
+            atol=1e-5,
+        )
+
+
+class TestIm2col:
+    def test_shape(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 8, 8)))
+        cols = F.im2col(x, kernel=(3, 3), stride=1, padding=0)
+        assert cols.shape == (2, 3 * 9, 6 * 6)
+
+    def test_gradcheck(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 5, 5)), requires_grad=True)
+        assert gradcheck(lambda x: F.im2col(x, (2, 2), 1, 1), [x], atol=1e-5)
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            F.im2col(Tensor(np.zeros((2, 5, 5))), (2, 2))
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        out = F.max_pool2d(Tensor(x), 2)
+        np.testing.assert_allclose(out.data, [[[[4.0]]]])
+
+    def test_max_pool_matches_reference(self, rng):
+        x = rng.normal(size=(2, 3, 8, 8))
+        out = F.max_pool2d(Tensor(x), 2)
+        expected = x.reshape(2, 3, 4, 2, 4, 2).max(axis=(3, 5))
+        np.testing.assert_allclose(out.data, expected)
+
+    def test_max_pool_overlapping(self, rng):
+        x = rng.normal(size=(1, 1, 5, 5))
+        out = F.max_pool2d(Tensor(x), kernel=3, stride=2)
+        assert out.shape == (1, 1, 2, 2)
+        assert out.data[0, 0, 0, 0] == x[0, 0, :3, :3].max()
+
+    def test_max_pool_gradient_routes_to_argmax(self):
+        x = Tensor(np.array([[[[1.0, 5.0], [3.0, 2.0]]]]), requires_grad=True)
+        F.max_pool2d(x, 2).sum().backward()
+        np.testing.assert_allclose(x.grad, [[[[0.0, 1.0], [0.0, 0.0]]]])
+
+    def test_max_pool_gradcheck(self, rng):
+        x = Tensor(rng.normal(size=(2, 2, 6, 6)), requires_grad=True)
+        assert gradcheck(lambda x: F.max_pool2d(x, 2), [x], atol=1e-5)
+
+    def test_avg_pool_values(self, rng):
+        x = rng.normal(size=(2, 3, 6, 6))
+        out = F.avg_pool2d(Tensor(x), 2)
+        expected = x.reshape(2, 3, 3, 2, 3, 2).mean(axis=(3, 5))
+        np.testing.assert_allclose(out.data, expected)
+
+    def test_avg_pool_gradcheck(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 4, 4)), requires_grad=True)
+        assert gradcheck(lambda x: F.avg_pool2d(x, 2), [x])
+
+    def test_pool_rejects_3d(self):
+        with pytest.raises(ValueError):
+            F.max_pool2d(Tensor(np.zeros((2, 5, 5))), 2)
+        with pytest.raises(ValueError):
+            F.avg_pool2d(Tensor(np.zeros((2, 5, 5))), 2)

@@ -1,0 +1,116 @@
+"""Tests for repro.autograd.functional: softmax family, losses, one-hot."""
+
+import numpy as np
+import pytest
+from scipy.special import log_softmax as scipy_log_softmax
+from scipy.special import softmax as scipy_softmax
+
+from repro.autograd import Tensor, functional as F, gradcheck
+
+
+class TestSoftmaxFamily:
+    def test_softmax_matches_scipy(self, rng):
+        x = rng.normal(size=(4, 7))
+        np.testing.assert_allclose(
+            F.softmax(Tensor(x), axis=1).data, scipy_softmax(x, axis=1), atol=1e-12
+        )
+
+    def test_log_softmax_matches_scipy(self, rng):
+        x = rng.normal(size=(4, 7))
+        np.testing.assert_allclose(
+            F.log_softmax(Tensor(x), axis=1).data,
+            scipy_log_softmax(x, axis=1),
+            atol=1e-12,
+        )
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        out = F.softmax(Tensor(rng.normal(size=(5, 3))), axis=1)
+        np.testing.assert_allclose(out.data.sum(axis=1), np.ones(5))
+
+    def test_softmax_stable_for_large_logits(self):
+        out = F.softmax(Tensor([[1000.0, 1000.0, -1000.0]]), axis=1)
+        assert np.all(np.isfinite(out.data))
+        np.testing.assert_allclose(out.data[0, :2], [0.5, 0.5])
+
+    def test_softmax_gradcheck(self, rng):
+        t = Tensor(rng.normal(size=(3, 5)), requires_grad=True)
+        assert gradcheck(lambda t: F.softmax(t, axis=1), [t])
+
+    def test_log_softmax_gradcheck(self, rng):
+        t = Tensor(rng.normal(size=(3, 5)), requires_grad=True)
+        assert gradcheck(lambda t: F.log_softmax(t, axis=1), [t])
+
+    def test_logsumexp_value(self, rng):
+        x = rng.normal(size=(4, 6))
+        expected = np.log(np.exp(x).sum(axis=1))
+        np.testing.assert_allclose(
+            F.logsumexp(Tensor(x), axis=1).data, expected, atol=1e-12
+        )
+
+    def test_logsumexp_keepdims(self, rng):
+        out = F.logsumexp(Tensor(rng.normal(size=(4, 6))), axis=1, keepdims=True)
+        assert out.shape == (4, 1)
+
+
+class TestOneHot:
+    def test_basic(self):
+        out = F.one_hot(np.array([0, 2, 1]), 3)
+        np.testing.assert_allclose(
+            out, [[1, 0, 0], [0, 0, 1], [0, 1, 0]]
+        )
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            F.one_hot(np.array([0, 3]), 3)
+        with pytest.raises(ValueError):
+            F.one_hot(np.array([-1]), 3)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            F.one_hot(np.zeros((2, 2), dtype=int), 3)
+
+
+class TestLosses:
+    def test_cross_entropy_matches_manual(self, rng):
+        logits = rng.normal(size=(6, 4))
+        labels = rng.integers(0, 4, size=6)
+        log_probs = scipy_log_softmax(logits, axis=1)
+        expected = -log_probs[np.arange(6), labels].mean()
+        got = F.cross_entropy(Tensor(logits), labels).item()
+        assert got == pytest.approx(expected, abs=1e-10)
+
+    def test_cross_entropy_gradcheck(self, rng):
+        logits = Tensor(rng.normal(size=(5, 3)), requires_grad=True)
+        labels = rng.integers(0, 3, size=5)
+        assert gradcheck(lambda l: F.cross_entropy(l, labels), [logits])
+
+    def test_cross_entropy_rejects_1d(self):
+        with pytest.raises(ValueError):
+            F.cross_entropy(Tensor([1.0, 2.0]), np.array([0]))
+
+    def test_nll_consistent_with_cross_entropy(self, rng):
+        logits = rng.normal(size=(4, 3))
+        labels = rng.integers(0, 3, size=4)
+        ce = F.cross_entropy(Tensor(logits), labels).item()
+        nll = F.nll_loss(F.log_softmax(Tensor(logits), axis=1), labels).item()
+        assert ce == pytest.approx(nll, abs=1e-10)
+
+    def test_mse_value(self):
+        loss = F.mse_loss(Tensor([1.0, 3.0]), np.array([0.0, 0.0]))
+        assert loss.item() == pytest.approx(5.0)
+
+    def test_mse_gradcheck(self, rng):
+        pred = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        target = rng.normal(size=(4,))
+        assert gradcheck(lambda p: F.mse_loss(p, target), [pred])
+
+
+class TestConvGeometry:
+    def test_output_size(self):
+        assert F.conv_output_size(28, 5, 1, 0) == 24
+        assert F.conv_output_size(28, 5, 1, 2) == 28
+        assert F.conv_output_size(8, 2, 2, 0) == 4
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            F.conv_output_size(3, 5, 1, 0)

@@ -1,0 +1,97 @@
+"""Hypothesis property tests for autograd invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.autograd import Tensor, functional as F
+
+
+def finite_arrays(max_dims=2, max_side=5):
+    return arrays(
+        dtype=np.float64,
+        shape=array_shapes(min_dims=1, max_dims=max_dims, max_side=max_side),
+        elements=st.floats(-10, 10, allow_nan=False),
+    )
+
+
+@given(finite_arrays())
+@settings(max_examples=50, deadline=None)
+def test_sum_gradient_is_ones(data):
+    t = Tensor(data, requires_grad=True)
+    t.sum().backward()
+    np.testing.assert_allclose(t.grad, np.ones_like(data))
+
+
+@given(finite_arrays(), st.floats(-5, 5, allow_nan=False))
+@settings(max_examples=50, deadline=None)
+def test_scalar_mul_gradient(data, c):
+    t = Tensor(data, requires_grad=True)
+    (t * c).sum().backward()
+    np.testing.assert_allclose(t.grad, np.full_like(data, c))
+
+
+@given(finite_arrays())
+@settings(max_examples=50, deadline=None)
+def test_linearity_of_backward(data):
+    # grad of (2x + 3x) == grad of 5x
+    a = Tensor(data, requires_grad=True)
+    (a * 2 + a * 3).sum().backward()
+    grad_split = a.grad.copy()
+    b = Tensor(data, requires_grad=True)
+    (b * 5).sum().backward()
+    np.testing.assert_allclose(grad_split, b.grad, atol=1e-12)
+
+
+@given(finite_arrays())
+@settings(max_examples=50, deadline=None)
+def test_exp_log_roundtrip_gradient(data):
+    # d/dx log(exp(x)) = 1 everywhere.
+    t = Tensor(data, requires_grad=True)
+    t.exp().log().sum().backward()
+    np.testing.assert_allclose(t.grad, np.ones_like(data), atol=1e-9)
+
+
+@given(
+    arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 4), st.integers(2, 6)),
+        elements=st.floats(-30, 30, allow_nan=False),
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_softmax_is_simplex(logits):
+    probs = F.softmax(Tensor(logits), axis=1).data
+    assert np.all(probs >= 0)
+    np.testing.assert_allclose(probs.sum(axis=1), np.ones(logits.shape[0]), atol=1e-9)
+
+
+@given(
+    arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 3), st.integers(2, 5)),
+        elements=st.floats(-20, 20, allow_nan=False),
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_softmax_shift_invariance(logits):
+    p1 = F.softmax(Tensor(logits), axis=1).data
+    p2 = F.softmax(Tensor(logits + 100.0), axis=1).data
+    np.testing.assert_allclose(p1, p2, atol=1e-9)
+
+
+@given(finite_arrays(max_dims=2))
+@settings(max_examples=50, deadline=None)
+def test_tanh_bounded(data):
+    out = Tensor(data).tanh().data
+    assert np.all(out >= -1.0) and np.all(out <= 1.0)
+
+
+@given(finite_arrays(max_dims=2))
+@settings(max_examples=50, deadline=None)
+def test_relu_idempotent(data):
+    t = Tensor(data)
+    once = t.relu().data
+    twice = t.relu().relu().data
+    np.testing.assert_allclose(once, twice)

@@ -1,0 +1,83 @@
+"""Reduction op tests: sum, mean, var, max."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck
+
+
+class TestSum:
+    def test_full_sum(self, rng):
+        t = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        assert gradcheck(lambda t: t.sum(), [t])
+
+    @pytest.mark.parametrize("axis", [0, 1, (0, 1)])
+    def test_axis_sum(self, axis, rng):
+        t = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        assert gradcheck(lambda t: t.sum(axis=axis), [t])
+
+    def test_keepdims(self, rng):
+        t = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        out = t.sum(axis=1, keepdims=True)
+        assert out.shape == (3, 1)
+        assert gradcheck(lambda t: t.sum(axis=1, keepdims=True), [t])
+
+    def test_negative_axis(self, rng):
+        t = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        assert gradcheck(lambda t: t.sum(axis=-1), [t])
+
+    def test_values(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        np.testing.assert_allclose(t.sum(axis=0).data, [4.0, 6.0])
+        np.testing.assert_allclose(t.sum().data, 10.0)
+
+
+class TestMean:
+    def test_full_mean(self, rng):
+        t = Tensor(rng.normal(size=(4, 5)), requires_grad=True)
+        assert gradcheck(lambda t: t.mean(), [t])
+
+    def test_axis_mean_value(self):
+        t = Tensor([[2.0, 4.0], [6.0, 8.0]])
+        np.testing.assert_allclose(t.mean(axis=0).data, [4.0, 6.0])
+
+    def test_tuple_axis(self, rng):
+        t = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        out = t.mean(axis=(1, 2))
+        assert out.shape == (2,)
+        assert gradcheck(lambda t: t.mean(axis=(1, 2)), [t])
+
+
+class TestVar:
+    def test_matches_numpy(self, rng):
+        data = rng.normal(size=(5, 6))
+        t = Tensor(data)
+        np.testing.assert_allclose(t.var(axis=0).data, data.var(axis=0))
+        np.testing.assert_allclose(t.var().data, data.var())
+
+    def test_gradcheck(self, rng):
+        t = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        assert gradcheck(lambda t: t.var(axis=1), [t], atol=1e-5)
+
+
+class TestMax:
+    def test_values(self):
+        t = Tensor([[1.0, 5.0], [4.0, 2.0]])
+        np.testing.assert_allclose(t.max().data, 5.0)
+        np.testing.assert_allclose(t.max(axis=0).data, [4.0, 5.0])
+        np.testing.assert_allclose(t.max(axis=1, keepdims=True).data, [[5.0], [4.0]])
+
+    def test_gradient_unique_max(self):
+        t = Tensor([[1.0, 5.0], [4.0, 2.0]], requires_grad=True)
+        t.max(axis=1).sum().backward()
+        np.testing.assert_allclose(t.grad, [[0.0, 1.0], [1.0, 0.0]])
+
+    def test_gradient_splits_ties(self):
+        t = Tensor([3.0, 3.0, 1.0], requires_grad=True)
+        t.max().backward()
+        np.testing.assert_allclose(t.grad, [0.5, 0.5, 0.0])
+
+    def test_gradcheck_distinct_entries(self):
+        # Use well-separated values so finite differences avoid the kink.
+        t = Tensor(np.array([[1.0, 9.0, 3.0], [7.0, 2.0, 5.0]]), requires_grad=True)
+        assert gradcheck(lambda t: t.max(axis=1), [t])

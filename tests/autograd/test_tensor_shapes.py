@@ -1,0 +1,136 @@
+"""Shape manipulation and combination ops."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck
+
+
+class TestReshape:
+    def test_values(self):
+        t = Tensor(np.arange(6.0))
+        assert t.reshape(2, 3).shape == (2, 3)
+        assert t.reshape((3, 2)).shape == (3, 2)
+        assert t.reshape(-1).shape == (6,)
+
+    def test_gradcheck(self, rng):
+        t = Tensor(rng.normal(size=(2, 6)), requires_grad=True)
+        assert gradcheck(lambda t: t.reshape(3, 4).tanh(), [t])
+
+    def test_flatten(self, rng):
+        t = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        assert t.flatten(start_dim=1).shape == (2, 12)
+        assert t.flatten(start_dim=0).shape == (24,)
+        assert gradcheck(lambda t: t.flatten(start_dim=1), [t])
+
+
+class TestTranspose:
+    def test_default_reverses(self, rng):
+        t = Tensor(rng.normal(size=(2, 3, 4)))
+        assert t.transpose().shape == (4, 3, 2)
+        assert t.T.shape == (4, 3, 2)
+
+    def test_custom_axes(self, rng):
+        t = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        assert t.transpose((1, 0, 2)).shape == (3, 2, 4)
+        assert gradcheck(lambda t: t.transpose((2, 0, 1)), [t])
+
+    def test_2d_grad(self, rng):
+        t = Tensor(rng.normal(size=(3, 5)), requires_grad=True)
+        assert gradcheck(lambda t: t.T.tanh(), [t])
+
+
+class TestGetitem:
+    def test_slice_values(self):
+        t = Tensor(np.arange(10.0))
+        np.testing.assert_allclose(t[2:5].data, [2.0, 3.0, 4.0])
+
+    def test_slice_gradient(self):
+        t = Tensor(np.arange(5.0), requires_grad=True)
+        t[1:3].sum().backward()
+        np.testing.assert_allclose(t.grad, [0.0, 1.0, 1.0, 0.0, 0.0])
+
+    def test_fancy_index_repeats_accumulate(self):
+        t = Tensor(np.arange(4.0), requires_grad=True)
+        t[np.array([0, 0, 2])].sum().backward()
+        np.testing.assert_allclose(t.grad, [2.0, 0.0, 1.0, 0.0])
+
+    def test_multidim_gradcheck(self, rng):
+        t = Tensor(rng.normal(size=(4, 5)), requires_grad=True)
+        assert gradcheck(lambda t: t[1:3, ::2], [t])
+
+
+class TestConcatenateStack:
+    def test_concat_values(self):
+        a = Tensor([[1.0], [2.0]])
+        b = Tensor([[3.0], [4.0]])
+        np.testing.assert_allclose(
+            Tensor.concatenate([a, b], axis=1).data, [[1.0, 3.0], [2.0, 4.0]]
+        )
+
+    def test_concat_gradients_split(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0], requires_grad=True)
+        out = Tensor.concatenate([a, b], axis=0)
+        out.backward(np.array([10.0, 20.0, 30.0]))
+        np.testing.assert_allclose(a.grad, [10.0, 20.0])
+        np.testing.assert_allclose(b.grad, [30.0])
+
+    def test_concat_gradcheck(self, rng):
+        a = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 2)), requires_grad=True)
+        assert gradcheck(
+            lambda a, b: Tensor.concatenate([a, b], axis=1).tanh(), [a, b]
+        )
+
+    def test_stack_values_and_grad(self, rng):
+        a = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        out = Tensor.stack([a, b], axis=0)
+        assert out.shape == (2, 3)
+        assert gradcheck(lambda a, b: Tensor.stack([a, b], axis=1), [a, b])
+
+    def test_stack_axis1(self, rng):
+        a = Tensor(rng.normal(size=(3,)))
+        b = Tensor(rng.normal(size=(3,)))
+        assert Tensor.stack([a, b], axis=1).shape == (3, 2)
+
+
+class TestMatmul:
+    def test_2d_2d(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4, 5)), requires_grad=True)
+        out = a @ b
+        np.testing.assert_allclose(out.data, a.data @ b.data)
+        assert gradcheck(lambda a, b: a @ b, [a, b])
+
+    def test_batched_times_2d(self, rng):
+        a = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4, 5)), requires_grad=True)
+        assert gradcheck(lambda a, b: a @ b, [a, b])
+
+    def test_batched_times_batched(self, rng):
+        a = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 4, 5)), requires_grad=True)
+        assert gradcheck(lambda a, b: a @ b, [a, b])
+
+    def test_matrix_times_vector(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        v = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        out = a @ v
+        assert out.shape == (3,)
+        assert gradcheck(lambda a, v: a @ v, [a, v])
+
+    def test_vector_times_matrix(self, rng):
+        v = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        out = v @ a
+        assert out.shape == (4,)
+        assert gradcheck(lambda v, a: v @ a, [v, a])
+
+    def test_vector_dot(self, rng):
+        a = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        out = a @ b
+        assert out.shape == ()
+        assert gradcheck(lambda a, b: a @ b, [a, b])

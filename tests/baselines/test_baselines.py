@@ -1,0 +1,172 @@
+"""Baseline mechanisms."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DRLSingleAgent,
+    DRLSingleConfig,
+    EqualTimeOracle,
+    FixedPriceMechanism,
+    GreedyMechanism,
+    GreedyConfig,
+    RandomMechanism,
+)
+from repro.core.mechanism import Observation
+from repro.experiments.runner import run_episode, train_mechanism
+from repro.rl import PPOConfig
+
+
+@pytest.fixture
+def env(surrogate_env):
+    return surrogate_env.env
+
+
+def obs_for(env):
+    state = env.reset()
+    return Observation(state, env.ledger.remaining, 0)
+
+
+class TestDRLSingle:
+    def test_myopic_gamma_zero(self, env):
+        agent = DRLSingleAgent(env, rng=0)
+        assert agent.agent.buffer.gamma == 0.0
+
+    def test_non_myopic_keeps_gamma(self, env):
+        cfg = DRLSingleConfig(ppo=PPOConfig(gamma=0.9), myopic=False)
+        agent = DRLSingleAgent(env, cfg, rng=0)
+        assert agent.agent.buffer.gamma == 0.9
+
+    def test_prices_within_bounds(self, env):
+        agent = DRLSingleAgent(env, rng=0)
+        obs = obs_for(env)
+        agent.begin_episode(obs)
+        prices = agent.propose_prices(obs)
+        floors, caps = agent.per_node_price_bounds()
+        assert np.all(prices >= floors - 1e-15)
+        assert np.all(prices <= caps + 1e-15)
+
+    def test_full_episode_and_update(self, env):
+        agent = DRLSingleAgent(
+            env, DRLSingleConfig(ppo=PPOConfig(actor_lr=1e-3, critic_lr=1e-3)), rng=0
+        )
+        before = agent.agent.policy.flat_parameters()
+        train_mechanism(env, agent, episodes=3)
+        assert not np.allclose(agent.agent.policy.flat_parameters(), before)
+
+    def test_observe_requires_propose(self, env):
+        agent = DRLSingleAgent(env, rng=0)
+        obs = obs_for(env)
+        agent.begin_episode(obs)
+        prices = agent.propose_prices(obs)
+        result = env.step(prices)
+        agent.observe(prices, result)
+        with pytest.raises(RuntimeError):
+            agent.observe(prices, result)
+
+
+class TestGreedy:
+    def test_warmup_explores(self, env):
+        agent = GreedyMechanism(env, GreedyConfig(warmup_actions=4), rng=0)
+        obs = obs_for(env)
+        agent.begin_episode(obs)
+        p1 = agent.propose_prices(obs)
+        result = env.step(p1)
+        agent.observe(p1, result)
+        p2 = agent.propose_prices(obs)
+        assert not np.allclose(p1, p2, atol=0.0)  # still exploring during warmup
+
+    def test_exploits_best_action_after_warmup(self, env):
+        agent = GreedyMechanism(
+            env, GreedyConfig(warmup_actions=2, epsilon=0.0), rng=0
+        )
+        run_episode(env, agent)
+        run_episode(env, agent)
+        # After warmup with ε=0 the same best action repeats.
+        obs = obs_for(env)
+        agent.begin_episode(obs)
+        p1 = agent.propose_prices(obs)
+        best = max(agent._buffer, key=lambda r: r.mean_reward)
+        np.testing.assert_allclose(p1, best.prices)
+
+    def test_buffer_bounded(self, env):
+        cfg = GreedyConfig(warmup_actions=4, buffer_size=6, epsilon=1.0)
+        agent = GreedyMechanism(env, cfg, rng=0)
+        for _ in range(5):
+            run_episode(env, agent)
+        assert len(agent._buffer) <= 6
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            GreedyConfig(epsilon=1.5)
+        with pytest.raises(ValueError):
+            GreedyConfig(warmup_actions=10, buffer_size=5)
+
+    def test_full_episode(self, env):
+        episode, diag = run_episode(env, GreedyMechanism(env, rng=0))
+        assert episode.rounds >= 1
+        assert diag["buffer_size"] >= 1
+
+
+class TestFixedPrice:
+    def test_constant_prices(self, env):
+        mech = FixedPriceMechanism(env, markup=2.0)
+        obs = obs_for(env)
+        p1 = mech.propose_prices(obs)
+        p2 = mech.propose_prices(obs)
+        np.testing.assert_allclose(p1, p2)
+
+    def test_everyone_participates(self, env):
+        mech = FixedPriceMechanism(env, markup=1.5)
+        env.reset()
+        result = env.step(mech.propose_prices(obs_for(env)))
+        assert len(result.participants) == env.n_nodes
+
+    def test_markup_validation(self, env):
+        with pytest.raises(ValueError):
+            FixedPriceMechanism(env, markup=0.5)
+
+    def test_capped_at_price_caps(self, env):
+        mech = FixedPriceMechanism(env, markup=1e6)
+        prices = mech.propose_prices(obs_for(env))
+        assert np.all(prices <= env.price_caps + 1e-15)
+
+
+class TestRandom:
+    def test_prices_in_bounds(self, env):
+        mech = RandomMechanism(env, rng=0)
+        obs = obs_for(env)
+        floors, caps = mech.per_node_price_bounds()
+        for _ in range(5):
+            prices = mech.propose_prices(obs)
+            assert np.all(prices >= floors) and np.all(prices <= caps)
+
+    def test_varies(self, env):
+        mech = RandomMechanism(env, rng=0)
+        obs = obs_for(env)
+        assert not np.allclose(
+            mech.propose_prices(obs), mech.propose_prices(obs), atol=0.0
+        )
+
+
+class TestOracle:
+    def test_equal_times_in_episode(self, env):
+        mech = EqualTimeOracle(env, spend_fraction=0.3)
+        env.reset()
+        result = env.step(mech.propose_prices(obs_for(env)))
+        assert len(result.participants) == env.n_nodes
+        assert result.efficiency > 0.97
+
+    def test_spend_fraction_scales_cost(self, env):
+        cheap = EqualTimeOracle(env, spend_fraction=0.05)._prices.sum()
+        dear = EqualTimeOracle(env, spend_fraction=0.9)._prices.sum()
+        assert dear > cheap
+
+    def test_fraction_validated(self, env):
+        with pytest.raises(ValueError):
+            EqualTimeOracle(env, spend_fraction=1.5)
+
+    def test_beats_random_efficiency(self, env):
+        oracle_ep, _ = run_episode(env, EqualTimeOracle(env, spend_fraction=0.3))
+        random_ep, _ = run_episode(env, RandomMechanism(env, rng=0))
+        assert oracle_ep.mean_time_efficiency > random_ep.mean_time_efficiency

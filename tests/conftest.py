@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_environment
+from repro.economics.hardware import HardwareProfile, sample_profiles
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def profile() -> HardwareProfile:
+    """One deterministic mid-range hardware profile."""
+    return HardwareProfile(
+        node_id=0,
+        cycles_per_bit=20.0,
+        bits_per_epoch=6.0e7,
+        capacitance=2e-28,
+        zeta_min=1.5e8,
+        zeta_max=1.5e9,
+        comm_time=15.0,
+        comm_power=0.002,
+        reserve_utility=0.01,
+    )
+
+
+@pytest.fixture
+def profiles():
+    """A small deterministic fleet."""
+    return sample_profiles(5, rng=0)
+
+
+@pytest.fixture
+def surrogate_env():
+    """Small surrogate-mode environment, fresh per test."""
+    return build_environment(
+        task_name="mnist",
+        n_nodes=4,
+        budget=20.0,
+        accuracy_mode="surrogate",
+        seed=0,
+        max_rounds=120,
+    )

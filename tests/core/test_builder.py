@@ -1,0 +1,98 @@
+"""Environment builder coherence."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_environment
+from repro.core.builder import COMPUTE_AMPLIFICATION, _bits_per_epoch
+from repro.fl import RealTrainingAccuracy, SurrogateAccuracy
+
+
+class TestSurrogateMode:
+    def test_builds(self, surrogate_env):
+        build = surrogate_env
+        assert isinstance(build.learning, SurrogateAccuracy)
+        assert build.session is None
+        assert build.env.n_nodes == 4
+        assert build.data_sizes.sum() == 4 * 120
+
+    def test_workload_follows_data(self, surrogate_env):
+        build = surrogate_env
+        bits = _bits_per_epoch("mnist", build.data_sizes)
+        got = np.array([p.bits_per_epoch for p in build.profiles])
+        np.testing.assert_allclose(got, bits)
+
+    def test_weights_match_sizes(self, surrogate_env):
+        build = surrogate_env
+        expected = build.data_sizes / build.data_sizes.sum()
+        np.testing.assert_allclose(build.learning.data_weights, expected)
+
+    def test_deterministic(self):
+        a = build_environment(task_name="mnist", n_nodes=3, budget=10, seed=5)
+        b = build_environment(task_name="mnist", n_nodes=3, budget=10, seed=5)
+        np.testing.assert_allclose(a.env.price_floors, b.env.price_floors)
+        np.testing.assert_array_equal(a.data_sizes, b.data_sizes)
+
+    def test_seed_changes_fleet(self):
+        a = build_environment(task_name="mnist", n_nodes=3, budget=10, seed=1)
+        b = build_environment(task_name="mnist", n_nodes=3, budget=10, seed=2)
+        # Prices are ~1e-10 scale: compare with relative tolerance only.
+        assert not np.allclose(a.env.price_floors, b.env.price_floors, atol=0.0)
+
+    @pytest.mark.parametrize("scheme", ["iid", "dirichlet", "shards"])
+    def test_partition_schemes(self, scheme):
+        build = build_environment(
+            task_name="mnist", n_nodes=4, budget=10, seed=0,
+            partition_scheme=scheme, samples_per_node=50,
+        )
+        assert build.data_sizes.sum() == 200
+
+    def test_cifar_heavier_than_mnist(self):
+        sizes = np.array([100, 100])
+        mnist_bits = _bits_per_epoch("mnist", sizes)
+        cifar_bits = _bits_per_epoch("cifar10", sizes)
+        # 3×32×32 vs 1×28×28 → ≈3.9× the workload per sample.
+        np.testing.assert_allclose(cifar_bits / mnist_bits, 3072 / 784)
+
+
+class TestRealMode:
+    def test_builds_session(self):
+        build = build_environment(
+            task_name="mnist", n_nodes=3, budget=10, accuracy_mode="real",
+            seed=0, samples_per_node=20, test_size=30,
+        )
+        assert isinstance(build.learning, RealTrainingAccuracy)
+        assert build.session is not None
+        assert len(build.session.nodes) == 3
+
+    def test_real_step_runs(self):
+        build = build_environment(
+            task_name="mnist", n_nodes=2, budget=10, accuracy_mode="real",
+            seed=0, samples_per_node=15, test_size=20,
+        )
+        env = build.env
+        env.reset()
+        prices = np.sqrt(env.price_floors * env.price_caps)
+        result = env.step(prices)
+        assert result.round_kept
+        assert 0 < result.accuracy <= 1
+
+
+class TestValidation:
+    def test_unknown_task(self):
+        with pytest.raises(ValueError, match="unknown task"):
+            build_environment(task_name="svhn")
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError, match="accuracy_mode"):
+            build_environment(accuracy_mode="oracle")
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            build_environment(partition_scheme="alphabetical")
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            build_environment(n_nodes=0)
+        with pytest.raises(ValueError):
+            build_environment(samples_per_node=0)

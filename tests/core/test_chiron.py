@@ -1,0 +1,134 @@
+"""Chiron hierarchical agent mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.core import ChironAgent, ChironConfig, build_environment
+from repro.core.mechanism import Observation
+from repro.experiments.runner import run_episode, train_mechanism
+from repro.rl import PPOConfig
+
+
+@pytest.fixture
+def env(surrogate_env):
+    return surrogate_env.env
+
+
+def fast_chiron(env, **kwargs):
+    ppo = PPOConfig(actor_lr=1e-3, critic_lr=1e-3, hidden=(32, 32))
+    return ChironAgent(env, ChironConfig(exterior=ppo, inner=ppo, **kwargs), rng=0)
+
+
+class TestActionStructure:
+    def test_prices_positive_and_bounded(self, env):
+        agent = fast_chiron(env)
+        state = env.reset()
+        obs = Observation(state, env.ledger.remaining, 0)
+        agent.begin_episode(obs)
+        prices = agent.propose_prices(obs)
+        assert prices.shape == (env.n_nodes,)
+        assert np.all(prices >= 0)
+        assert prices.sum() <= env.max_total_price * 1.0001
+
+    def test_factorization_eqn13(self, env):
+        """p_i = a^E · a^I_i with a^I on the simplex -> Σp_i = a^E."""
+        agent = fast_chiron(env)
+        state = env.reset()
+        obs = Observation(state, env.ledger.remaining, 0)
+        agent.begin_episode(obs)
+        prices = agent.propose_prices(obs)
+        total = prices.sum()
+        assert agent._price_low <= total <= agent._price_high * 1.0001
+
+    def test_log_mapping_endpoints(self, env):
+        agent = fast_chiron(env)
+        assert agent._total_price_from_raw(-50.0) == pytest.approx(agent._price_low)
+        assert agent._total_price_from_raw(50.0) == pytest.approx(agent._price_high)
+        mid = agent._total_price_from_raw(0.0)
+        assert mid == pytest.approx(
+            np.sqrt(agent._price_low * agent._price_high)
+        )
+
+    def test_price_span_narrows_range(self, env):
+        narrow = fast_chiron(env, price_span=0.5)
+        wide = fast_chiron(env, price_span=1.0)
+        assert narrow._price_high < wide._price_high
+
+    def test_invalid_span(self, env):
+        with pytest.raises(ValueError):
+            ChironConfig(price_span=0.0)
+
+
+class TestEpisodeProtocol:
+    def test_observe_requires_propose(self, env):
+        agent = fast_chiron(env)
+        state = env.reset()
+        obs = Observation(state, env.ledger.remaining, 0)
+        agent.begin_episode(obs)
+        result_prices = agent.propose_prices(obs)
+        step = env.step(result_prices)
+        agent.observe(result_prices, step)
+        with pytest.raises(RuntimeError):
+            agent.observe(result_prices, step)  # no pending action
+
+    def test_full_episode_accumulates(self, env):
+        agent = fast_chiron(env)
+        episode, diag = run_episode(env, agent)
+        assert episode.rounds > 0
+        assert "episode_reward_exterior" in diag
+
+    def test_buffers_grow_in_training(self, env):
+        agent = fast_chiron(env)
+        state = env.reset()
+        obs = Observation(state, env.ledger.remaining, 0)
+        agent.begin_episode(obs)
+        prices = agent.propose_prices(obs)
+        step = env.step(prices)
+        agent.observe(prices, step)
+        assert len(agent.exterior.buffer) == 1
+        assert len(agent.inner.buffer) == 1
+
+    def test_eval_mode_freezes(self, env):
+        agent = fast_chiron(env)
+        agent.eval_mode()
+        state = env.reset()
+        obs = Observation(state, env.ledger.remaining, 0)
+        agent.begin_episode(obs)
+        prices = agent.propose_prices(obs)
+        step = env.step(prices)
+        agent.observe(prices, step)
+        assert len(agent.exterior.buffer) == 0
+
+    def test_eval_deterministic(self, env):
+        agent = fast_chiron(env)
+        agent.eval_mode()
+        state = env.reset()
+        obs = Observation(state, env.ledger.remaining, 0)
+        agent.begin_episode(obs)
+        p1 = agent.propose_prices(obs)
+        agent.begin_episode(obs)
+        p2 = agent.propose_prices(obs)
+        np.testing.assert_allclose(p1, p2)
+
+    def test_training_changes_parameters(self, env):
+        agent = fast_chiron(env)
+        before_ext = agent.exterior.policy.flat_parameters()
+        before_inn = agent.inner.policy.flat_parameters()
+        train_mechanism(env, agent, episodes=8)
+        assert not np.allclose(agent.exterior.policy.flat_parameters(), before_ext)
+        assert not np.allclose(agent.inner.policy.flat_parameters(), before_inn)
+
+
+class TestHierarchy:
+    def test_inner_state_is_exterior_action(self, env):
+        """§V-A: s^I_k = a^E_k (normalized)."""
+        agent = fast_chiron(env)
+        state = env.reset()
+        obs = Observation(state, env.ledger.remaining, 0)
+        agent.begin_episode(obs)
+        prices = agent.propose_prices(obs)
+        pend_total = prices.sum()
+        inner_obs = agent._pending["inn_obs"]
+        assert inner_obs[0] == pytest.approx(
+            pend_total / env.max_total_price, rel=1e-6
+        )

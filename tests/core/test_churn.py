@@ -1,0 +1,91 @@
+"""Node-churn extension (EnvConfig.availability)."""
+
+import numpy as np
+import pytest
+
+from repro.core import EnvConfig, build_environment
+
+
+def churn_env(availability, budget=1e6, n_nodes=6, seed=0, max_rounds=50):
+    return build_environment(
+        task_name="mnist",
+        n_nodes=n_nodes,
+        budget=budget,
+        accuracy_mode="surrogate",
+        seed=seed,
+        max_rounds=max_rounds,
+        availability=availability,
+    ).env
+
+
+class TestAvailability:
+    def test_full_availability_no_churn(self):
+        env = churn_env(1.0)
+        env.reset()
+        prices = np.sqrt(env.price_floors * env.price_caps)
+        for _ in range(5):
+            result = env.step(prices)
+            assert result.unavailable == []
+            assert len(result.participants) == env.n_nodes
+
+    def test_partial_availability_drops_nodes(self):
+        env = churn_env(0.5)
+        env.reset()
+        prices = np.sqrt(env.price_floors * env.price_caps)
+        dropped = 0
+        for _ in range(20):
+            result = env.step(prices)
+            dropped += len(result.unavailable)
+        # Expect ≈ 20 rounds × 6 nodes × 0.5; allow a wide band.
+        assert 30 <= dropped <= 90
+
+    def test_unavailable_nodes_unpaid(self):
+        env = churn_env(0.4)
+        env.reset()
+        prices = env.price_caps  # everyone would participate if reachable
+        for _ in range(10):
+            if env.done:
+                break
+            result = env.step(prices)
+            for node in result.unavailable:
+                assert result.payments[node] == 0.0
+                assert result.times[node] == 0.0
+                assert node not in result.participants
+
+    def test_unavailable_excluded_from_inner_reward(self):
+        # With one available node, idle time is zero no matter how many
+        # nodes churned out.
+        env = churn_env(0.999999, n_nodes=2)
+        env.reset()
+        # Price node 0 only; node 1 declines -> counted idle (reward < 0).
+        prices = np.zeros(2)
+        prices[0] = np.sqrt(env.price_floors[0] * env.price_caps[0])
+        result = env.step(prices)
+        assert result.reward_inner < 0
+
+    def test_availability_validated(self):
+        with pytest.raises(ValueError, match="availability"):
+            EnvConfig(budget=10.0, availability=0.0)
+        with pytest.raises(ValueError):
+            EnvConfig(budget=10.0, availability=1.5)
+
+    def test_churn_reproducible(self):
+        def run():
+            env = churn_env(0.6, seed=3)
+            env.reset()
+            prices = np.sqrt(env.price_floors * env.price_caps)
+            return [tuple(env.step(prices).unavailable) for _ in range(10)]
+
+        assert run() == run()
+
+    def test_learning_survives_churn(self):
+        """Accuracy still improves when a third of the fleet flickers."""
+        env = churn_env(0.66, budget=1e6, max_rounds=15)
+        env.reset()
+        prices = np.sqrt(env.price_floors * env.price_caps)
+        accs = []
+        while not env.done:
+            result = env.step(prices)
+            if result.round_kept:
+                accs.append(result.accuracy)
+        assert accs[-1] > accs[0]

@@ -1,0 +1,207 @@
+"""The edge-learning MDP: lifecycle, budget semantics, invariants."""
+
+import numpy as np
+import pytest
+
+from repro.core import EdgeLearningEnv, EnvConfig, build_environment
+from repro.core.env import StepResult
+
+
+@pytest.fixture
+def env(surrogate_env):
+    return surrogate_env.env
+
+
+def mid_prices(env):
+    """Prices comfortably above every floor, below every cap."""
+    return np.sqrt(env.price_floors * env.price_caps)
+
+
+class TestLifecycle:
+    def test_must_reset_before_step(self, env):
+        with pytest.raises(RuntimeError):
+            env.step(mid_prices(env))
+
+    def test_reset_returns_state(self, env):
+        state = env.reset()
+        assert state.shape == (env.state_dim,)
+        assert not env.done
+        assert env.round_index == 0
+
+    def test_step_advances(self, env):
+        env.reset()
+        result = env.step(mid_prices(env))
+        assert isinstance(result, StepResult)
+        assert result.round_index == 1
+        assert result.round_kept
+        assert result.accuracy > 0
+
+    def test_step_after_done_raises(self, env):
+        env.reset()
+        while not env.done:
+            env.step(env.price_caps)  # expensive: exhausts budget fast
+        with pytest.raises(RuntimeError):
+            env.step(mid_prices(env))
+
+    def test_reset_restores_budget_and_accuracy(self, env):
+        env.reset()
+        env.step(mid_prices(env))
+        first_acc = env.accuracy
+        state = env.reset()
+        assert env.ledger.remaining == env.config.budget
+        assert env.accuracy < first_acc
+        np.testing.assert_allclose(state[:-2], 0.0)
+
+
+class TestPriceValidation:
+    def test_shape(self, env):
+        env.reset()
+        with pytest.raises(ValueError):
+            env.step(np.ones(2))
+
+    def test_negative(self, env):
+        env.reset()
+        prices = mid_prices(env)
+        prices[0] = -1.0
+        with pytest.raises(ValueError):
+            env.step(prices)
+
+    def test_nonfinite(self, env):
+        env.reset()
+        prices = mid_prices(env)
+        prices[0] = np.inf
+        with pytest.raises(ValueError):
+            env.step(prices)
+
+
+class TestBudgetSemantics:
+    def test_payments_charged(self, env):
+        env.reset()
+        result = env.step(mid_prices(env))
+        assert result.payments.sum() > 0
+        assert env.ledger.spent == pytest.approx(result.payments.sum())
+        assert result.remaining_budget == pytest.approx(
+            env.config.budget - result.payments.sum()
+        )
+
+    def test_overdraw_discards_round(self):
+        build = build_environment(
+            task_name="mnist", n_nodes=3, budget=0.35, accuracy_mode="surrogate",
+            seed=0,
+        )
+        env = build.env
+        env.reset()
+        # Price caps cost far more than 0.35 total: first round overdraws.
+        result = env.step(env.price_caps)
+        assert result.done
+        assert not result.round_kept
+        assert result.participants == []
+        assert env.accuracy == pytest.approx(env.learning.curve.a_init, abs=0.05)
+        assert env.ledger.spent == 0.0
+
+    def test_episode_ends_on_budget(self, env):
+        env.reset()
+        rounds = 0
+        while not env.done:
+            result = env.step(env.price_caps)
+            rounds += 1
+            assert rounds < 50  # caps are expensive; must end quickly
+        assert result.done
+
+    def test_spent_plus_remaining_invariant(self, env):
+        env.reset()
+        while not env.done:
+            env.step(mid_prices(env))
+            assert env.ledger.spent + env.ledger.remaining == pytest.approx(
+                env.config.budget
+            )
+
+
+class TestNoParticipation:
+    def test_zero_prices_waste_round(self, env):
+        env.reset()
+        result = env.step(np.zeros(env.n_nodes))
+        assert not result.round_kept
+        assert not result.done
+        assert result.participants == []
+        assert result.reward_exterior < 0  # penalty
+        assert result.payments.sum() == 0
+        assert env.ledger.spent == 0
+
+    def test_wasted_rounds_still_count_toward_truncation(self):
+        build = build_environment(
+            task_name="mnist", n_nodes=3, budget=100.0, accuracy_mode="surrogate",
+            seed=0, max_rounds=3,
+        )
+        env = build.env
+        env.reset()
+        for _ in range(3):
+            result = env.step(np.zeros(3))
+        assert result.done and result.truncated
+
+
+class TestStepResultConsistency:
+    def test_efficiency_matches_times(self, env):
+        env.reset()
+        result = env.step(mid_prices(env))
+        times = result.times[result.participants]
+        expected = times.sum() / (len(times) * times.max())
+        assert result.efficiency == pytest.approx(expected)
+
+    def test_round_time_is_makespan(self, env):
+        env.reset()
+        result = env.step(mid_prices(env))
+        assert result.round_time == pytest.approx(
+            result.times[result.participants].max()
+        )
+
+    def test_participant_utilities_clear_reserve(self, env):
+        env.reset()
+        result = env.step(mid_prices(env))
+        for i in result.participants:
+            assert result.utilities[i] >= env.profiles[i].reserve_utility - 1e-12
+
+    def test_decliner_fields_zero(self, env):
+        env.reset()
+        prices = mid_prices(env)
+        prices[0] = 0.0  # node 0 declines
+        result = env.step(prices)
+        assert 0 not in result.participants
+        assert result.payments[0] == 0
+        assert result.zetas[0] == 0
+        assert result.times[0] == 0
+
+    def test_accuracy_monotone_under_steady_pricing(self, env):
+        env.reset()
+        prices = mid_prices(env)
+        accs = []
+        while not env.done and len(accs) < 10:
+            accs.append(env.step(prices).accuracy)
+        # Observation noise allows tiny dips; the trend must rise.
+        assert accs[-1] > accs[0]
+
+
+class TestTruncation:
+    def test_max_rounds(self):
+        build = build_environment(
+            task_name="mnist", n_nodes=3, budget=1e6, accuracy_mode="surrogate",
+            seed=0, max_rounds=4,
+        )
+        env = build.env
+        env.reset()
+        prices = np.sqrt(env.price_floors * env.price_caps)
+        for _ in range(4):
+            result = env.step(prices)
+        assert result.done and result.truncated
+
+
+class TestEnvConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnvConfig(budget=0.0)
+        with pytest.raises(ValueError):
+            EnvConfig(budget=10.0, history=0)
+
+    def test_time_scale_resolved(self, env):
+        assert env.config.rewards.time_scale is not None
+        assert env.config.rewards.time_scale > 0

@@ -1,0 +1,90 @@
+"""Hypothesis fuzzing of the environment: invariants under arbitrary pricing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import build_environment
+
+
+def fresh_env(seed=0):
+    return build_environment(
+        task_name="mnist",
+        n_nodes=3,
+        budget=10.0,
+        accuracy_mode="surrogate",
+        seed=seed,
+        max_rounds=40,
+    ).env
+
+
+@given(
+    data=st.data(),
+    seed=st.integers(0, 20),
+)
+@settings(max_examples=25, deadline=None)
+def test_env_invariants_under_random_prices(data, seed):
+    """Whatever the price sequence, the accounting invariants hold."""
+    env = fresh_env(seed)
+    env.reset()
+    floor_scale = float(env.price_floors.mean())
+    steps = 0
+    previous_remaining = env.ledger.remaining
+    while not env.done and steps < 40:
+        multipliers = data.draw(
+            st.lists(
+                st.floats(0.0, 30.0, allow_nan=False),
+                min_size=env.n_nodes,
+                max_size=env.n_nodes,
+            ),
+            label="price multipliers",
+        )
+        prices = floor_scale * np.asarray(multipliers)
+        result = env.step(prices)
+        steps += 1
+
+        # Budget never negative; spent+remaining == total.
+        assert env.ledger.remaining >= -1e-9
+        assert env.ledger.spent + env.ledger.remaining == pytest.approx(
+            env.config.budget
+        )
+        # Budget is non-increasing.
+        assert result.remaining_budget <= previous_remaining + 1e-9
+        previous_remaining = result.remaining_budget
+
+        # Accuracy is a probability.
+        assert 0.0 <= result.accuracy <= 1.0
+
+        # Participants paid, non-participants not.
+        for i in range(env.n_nodes):
+            if i in result.participants:
+                assert result.payments[i] > 0
+                assert result.times[i] > 0
+            else:
+                assert result.payments[i] == 0
+                assert result.times[i] == 0
+
+        # Efficiency bounded when anyone participated.
+        if result.participants:
+            n = len(result.participants)
+            assert 1.0 / n - 1e-9 <= result.efficiency <= 1.0 + 1e-9
+
+        # State stays finite and fixed-size.
+        assert result.state.shape == (env.state_dim,)
+        assert np.all(np.isfinite(result.state))
+
+
+@given(seed=st.integers(0, 50))
+@settings(max_examples=15, deadline=None)
+def test_episode_always_terminates(seed):
+    """Any constant positive pricing terminates (budget or truncation)."""
+    env = fresh_env(seed)
+    env.reset()
+    rng = np.random.default_rng(seed)
+    prices = env.price_floors * rng.uniform(1.0, 5.0, size=env.n_nodes)
+    steps = 0
+    while not env.done:
+        env.step(prices)
+        steps += 1
+        assert steps <= env.config.max_rounds

@@ -1,0 +1,70 @@
+"""Inner-state extension: the allocation agent sees last round's times."""
+
+import numpy as np
+import pytest
+
+from repro.core import ChironAgent, ChironConfig
+from repro.core.mechanism import Observation
+from repro.experiments.runner import train_mechanism
+from repro.rl import PPOConfig
+
+
+def agent_with(env, observes_times):
+    ppo = PPOConfig(actor_lr=1e-3, critic_lr=1e-3, hidden=(16, 16))
+    return ChironAgent(
+        env,
+        ChironConfig(
+            exterior=ppo, inner=ppo, inner_observes_times=observes_times
+        ),
+        rng=0,
+    )
+
+
+class TestInnerObservesTimes:
+    def test_obs_dim_grows(self, surrogate_env):
+        env = surrogate_env.env
+        plain = agent_with(env, False)
+        rich = agent_with(env, True)
+        assert plain.inner.policy.obs_dim == 1
+        assert rich.inner.policy.obs_dim == 1 + env.n_nodes
+
+    def test_first_round_times_zero(self, surrogate_env):
+        env = surrogate_env.env
+        agent = agent_with(env, True)
+        state = env.reset()
+        obs = Observation(state, env.ledger.remaining, 0)
+        agent.begin_episode(obs)
+        agent.propose_prices(obs)
+        inner_obs = agent._pending["inn_obs"]
+        np.testing.assert_allclose(inner_obs[1:], 0.0)
+
+    def test_second_round_sees_times(self, surrogate_env):
+        env = surrogate_env.env
+        agent = agent_with(env, True)
+        state = env.reset()
+        obs = Observation(state, env.ledger.remaining, 0)
+        agent.begin_episode(obs)
+        prices = agent.propose_prices(obs)
+        result = env.step(prices)
+        agent.observe(prices, result)
+        obs2 = Observation(result.state, result.remaining_budget, result.round_index)
+        agent.propose_prices(obs2)
+        inner_obs = agent._pending["inn_obs"]
+        expected = result.times / env.encoder.time_scale
+        np.testing.assert_allclose(inner_obs[1:], expected)
+
+    def test_times_reset_between_episodes(self, surrogate_env):
+        env = surrogate_env.env
+        agent = agent_with(env, True)
+        train_mechanism(env, agent, episodes=1)
+        state = env.reset()
+        obs = Observation(state, env.ledger.remaining, 0)
+        agent.begin_episode(obs)
+        agent.propose_prices(obs)
+        np.testing.assert_allclose(agent._pending["inn_obs"][1:], 0.0)
+
+    def test_trains_end_to_end(self, surrogate_env):
+        env = surrogate_env.env
+        agent = agent_with(env, True)
+        history = train_mechanism(env, agent, episodes=5)
+        assert len(history) == 5

@@ -1,0 +1,67 @@
+"""Policy introspection tools."""
+
+import numpy as np
+import pytest
+
+from repro.core.introspection import (
+    exterior_pricing_curve,
+    implied_round_plan,
+    inner_allocation_map,
+)
+from repro.experiments.mechanisms import make_mechanism
+from repro.experiments.runner import train_mechanism
+
+
+@pytest.fixture
+def trained_agent(surrogate_env):
+    env = surrogate_env.env
+    agent = make_mechanism("chiron", env, rng=1, tier="quick")
+    train_mechanism(env, agent, episodes=10)
+    return agent
+
+
+class TestPricingCurve:
+    def test_shape_and_bounds(self, trained_agent):
+        curve = exterior_pricing_curve(trained_agent)
+        assert curve.total_prices.shape == curve.budget_fractions.shape
+        assert np.all(curve.total_prices >= trained_agent._price_low - 1e-15)
+        assert np.all(curve.total_prices <= trained_agent._price_high + 1e-15)
+
+    def test_custom_fractions(self, trained_agent):
+        curve = exterior_pricing_curve(
+            trained_agent, budget_fractions=(0.2, 0.8), round_index=3
+        )
+        assert curve.total_prices.shape == (2,)
+        assert curve.round_index == 3
+
+    def test_deterministic(self, trained_agent):
+        a = exterior_pricing_curve(trained_agent).total_prices
+        b = exterior_pricing_curve(trained_agent).total_prices
+        np.testing.assert_allclose(a, b)
+
+
+class TestAllocationMap:
+    def test_rows_are_simplex(self, trained_agent):
+        allocation = inner_allocation_map(trained_agent, grid=7)
+        assert allocation.proportions.shape == (7, trained_agent.env.n_nodes)
+        np.testing.assert_allclose(
+            allocation.proportions.sum(axis=1), np.ones(7), atol=1e-9
+        )
+        assert np.all(allocation.proportions >= 0)
+
+    def test_explicit_totals(self, trained_agent):
+        totals = (trained_agent._price_low, trained_agent._price_high)
+        allocation = inner_allocation_map(trained_agent, total_prices=totals)
+        np.testing.assert_allclose(allocation.total_prices, totals)
+
+
+class TestRoundPlan:
+    def test_plan_consistent(self, trained_agent):
+        plan = implied_round_plan(trained_agent)
+        assert plan["participants"] <= trained_agent.env.n_nodes
+        assert plan["round_payment"] >= 0
+        if plan["round_payment"] > 0:
+            expected = int(
+                trained_agent.env.config.budget // plan["round_payment"]
+            )
+            assert plan["expected_rounds"] == expected

@@ -1,0 +1,57 @@
+"""Contract tests: every mechanism honors the IncentiveMechanism protocol.
+
+Parametrized over the full registry so any new mechanism automatically
+inherits the same obligations: valid price vectors, full-episode
+compatibility with the runner, and repeatable diagnostics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.mechanism import Observation
+from repro.experiments.mechanisms import MECHANISM_NAMES, make_mechanism
+from repro.experiments.runner import run_episode
+
+
+@pytest.fixture
+def env(surrogate_env):
+    return surrogate_env.env
+
+
+@pytest.mark.parametrize("name", MECHANISM_NAMES)
+class TestMechanismContract:
+    def test_prices_valid(self, name, env):
+        mechanism = make_mechanism(name, env, rng=0)
+        state = env.reset()
+        obs = Observation(state, env.ledger.remaining, 0)
+        mechanism.begin_episode(obs)
+        prices = mechanism.propose_prices(obs)
+        assert prices.shape == (env.n_nodes,)
+        assert np.all(np.isfinite(prices))
+        assert np.all(prices >= 0)
+
+    def test_full_episode_runs(self, name, env):
+        mechanism = make_mechanism(name, env, rng=0)
+        episode, diagnostics = run_episode(env, mechanism)
+        assert episode.rounds >= 0
+        assert episode.budget_spent <= env.config.budget + 1e-9
+        assert isinstance(diagnostics, dict)
+
+    def test_two_episodes_back_to_back(self, name, env):
+        mechanism = make_mechanism(name, env, rng=0)
+        run_episode(env, mechanism)
+        episode, _ = run_episode(env, mechanism)
+        assert 0.0 <= episode.final_accuracy <= 1.0
+
+    def test_name_matches_registry(self, name, env):
+        assert make_mechanism(name, env, rng=0).name == name
+
+    def test_attracts_participation(self, name, env):
+        """Every shipped mechanism prices at least one node into the round."""
+        mechanism = make_mechanism(name, env, rng=0)
+        state = env.reset()
+        obs = Observation(state, env.ledger.remaining, 0)
+        mechanism.begin_episode(obs)
+        result = env.step(mechanism.propose_prices(obs))
+        assert result.round_kept
+        assert len(result.participants) >= 1

@@ -1,0 +1,120 @@
+"""Reward formulas (Eqns 14, 15) and exterior-state encoding."""
+
+import numpy as np
+import pytest
+
+from repro.core import ExteriorStateEncoder, RewardConfig, exterior_reward, inner_reward
+from repro.economics.hardware import GHZ
+
+
+class TestExteriorReward:
+    def test_eqn14(self):
+        cfg = RewardConfig(accuracy_weight=2000.0, time_weight=1.0, time_scale=25.0)
+        got = exterior_reward(cfg, accuracy=0.85, previous_accuracy=0.80, round_time=50.0)
+        assert got == pytest.approx(2000 * 0.05 - 50.0 / 25.0)
+
+    def test_accuracy_drop_penalized(self):
+        cfg = RewardConfig(time_scale=1.0)
+        assert exterior_reward(cfg, 0.5, 0.6, 0.0) < 0
+
+    def test_time_scale_defaults_to_identity(self):
+        cfg = RewardConfig()
+        assert cfg.resolved_time_scale() == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RewardConfig(accuracy_weight=0.0)
+        with pytest.raises(ValueError):
+            RewardConfig(time_scale=-1.0)
+
+
+class TestInnerReward:
+    def test_eqn15(self):
+        cfg = RewardConfig(time_scale=1.0)
+        # idle = (30-10) + (30-20) + 0 = 30
+        assert inner_reward(cfg, [10.0, 20.0, 30.0]) == pytest.approx(-30.0)
+
+    def test_equal_times_zero(self):
+        cfg = RewardConfig(time_scale=1.0)
+        assert inner_reward(cfg, [15.0, 15.0, 15.0]) == 0.0
+
+    def test_decliners_count_as_fully_idle(self):
+        cfg = RewardConfig(time_scale=1.0)
+        # One decliner (T=0) idles the whole makespan.
+        with_decliner = inner_reward(cfg, [0.0, 20.0, 20.0])
+        without = inner_reward(cfg, [20.0, 20.0])
+        assert with_decliner == pytest.approx(-20.0)
+        assert without == 0.0
+
+    def test_normalized_by_time_scale(self):
+        cfg = RewardConfig(time_scale=10.0)
+        assert inner_reward(cfg, [0.0, 20.0]) == pytest.approx(-2.0)
+
+    def test_empty(self):
+        assert inner_reward(RewardConfig(), []) == 0.0
+
+
+class TestExteriorStateEncoder:
+    def make(self, n=3, history=2, max_rounds=100):
+        return ExteriorStateEncoder(
+            n_nodes=n,
+            history=history,
+            budget_scale=50.0,
+            price_scale=1e-9,
+            time_scale=25.0,
+            max_rounds=max_rounds,
+        )
+
+    def test_dim_formula(self):
+        enc = self.make(n=3, history=2)
+        assert enc.dim == 3 * 3 * 2 + 2
+        assert enc.encode(50.0, 0).shape == (enc.dim,)
+
+    def test_initial_state_zero_history(self):
+        enc = self.make()
+        state = enc.encode(50.0, 0)
+        np.testing.assert_allclose(state[:-2], 0.0)
+        assert state[-2] == pytest.approx(1.0)  # full budget
+        assert state[-1] == pytest.approx(0.0)  # round 0
+
+    def test_rolling_window(self):
+        enc = self.make(n=2, history=2)
+        enc.record_round(np.array([1e9, 2e9]), np.array([1e-9, 2e-9]), np.array([25.0, 50.0]))
+        state = enc.encode(25.0, 1)
+        # Oldest row (zeros) first, newest last.
+        row_len = 3 * 2
+        np.testing.assert_allclose(state[:row_len], 0.0)
+        np.testing.assert_allclose(state[row_len : 2 * row_len], [1, 2, 1, 2, 1, 2])
+
+    def test_window_evicts_oldest(self):
+        enc = self.make(n=1, history=2)
+        for k in range(1, 4):
+            enc.record_round(np.array([k * GHZ]), np.array([k * 1e-9]), np.array([k * 25.0]))
+        state = enc.encode(10.0, 3)
+        np.testing.assert_allclose(state[:6], [2, 2, 2, 3, 3, 3])
+
+    def test_last_round_roundtrip(self):
+        enc = self.make(n=2, history=3)
+        zetas = np.array([1.5e9, 1.1e9])
+        prices = np.array([3e-9, 2e-9])
+        times = np.array([30.0, 28.0])
+        enc.record_round(zetas, prices, times)
+        z, p, t = enc.last_round()
+        np.testing.assert_allclose(z, zetas)
+        np.testing.assert_allclose(p, prices)
+        np.testing.assert_allclose(t, times)
+
+    def test_reset_clears(self):
+        enc = self.make(n=1, history=1)
+        enc.record_round(np.array([1e9]), np.array([1e-9]), np.array([25.0]))
+        enc.reset()
+        np.testing.assert_allclose(enc.encode(50.0, 0)[:-2], 0.0)
+
+    def test_validation(self):
+        enc = self.make(n=2)
+        with pytest.raises(ValueError):
+            enc.record_round(np.zeros(3), np.zeros(2), np.zeros(2))
+        with pytest.raises(ValueError):
+            enc.record_round(
+                np.array([np.inf, 0.0]), np.zeros(2), np.zeros(2)
+            )

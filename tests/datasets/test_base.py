@@ -1,0 +1,102 @@
+"""ArrayDataset and DataLoader."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import ArrayDataset, DataLoader
+
+
+def make_dataset(n=20, c=1, size=4, classes=3, seed=0):
+    rng = np.random.default_rng(seed)
+    return ArrayDataset(
+        rng.normal(size=(n, c, size, size)), rng.integers(0, classes, size=n)
+    )
+
+
+class TestArrayDataset:
+    def test_basic_properties(self):
+        ds = make_dataset(n=10, c=3, size=8)
+        assert len(ds) == 10
+        assert ds.image_shape == (3, 8, 8)
+        assert 1 <= ds.num_classes <= 3
+
+    def test_getitem(self):
+        ds = make_dataset()
+        x, y = ds[5]
+        assert x.shape == (1, 4, 4)
+        np.testing.assert_allclose(x, ds.x[5])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((5, 4, 4)), np.zeros(5))  # 3-D x
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((5, 1, 4, 4)), np.zeros((5, 1)))  # 2-D y
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((5, 1, 4, 4)), np.zeros(4))  # count mismatch
+
+    def test_subset(self):
+        ds = make_dataset()
+        sub = ds.subset([1, 3, 5])
+        assert len(sub) == 3
+        np.testing.assert_allclose(sub.x[1], ds.x[3])
+
+    def test_subset_bounds(self):
+        ds = make_dataset(n=5)
+        with pytest.raises(IndexError):
+            ds.subset([10])
+        with pytest.raises(IndexError):
+            ds.subset([-1])
+
+    def test_class_histogram(self):
+        ds = ArrayDataset(np.zeros((4, 1, 2, 2)), np.array([0, 0, 2, 2]))
+        np.testing.assert_array_equal(ds.class_histogram(3), [2, 0, 2])
+
+    def test_nbytes_positive(self):
+        assert make_dataset().nbytes() > 0
+
+
+class TestDataLoader:
+    def test_batch_shapes(self):
+        ds = make_dataset(n=10)
+        batches = list(DataLoader(ds, batch_size=4, shuffle=False, rng=0))
+        assert [b[0].shape[0] for b in batches] == [4, 4, 2]
+
+    def test_drop_last(self):
+        ds = make_dataset(n=10)
+        loader = DataLoader(ds, batch_size=4, drop_last=True, rng=0)
+        assert len(loader) == 2
+        assert sum(b[0].shape[0] for b in loader) == 8
+
+    def test_len(self):
+        ds = make_dataset(n=10)
+        assert len(DataLoader(ds, batch_size=3, rng=0)) == 4
+
+    def test_covers_all_samples(self):
+        ds = make_dataset(n=17)
+        loader = DataLoader(ds, batch_size=5, rng=0)
+        ys = np.concatenate([y for _, y in loader])
+        assert sorted(ys.tolist()) == sorted(ds.y.tolist())
+
+    def test_shuffle_changes_across_epochs(self):
+        ds = make_dataset(n=32)
+        loader = DataLoader(ds, batch_size=32, rng=0)
+        first = next(iter(loader))[1]
+        second = next(iter(loader))[1]
+        assert not np.array_equal(first, second)
+
+    def test_no_shuffle_is_ordered(self):
+        ds = make_dataset(n=8)
+        loader = DataLoader(ds, batch_size=8, shuffle=False, rng=0)
+        _, y = next(iter(loader))
+        np.testing.assert_array_equal(y, ds.y)
+
+    def test_seeded_determinism(self):
+        ds = make_dataset(n=16)
+        a = [y for _, y in DataLoader(ds, batch_size=4, rng=5)]
+        b = [y for _, y in DataLoader(ds, batch_size=4, rng=5)]
+        for ya, yb in zip(a, b):
+            np.testing.assert_array_equal(ya, yb)
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(make_dataset(), batch_size=0)

@@ -1,0 +1,135 @@
+"""IDX binary loaders (real-dataset hook)."""
+
+import gzip
+import struct
+
+import numpy as np
+import pytest
+
+from repro.datasets.idx import (
+    find_mnist,
+    load_idx_dataset,
+    load_mnist_if_available,
+    read_idx,
+)
+
+
+def write_idx(path, array, dtype_code=0x08):
+    """Serialize an array in IDX format (uint8 by default)."""
+    array = np.asarray(array)
+    header = bytes([0, 0, dtype_code, array.ndim])
+    dims = struct.pack(f">{array.ndim}I", *array.shape)
+    payload = array.astype(np.uint8).tobytes()
+    data = header + dims + payload
+    if str(path).endswith(".gz"):
+        with gzip.open(path, "wb") as handle:
+            handle.write(data)
+    else:
+        path.write_bytes(data)
+    return path
+
+
+@pytest.fixture
+def mnist_dir(tmp_path, rng):
+    images = rng.integers(0, 256, size=(12, 28, 28))
+    labels = rng.integers(0, 10, size=12)
+    write_idx(tmp_path / "train-images-idx3-ubyte", images)
+    write_idx(tmp_path / "train-labels-idx1-ubyte", labels)
+    return tmp_path, images, labels
+
+
+class TestReadIdx:
+    def test_roundtrip_3d(self, tmp_path, rng):
+        original = rng.integers(0, 256, size=(5, 4, 4))
+        path = write_idx(tmp_path / "x.idx", original)
+        np.testing.assert_array_equal(read_idx(path), original)
+
+    def test_roundtrip_gzip(self, tmp_path, rng):
+        original = rng.integers(0, 256, size=(3, 2, 2))
+        path = write_idx(tmp_path / "x.idx.gz", original)
+        np.testing.assert_array_equal(read_idx(path), original)
+
+    def test_roundtrip_1d(self, tmp_path, rng):
+        labels = rng.integers(0, 10, size=7)
+        path = write_idx(tmp_path / "y.idx", labels)
+        np.testing.assert_array_equal(read_idx(path), labels)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_idx(tmp_path / "absent.idx")
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.idx"
+        path.write_bytes(b"\x01\x02\x08\x01" + struct.pack(">I", 1) + b"\x00")
+        with pytest.raises(ValueError, match="magic"):
+            read_idx(path)
+
+    def test_unknown_dtype(self, tmp_path):
+        path = tmp_path / "bad.idx"
+        path.write_bytes(b"\x00\x00\xff\x01" + struct.pack(">I", 1) + b"\x00")
+        with pytest.raises(ValueError, match="dtype"):
+            read_idx(path)
+
+    def test_truncated(self, tmp_path):
+        path = tmp_path / "trunc.idx"
+        path.write_bytes(b"\x00\x00\x08\x01" + struct.pack(">I", 100) + b"\x00")
+        with pytest.raises(ValueError, match="truncated"):
+            read_idx(path)
+
+
+class TestLoadDataset:
+    def test_shapes_and_channel_axis(self, mnist_dir):
+        root, images, labels = mnist_dir
+        ds = load_idx_dataset(
+            root / "train-images-idx3-ubyte", root / "train-labels-idx1-ubyte"
+        )
+        assert ds.x.shape == (12, 1, 28, 28)
+        np.testing.assert_array_equal(ds.y, labels)
+
+    def test_normalization_range(self, mnist_dir):
+        root, _, _ = mnist_dir
+        ds = load_idx_dataset(
+            root / "train-images-idx3-ubyte", root / "train-labels-idx1-ubyte"
+        )
+        assert -1.0 <= ds.x.min() and ds.x.max() <= 1.0
+
+    def test_no_normalize(self, mnist_dir):
+        root, images, _ = mnist_dir
+        ds = load_idx_dataset(
+            root / "train-images-idx3-ubyte",
+            root / "train-labels-idx1-ubyte",
+            normalize=False,
+        )
+        np.testing.assert_array_equal(ds.x[:, 0], images.astype(float))
+
+    def test_count_mismatch(self, tmp_path, rng):
+        write_idx(tmp_path / "imgs.idx", rng.integers(0, 256, size=(3, 4, 4)))
+        write_idx(tmp_path / "lbls.idx", rng.integers(0, 10, size=5))
+        with pytest.raises(ValueError, match="mismatch"):
+            load_idx_dataset(tmp_path / "imgs.idx", tmp_path / "lbls.idx")
+
+
+class TestDiscovery:
+    def test_find_mnist(self, mnist_dir):
+        root, _, _ = mnist_dir
+        pair = find_mnist(root, train=True)
+        assert pair is not None
+        assert find_mnist(root, train=False) is None  # no t10k files
+
+    def test_load_if_available(self, mnist_dir):
+        root, _, _ = mnist_dir
+        ds = load_mnist_if_available(root)
+        assert ds is not None and len(ds) == 12
+
+    def test_absent_returns_none(self, tmp_path):
+        assert load_mnist_if_available(tmp_path) is None
+
+    def test_trains_with_real_pipeline(self, mnist_dir):
+        """A loaded IDX dataset plugs straight into the FL substrate."""
+        from repro.fl.metrics import evaluate
+        from repro.nn import McMahanCNN
+
+        root, _, _ = mnist_dir
+        ds = load_mnist_if_available(root)
+        result = evaluate(McMahanCNN(rng=0), ds)
+        assert result.n_samples == 12

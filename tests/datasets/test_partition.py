@@ -1,0 +1,125 @@
+"""Partitioners: exact-cover properties and scheme-specific behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (
+    ArrayDataset,
+    dirichlet_partition,
+    iid_partition,
+    partition_dataset,
+    shard_partition,
+)
+from repro.datasets.partition import partition_sizes
+
+
+def assert_exact_partition(parts, n_items):
+    """Every index appears exactly once across all parts."""
+    merged = np.concatenate(parts)
+    assert merged.shape[0] == n_items
+    np.testing.assert_array_equal(np.sort(merged), np.arange(n_items))
+
+
+class TestIID:
+    @given(
+        n_items=st.integers(5, 200),
+        n_nodes=st.integers(1, 5),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_exact_partition(self, n_items, n_nodes, seed):
+        parts = iid_partition(n_items, n_nodes, rng=seed)
+        assert_exact_partition(parts, n_items)
+
+    def test_balanced_sizes(self):
+        sizes = partition_sizes(iid_partition(103, 10, rng=0))
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_too_few_items(self):
+        with pytest.raises(ValueError):
+            iid_partition(2, 5)
+
+    def test_determinism(self):
+        a = iid_partition(50, 5, rng=3)
+        b = iid_partition(50, 5, rng=3)
+        for pa, pb in zip(a, b):
+            np.testing.assert_array_equal(pa, pb)
+
+
+class TestShards:
+    def test_exact_partition(self, rng):
+        labels = rng.integers(0, 10, size=100)
+        parts = shard_partition(labels, 5, shards_per_node=2, rng=0)
+        assert_exact_partition(parts, 100)
+
+    def test_label_concentration(self, rng):
+        # Each node sees few distinct labels with 2 shards of sorted data.
+        labels = np.repeat(np.arange(10), 50)  # 500 cleanly sorted samples
+        parts = shard_partition(labels, 10, shards_per_node=2, rng=0)
+        for part in parts:
+            assert len(np.unique(labels[part])) <= 4
+
+    def test_too_many_shards(self):
+        with pytest.raises(ValueError):
+            shard_partition(np.zeros(5, dtype=int), 3, shards_per_node=2)
+
+
+class TestDirichlet:
+    @given(seed=st.integers(0, 50), alpha=st.floats(0.1, 10.0))
+    @settings(max_examples=30, deadline=None)
+    def test_exact_partition(self, seed, alpha):
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 5, size=120)
+        parts = dirichlet_partition(labels, 4, alpha=alpha, rng=seed)
+        assert_exact_partition(parts, 120)
+
+    def test_min_per_node_respected(self, rng):
+        labels = rng.integers(0, 10, size=200)
+        parts = dirichlet_partition(labels, 5, alpha=0.3, rng=1, min_per_node=5)
+        assert min(len(p) for p in parts) >= 5
+
+    def test_low_alpha_skews_more(self):
+        rng_labels = np.random.default_rng(0)
+        labels = rng_labels.integers(0, 10, size=2000)
+
+        def skew(alpha):
+            parts = dirichlet_partition(labels, 10, alpha=alpha, rng=7)
+            # Mean within-node label-histogram concentration (max share).
+            shares = []
+            for p in parts:
+                hist = np.bincount(labels[p], minlength=10)
+                shares.append(hist.max() / max(hist.sum(), 1))
+            return np.mean(shares)
+
+        assert skew(0.1) > skew(100.0)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            dirichlet_partition(np.zeros(10, dtype=int), 2, alpha=0.0)
+
+
+class TestPartitionDataset:
+    def make_dataset(self, n=60):
+        rng = np.random.default_rng(0)
+        return ArrayDataset(
+            rng.normal(size=(n, 1, 4, 4)), rng.integers(0, 5, size=n)
+        )
+
+    @pytest.mark.parametrize("scheme", ["iid", "shards", "dirichlet"])
+    def test_schemes(self, scheme):
+        ds = self.make_dataset()
+        parts = partition_dataset(ds, 4, scheme=scheme, rng=0)
+        assert len(parts) == 4
+        assert sum(len(p) for p in parts) == len(ds)
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError, match="unknown partition scheme"):
+            partition_dataset(self.make_dataset(), 4, scheme="sorted")
+
+    def test_subsets_preserve_content(self):
+        ds = self.make_dataset()
+        parts = partition_dataset(ds, 3, scheme="iid", rng=0)
+        all_y = np.concatenate([p.y for p in parts])
+        assert sorted(all_y.tolist()) == sorted(ds.y.tolist())

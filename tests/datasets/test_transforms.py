@@ -1,0 +1,42 @@
+"""Normalization transforms."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import ArrayDataset, normalize_images, per_channel_stats
+from repro.datasets.transforms import normalize_dataset
+
+
+class TestStats:
+    def test_values(self, rng):
+        x = rng.normal(loc=3.0, scale=2.0, size=(50, 2, 5, 5))
+        mean, std = per_channel_stats(x)
+        assert mean.shape == (2,)
+        np.testing.assert_allclose(mean, x.mean(axis=(0, 2, 3)))
+        np.testing.assert_allclose(std, x.std(axis=(0, 2, 3)))
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            per_channel_stats(np.zeros((5, 4, 4)))
+
+
+class TestNormalize:
+    def test_standardizes(self, rng):
+        x = rng.normal(loc=5.0, scale=3.0, size=(100, 1, 4, 4))
+        mean, std = per_channel_stats(x)
+        z = normalize_images(x, mean, std)
+        assert z.mean() == pytest.approx(0.0, abs=1e-8)
+        assert z.std() == pytest.approx(1.0, abs=1e-4)
+
+    def test_channel_mismatch(self, rng):
+        x = rng.normal(size=(10, 3, 4, 4))
+        with pytest.raises(ValueError):
+            normalize_images(x, np.zeros(2), np.ones(2))
+
+    def test_normalize_dataset(self, rng):
+        ds = ArrayDataset(
+            rng.normal(loc=2.0, size=(30, 1, 4, 4)), rng.integers(0, 3, size=30)
+        )
+        out = normalize_dataset(ds)
+        assert out.x.mean() == pytest.approx(0.0, abs=1e-8)
+        np.testing.assert_array_equal(out.y, ds.y)

@@ -1,0 +1,95 @@
+"""Budget ledger semantics and server utility (Eqn 9)."""
+
+import numpy as np
+import pytest
+
+from repro.economics import (
+    BudgetExhausted,
+    BudgetLedger,
+    node_utility,
+    server_round_utility,
+    server_utility,
+)
+
+
+class TestBudgetLedger:
+    def test_basic_accounting(self):
+        ledger = BudgetLedger(10.0)
+        assert ledger.charge(3.0)
+        assert ledger.charge(4.0)
+        assert ledger.spent == pytest.approx(7.0)
+        assert ledger.remaining == pytest.approx(3.0)
+        assert ledger.rounds_charged == 2
+        assert ledger.round_payments == [3.0, 4.0]
+
+    def test_overdraw_discards_and_closes(self):
+        ledger = BudgetLedger(10.0)
+        ledger.charge(8.0)
+        assert not ledger.charge(5.0)  # overdraw: round discarded
+        assert ledger.spent == pytest.approx(8.0)  # nothing recorded
+        assert ledger.closed
+
+    def test_charge_after_close_raises(self):
+        ledger = BudgetLedger(1.0)
+        ledger.charge(2.0)  # closes
+        with pytest.raises(BudgetExhausted):
+            ledger.charge(0.1)
+
+    def test_exact_spend_allowed(self):
+        ledger = BudgetLedger(5.0)
+        assert ledger.charge(5.0)
+        assert ledger.remaining == pytest.approx(0.0)
+        assert not ledger.closed
+
+    def test_can_afford(self):
+        ledger = BudgetLedger(5.0)
+        assert ledger.can_afford(5.0)
+        assert not ledger.can_afford(5.1)
+
+    def test_reset(self):
+        ledger = BudgetLedger(5.0)
+        ledger.charge(10.0)
+        ledger.reset()
+        assert not ledger.closed
+        assert ledger.remaining == 5.0
+        assert ledger.rounds_charged == 0
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            BudgetLedger(5.0).charge(-1.0)
+
+    def test_invalid_total(self):
+        with pytest.raises(ValueError):
+            BudgetLedger(0.0)
+
+
+class TestServerUtility:
+    def test_eqn9(self):
+        # u = λ A − Σ T
+        assert server_utility(0.9, [10.0, 20.0], lam=100.0) == pytest.approx(
+            100 * 0.9 - 30.0
+        )
+
+    def test_round_slice_telescopes(self):
+        # Summing per-round slices equals λ(A_K − A_0) − ΣT.
+        accs = [0.1, 0.5, 0.7, 0.8]
+        times = [10.0, 12.0, 9.0]
+        total = sum(
+            server_round_utility(accs[i + 1] - accs[i], times[i], lam=50.0)
+            for i in range(3)
+        )
+        expected = 50.0 * (accs[-1] - accs[0]) - sum(times)
+        assert total == pytest.approx(expected)
+
+
+class TestNodeUtility:
+    def test_eqn8(self, profile):
+        from repro.economics import total_energy
+
+        price, zeta = 1e-9, 1.2e9
+        expected = price * zeta - total_energy(profile, zeta, 5)
+        assert node_utility(profile, price, zeta, 5) == pytest.approx(expected)
+
+    def test_rejects_negative_price(self, profile):
+        with pytest.raises(ValueError):
+            node_utility(profile, -1.0, 1e9, 5)

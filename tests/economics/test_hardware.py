@@ -1,0 +1,95 @@
+"""Hardware profiles and population sampling."""
+
+import numpy as np
+import pytest
+
+from repro.economics import GHZ, HardwareProfile, HardwareSpec, sample_profiles
+
+
+class TestHardwareProfile:
+    def test_kappa(self, profile):
+        sigma = 5
+        expected = 2 * sigma * profile.capacitance * profile.cycles_per_bit * profile.bits_per_epoch
+        assert profile.kappa(sigma) == pytest.approx(expected)
+
+    def test_kappa_requires_positive_epochs(self, profile):
+        with pytest.raises(ValueError):
+            profile.kappa(0)
+
+    def test_with_workload(self, profile):
+        new = profile.with_workload(1e8)
+        assert new.bits_per_epoch == 1e8
+        assert profile.bits_per_epoch == 6e7  # original untouched
+        assert new.node_id == profile.node_id
+
+    def test_validation(self):
+        kwargs = dict(
+            node_id=0,
+            cycles_per_bit=20.0,
+            bits_per_epoch=1e6,
+            capacitance=2e-28,
+            zeta_min=1e8,
+            zeta_max=1e9,
+            comm_time=15.0,
+            comm_power=0.002,
+            reserve_utility=0.01,
+        )
+        HardwareProfile(**kwargs)  # valid
+        with pytest.raises(ValueError):
+            HardwareProfile(**{**kwargs, "zeta_min": 2e9})  # min > max
+        with pytest.raises(ValueError):
+            HardwareProfile(**{**kwargs, "cycles_per_bit": 0.0})
+        with pytest.raises(ValueError):
+            HardwareProfile(**{**kwargs, "comm_time": -1.0})
+
+
+class TestHardwareSpec:
+    def test_paper_defaults(self):
+        spec = HardwareSpec()
+        # §VI-A constants.
+        assert spec.cycles_per_bit == 20.0
+        assert spec.capacitance == 2e-28
+        assert spec.zeta_max_low == 1.0 * GHZ
+        assert spec.zeta_max_high == 2.0 * GHZ
+        assert spec.comm_time_low == 10.0
+        assert spec.comm_time_high == 20.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HardwareSpec(zeta_max_low=3e9)  # low > high
+        with pytest.raises(ValueError):
+            HardwareSpec(zeta_min_fraction=0.0)
+        with pytest.raises(ValueError):
+            HardwareSpec(comm_time_low=30.0)
+
+
+class TestSampling:
+    def test_count_and_ids(self):
+        profiles = sample_profiles(7, rng=0)
+        assert len(profiles) == 7
+        assert [p.node_id for p in profiles] == list(range(7))
+
+    def test_ranges(self):
+        for p in sample_profiles(50, rng=0):
+            assert 1.0 * GHZ <= p.zeta_max <= 2.0 * GHZ
+            assert 10.0 <= p.comm_time <= 20.0
+            assert p.zeta_min < p.zeta_max
+
+    def test_determinism(self):
+        a = sample_profiles(5, rng=9)
+        b = sample_profiles(5, rng=9)
+        for pa, pb in zip(a, b):
+            assert pa == pb
+
+    def test_custom_workloads(self):
+        bits = np.array([1e6, 2e6, 3e6])
+        profiles = sample_profiles(3, rng=0, bits_per_epoch=bits)
+        assert [p.bits_per_epoch for p in profiles] == bits.tolist()
+
+    def test_workload_shape_checked(self):
+        with pytest.raises(ValueError):
+            sample_profiles(3, rng=0, bits_per_epoch=np.ones(2))
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            sample_profiles(0)

@@ -1,0 +1,99 @@
+"""Market-analysis tools."""
+
+import numpy as np
+import pytest
+
+from repro.economics import (
+    feasible_rounds,
+    fleet_cost_bounds,
+    min_participation_price,
+    participation_curve,
+    participation_fraction,
+    quote_curve,
+    quote_round,
+    welfare,
+)
+
+SIGMA = 5
+
+
+class TestParticipation:
+    def test_zero_price_nobody(self, profiles):
+        assert participation_fraction(profiles, 1e-15, SIGMA) == 0.0
+
+    def test_high_price_everybody(self, profiles):
+        rich = 10 * max(min_participation_price(p, SIGMA) for p in profiles)
+        assert participation_fraction(profiles, rich, SIGMA) == 1.0
+
+    def test_curve_monotone(self, profiles):
+        prices = np.linspace(1e-12, 2e-9, 30)
+        curve = participation_curve(profiles, prices, SIGMA)
+        assert np.all(np.diff(curve) >= 0)
+        assert curve[0] == 0.0 and curve[-1] == 1.0
+
+
+class TestQuotes:
+    def total_for(self, profiles, scale):
+        return scale * sum(min_participation_price(p, SIGMA) for p in profiles)
+
+    def test_quote_fields(self, profiles):
+        quote = quote_round(profiles, self.total_for(profiles, 3), SIGMA)
+        assert quote.participants == len(profiles)
+        assert quote.payment > 0
+        assert quote.makespan > 0
+        assert 0 < quote.time_efficiency <= 1
+        assert quote.node_surplus >= 0
+
+    def test_equal_time_beats_uniform_efficiency(self, profiles):
+        total = self.total_for(profiles, 4)
+        eq = quote_round(profiles, total, SIGMA, allocation="equal_time")
+        un = quote_round(profiles, total, SIGMA, allocation="uniform")
+        assert eq.time_efficiency >= un.time_efficiency
+
+    def test_more_money_faster_rounds(self, profiles):
+        cheap = quote_round(profiles, self.total_for(profiles, 2), SIGMA)
+        dear = quote_round(profiles, self.total_for(profiles, 6), SIGMA)
+        assert dear.makespan < cheap.makespan
+        assert dear.payment > cheap.payment
+
+    def test_tiny_price_empty_quote(self, profiles):
+        quote = quote_round(profiles, 1e-15, SIGMA)
+        assert quote.participants == 0
+        assert quote.payment == 0.0
+
+    def test_quote_curve_length(self, profiles):
+        totals = [self.total_for(profiles, s) for s in (2, 3, 4)]
+        quotes = quote_curve(profiles, totals, SIGMA)
+        assert len(quotes) == 3
+
+    def test_unknown_allocation(self, profiles):
+        with pytest.raises(ValueError, match="unknown allocation"):
+            quote_round(profiles, 1e-9, SIGMA, allocation="greedy")
+
+
+class TestFeasibleRounds:
+    def test_budget_scaling(self, profiles):
+        total = 3 * sum(min_participation_price(p, SIGMA) for p in profiles)
+        few = feasible_rounds(profiles, budget=10.0, total_price=total, local_epochs=SIGMA)
+        many = feasible_rounds(profiles, budget=100.0, total_price=total, local_epochs=SIGMA)
+        assert many >= 10 * few - 1
+        assert few >= 1
+
+    def test_zero_payment_zero_rounds(self, profiles):
+        assert feasible_rounds(profiles, 10.0, 1e-15, SIGMA) == 0
+
+
+class TestFleetBounds:
+    def test_floor_below_cap(self, profiles):
+        floor, cap = fleet_cost_bounds(profiles, SIGMA)
+        assert 0 < floor < cap
+
+    def test_cap_is_max_speed_payment(self, profiles):
+        _, cap = fleet_cost_bounds(profiles, SIGMA)
+        expected = sum(p.kappa(SIGMA) * p.zeta_max**2 for p in profiles)
+        assert cap == pytest.approx(expected)
+
+
+class TestWelfare:
+    def test_sum(self):
+        assert welfare(10.0, 2.5) == 12.5

@@ -1,0 +1,168 @@
+"""Best responses (Eqns 10-12), participation, and the Lemma-1 oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.economics import (
+    best_response_frequency,
+    equal_time_prices,
+    min_participation_price,
+    node_response,
+    node_utility,
+    sample_profiles,
+)
+from repro.economics.pricing import price_for_frequency, price_for_time
+
+SIGMA = 5
+
+
+class TestBestResponse:
+    def test_interior_matches_eqn11(self, profile):
+        kappa = profile.kappa(SIGMA)
+        price = kappa * 0.5 * (profile.zeta_min + profile.zeta_max)
+        assert best_response_frequency(profile, price, SIGMA) == pytest.approx(
+            price / kappa
+        )
+
+    def test_clips_low(self, profile):
+        tiny = profile.kappa(SIGMA) * profile.zeta_min * 0.01
+        assert best_response_frequency(profile, tiny, SIGMA) == profile.zeta_min
+
+    def test_clips_high(self, profile):
+        huge = profile.kappa(SIGMA) * profile.zeta_max * 100
+        assert best_response_frequency(profile, huge, SIGMA) == profile.zeta_max
+
+    def test_zero_price(self, profile):
+        assert best_response_frequency(profile, 0.0, SIGMA) == profile.zeta_min
+
+    def test_negative_price_rejected(self, profile):
+        with pytest.raises(ValueError):
+            best_response_frequency(profile, -1.0, SIGMA)
+
+    @given(
+        seed=st.integers(0, 100),
+        price_scale=st.floats(0.1, 10.0),
+        zeta_frac=st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_optimality_property(self, seed, price_scale, zeta_frac):
+        """u(ζ*) >= u(ζ) for any feasible ζ — Eqn (11) is the argmax."""
+        profile = sample_profiles(1, rng=seed)[0]
+        price = price_scale * profile.kappa(SIGMA) * profile.zeta_max
+        star = best_response_frequency(profile, price, SIGMA)
+        other = profile.zeta_min + zeta_frac * (profile.zeta_max - profile.zeta_min)
+        u_star = node_utility(profile, price, star, SIGMA)
+        u_other = node_utility(profile, price, other, SIGMA)
+        assert u_star >= u_other - 1e-12
+
+
+class TestParticipation:
+    def test_threshold_is_tight(self, profiles):
+        for profile in profiles:
+            p_min = min_participation_price(profile, SIGMA)
+            assert node_response(profile, p_min * 1.001, SIGMA).participates
+            assert not node_response(profile, p_min * 0.999, SIGMA).participates
+
+    def test_declining_response_fields(self, profile):
+        response = node_response(profile, 0.0, SIGMA)
+        assert not response.participates
+        assert response.payment == 0.0
+        assert response.energy == 0.0
+        assert response.time == float("inf")
+
+    def test_participating_fields_consistent(self, profile):
+        p_min = min_participation_price(profile, SIGMA)
+        r = node_response(profile, 2 * p_min, SIGMA)
+        assert r.participates
+        assert r.payment == pytest.approx(2 * p_min * r.zeta)
+        assert r.utility >= profile.reserve_utility
+        assert np.isfinite(r.time) and r.time > profile.comm_time
+
+    def test_higher_price_never_lowers_utility(self, profiles):
+        for profile in profiles:
+            p_min = min_participation_price(profile, SIGMA)
+            utils = [
+                node_response(profile, p_min * m, SIGMA).utility
+                for m in (1.1, 2.0, 4.0, 8.0)
+            ]
+            assert all(b >= a - 1e-12 for a, b in zip(utils, utils[1:]))
+
+
+class TestInversePricing:
+    def test_price_for_frequency_roundtrip(self, profile):
+        zeta = 0.7 * profile.zeta_max
+        price = price_for_frequency(profile, zeta, SIGMA)
+        assert best_response_frequency(profile, price, SIGMA) == pytest.approx(zeta)
+
+    def test_price_for_frequency_range_check(self, profile):
+        with pytest.raises(ValueError):
+            price_for_frequency(profile, profile.zeta_max * 2, SIGMA)
+
+    def test_price_for_time_roundtrip(self, profile):
+        from repro.economics import communication_time, computation_time
+
+        target = computation_time(profile, 0.8 * profile.zeta_max, SIGMA) + profile.comm_time
+        price = price_for_time(profile, target, SIGMA)
+        assert price is not None
+        zeta = best_response_frequency(profile, price, SIGMA)
+        got = computation_time(profile, zeta, SIGMA) + communication_time(profile)
+        assert got == pytest.approx(target, rel=1e-9)
+
+    def test_price_for_time_unreachable(self, profile):
+        assert price_for_time(profile, profile.comm_time * 0.5, SIGMA) is None
+        assert price_for_time(profile, 1e9, SIGMA) is None  # slower than ζ_min
+
+
+class TestEqualTimeOracle:
+    @pytest.mark.parametrize("scale", [2.0, 4.0, 6.0])
+    def test_times_equalized(self, profiles, scale):
+        total = scale * sum(min_participation_price(p, SIGMA) for p in profiles)
+        prices = equal_time_prices(profiles, total, SIGMA)
+        times = [node_response(p, pr, SIGMA).time for p, pr in zip(profiles, prices)]
+        assert np.isfinite(times).all()
+        spread = (max(times) - min(times)) / max(times)
+        assert spread < 0.02
+
+    def test_saturation_beyond_price_caps(self, profiles):
+        """Totals above Σκζ_max cannot equalize — every node pins ζ_max."""
+        from repro.economics import communication_time, computation_time
+
+        caps = sum(p.kappa(SIGMA) * p.zeta_max for p in profiles)
+        prices = equal_time_prices(profiles, 1.5 * caps, SIGMA)
+        for p, pr in zip(profiles, prices):
+            response = node_response(p, pr, SIGMA)
+            assert response.zeta == pytest.approx(p.zeta_max)
+            fastest = computation_time(p, p.zeta_max, SIGMA) + communication_time(p)
+            assert response.time == pytest.approx(fastest)
+
+    def test_sums_to_total(self, profiles):
+        total = 4.0 * sum(min_participation_price(p, SIGMA) for p in profiles)
+        prices = equal_time_prices(profiles, total, SIGMA)
+        assert prices.sum() == pytest.approx(total)
+
+    def test_lemma1_beats_uniform_split(self, profiles):
+        """The equal-time split wastes less idle time than a uniform split."""
+        from repro.economics import time_efficiency
+
+        total = 5.0 * sum(min_participation_price(p, SIGMA) for p in profiles)
+        oracle_prices = equal_time_prices(profiles, total, SIGMA)
+        uniform_prices = np.full(len(profiles), total / len(profiles))
+
+        def efficiency(prices):
+            times = [
+                node_response(p, pr, SIGMA).time
+                for p, pr in zip(profiles, prices)
+            ]
+            return time_efficiency(times)
+
+        assert efficiency(oracle_prices) >= efficiency(uniform_prices)
+
+    def test_empty_profiles(self):
+        with pytest.raises(ValueError):
+            equal_time_prices([], 1.0, SIGMA)
+
+    def test_invalid_total(self, profiles):
+        with pytest.raises(ValueError):
+            equal_time_prices(profiles, 0.0, SIGMA)

@@ -1,0 +1,109 @@
+"""Timing (Eqns 6, 7, 16) and the energy model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.economics import (
+    communication_energy,
+    communication_time,
+    computation_time,
+    computing_energy,
+    idle_times,
+    round_time,
+    sample_profiles,
+    time_efficiency,
+    total_energy,
+    total_times,
+)
+
+
+class TestTiming:
+    def test_eqn6(self, profile):
+        # T_cmp = σ c d / ζ
+        sigma, zeta = 5, 1.2e9
+        expected = sigma * 20.0 * 6e7 / zeta
+        assert computation_time(profile, zeta, sigma) == pytest.approx(expected)
+
+    def test_faster_cpu_shorter_time(self, profile):
+        assert computation_time(profile, 2e9, 5) < computation_time(profile, 1e9, 5)
+
+    def test_communication_time(self, profile):
+        assert communication_time(profile) == profile.comm_time
+
+    def test_total_times(self, profiles):
+        zetas = [p.zeta_max for p in profiles]
+        times = total_times(profiles, zetas, 5)
+        assert times.shape == (5,)
+        assert np.all(times > 0)
+
+    def test_total_times_length_check(self, profiles):
+        with pytest.raises(ValueError):
+            total_times(profiles, [1e9], 5)
+
+    def test_round_time_is_max(self):
+        assert round_time([3.0, 7.0, 5.0]) == 7.0
+
+    def test_round_time_empty(self):
+        with pytest.raises(ValueError):
+            round_time([])
+
+    def test_idle_times(self):
+        np.testing.assert_allclose(idle_times([3.0, 7.0, 5.0]), [4.0, 0.0, 2.0])
+
+
+class TestTimeEfficiency:
+    def test_eqn16_value(self):
+        # Σ T_i / (N · T_max)
+        assert time_efficiency([10.0, 10.0]) == pytest.approx(1.0)
+        assert time_efficiency([5.0, 10.0]) == pytest.approx(0.75)
+
+    def test_requires_positive_makespan(self):
+        with pytest.raises(ValueError):
+            time_efficiency([0.0, 0.0])
+
+    @given(
+        st.lists(st.floats(0.1, 100.0), min_size=1, max_size=20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bounds(self, times):
+        eff = time_efficiency(times)
+        n = len(times)
+        assert 1.0 / n - 1e-9 <= eff <= 1.0 + 1e-9
+
+    @given(st.lists(st.floats(0.1, 100.0), min_size=2, max_size=10))
+    @settings(max_examples=40, deadline=None)
+    def test_equal_times_maximize(self, times):
+        equal = [np.mean(times)] * len(times)
+        assert time_efficiency(equal) >= time_efficiency(times) - 1e-9
+
+
+class TestEnergy:
+    def test_computing_energy_quadratic(self, profile):
+        e1 = computing_energy(profile, 1e9, 5)
+        e2 = computing_energy(profile, 2e9, 5)
+        assert e2 == pytest.approx(4 * e1)
+
+    def test_kappa_consistency(self, profile):
+        # E_cmp == (κ/2) ζ².
+        zeta = 1.3e9
+        assert computing_energy(profile, zeta, 5) == pytest.approx(
+            0.5 * profile.kappa(5) * zeta**2
+        )
+
+    def test_communication_energy(self, profile):
+        assert communication_energy(profile) == pytest.approx(
+            profile.comm_power * profile.comm_time
+        )
+
+    def test_total(self, profile):
+        assert total_energy(profile, 1e9, 5) == pytest.approx(
+            computing_energy(profile, 1e9, 5) + communication_energy(profile)
+        )
+
+    def test_validation(self, profile):
+        with pytest.raises(ValueError):
+            computing_energy(profile, 0.0, 5)
+        with pytest.raises(ValueError):
+            computation_time(profile, 1e9, 0)

@@ -1,0 +1,64 @@
+"""Headline-claims extraction."""
+
+import pytest
+
+from repro.experiments.budget_sweep import BudgetSweepResult
+from repro.experiments.claims import headline_claims
+from repro.experiments.results import EvaluationSummary
+
+
+def summary(mech, acc, eff):
+    return EvaluationSummary(
+        mechanism=mech,
+        n_episodes=3,
+        accuracy_mean=acc,
+        accuracy_std=0.0,
+        rounds_mean=10.0,
+        rounds_std=0.0,
+        efficiency_mean=eff,
+        efficiency_std=0.0,
+        time_mean=100.0,
+        utility_mean=1000.0,
+    )
+
+
+def sweep_with(chiron, drl, greedy, budgets=(20.0, 40.0)):
+    result = BudgetSweepResult(task="mnist", n_nodes=5, budgets=list(budgets))
+    result.summaries["chiron"] = [summary("chiron", a, e) for a, e in chiron]
+    result.summaries["drl_single"] = [summary("drl_single", a, e) for a, e in drl]
+    result.summaries["greedy"] = [summary("greedy", a, e) for a, e in greedy]
+    return result
+
+
+class TestHeadlineClaims:
+    def test_max_gain_over_strongest_baseline(self):
+        sweep = sweep_with(
+            chiron=[(0.95, 0.95), (0.96, 0.99)],
+            drl=[(0.90, 0.80), (0.95, 0.85)],
+            greedy=[(0.88, 0.70), (0.90, 0.75)],
+        )
+        claims = headline_claims(sweep)
+        # Budget 20: chiron-best baseline = 0.95-0.90=0.05; budget 40: 0.01.
+        assert claims.accuracy_gain == pytest.approx(0.05)
+        assert claims.accuracy_gain_budget == 20.0
+        # Efficiency: 0.15 at budget 20, 0.14 at 40 → max 0.15.
+        assert claims.efficiency_gain == pytest.approx(0.15)
+        assert claims.mean_accuracy_gain == pytest.approx(0.03)
+
+    def test_payload_includes_paper_reference(self):
+        sweep = sweep_with(
+            chiron=[(0.9, 0.9)], drl=[(0.8, 0.8)], greedy=[(0.7, 0.7)],
+            budgets=(20.0,),
+        )
+        payload = headline_claims(sweep).to_payload()
+        assert payload["paper"]["accuracy_gain"] == 0.065
+        assert payload["paper"]["efficiency_gain"] == 0.39
+
+    def test_missing_mechanism(self):
+        sweep = sweep_with(
+            chiron=[(0.9, 0.9)], drl=[(0.8, 0.8)], greedy=[(0.7, 0.7)],
+            budgets=(20.0,),
+        )
+        del sweep.summaries["greedy"]
+        with pytest.raises(KeyError, match="greedy"):
+            headline_claims(sweep)

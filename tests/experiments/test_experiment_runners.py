@@ -1,0 +1,104 @@
+"""Direct tests of the experiment runner functions at miniature scale."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.budget_sweep import DEFAULT_BUDGETS, run_budget_sweep
+from repro.experiments.convergence import run_convergence
+from repro.experiments.table1 import PAPER_TABLE1, run_table1
+
+
+class TestRunConvergence:
+    def test_basic_series(self):
+        result = run_convergence(
+            mechanism_name="chiron", n_nodes=3, budget=10.0, episodes=4,
+            seed=0, max_rounds=60,
+        )
+        assert result.rewards.shape == (4,)
+        assert result.smoothed.shape == (4,)
+        assert result.metric == "exterior"
+        payload = result.to_payload()
+        assert payload["n_nodes"] == 3 and len(payload["rewards"]) == 4
+
+    def test_system_metric_includes_inner(self):
+        ext = run_convergence(
+            mechanism_name="chiron", n_nodes=3, budget=10.0, episodes=3,
+            seed=0, max_rounds=60, metric="exterior",
+        )
+        sys_ = run_convergence(
+            mechanism_name="chiron", n_nodes=3, budget=10.0, episodes=3,
+            seed=0, max_rounds=60, metric="system",
+        )
+        # Inner rewards are <= 0, so the system series sits at or below.
+        assert np.all(sys_.rewards <= ext.rewards + 1e-9)
+
+    def test_invalid_metric(self):
+        with pytest.raises(ValueError, match="metric"):
+            run_convergence(metric="both", episodes=1)
+
+    def test_baseline_mechanism(self):
+        result = run_convergence(
+            mechanism_name="greedy", n_nodes=3, budget=10.0, episodes=3,
+            seed=0, max_rounds=60,
+        )
+        assert result.mechanism == "greedy"
+
+
+class TestRunBudgetSweep:
+    def test_tiny_sweep(self):
+        result = run_budget_sweep(
+            task="mnist",
+            budgets=(8.0, 16.0),
+            mechanisms=("greedy", "fixed_price"),
+            n_nodes=3,
+            train_episodes=2,
+            eval_episodes=2,
+            seed=0,
+            max_rounds=60,
+        )
+        assert result.budgets == [8.0, 16.0]
+        assert set(result.summaries) == {"greedy", "fixed_price"}
+        assert result.series("greedy", "accuracy").shape == (2,)
+        payload = result.to_payload()
+        assert payload["mechanisms"]["fixed_price"][0]["rounds"] >= 1
+
+    def test_default_budget_grids(self):
+        assert set(DEFAULT_BUDGETS) == {"mnist", "fashion_mnist", "cifar10"}
+        # CIFAR grid sits above the MNIST grid (§VI-B).
+        assert min(DEFAULT_BUDGETS["cifar10"]) > min(DEFAULT_BUDGETS["mnist"])
+
+    def test_unknown_metric_key(self):
+        result = run_budget_sweep(
+            task="mnist", budgets=(8.0,), mechanisms=("fixed_price",),
+            n_nodes=3, train_episodes=1, eval_episodes=1, seed=0, max_rounds=60,
+        )
+        with pytest.raises(KeyError):
+            result.series("fixed_price", "latency")
+
+
+class TestRunTable1:
+    def test_tiny_table(self):
+        result = run_table1(
+            budgets=(30.0, 60.0),
+            n_nodes=5,
+            train_episodes=2,
+            eval_episodes=2,
+            seed=0,
+            max_rounds=60,
+        )
+        assert len(result.rows) == 2
+        payload = result.to_payload()
+        assert payload["rows"][0]["budget"] == 30.0
+        # Custom budgets have no paper reference.
+        assert payload["rows"][0]["paper"] is None
+
+    def test_seed_averaging_pools_episodes(self):
+        result = run_table1(
+            budgets=(30.0,), n_nodes=4, train_episodes=1, eval_episodes=2,
+            seed=0, max_rounds=60, n_seeds=2,
+        )
+        assert result.rows[0].n_episodes == 4  # 2 seeds × 2 eval episodes
+
+    def test_paper_reference_rows(self):
+        assert PAPER_TABLE1[140.0]["rounds"] == 16
+        assert PAPER_TABLE1[380.0]["accuracy"] == 0.943

@@ -1,0 +1,92 @@
+"""Text rendering of figures and tables."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import format_table, sparkline
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series(self):
+        assert sparkline([2.0, 2.0, 2.0]) == "▁▁▁"
+
+    def test_monotone_series_monotone_glyphs(self):
+        line = sparkline(np.linspace(0, 1, 8))
+        codes = [ord(c) for c in line]
+        assert codes == sorted(codes)
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_downsamples_to_width(self):
+        assert len(sparkline(np.arange(500), width=40)) == 40
+
+    def test_short_series_not_padded(self):
+        assert len(sparkline([1.0, 5.0])) == 2
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        out = format_table(["a", "metric"], [[1, 0.5], [22, 0.25]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "metric" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[0.123456]])
+        assert "0.123" in out
+
+    def test_large_and_tiny_floats_use_sig_figs(self):
+        out = format_table(["x"], [[123456.0], [0.000123]])
+        assert "1.23e" in out or "123000" in out.replace(",", "")
+        assert "0.000123" in out
+
+    def test_strings_pass_through(self):
+        out = format_table(["name"], [["chiron"]])
+        assert "chiron" in out
+
+
+class TestRenderers:
+    def test_render_convergence(self):
+        from repro.experiments.convergence import ConvergenceResult
+        from repro.experiments.figures import render_convergence
+        from repro.experiments.results import TrainingHistory
+
+        result = ConvergenceResult(
+            mechanism="chiron",
+            task="mnist",
+            n_nodes=5,
+            budget=60.0,
+            rewards=np.linspace(0, 10, 30),
+            smoothed=np.linspace(0, 10, 30),
+            history=TrainingHistory("chiron"),
+        )
+        text = render_convergence(result)
+        assert "chiron" in text and "mnist" in text
+        assert result.improved > 0
+
+    def test_render_table1(self):
+        from repro.experiments.figures import render_table1
+        from repro.experiments.results import EvaluationSummary
+        from repro.experiments.table1 import Table1Result
+
+        summary = EvaluationSummary(
+            mechanism="chiron",
+            n_episodes=2,
+            accuracy_mean=0.93,
+            accuracy_std=0.01,
+            rounds_mean=20.0,
+            rounds_std=1.0,
+            efficiency_mean=0.72,
+            efficiency_std=0.02,
+            time_mean=500.0,
+            utility_mean=1500.0,
+        )
+        result = Table1Result(n_nodes=100, budgets=[140.0], rows=[summary])
+        text = render_table1(result)
+        assert "Table I" in text
+        assert "0.916" in text  # paper reference column
+        assert "0.930" in text  # measured column

@@ -1,0 +1,61 @@
+"""Lambda sweep runner and the Fig.-1 timeline renderer."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import FixedPriceMechanism
+from repro.core.mechanism import Observation
+from repro.experiments.figures import render_lambda_sweep, render_round_timeline
+from repro.experiments.preference import run_lambda_sweep
+
+
+class TestLambdaSweep:
+    def test_tiny_sweep(self):
+        result = run_lambda_sweep(
+            lams=(500.0, 4000.0), n_nodes=3, budget=10.0,
+            train_episodes=2, eval_episodes=1, seed=0, max_rounds=60,
+        )
+        assert len(result.rows) == 2
+        payload = result.to_payload()
+        assert payload["rows"][0]["lambda"] == 500.0
+        assert 0 <= payload["rows"][0]["accuracy"] <= 1
+
+    def test_render(self):
+        result = run_lambda_sweep(
+            lams=(500.0,), n_nodes=3, budget=10.0,
+            train_episodes=1, eval_episodes=1, seed=0, max_rounds=60,
+        )
+        text = render_lambda_sweep(result)
+        assert "lambda" in text and "500" in text
+
+    def test_invalid_lambda(self):
+        with pytest.raises(ValueError):
+            run_lambda_sweep(lams=(0.0,), train_episodes=1, eval_episodes=1)
+
+
+class TestRoundTimeline:
+    def test_renders_participants(self, surrogate_env):
+        env = surrogate_env.env
+        mech = FixedPriceMechanism(env, markup=2.0)
+        state = env.reset()
+        obs = Observation(state, env.ledger.remaining, 0)
+        result = env.step(mech.propose_prices(obs))
+        text = render_round_timeline(result)
+        assert "makespan" in text
+        assert text.count("node") == env.n_nodes
+        assert "#" in text
+
+    def test_declined_nodes_marked(self, surrogate_env):
+        env = surrogate_env.env
+        env.reset()
+        prices = np.sqrt(env.price_floors * env.price_caps)
+        prices[0] = 0.0
+        result = env.step(prices)
+        text = render_round_timeline(result)
+        assert "(declined)" in text
+
+    def test_no_participants(self, surrogate_env):
+        env = surrogate_env.env
+        env.reset()
+        result = env.step(np.zeros(env.n_nodes))
+        assert "no participants" in render_round_timeline(result)

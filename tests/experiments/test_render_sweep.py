@@ -1,0 +1,43 @@
+"""Direct rendering test for budget-sweep figures."""
+
+import numpy as np
+
+from repro.experiments.budget_sweep import BudgetSweepResult
+from repro.experiments.figures import render_budget_sweep
+from repro.experiments.results import EvaluationSummary
+
+
+def summary(acc, rounds, eff):
+    return EvaluationSummary(
+        mechanism="m",
+        n_episodes=3,
+        accuracy_mean=acc,
+        accuracy_std=0.01,
+        rounds_mean=rounds,
+        rounds_std=1.0,
+        efficiency_mean=eff,
+        efficiency_std=0.01,
+        time_mean=300.0,
+        utility_mean=1600.0,
+    )
+
+
+def test_render_budget_sweep_panels():
+    result = BudgetSweepResult(task="mnist", n_nodes=5, budgets=[20.0, 40.0])
+    result.summaries["chiron"] = [summary(0.95, 14, 0.92), summary(0.96, 20, 0.93)]
+    result.summaries["greedy"] = [summary(0.80, 2, 0.63), summary(0.88, 3, 0.60)]
+    text = render_budget_sweep(result)
+    assert "(a) final global model accuracy" in text
+    assert "(b) training rounds completed" in text
+    assert "(c) time efficiency" in text
+    assert "0.950" in text and "14" in text and "0.920" in text
+    # Three panels, each with header + rule + 2 data rows.
+    assert text.count("chiron") == 3
+
+
+def test_series_accessor():
+    result = BudgetSweepResult(task="mnist", n_nodes=5, budgets=[20.0])
+    result.summaries["chiron"] = [summary(0.9, 10, 0.9)]
+    np.testing.assert_allclose(result.series("chiron", "accuracy"), [0.9])
+    np.testing.assert_allclose(result.series("chiron", "rounds"), [10.0])
+    np.testing.assert_allclose(result.series("chiron", "efficiency"), [0.9])

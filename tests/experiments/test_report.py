@@ -1,0 +1,107 @@
+"""Markdown report generation from saved payloads."""
+
+import json
+
+import pytest
+
+from repro.experiments.report import build_report
+
+
+def write_payload(directory, exp_id, payload):
+    path = directory / f"{exp_id}_quick_seed0.json"
+    path.write_text(json.dumps(payload))
+    return path
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    write_payload(
+        tmp_path,
+        "fig3",
+        {
+            "mechanism": "chiron",
+            "task": "mnist",
+            "n_nodes": 5,
+            "budget": 60.0,
+            "metric": "system",
+            "rewards": list(range(20)),
+            "smoothed": [float(i) for i in range(20)],
+            "improved": 10.0,
+        },
+    )
+    write_payload(
+        tmp_path,
+        "fig4",
+        {
+            "task": "mnist",
+            "n_nodes": 5,
+            "budgets": [20.0, 40.0],
+            "mechanisms": {
+                "chiron": [
+                    {"accuracy": 0.95, "rounds": 10, "efficiency": 0.9,
+                     "accuracy_std": 0.0, "total_time": 100, "utility": 1000},
+                    {"accuracy": 0.96, "rounds": 20, "efficiency": 0.92,
+                     "accuracy_std": 0.0, "total_time": 200, "utility": 1100},
+                ],
+                "greedy": [
+                    {"accuracy": 0.80, "rounds": 2, "efficiency": 0.6,
+                     "accuracy_std": 0.0, "total_time": 50, "utility": 900},
+                    {"accuracy": 0.85, "rounds": 3, "efficiency": 0.65,
+                     "accuracy_std": 0.0, "total_time": 60, "utility": 950},
+                ],
+            },
+        },
+    )
+    write_payload(
+        tmp_path,
+        "table1",
+        {
+            "n_nodes": 100,
+            "rows": [
+                {"budget": 140.0, "accuracy": 0.92, "rounds": 5.0,
+                 "efficiency": 0.75, "paper": {"accuracy": 0.916, "rounds": 16,
+                                               "efficiency": 0.713}},
+            ],
+        },
+    )
+    return tmp_path
+
+
+class TestBuildReport:
+    def test_contains_all_sections(self, results_dir):
+        report = build_report(results_dir)
+        assert "fig3 — chiron convergence" in report
+        assert "fig4 — mnist budget sweep" in report
+        assert "table1 — Chiron at 100 nodes" in report
+
+    def test_missing_experiments_flagged(self, results_dir):
+        report = build_report(results_dir)
+        assert "fig5 — not run" in report
+
+    def test_numbers_present(self, results_dir):
+        report = build_report(results_dir)
+        assert "0.950" in report  # chiron accuracy at η=20
+        assert "0.916" in report  # paper reference in table1
+        assert "+10.0" in report  # fig3 improvement
+
+    def test_markdown_tables_wellformed(self, results_dir):
+        report = build_report(results_dir)
+        table_lines = [l for l in report.splitlines() if l.startswith("|")]
+        # Every table row has a consistent cell count within its table.
+        assert table_lines
+        for line in table_lines:
+            assert line.endswith("|")
+
+    def test_empty_dir(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            build_report(tmp_path)
+
+    def test_missing_dir(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            build_report(tmp_path / "nope")
+
+    def test_cli_report(self, results_dir, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["report", str(results_dir)]) == 0
+        assert "fig3" in capsys.readouterr().out

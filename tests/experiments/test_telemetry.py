@@ -1,0 +1,63 @@
+"""Per-round telemetry recording."""
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.baselines import FixedPriceMechanism
+from repro.experiments.telemetry import EpisodeRecorder, record_episode
+
+
+@pytest.fixture
+def trace(surrogate_env):
+    env = surrogate_env.env
+    return record_episode(env, FixedPriceMechanism(env, markup=2.0))
+
+
+class TestRecordEpisode:
+    def test_captures_every_round(self, trace, surrogate_env):
+        env = surrogate_env.env
+        # Episode ends at budget exhaustion; last record may be a discarded
+        # overdraw round.
+        assert len(trace) >= env.ledger.rounds_charged
+        kept = [r for r in trace.records if r["round_kept"]]
+        assert len(kept) == env.ledger.rounds_charged
+
+    def test_series_extraction(self, trace):
+        accuracy = trace.series("accuracy")
+        assert accuracy.shape == (len(trace),)
+        assert accuracy[-1] >= accuracy[0] - 0.05
+
+    def test_unknown_field(self, trace):
+        with pytest.raises(KeyError, match="unknown telemetry field"):
+            trace.series("loss")
+
+    def test_budget_series_non_increasing(self, trace):
+        remaining = trace.series("remaining_budget")
+        assert np.all(np.diff(remaining) <= 1e-9)
+
+
+class TestExport:
+    def test_jsonl_roundtrip(self, trace, tmp_path):
+        path = trace.to_jsonl(tmp_path / "trace.jsonl")
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == len(trace)
+        first = json.loads(lines[0])
+        assert "accuracy" in first and "total_payment" in first
+
+    def test_csv_roundtrip(self, trace, tmp_path):
+        path = trace.to_csv(tmp_path / "trace.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == len(trace)
+        assert float(rows[0]["n_participants"]) >= 1
+
+    def test_csv_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            EpisodeRecorder().to_csv(tmp_path / "x.csv")
+
+    def test_clear(self, trace):
+        trace.clear()
+        assert len(trace) == 0

@@ -1,0 +1,134 @@
+"""Accuracy substrates: surrogate curve and real training, shared interface."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fl import (
+    LearningProcess,
+    SURROGATE_CURVES,
+    SurrogateAccuracy,
+    SurrogateCurve,
+    build_learning_process,
+)
+
+
+class TestSurrogateCurve:
+    def test_anchors(self):
+        curve = SurrogateCurve(a_init=0.1, a_max=0.9, tau=1.0, beta=1.0)
+        assert curve.accuracy(0.0) == pytest.approx(0.1)
+        assert curve.accuracy(1e9) == pytest.approx(0.9, abs=1e-6)
+
+    @given(
+        e1=st.floats(0, 100),
+        e2=st.floats(0, 100),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_property(self, e1, e2):
+        curve = SURROGATE_CURVES["mnist"]
+        lo, hi = sorted((e1, e2))
+        assert curve.accuracy(lo) <= curve.accuracy(hi) + 1e-12
+
+    @given(e=st.floats(0, 1000))
+    @settings(max_examples=50, deadline=None)
+    def test_bounded_property(self, e):
+        for curve in SURROGATE_CURVES.values():
+            assert curve.a_init - 1e-12 <= curve.accuracy(e) <= curve.a_max + 1e-12
+
+    def test_diminishing_returns(self):
+        curve = SURROGATE_CURVES["mnist"]
+        gains = [
+            curve.accuracy(e + 1) - curve.accuracy(e) for e in (0.0, 2.0, 5.0, 10.0)
+        ]
+        assert all(b < a for a, b in zip(gains, gains[1:]))
+
+    def test_difficulty_ordering(self):
+        # Task ceilings respect MNIST > Fashion > CIFAR.
+        assert (
+            SURROGATE_CURVES["mnist"].a_max
+            > SURROGATE_CURVES["fashion_mnist"].a_max
+            > SURROGATE_CURVES["cifar10"].a_max
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SurrogateCurve(a_init=0.5, a_max=0.4, tau=1.0, beta=1.0)
+        with pytest.raises(ValueError):
+            SurrogateCurve(a_init=0.1, a_max=0.9, tau=0.0, beta=1.0)
+        curve = SurrogateCurve(a_init=0.1, a_max=0.9, tau=1.0, beta=1.0)
+        with pytest.raises(ValueError):
+            curve.accuracy(-1.0)
+
+
+class TestSurrogateAccuracy:
+    def make(self, weights=(0.25, 0.25, 0.5)):
+        return SurrogateAccuracy(
+            SURROGATE_CURVES["mnist"], np.asarray(weights), rng=0
+        )
+
+    def test_protocol_conformance(self):
+        assert isinstance(self.make(), LearningProcess)
+
+    def test_reset(self):
+        proc = self.make()
+        proc.step([0, 1, 2])
+        assert proc.reset() == pytest.approx(SURROGATE_CURVES["mnist"].a_init)
+        assert proc.effective_rounds == 0.0
+
+    def test_full_participation_advances_by_one(self):
+        proc = self.make()
+        proc.reset()
+        proc.step([0, 1, 2])
+        assert proc.effective_rounds == pytest.approx(1.0)
+
+    def test_partial_participation_advances_by_weight(self):
+        proc = self.make()
+        proc.reset()
+        proc.step([2])
+        assert proc.effective_rounds == pytest.approx(0.5)
+
+    def test_partial_learns_slower(self):
+        full = self.make()
+        full.reset()
+        partial = self.make()
+        partial.reset()
+        for _ in range(5):
+            a_full = full.step([0, 1, 2])
+            a_partial = partial.step([0])
+        assert a_full > a_partial
+
+    def test_invalid_participants(self):
+        proc = self.make()
+        proc.reset()
+        with pytest.raises(ValueError):
+            proc.step([])
+        with pytest.raises(IndexError):
+            proc.step([9])
+
+    def test_weights_must_be_simplex(self):
+        with pytest.raises(ValueError):
+            SurrogateAccuracy(SURROGATE_CURVES["mnist"], np.array([0.5, 0.2]))
+
+    def test_seeded_reproducibility(self):
+        a = SurrogateAccuracy(SURROGATE_CURVES["mnist"], np.ones(4) / 4, rng=5)
+        b = SurrogateAccuracy(SURROGATE_CURVES["mnist"], np.ones(4) / 4, rng=5)
+        a.reset(), b.reset()
+        for _ in range(5):
+            assert a.step([0, 1]) == b.step([0, 1])
+
+
+class TestFactory:
+    def test_builds_all_tasks(self):
+        for name in SURROGATE_CURVES:
+            proc = build_learning_process(name, np.ones(3) / 3, rng=0)
+            assert proc.num_nodes == 3
+
+    def test_unknown_task(self):
+        with pytest.raises(ValueError, match="no surrogate curve"):
+            build_learning_process("svhn", np.ones(2) / 2)
+
+    def test_custom_curve_override(self):
+        curve = SurrogateCurve(a_init=0.2, a_max=0.5, tau=1.0, beta=1.0)
+        proc = build_learning_process("mnist", np.ones(2) / 2, curve=curve)
+        assert proc.reset() == pytest.approx(0.2)

@@ -1,0 +1,74 @@
+"""FedAvg aggregation (Eqn 4)."""
+
+from collections import OrderedDict
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fl import fedavg
+
+
+def make_state(scale):
+    return OrderedDict(
+        [("w", np.full((2, 2), float(scale))), ("b", np.full(3, float(scale)))]
+    )
+
+
+class TestFedAvg:
+    def test_weighted_mean(self):
+        merged = fedavg([make_state(0.0), make_state(10.0)], [1.0, 3.0])
+        np.testing.assert_allclose(merged["w"], 7.5)
+        np.testing.assert_allclose(merged["b"], 7.5)
+
+    def test_weights_scale_invariant(self):
+        a = fedavg([make_state(1.0), make_state(5.0)], [2.0, 6.0])
+        b = fedavg([make_state(1.0), make_state(5.0)], [1.0, 3.0])
+        np.testing.assert_allclose(a["w"], b["w"])
+
+    def test_single_state_identity(self):
+        state = make_state(3.3)
+        merged = fedavg([state], [7.0])
+        np.testing.assert_allclose(merged["w"], state["w"])
+
+    def test_key_order_preserved(self):
+        merged = fedavg([make_state(1.0)], [1.0])
+        assert list(merged.keys()) == ["w", "b"]
+
+    def test_zero_weight_node_ignored(self):
+        merged = fedavg([make_state(1.0), make_state(100.0)], [1.0, 0.0])
+        np.testing.assert_allclose(merged["w"], 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fedavg([], [])
+        with pytest.raises(ValueError):
+            fedavg([make_state(1.0)], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            fedavg([make_state(1.0)], [-1.0])
+        with pytest.raises(ValueError):
+            fedavg([make_state(1.0), make_state(2.0)], [0.0, 0.0])
+
+    def test_key_mismatch(self):
+        bad = OrderedDict([("other", np.zeros(2))])
+        with pytest.raises(KeyError):
+            fedavg([make_state(1.0), bad], [1.0, 1.0])
+
+    def test_rejects_nonfinite(self):
+        state = make_state(np.inf)
+        with pytest.raises(ValueError):
+            fedavg([state], [1.0])
+
+    @given(
+        scales=st.lists(st.floats(-5, 5), min_size=2, max_size=5),
+        seed=st.integers(0, 20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_convexity_property(self, scales, seed):
+        """The average lies within the convex hull of the inputs."""
+        rng = np.random.default_rng(seed)
+        weights = rng.uniform(0.1, 1.0, size=len(scales))
+        merged = fedavg([make_state(s) for s in scales], weights)
+        assert merged["w"].min() >= min(scales) - 1e-9
+        assert merged["w"].max() <= max(scales) + 1e-9

@@ -1,0 +1,134 @@
+"""Robust aggregation rules and FedProx local training."""
+
+from collections import OrderedDict
+
+import numpy as np
+import pytest
+
+from repro.fl import (
+    fedavg,
+    get_aggregator,
+    median_aggregate,
+    trimmed_mean_aggregate,
+)
+
+
+def state(scale):
+    return OrderedDict([("w", np.full((2,), float(scale)))])
+
+
+class TestMedian:
+    def test_coordinatewise_median(self):
+        merged = median_aggregate([state(1), state(2), state(100)])
+        np.testing.assert_allclose(merged["w"], 2.0)
+
+    def test_robust_to_poisoned_minority(self):
+        honest = [state(1.0), state(1.1), state(0.9)]
+        poisoned = state(1e9)
+        merged = median_aggregate(honest + [poisoned])
+        assert np.abs(merged["w"]).max() < 2.0
+
+    def test_fedavg_not_robust(self):
+        honest = [state(1.0), state(1.1), state(0.9)]
+        poisoned = state(1e9)
+        merged = fedavg(honest + [poisoned], [1, 1, 1, 1])
+        assert np.abs(merged["w"]).max() > 1e8  # the contrast with median
+
+    def test_weights_ignored(self):
+        a = median_aggregate([state(1), state(5)], [1.0, 100.0])
+        b = median_aggregate([state(1), state(5)])
+        np.testing.assert_allclose(a["w"], b["w"])
+
+
+class TestTrimmedMean:
+    def test_trims_tails(self):
+        states = [state(v) for v in (0.0, 1.0, 2.0, 3.0, 1000.0)]
+        merged = trimmed_mean_aggregate(states, trim_ratio=0.2)
+        np.testing.assert_allclose(merged["w"], 2.0)  # mean of 1,2,3
+
+    def test_zero_trim_is_mean(self):
+        states = [state(v) for v in (1.0, 3.0)]
+        merged = trimmed_mean_aggregate(states, trim_ratio=0.0)
+        np.testing.assert_allclose(merged["w"], 2.0)
+
+    def test_ratio_validated(self):
+        with pytest.raises(ValueError):
+            trimmed_mean_aggregate([state(1)], trim_ratio=0.5)
+
+    def test_key_mismatch(self):
+        with pytest.raises(KeyError):
+            trimmed_mean_aggregate(
+                [state(1), OrderedDict([("other", np.zeros(2))])]
+            )
+
+
+class TestFactory:
+    def test_resolves_all(self):
+        assert get_aggregator("fedavg") is fedavg
+        assert get_aggregator("median") is median_aggregate
+        rule = get_aggregator("trimmed_mean", trim_ratio=0.25)
+        merged = rule([state(v) for v in (0, 1, 2, 3)], [1] * 4)
+        np.testing.assert_allclose(merged["w"], 1.5)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown aggregation rule"):
+            get_aggregator("krum")
+
+
+class TestServerWithCustomAggregator:
+    def test_median_server(self):
+        from repro.datasets import make_task
+        from repro.fl import ParameterServer
+        from repro.nn import McMahanCNN
+
+        task = make_task("mnist", rng=0)
+        _, test = task.train_test_split(10, 20, rng=1)
+        server = ParameterServer(
+            lambda: McMahanCNN(rng=2), test, aggregator=median_aggregate
+        )
+        s1 = server.broadcast()
+        poisoned = {k: v + 1e6 for k, v in s1.items()}
+        server.aggregate([s1, s1, poisoned], [1, 1, 1])
+        # Median of (x, x, x+1e6) is x — the poisoned update is ignored.
+        for key, value in server.broadcast().items():
+            np.testing.assert_allclose(value, s1[key])
+
+
+class TestFedProx:
+    def make_node(self, mu):
+        from repro.datasets import make_task
+        from repro.economics import sample_profiles
+        from repro.fl import EdgeNode, LocalTrainingConfig
+        from repro.nn import McMahanCNN
+
+        task = make_task("mnist", rng=0)
+        data = task.sample(30, rng=1)
+        profile = sample_profiles(1, rng=2)[0]
+        config = LocalTrainingConfig(
+            local_epochs=2, batch_size=10, proximal_mu=mu
+        )
+        node = EdgeNode(0, data, profile, config, rng=3)
+        model = McMahanCNN(rng=4)
+        return node, model
+
+    def test_proximal_term_anchors_update(self):
+        node_plain, model_plain = self.make_node(mu=0.0)
+        node_prox, model_prox = self.make_node(mu=10.0)
+        start = model_plain.state_dict()
+
+        plain = node_plain.local_update(model_plain, start)
+        prox = node_prox.local_update(model_prox, start)
+
+        def drift(state):
+            return sum(
+                float(np.abs(state[k] - start[k]).sum()) for k in start
+            )
+
+        # A strong proximal term keeps the update closer to the anchor.
+        assert drift(prox) < drift(plain)
+
+    def test_mu_validated(self):
+        from repro.fl import LocalTrainingConfig
+
+        with pytest.raises(ValueError):
+            LocalTrainingConfig(proximal_mu=-1.0)

@@ -1,0 +1,73 @@
+"""Weight initialization tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+class TestFans:
+    def test_linear_layout(self):
+        fan_in, fan_out = init._fan_in_out((8, 4))
+        assert (fan_in, fan_out) == (4, 8)
+
+    def test_conv_layout(self):
+        fan_in, fan_out = init._fan_in_out((16, 3, 5, 5))
+        assert (fan_in, fan_out) == (3 * 25, 16 * 25)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            init._fan_in_out((5,))
+
+
+class TestDistributions:
+    def test_uniform_bounds(self):
+        w = init.uniform((1000,), -0.5, 0.5, rng=0)
+        assert w.min() >= -0.5 and w.max() < 0.5
+
+    def test_normal_std(self):
+        w = init.normal((20000,), std=0.1, rng=0)
+        assert w.std() == pytest.approx(0.1, rel=0.05)
+
+    def test_zeros(self):
+        np.testing.assert_allclose(init.zeros((3, 3)), 0.0)
+
+    def test_kaiming_bound(self):
+        shape = (64, 16)
+        w = init.kaiming_uniform(shape, rng=0)
+        gain = np.sqrt(2.0 / (1.0 + 5.0))
+        bound = gain * np.sqrt(3.0 / 16)
+        assert np.abs(w).max() <= bound
+
+    def test_xavier_bound(self):
+        shape = (10, 30)
+        w = init.xavier_uniform(shape, rng=0)
+        bound = np.sqrt(6.0 / 40)
+        assert np.abs(w).max() <= bound
+
+    def test_bias_uniform_bound(self):
+        b = init.bias_uniform((8, 16), 8, rng=0)
+        assert np.abs(b).max() <= 1.0 / 4.0
+
+    def test_determinism(self):
+        np.testing.assert_allclose(
+            init.kaiming_uniform((4, 4), rng=3), init.kaiming_uniform((4, 4), rng=3)
+        )
+
+
+class TestOrthogonal:
+    def test_square_orthogonal(self):
+        w = init.orthogonal((6, 6), rng=0)
+        np.testing.assert_allclose(w @ w.T, np.eye(6), atol=1e-10)
+
+    def test_tall_columns_orthonormal(self):
+        w = init.orthogonal((8, 3), rng=0)
+        np.testing.assert_allclose(w.T @ w, np.eye(3), atol=1e-10)
+
+    def test_gain(self):
+        w = init.orthogonal((4, 4), rng=0, gain=2.0)
+        np.testing.assert_allclose(w @ w.T, 4.0 * np.eye(4), atol=1e-10)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            init.orthogonal((2, 3, 4))

@@ -1,0 +1,54 @@
+"""Loss module tests (values delegated to functional tests; here the API)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import CrossEntropyLoss, MSELoss, NLLLoss
+
+
+class TestCrossEntropyLoss:
+    def test_scalar_output(self, rng):
+        loss = CrossEntropyLoss()(rng.normal(size=(4, 3)), np.array([0, 1, 2, 0]))
+        assert loss.shape == ()
+        assert loss.item() > 0
+
+    def test_perfect_prediction_near_zero(self):
+        logits = np.full((2, 3), -100.0)
+        logits[0, 1] = 100.0
+        logits[1, 2] = 100.0
+        loss = CrossEntropyLoss()(logits, np.array([1, 2]))
+        assert loss.item() == pytest.approx(0.0, abs=1e-8)
+
+    def test_uniform_prediction_is_log_c(self):
+        loss = CrossEntropyLoss()(np.zeros((5, 10)), np.zeros(5, dtype=int))
+        assert loss.item() == pytest.approx(np.log(10))
+
+    def test_accepts_list_labels(self, rng):
+        loss = CrossEntropyLoss()(rng.normal(size=(2, 3)), [0, 1])
+        assert np.isfinite(loss.item())
+
+
+class TestNLLLoss:
+    def test_scalar(self, rng):
+        from repro.autograd import functional as F
+
+        log_probs = F.log_softmax(Tensor(rng.normal(size=(3, 4))), axis=1)
+        loss = NLLLoss()(log_probs, np.array([0, 1, 2]))
+        assert loss.shape == ()
+
+
+class TestMSELoss:
+    def test_value(self):
+        loss = MSELoss()(np.array([1.0, 2.0]), np.array([1.0, 0.0]))
+        assert loss.item() == pytest.approx(2.0)
+
+    def test_gradient_flows(self):
+        pred = Tensor([1.0, 2.0], requires_grad=True)
+        MSELoss()(pred, np.zeros(2)).backward()
+        np.testing.assert_allclose(pred.grad, [1.0, 2.0])
+
+    def test_reprs(self):
+        assert repr(CrossEntropyLoss()) == "CrossEntropyLoss()"
+        assert repr(NLLLoss()) == "NLLLoss()"
+        assert repr(MSELoss()) == "MSELoss()"

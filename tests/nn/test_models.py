@@ -1,0 +1,88 @@
+"""Model zoo: the paper's exact parameter counts and shapes."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MLP, CrossEntropyLoss, LeNet5, McMahanCNN, SGD, build_model, count_parameters
+
+
+class TestMcMahanCNN:
+    def test_exact_parameter_count(self):
+        # §VI-A: "a total of 21,840 trainable parameters".
+        model = McMahanCNN(rng=0)
+        assert count_parameters(model) == 21_840 == McMahanCNN.NUM_PARAMETERS
+
+    def test_forward_shape(self, rng):
+        model = McMahanCNN(rng=0)
+        out = model(rng.normal(size=(3, 1, 28, 28)))
+        assert out.shape == (3, 10)
+
+    def test_rejects_wrong_geometry(self, rng):
+        model = McMahanCNN(rng=0)
+        with pytest.raises(ValueError):
+            model(rng.normal(size=(3, 3, 28, 28)))
+        with pytest.raises(ValueError):
+            model(rng.normal(size=(3, 1, 32, 32)))
+
+    def test_deterministic_init(self):
+        a, b = McMahanCNN(rng=7), McMahanCNN(rng=7)
+        np.testing.assert_allclose(a.flat_parameters(), b.flat_parameters())
+
+    def test_trains_one_step(self, rng):
+        model = McMahanCNN(rng=0)
+        before = model.flat_parameters()
+        x = rng.normal(size=(4, 1, 28, 28))
+        y = np.array([0, 1, 2, 3])
+        loss = CrossEntropyLoss()(model(x), y)
+        loss.backward()
+        SGD(model.parameters(), lr=0.1).step()
+        assert not np.allclose(model.flat_parameters(), before)
+
+
+class TestLeNet5:
+    def test_exact_parameter_count(self):
+        # §VI-A: "a total of 62,006 trainable parameters".
+        model = LeNet5(rng=0)
+        assert count_parameters(model) == 62_006 == LeNet5.NUM_PARAMETERS
+
+    def test_forward_shape(self, rng):
+        model = LeNet5(rng=0)
+        out = model(rng.normal(size=(2, 3, 32, 32)))
+        assert out.shape == (2, 10)
+
+    def test_rejects_wrong_geometry(self, rng):
+        with pytest.raises(ValueError):
+            LeNet5(rng=0)(rng.normal(size=(2, 1, 28, 28)))
+
+
+class TestMLP:
+    def test_shapes(self, rng):
+        model = MLP(6, [16, 8], 3, rng=0)
+        assert model(rng.normal(size=(5, 6))).shape == (5, 3)
+
+    def test_tanh_variant(self, rng):
+        model = MLP(4, [8], 2, activation="tanh", rng=0)
+        assert model(rng.normal(size=(2, 4))).shape == (2, 2)
+
+    def test_bad_activation(self):
+        with pytest.raises(ValueError):
+            MLP(4, [8], 2, activation="gelu")
+
+    def test_no_hidden(self, rng):
+        model = MLP(4, [], 2, rng=0)
+        assert model(rng.normal(size=(2, 4))).shape == (2, 2)
+        assert model.num_parameters() == 4 * 2 + 2
+
+
+class TestRegistry:
+    def test_builds_both(self):
+        assert isinstance(build_model("mcmahan_cnn", rng=0), McMahanCNN)
+        assert isinstance(build_model("lenet5", rng=0), LeNet5)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            build_model("resnet50")
+
+    def test_custom_classes(self, rng):
+        model = build_model("mcmahan_cnn", num_classes=7, rng=0)
+        assert model(rng.normal(size=(1, 1, 28, 28))).shape == (1, 7)

@@ -1,0 +1,145 @@
+"""Module registration, state dicts, parameter flattening."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import Linear, Module, Parameter, Sequential
+
+
+class Branchy(Module):
+    def __init__(self):
+        super().__init__()
+        self.weight = Parameter(np.ones((2, 2)))
+        self.child = Linear(2, 3, rng=0)
+
+    def forward(self, x):
+        return self.child(Tensor(x) @ self.weight)
+
+
+class TestRegistration:
+    def test_named_parameters_depth_first(self):
+        m = Branchy()
+        names = [n for n, _ in m.named_parameters()]
+        assert names == ["weight", "child.weight", "child.bias"]
+
+    def test_num_parameters(self):
+        m = Branchy()
+        assert m.num_parameters() == 4 + 6 + 3
+
+    def test_reassignment_replaces(self):
+        m = Branchy()
+        m.child = Linear(2, 5, rng=1)
+        names = [n for n, _ in m.named_parameters()]
+        assert names == ["weight", "child.weight", "child.bias"]
+        assert dict(m.named_parameters())["child.weight"].shape == (5, 2)
+
+    def test_attribute_before_init_raises(self):
+        class Broken(Module):
+            def __init__(self):
+                self.early = 1  # no super().__init__()
+
+        with pytest.raises(AttributeError):
+            Broken()
+
+    def test_forward_not_implemented(self):
+        class Empty(Module):
+            pass
+
+        with pytest.raises(NotImplementedError):
+            Empty()(np.zeros(2))
+
+
+class TestModes:
+    def test_train_eval_recursive(self):
+        m = Branchy()
+        assert m.training and m.child.training
+        m.eval()
+        assert not m.training and not m.child.training
+        m.train()
+        assert m.training and m.child.training
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        m = Branchy()
+        state = m.state_dict()
+        for p in m.parameters():
+            p.data += 1.0
+        m.load_state_dict(state)
+        for name, p in m.named_parameters():
+            np.testing.assert_allclose(p.data, state[name])
+
+    def test_state_dict_is_copy(self):
+        m = Branchy()
+        state = m.state_dict()
+        state["weight"] += 5.0
+        assert not np.allclose(m.weight.data, state["weight"])
+
+    def test_missing_key_raises(self):
+        m = Branchy()
+        state = m.state_dict()
+        del state["weight"]
+        with pytest.raises(KeyError):
+            m.load_state_dict(state)
+
+    def test_unexpected_key_raises(self):
+        m = Branchy()
+        state = m.state_dict()
+        state["phantom"] = np.zeros(2)
+        with pytest.raises(KeyError):
+            m.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        m = Branchy()
+        state = m.state_dict()
+        state["weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            m.load_state_dict(state)
+
+
+class TestFlatParameters:
+    def test_roundtrip(self):
+        m = Branchy()
+        flat = m.flat_parameters()
+        assert flat.shape == (m.num_parameters(),)
+        for p in m.parameters():
+            p.data *= 0.0
+        m.load_flat_parameters(flat)
+        np.testing.assert_allclose(m.flat_parameters(), flat)
+
+    def test_wrong_size_raises(self):
+        m = Branchy()
+        with pytest.raises(ValueError):
+            m.load_flat_parameters(np.zeros(3))
+
+
+class TestZeroGrad:
+    def test_clears_all(self):
+        m = Branchy()
+        out = m(np.ones((1, 2)))
+        out.sum().backward()
+        assert any(p.grad is not None for p in m.parameters())
+        m.zero_grad()
+        assert all(p.grad is None for p in m.parameters())
+
+
+class TestParameter:
+    def test_always_requires_grad(self):
+        from repro.autograd import no_grad
+
+        with no_grad():
+            p = Parameter(np.ones(3))
+        assert p.requires_grad
+
+    def test_copy_checks_shape(self):
+        p = Parameter(np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            p.copy_(np.ones(3))
+
+    def test_copy_in_place(self):
+        p = Parameter(np.ones((2,)))
+        original = p.data
+        p.copy_(np.array([5.0, 6.0]))
+        assert p.data is original
+        np.testing.assert_allclose(p.data, [5.0, 6.0])

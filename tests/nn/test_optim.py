@@ -1,0 +1,141 @@
+"""Optimizer math against hand-computed references."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, Parameter
+from repro.nn.optim import ExponentialLR, Optimizer
+
+
+def make_param(values):
+    p = Parameter(np.asarray(values, dtype=float))
+    return p
+
+
+class TestSGD:
+    def test_plain_step(self):
+        p = make_param([1.0, 2.0])
+        p.grad = np.array([0.5, -0.5])
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [0.95, 2.05])
+
+    def test_missing_grad_is_zero(self):
+        p = make_param([1.0])
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_momentum_accumulates(self):
+        p = make_param([0.0])
+        opt = SGD([p], lr=1.0, momentum=0.5)
+        p.grad = np.array([1.0])
+        opt.step()  # v=1, p=-1
+        p.grad = np.array([1.0])
+        opt.step()  # v=1.5, p=-2.5
+        np.testing.assert_allclose(p.data, [-2.5])
+
+    def test_weight_decay(self):
+        p = make_param([2.0])
+        p.grad = np.array([0.0])
+        SGD([p], lr=0.1, weight_decay=0.5).step()
+        np.testing.assert_allclose(p.data, [2.0 - 0.1 * 0.5 * 2.0])
+
+    def test_zero_grad(self):
+        p = make_param([1.0])
+        p.grad = np.array([1.0])
+        opt = SGD([p], lr=0.1)
+        opt.zero_grad()
+        assert p.grad is None
+
+    def test_validation(self):
+        p = make_param([1.0])
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.0)
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.1, momentum=1.0)
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_first_step_is_lr_sized(self):
+        # With bias correction, the first Adam step ≈ lr * sign(grad).
+        p = make_param([0.0])
+        p.grad = np.array([3.0])
+        Adam([p], lr=0.01).step()
+        np.testing.assert_allclose(p.data, [-0.01], atol=1e-6)
+
+    def test_matches_reference_impl(self, rng):
+        values = rng.normal(size=4)
+        grads = [rng.normal(size=4) for _ in range(5)]
+        p = make_param(values.copy())
+        opt = Adam([p], lr=0.05, betas=(0.9, 0.999), eps=1e-8)
+
+        # Reference
+        ref = values.copy()
+        m = np.zeros(4)
+        v = np.zeros(4)
+        for t, g in enumerate(grads, start=1):
+            m = 0.9 * m + 0.1 * g
+            v = 0.999 * v + 0.001 * g**2
+            m_hat = m / (1 - 0.9**t)
+            v_hat = v / (1 - 0.999**t)
+            ref -= 0.05 * m_hat / (np.sqrt(v_hat) + 1e-8)
+
+        for g in grads:
+            p.grad = g.copy()
+            opt.step()
+        np.testing.assert_allclose(p.data, ref, atol=1e-12)
+
+    def test_weight_decay(self):
+        p = make_param([1.0])
+        p.grad = np.array([0.0])
+        Adam([p], lr=0.1, weight_decay=1.0).step()
+        assert p.data[0] < 1.0
+
+    def test_validation(self):
+        p = make_param([1.0])
+        with pytest.raises(ValueError):
+            Adam([p], lr=0.1, betas=(1.0, 0.999))
+        with pytest.raises(ValueError):
+            Adam([p], lr=0.1, eps=0.0)
+
+
+class TestSetLr:
+    def test_set_lr(self):
+        p = make_param([1.0])
+        opt = SGD([p], lr=0.1)
+        opt.set_lr(0.01)
+        assert opt.lr == 0.01
+        with pytest.raises(ValueError):
+            opt.set_lr(-1.0)
+
+
+class TestExponentialLR:
+    def test_decays_every_n(self):
+        p = make_param([1.0])
+        opt = SGD([p], lr=1.0)
+        sched = ExponentialLR(opt, gamma=0.5, every=2)
+        sched.step()
+        assert opt.lr == 1.0
+        sched.step()
+        assert opt.lr == 0.5
+        sched.step()
+        sched.step()
+        assert opt.lr == 0.25
+
+    def test_paper_schedule(self):
+        # 5% decay every 20 episodes (§VI-A).
+        p = make_param([1.0])
+        opt = SGD([p], lr=3e-5)
+        sched = ExponentialLR(opt, gamma=0.95, every=20)
+        for _ in range(40):
+            sched.step()
+        assert opt.lr == pytest.approx(3e-5 * 0.95**2)
+
+    def test_validation(self):
+        p = make_param([1.0])
+        opt = SGD([p], lr=1.0)
+        with pytest.raises(ValueError):
+            ExponentialLR(opt, gamma=0.0)
+        with pytest.raises(ValueError):
+            ExponentialLR(opt, gamma=0.5, every=0)

@@ -1,0 +1,82 @@
+"""Hypothesis property tests for optimizers on convex quadratics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autograd import Tensor
+from repro.nn import Adam, Parameter, SGD
+
+
+def quadratic_loss(param, center):
+    """f(w) = ||w − c||², minimized at c."""
+    diff = param - Tensor(center)
+    return (diff * diff).sum()
+
+
+@given(
+    start=st.lists(st.floats(-5, 5), min_size=2, max_size=4),
+    center_shift=st.floats(-3, 3),
+)
+@settings(max_examples=40, deadline=None)
+def test_sgd_descends_quadratic(start, center_shift):
+    """Plain SGD with a safe step monotonically decreases a quadratic."""
+    center = np.asarray(start) + center_shift
+    param = Parameter(np.asarray(start, dtype=float))
+    opt = SGD([param], lr=0.1)  # safe for curvature 2: lr < 1/2·2
+    previous = float(quadratic_loss(param, center).item())
+    for _ in range(20):
+        opt.zero_grad()
+        loss = quadratic_loss(param, center)
+        loss.backward()
+        opt.step()
+        current = float(quadratic_loss(param, center).item())
+        assert current <= previous + 1e-9
+        previous = current
+
+
+@given(
+    start=st.lists(st.floats(-5, 5), min_size=2, max_size=4),
+    lr=st.floats(0.01, 0.3),
+)
+@settings(max_examples=30, deadline=None)
+def test_adam_step_bounded_by_lr(start, lr):
+    """Each Adam step moves every coordinate by at most ≈lr (its invariant)."""
+    param = Parameter(np.asarray(start, dtype=float))
+    opt = Adam([param], lr=lr)
+    rng = np.random.default_rng(0)
+    for _ in range(5):
+        before = param.data.copy()
+        param.grad = rng.normal(size=param.data.shape) * 100.0
+        opt.step()
+        step = np.abs(param.data - before)
+        assert np.all(step <= lr * 1.2 + 1e-12)
+
+
+@given(start=st.lists(st.floats(-4, 4), min_size=2, max_size=3))
+@settings(max_examples=30, deadline=None)
+def test_adam_converges_to_minimum(start):
+    center = np.zeros(len(start))
+    param = Parameter(np.asarray(start, dtype=float))
+    opt = Adam([param], lr=0.2)
+    for _ in range(300):
+        opt.zero_grad()
+        quadratic_loss(param, center).backward()
+        opt.step()
+    np.testing.assert_allclose(param.data, center, atol=0.05)
+
+
+@given(
+    momentum=st.floats(0.0, 0.9),
+    start=st.floats(-5, 5).filter(lambda v: abs(v) > 0.1),
+)
+@settings(max_examples=30, deadline=None)
+def test_sgd_momentum_still_converges_on_quadratic(momentum, start):
+    param = Parameter(np.array([start]))
+    opt = SGD([param], lr=0.05, momentum=momentum)
+    for _ in range(400):
+        opt.zero_grad()
+        quadratic_loss(param, np.zeros(1)).backward()
+        opt.step()
+    assert abs(param.data[0]) < 0.05

@@ -1,0 +1,60 @@
+"""End-to-end learning sanity: small networks must actually learn."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import no_grad
+from repro.nn import MLP, Adam, CrossEntropyLoss, MSELoss, SGD
+
+
+class TestRegression:
+    def test_linear_regression_converges(self, rng):
+        # y = Xw + b, recoverable by an MLP with no hidden layer.
+        w_true = np.array([2.0, -1.0, 0.5])
+        x = rng.normal(size=(200, 3))
+        y = x @ w_true + 0.3
+        model = MLP(3, [], 1, rng=0)
+        opt = SGD(model.parameters(), lr=0.1)
+        loss_fn = MSELoss()
+        for _ in range(200):
+            opt.zero_grad()
+            loss = loss_fn(model(x).reshape(-1), y)
+            loss.backward()
+            opt.step()
+        assert loss.item() < 1e-3
+
+    def test_adam_faster_than_plain_sgd_on_illconditioned(self, rng):
+        x = rng.normal(size=(100, 2)) * np.array([10.0, 0.1])
+        y = x @ np.array([1.0, 1.0])
+
+        def final_loss(opt_cls, **kw):
+            model = MLP(2, [], 1, rng=1)
+            opt = opt_cls(model.parameters(), **kw)
+            loss_fn = MSELoss()
+            for _ in range(100):
+                opt.zero_grad()
+                loss = loss_fn(model(x).reshape(-1), y)
+                loss.backward()
+                opt.step()
+            return loss.item()
+
+        assert final_loss(Adam, lr=0.05) < final_loss(SGD, lr=0.001)
+
+
+class TestClassification:
+    def test_xor_learned_by_hidden_layer(self, rng):
+        x = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=float)
+        y = np.array([0, 1, 1, 0])
+        # Replicate for batch statistics.
+        xs = np.tile(x, (25, 1)) + rng.normal(0, 0.05, size=(100, 2))
+        ys = np.tile(y, 25)
+        model = MLP(2, [16], 2, activation="tanh", rng=3)
+        opt = Adam(model.parameters(), lr=0.02)
+        loss_fn = CrossEntropyLoss()
+        for _ in range(300):
+            opt.zero_grad()
+            loss_fn(model(xs), ys).backward()
+            opt.step()
+        with no_grad():
+            preds = model(x).data.argmax(axis=1)
+        np.testing.assert_array_equal(preds, y)

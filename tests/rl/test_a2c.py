@@ -1,0 +1,76 @@
+"""A2C agent (unclipped ablation of PPO)."""
+
+import numpy as np
+import pytest
+
+from repro.rl import A2CAgent, PPOConfig
+
+
+def fast_config(**overrides):
+    params = dict(
+        actor_lr=3e-3, critic_lr=3e-3, hidden=(32, 32), lr_decay_every=10_000,
+    )
+    params.update(overrides)
+    return PPOConfig(**params)
+
+
+class TestA2C:
+    def test_single_epoch_forced(self):
+        agent = A2CAgent(4, 2, config=fast_config(update_epochs=10), rng=0)
+        assert agent.config.update_epochs == 1
+
+    def test_update_diagnostics(self, rng):
+        agent = A2CAgent(4, 2, config=fast_config(), rng=0)
+        for i in range(16):
+            obs = rng.normal(size=4)
+            a, lp, v = agent.act(obs)
+            agent.store(obs, a, rng.normal(), v, lp, done=(i == 15))
+        stats = agent.update()
+        assert stats["clip_fraction"] == 0.0
+        assert "approx_kl" in stats
+
+    def test_learns_bandit(self):
+        agent = A2CAgent(3, 1, config=fast_config(), rng=0)
+        obs = np.array([0.5, -0.2, 1.0])
+        for _episode in range(80):
+            for step in range(16):
+                a, lp, v = agent.act(obs)
+                reward = -((a[0] - 2.0) ** 2)
+                agent.store(obs, a, reward, v, lp, done=(step == 15))
+            agent.update()
+        mean, _ = agent.policy.act(agent._normalize(obs), deterministic=True)
+        assert abs(mean[0] - 2.0) < 0.8
+
+    def test_checkpoint_compatible(self, tmp_path):
+        from repro.rl import load_ppo, save_ppo
+
+        agent = A2CAgent(4, 2, config=fast_config(), rng=0)
+        path = save_ppo(agent, tmp_path / "a2c.npz")
+        clone = A2CAgent(4, 2, config=fast_config(), rng=9)
+        load_ppo(clone, path)
+        np.testing.assert_allclose(
+            clone.policy.flat_parameters(), agent.policy.flat_parameters()
+        )
+
+
+class TestChironWithA2C:
+    def test_config_validation(self):
+        from repro.core import ChironConfig
+
+        with pytest.raises(ValueError, match="algorithm"):
+            ChironConfig(algorithm="dqn")
+
+    def test_full_training(self, surrogate_env):
+        from repro.core import ChironAgent, ChironConfig
+        from repro.experiments.runner import train_mechanism
+
+        env = surrogate_env.env
+        ppo_cfg = fast_config()
+        agent = ChironAgent(
+            env,
+            ChironConfig(exterior=ppo_cfg, inner=ppo_cfg, algorithm="a2c"),
+            rng=0,
+        )
+        assert isinstance(agent.exterior, A2CAgent)
+        history = train_mechanism(env, agent, episodes=5)
+        assert len(history) == 5

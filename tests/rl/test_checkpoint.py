@@ -1,0 +1,100 @@
+"""Agent checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.rl import PPOAgent, PPOConfig, load_many, load_ppo, save_many, save_ppo
+
+
+def trained_agent(seed=0, obs_dim=6, act_dim=2):
+    agent = PPOAgent(
+        obs_dim, act_dim, config=PPOConfig(actor_lr=1e-3, critic_lr=1e-3), rng=seed
+    )
+    rng = np.random.default_rng(seed)
+    for i in range(16):
+        obs = rng.normal(size=obs_dim)
+        a, lp, v = agent.act(obs)
+        agent.store(obs, a, rng.normal(), v, lp, done=(i % 8 == 7))
+    agent.update()
+    return agent
+
+
+class TestSingleAgent:
+    def test_roundtrip(self, tmp_path):
+        agent = trained_agent(0)
+        path = save_ppo(agent, tmp_path / "agent.npz")
+        clone = PPOAgent(6, 2, config=agent.config, rng=99)
+        load_ppo(clone, path)
+        np.testing.assert_allclose(
+            clone.policy.flat_parameters(), agent.policy.flat_parameters()
+        )
+        np.testing.assert_allclose(
+            clone.value_net.flat_parameters(), agent.value_net.flat_parameters()
+        )
+        assert clone.episodes_seen == agent.episodes_seen
+        assert clone.actor_opt.lr == agent.actor_opt.lr
+        np.testing.assert_allclose(clone.obs_stat.mean, agent.obs_stat.mean)
+
+    def test_restored_policy_acts_identically(self, tmp_path):
+        agent = trained_agent(1)
+        path = save_ppo(agent, tmp_path / "agent.npz")
+        clone = PPOAgent(6, 2, config=agent.config, rng=5)
+        load_ppo(clone, path)
+        obs = np.random.default_rng(3).normal(size=6)
+        a1, _, v1 = agent.act(obs, deterministic=True)
+        a2, _, v2 = clone.act(obs, deterministic=True)
+        np.testing.assert_allclose(a1, a2)
+        assert v1 == pytest.approx(v2)
+
+    def test_suffix_appended(self, tmp_path):
+        agent = trained_agent(0)
+        path = save_ppo(agent, tmp_path / "bare")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_architecture_mismatch(self, tmp_path):
+        agent = trained_agent(0)
+        path = save_ppo(agent, tmp_path / "agent.npz")
+        wrong = PPOAgent(8, 2, config=agent.config, rng=0)
+        with pytest.raises(ValueError):
+            load_ppo(wrong, path)
+
+
+class TestManyAgents:
+    def test_roundtrip(self, tmp_path):
+        agents = {"a": trained_agent(0), "b": trained_agent(1, obs_dim=4, act_dim=3)}
+        path = save_many(agents, tmp_path / "pair.npz")
+        clones = {
+            "a": PPOAgent(6, 2, config=agents["a"].config, rng=7),
+            "b": PPOAgent(4, 3, config=agents["b"].config, rng=8),
+        }
+        load_many(clones, path)
+        for name in agents:
+            np.testing.assert_allclose(
+                clones[name].policy.flat_parameters(),
+                agents[name].policy.flat_parameters(),
+            )
+
+    def test_missing_prefix(self, tmp_path):
+        path = save_many({"a": trained_agent(0)}, tmp_path / "a.npz")
+        with pytest.raises(KeyError):
+            load_many({"zzz": PPOAgent(6, 2, rng=0)}, path)
+
+
+class TestChironCheckpoint:
+    def test_save_load_restores_policy(self, tmp_path, surrogate_env):
+        from repro.experiments.mechanisms import make_mechanism
+        from repro.experiments.runner import evaluate_mechanism, train_mechanism
+
+        env = surrogate_env.env
+        agent = make_mechanism("chiron", env, rng=1, tier="quick")
+        train_mechanism(env, agent, episodes=10)
+        path = agent.save(tmp_path / "chiron.npz")
+
+        fresh = make_mechanism("chiron", env, rng=2, tier="quick")
+        fresh.load(path)
+        original_eval = evaluate_mechanism(env, agent, 2)
+        restored_eval = evaluate_mechanism(env, fresh, 2)
+        for a, b in zip(original_eval, restored_eval):
+            assert a.final_accuracy == pytest.approx(b.final_accuracy, abs=0.02)
+            assert a.rounds == b.rounds

@@ -1,0 +1,101 @@
+"""Gaussian policy and value network."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.autograd import gradcheck
+from repro.rl import GaussianPolicy, ValueNetwork
+
+
+class TestGaussianPolicy:
+    def test_act_shapes(self, rng):
+        policy = GaussianPolicy(6, 3, rng=0)
+        action, log_prob = policy.act(rng.normal(size=6))
+        assert action.shape == (3,)
+        assert isinstance(log_prob, float)
+
+    def test_deterministic_act_is_mean(self, rng):
+        policy = GaussianPolicy(4, 2, rng=0)
+        obs = rng.normal(size=4)
+        a1, _ = policy.act(obs, deterministic=True)
+        a2, _ = policy.act(obs, deterministic=True)
+        np.testing.assert_allclose(a1, a2)
+
+    def test_stochastic_act_varies(self, rng):
+        policy = GaussianPolicy(4, 2, rng=0)
+        obs = rng.normal(size=4)
+        a1, _ = policy.act(obs)
+        a2, _ = policy.act(obs)
+        assert not np.allclose(a1, a2)
+
+    def test_log_prob_matches_scipy(self, rng):
+        policy = GaussianPolicy(4, 3, init_log_std=-0.3, rng=0)
+        obs = rng.normal(size=(5, 4))
+        actions = rng.normal(size=(5, 3))
+        got = policy.log_prob(obs, actions).data
+        means = policy.forward(obs).data
+        std = policy.std()
+        expected = stats.norm.logpdf(actions, means, std).sum(axis=1)
+        np.testing.assert_allclose(got, expected, atol=1e-10)
+
+    def test_act_log_prob_self_consistent(self, rng):
+        policy = GaussianPolicy(4, 2, rng=0)
+        obs = rng.normal(size=4)
+        action, lp = policy.act(obs)
+        lp_batch = policy.log_prob(obs, action[None]).data[0]
+        assert lp == pytest.approx(lp_batch, abs=1e-10)
+
+    def test_entropy_formula(self):
+        policy = GaussianPolicy(3, 2, init_log_std=-0.5, rng=0)
+        expected = 2 * (-0.5 + 0.5 * (1 + np.log(2 * np.pi)))
+        assert policy.entropy().item() == pytest.approx(expected)
+
+    def test_log_prob_gradient_flows(self, rng):
+        policy = GaussianPolicy(3, 2, rng=0)
+        obs = rng.normal(size=(4, 3))
+        actions = rng.normal(size=(4, 2))
+        loss = -policy.log_prob(obs, actions).mean()
+        loss.backward()
+        grads = [p.grad for p in policy.parameters()]
+        assert all(g is not None for g in grads)
+        assert any(np.abs(g).max() > 0 for g in grads)
+
+    def test_log_std_clamped(self):
+        policy = GaussianPolicy(3, 2, init_log_std=10.0, rng=0)
+        assert policy.std().max() <= np.exp(2.0) + 1e-9
+
+    def test_1d_obs_promoted(self, rng):
+        policy = GaussianPolicy(3, 2, rng=0)
+        out = policy.forward(rng.normal(size=3))
+        assert out.shape == (1, 2)
+
+
+class TestValueNetwork:
+    def test_forward_shape(self, rng):
+        net = ValueNetwork(5, rng=0)
+        out = net(rng.normal(size=(7, 5)))
+        assert out.shape == (7,)
+
+    def test_value_scalar(self, rng):
+        net = ValueNetwork(5, rng=0)
+        v = net.value(rng.normal(size=5))
+        assert isinstance(v, float)
+
+    def test_trainable(self, rng):
+        from repro.autograd import functional as F
+        from repro.nn import Adam
+
+        net = ValueNetwork(3, hidden=(16,), rng=0)
+        x = rng.normal(size=(64, 3))
+        y = x.sum(axis=1)
+        opt = Adam(net.parameters(), lr=0.01)
+        first = None
+        for _ in range(150):
+            opt.zero_grad()
+            loss = F.mse_loss(net(x), y)
+            if first is None:
+                first = loss.item()
+            loss.backward()
+            opt.step()
+        assert loss.item() < first * 0.1

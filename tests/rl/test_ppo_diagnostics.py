@@ -1,0 +1,77 @@
+"""PPO update diagnostics: KL estimate, clip fraction, explained variance."""
+
+import numpy as np
+import pytest
+
+from repro.rl import PPOAgent, PPOConfig
+from repro.rl.ppo import _explained_variance
+
+
+def run_update(update_epochs=5, lr=1e-3, steps=32):
+    agent = PPOAgent(
+        4,
+        2,
+        config=PPOConfig(
+            actor_lr=lr, critic_lr=lr, hidden=(16, 16),
+            update_epochs=update_epochs, lr_decay_every=10_000,
+        ),
+        rng=0,
+    )
+    rng = np.random.default_rng(1)
+    for i in range(steps):
+        obs = rng.normal(size=4)
+        a, lp, v = agent.act(obs)
+        agent.store(obs, a, rng.normal(), v, lp, done=(i % 16 == 15))
+    return agent.update()
+
+
+class TestDiagnostics:
+    def test_keys_present(self):
+        stats = run_update()
+        for key in (
+            "actor_loss",
+            "critic_loss",
+            "entropy",
+            "approx_kl",
+            "clip_fraction",
+            "explained_variance",
+            "actor_lr",
+            "batch_size",
+        ):
+            assert key in stats, key
+
+    def test_clip_fraction_bounded(self):
+        stats = run_update()
+        assert 0.0 <= stats["clip_fraction"] <= 1.0
+
+    def test_explained_variance_bounded_above(self):
+        stats = run_update()
+        assert stats["explained_variance"] <= 1.0 + 1e-9
+
+    def test_tiny_lr_small_kl(self):
+        gentle = run_update(lr=1e-6)
+        assert abs(gentle["approx_kl"]) < 1e-3
+
+    def test_bigger_lr_moves_policy_more(self):
+        gentle = run_update(lr=1e-6)
+        aggressive = run_update(lr=5e-3, update_epochs=10)
+        assert abs(aggressive["approx_kl"]) > abs(gentle["approx_kl"])
+
+
+class TestExplainedVariance:
+    def test_perfect_critic(self):
+        targets = np.array([1.0, 2.0, 3.0])
+        assert _explained_variance(targets, targets) == pytest.approx(1.0)
+
+    def test_mean_predictor_zero(self):
+        targets = np.array([1.0, 2.0, 3.0])
+        preds = np.full(3, targets.mean())
+        assert _explained_variance(preds, targets) == pytest.approx(0.0)
+
+    def test_constant_targets(self):
+        assert _explained_variance(np.zeros(3), np.ones(3)) == 0.0
+
+    def test_bad_critic_negative(self):
+        targets = np.array([1.0, -1.0, 1.0, -1.0])
+        preds = -targets  # anti-correlated
+        assert _explained_variance(preds, targets) < 0

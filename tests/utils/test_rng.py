@@ -1,0 +1,110 @@
+"""Seeded randomness utilities."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import (
+    SeedSequenceFactory,
+    as_generator,
+    choice_without_replacement,
+    spawn_generators,
+)
+
+
+class TestAsGenerator:
+    def test_from_int(self):
+        a, b = as_generator(5), as_generator(5)
+        assert a.uniform() == b.uniform()
+
+    def test_from_none(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_from_seed_sequence(self):
+        seq = np.random.SeedSequence(7)
+        a = as_generator(seq)
+        b = as_generator(np.random.SeedSequence(7))
+        assert a.uniform() == b.uniform()
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            as_generator("seed")
+
+
+class TestSpawn:
+    def test_children_differ(self):
+        children = spawn_generators(0, 3)
+        values = [g.uniform() for g in children]
+        assert len(set(values)) == 3
+
+    def test_deterministic(self):
+        a = [g.uniform() for g in spawn_generators(4, 3)]
+        b = [g.uniform() for g in spawn_generators(4, 3)]
+        assert a == b
+
+    def test_zero_children(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_from_generator(self):
+        gen = np.random.default_rng(0)
+        children = spawn_generators(gen, 2)
+        assert len(children) == 2
+
+
+class TestSeedSequenceFactory:
+    def test_named_streams_stable(self):
+        f = SeedSequenceFactory(42)
+        a = f.generator("data").uniform(size=3)
+        b = f.generator("data").uniform(size=3)
+        np.testing.assert_allclose(a, b)
+
+    def test_order_independent(self):
+        f1 = SeedSequenceFactory(42)
+        _ = f1.generator("first").uniform()
+        late = f1.generator("second").uniform()
+        f2 = SeedSequenceFactory(42)
+        early = f2.generator("second").uniform()
+        assert late == early
+
+    def test_names_independent(self):
+        f = SeedSequenceFactory(42)
+        assert f.generator("a").uniform() != f.generator("b").uniform()
+
+    def test_seeds_differ(self):
+        a = SeedSequenceFactory(1).generator("x").uniform()
+        b = SeedSequenceFactory(2).generator("x").uniform()
+        assert a != b
+
+    def test_child_namespacing(self):
+        f = SeedSequenceFactory(0)
+        child = f.child("nodes")
+        v1 = child.generator("n0").uniform()
+        v2 = SeedSequenceFactory(0).child("nodes").generator("n0").uniform()
+        assert v1 == v2
+
+    def test_integers(self):
+        f = SeedSequenceFactory(3)
+        seeds = f.integers("stream", 5)
+        assert len(seeds) == 5
+        assert seeds == f.integers("stream", 5)
+
+    def test_seed_property(self):
+        assert SeedSequenceFactory(9).seed == 9
+        assert SeedSequenceFactory(None).seed is None
+
+
+class TestChoice:
+    def test_distinct(self):
+        got = choice_without_replacement(np.random.default_rng(0), range(10), 5)
+        assert len(set(got)) == 5
+
+    def test_too_many(self):
+        with pytest.raises(ValueError):
+            choice_without_replacement(np.random.default_rng(0), range(3), 5)

@@ -1,0 +1,171 @@
+"""Validation helpers, serialization, logging, moving statistics."""
+
+import json
+import logging
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    ExponentialMovingAverage,
+    MovingWindow,
+    check_finite,
+    check_in_range,
+    check_positive,
+    check_probability_vector,
+    check_shape,
+    from_json_file,
+    get_logger,
+    to_json_file,
+)
+from repro.utils.serialization import to_json_string
+
+
+class TestValidation:
+    def test_check_positive(self):
+        check_positive("x", 1.0)
+        check_positive("x", 0.0, strict=False)
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive("x", 0.0)
+        with pytest.raises(ValueError):
+            check_positive("x", -1.0, strict=False)
+
+    def test_check_in_range(self):
+        check_in_range("x", 0.5, 0.0, 1.0)
+        check_in_range("x", 0.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            check_in_range("x", 0.0, 0.0, 1.0, inclusive=(False, True))
+        with pytest.raises(ValueError, match=r"\(0.0, 1.0\]"):
+            check_in_range("x", 2.0, 0.0, 1.0, inclusive=(False, True))
+
+    def test_check_finite(self):
+        check_finite("x", np.ones(3))
+        with pytest.raises(ValueError, match="non-finite"):
+            check_finite("x", np.array([1.0, np.nan]))
+        with pytest.raises(ValueError):
+            check_finite("x", np.array([np.inf]))
+
+    def test_check_shape(self):
+        check_shape("x", np.zeros((2, 3)), (2, 3))
+        check_shape("x", np.zeros((2, 3)), (-1, 3))
+        with pytest.raises(ValueError, match="dims"):
+            check_shape("x", np.zeros((2, 3)), (2, 3, 1))
+        with pytest.raises(ValueError, match="axis 1"):
+            check_shape("x", np.zeros((2, 3)), (2, 4))
+
+    def test_check_probability_vector(self):
+        check_probability_vector("p", np.array([0.25, 0.75]))
+        with pytest.raises(ValueError, match="sum to 1"):
+            check_probability_vector("p", np.array([0.5, 0.4]))
+        with pytest.raises(ValueError, match="negative"):
+            check_probability_vector("p", np.array([-0.5, 1.5]))
+        with pytest.raises(ValueError, match="1-D"):
+            check_probability_vector("p", np.ones((2, 2)) / 4)
+
+
+class TestSerialization:
+    def test_numpy_types(self, tmp_path):
+        payload = {
+            "int": np.int64(3),
+            "float": np.float32(0.5),
+            "bool": np.bool_(True),
+            "array": np.arange(3),
+        }
+        path = to_json_file(payload, tmp_path / "out.json")
+        loaded = from_json_file(path)
+        assert loaded == {"int": 3, "float": 0.5, "bool": True, "array": [0, 1, 2]}
+
+    def test_dataclass(self):
+        from dataclasses import dataclass
+
+        @dataclass
+        class Point:
+            x: int
+            y: int
+
+        assert json.loads(to_json_string(Point(1, 2))) == {"x": 1, "y": 2}
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = to_json_file({"a": 1}, tmp_path / "deep" / "nested" / "f.json")
+        assert path.exists()
+
+    def test_unserializable_raises(self):
+        with pytest.raises(TypeError):
+            to_json_string(object())
+
+
+class TestLogging:
+    def test_namespacing(self):
+        assert get_logger("rl.ppo").name == "repro.rl.ppo"
+        assert get_logger("repro.core").name == "repro.core"
+        assert get_logger().name == "repro"
+
+    def test_hierarchy(self):
+        child = get_logger("economics")
+        assert child.parent.name == "repro"
+
+
+class TestMovingWindow:
+    def test_mean_and_sum(self):
+        window = MovingWindow(3)
+        for v in (1.0, 2.0, 3.0):
+            window.push(v)
+        assert window.mean() == pytest.approx(2.0)
+        assert window.sum() == pytest.approx(6.0)
+        assert window.full
+
+    def test_eviction(self):
+        window = MovingWindow(2)
+        for v in (1.0, 2.0, 10.0):
+            window.push(v)
+        assert window.mean() == pytest.approx(6.0)
+        assert len(window) == 2
+
+    def test_empty(self):
+        window = MovingWindow(4)
+        assert window.mean() == 0.0
+        assert window.std() == 0.0
+        assert not window.full
+
+    def test_std_matches_numpy(self, rng):
+        window = MovingWindow(10)
+        values = rng.normal(size=10)
+        for v in values:
+            window.push(v)
+        assert window.std() == pytest.approx(np.std(values))
+
+    def test_values_order(self):
+        window = MovingWindow(3)
+        for v in (1.0, 2.0, 3.0, 4.0):
+            window.push(v)
+        assert window.values() == [2.0, 3.0, 4.0]
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            MovingWindow(0)
+
+
+class TestEMA:
+    def test_bias_corrected_first_value(self):
+        ema = ExponentialMovingAverage(0.1)
+        assert ema.push(10.0) == pytest.approx(10.0)
+
+    def test_converges_to_constant(self):
+        ema = ExponentialMovingAverage(0.3)
+        for _ in range(100):
+            ema.push(5.0)
+        assert ema.value == pytest.approx(5.0)
+
+    def test_uncorrected_starts_at_first(self):
+        ema = ExponentialMovingAverage(0.1, bias_correction=False)
+        ema.push(10.0)
+        assert ema.value == pytest.approx(10.0)
+
+    def test_empty_value(self):
+        assert ExponentialMovingAverage(0.5).value == 0.0
+
+    def test_alpha_validated(self):
+        with pytest.raises(ValueError):
+            ExponentialMovingAverage(0.0)
+        with pytest.raises(ValueError):
+            ExponentialMovingAverage(1.5)
