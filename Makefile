@@ -2,13 +2,17 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench repro repro-paper report clean
+.PHONY: install test faults bench repro repro-paper report clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Just the fault-injection / failure-handling suite (also part of `test`).
+faults:
+	$(PYTHON) -m pytest -m faults tests/
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Mid-round faults end to end: deadline, validation, quarantine, clawback.
+
+The paper's incentive loop pays every node that accepts its price — even
+one that crashes mid-round, straggles past any useful deadline, or hands
+the server a NaN-filled update.  This demo runs the same seeded MNIST
+environment twice under a heavy mixed fault rate:
+
+* **defenses on** — the server escrows payments, enforces a round
+  deadline, validates and quarantines corrupt updates, and claws back
+  the escrowed share of every non-delivering node;
+* **defenses off** — every accepted price is paid regardless of
+  delivery, stragglers stall the round, and corrupt updates reach
+  FedAvg, which eventually detects the poisoned aggregate and aborts.
+
+Run:  python examples/fault_injection.py   (~2 minutes, real CNN training)
+"""
+
+import numpy as np
+
+from repro.core import build_environment
+from repro.faults import FaultConfig
+
+N_NODES = 4
+BUDGET = 40.0
+FAULTS = FaultConfig(crash_rate=0.08, straggler_rate=0.08, corrupt_rate=0.08, seed=2)
+
+
+def run(defenses: bool) -> None:
+    label = "defenses ON " if defenses else "defenses OFF"
+    build = build_environment(
+        task_name="mnist",
+        n_nodes=N_NODES,
+        budget=BUDGET,
+        accuracy_mode="real",
+        samples_per_node=40,
+        test_size=80,
+        seed=0,
+        max_rounds=10,
+        faults=FAULTS,
+        fault_defenses=defenses,
+    )
+    env = build.env
+    env.reset()
+    prices = np.sqrt(env.price_floors * env.price_caps)
+    delivered_total = 0.0
+    try:
+        while not env.done:
+            result = env.step(prices)
+            delivered_total += float(result.payments.sum())
+            failures = []
+            if result.crashed:
+                failures.append(f"crashed {result.crashed}")
+            if result.late:
+                failures.append(f"late {result.late}")
+            if result.corrupted:
+                failures.append(f"corrupt {result.corrupted}")
+            if result.quarantined:
+                failures.append(f"quarantined {result.quarantined}")
+            print(
+                f"  [{label}] round {result.round_index:2d}  "
+                f"acc {result.accuracy:.3f}  "
+                f"delivered {len(result.delivered)}/{len(result.participants)}  "
+                f"clawback {result.clawback:5.2f}  "
+                + ("; ".join(failures) if failures else "all delivered")
+            )
+    except ValueError as err:
+        print(f"  [{label}] ABORTED: {err}")
+    match = "==" if abs(env.ledger.spent - delivered_total) < 1e-9 else "!="
+    print(
+        f"  [{label}] ledger spent {env.ledger.spent:.2f} "
+        f"{match} delivered payments {delivered_total:.2f}, "
+        f"clawed back {env.ledger.clawback_total:.2f}, "
+        f"fault draws {env.injector.counters}"
+    )
+    if env.reliability is not None:
+        scores = ", ".join(f"{s:.2f}" for s in env.reliability.scores())
+        print(f"  [{label}] node reliability: [{scores}]\n")
+
+
+def main() -> None:
+    print(
+        f"{N_NODES} nodes, {FAULTS.total_rate:.0%} mixed fault rate "
+        f"(crash/straggle/corrupt), budget {BUDGET}\n"
+    )
+    run(defenses=True)
+    run(defenses=False)
+    print(
+        "With defenses the session completes and the ledger charges only\n"
+        "delivered work; without them payments leak to crashed nodes and a\n"
+        "single corrupt update poisons the FedAvg aggregate."
+    )
+
+
+if __name__ == "__main__":
+    main()

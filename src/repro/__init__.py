@@ -11,7 +11,8 @@ Public API tour
 * Substrates: ``repro.autograd`` (numpy autodiff), ``repro.nn`` (layers,
   optimizers, the paper's CNNs), ``repro.datasets`` (synthetic tasks,
   federated partitioners), ``repro.fl`` (federated simulator),
-  ``repro.economics`` (the §III system model), ``repro.rl`` (PPO).
+  ``repro.economics`` (the §III system model), ``repro.rl`` (PPO),
+  ``repro.faults`` (mid-round fault injection, reliability tracking).
 
 Quickstart::
 

@@ -19,6 +19,7 @@ from repro.datasets.base import ArrayDataset
 from repro.datasets.partition import iid_partition, partition_dataset
 from repro.datasets.synthetic import TASK_SPECS, make_task
 from repro.economics.hardware import HardwareProfile, HardwareSpec, sample_profiles
+from repro.faults import FaultConfig, FaultyEdgeNode
 from repro.fl.accuracy import (
     LearningProcess,
     RealTrainingAccuracy,
@@ -75,6 +76,9 @@ def build_environment(
     env_config: Optional[EnvConfig] = None,
     hardware_spec: Optional[HardwareSpec] = None,
     training_config: Optional[LocalTrainingConfig] = None,
+    faults: Optional[FaultConfig] = None,
+    fault_defenses: bool = True,
+    round_deadline_factor: Optional[float] = 4.0,
 ) -> BuildResult:
     """Construct an :class:`EdgeLearningEnv` for a named task.
 
@@ -84,6 +88,12 @@ def build_environment(
       materialized, only their sizes (suits DRL training and benchmarks).
     * ``"real"`` — full numpy-CNN federated training per round (suits
       small-scale validation; ~seconds per round).
+
+    ``faults`` enables mid-round crash/straggler/corrupt injection (see
+    :mod:`repro.faults`).  In ``"real"`` mode the edge nodes are wrapped
+    so the faults happen physically — a corrupt node really hands the
+    server a poisoned state dict — and the session's validation pipeline
+    is switched with ``fault_defenses``.
     """
     if task_name not in TASK_SPECS:
         raise ValueError(
@@ -176,8 +186,22 @@ def build_environment(
         max_rounds=max_rounds,
         availability=availability,
         availability_seed=seed,
+        faults=faults,
+        fault_defenses=fault_defenses,
+        round_deadline_factor=round_deadline_factor,
     )
     env = EdgeLearningEnv(profiles, learning, config)
+    if config.faults is not None and session is not None:
+        # Realize faults physically: wrap every node around the env's
+        # injector (outcomes are pure functions of (episode, round, node),
+        # so env and nodes always agree on what happened).  The env is the
+        # delivery authority — it pre-filters crashed/late/caught nodes —
+        # so the session runs without its own deadline/quarantine, and its
+        # validation mirrors the defenses switch.
+        assert env.injector is not None
+        wrapped = [FaultyEdgeNode(session.nodes[i], env.injector) for i in session.node_ids]
+        session.nodes = {n.node_id: n for n in wrapped}
+        session.validate_updates = bool(config.fault_defenses)
     return BuildResult(
         env=env,
         profiles=profiles,

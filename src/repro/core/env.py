@@ -28,6 +28,8 @@ from repro.economics.budget import BudgetLedger
 from repro.economics.hardware import HardwareProfile
 from repro.economics.pricing import min_participation_price, node_response
 from repro.economics.timing import time_efficiency
+from repro.faults.injector import FaultConfig, FaultInjector
+from repro.faults.reliability import ReliabilityTracker
 from repro.fl.accuracy import LearningProcess
 from repro.utils.validation import check_positive
 
@@ -42,6 +44,18 @@ class EnvConfig:
     and — unlike a node priced out — does not count as idle in the inner
     reward, since no allocation could have recruited it.  The default 1.0
     reproduces the paper exactly.
+
+    ``faults`` enables *mid-round* failures on top of pre-round churn: a
+    paid node may crash, straggle past the round deadline, or return a
+    corrupt update (see :mod:`repro.faults`).  With ``fault_defenses``
+    on (the default), the environment escrows payments and claws back the
+    share of non-delivering nodes, drops stragglers at the deadline
+    (``round_deadline_factor`` × the fleet's characteristic round time),
+    quarantines corrupt senders with exponential backoff, and appends
+    per-node reliability scores to the exterior state.  With defenses off
+    every accepted price is paid regardless of delivery — the control
+    showing why the accounting matters.  ``faults=None`` (default)
+    reproduces the fault-free model bit for bit.
     """
 
     budget: float  # η
@@ -53,6 +67,10 @@ class EnvConfig:
     availability: float = 1.0  # per-node per-round reachability probability
     availability_seed: int = 0  # stream for churn draws
     rewards: RewardConfig = field(default_factory=RewardConfig)
+    faults: Optional[FaultConfig] = None  # mid-round fault model
+    fault_defenses: bool = True  # deadline + clawback + quarantine
+    round_deadline_factor: Optional[float] = 4.0  # deadline = factor × the
+    # fleet's characteristic round time; None disables the deadline
 
     def __post_init__(self):
         check_positive("budget", self.budget)
@@ -63,6 +81,8 @@ class EnvConfig:
             raise ValueError(
                 f"availability must be in (0, 1], got {self.availability}"
             )
+        if self.round_deadline_factor is not None:
+            check_positive("round_deadline_factor", self.round_deadline_factor)
 
 
 @dataclass(frozen=True)
@@ -86,6 +106,15 @@ class StepResult:
     utilities: np.ndarray  # per-node utilities
     remaining_budget: float
     round_index: int
+    # --- fault/robustness extension (defaults reproduce the fault-free
+    # model: everyone who participates delivers) ---------------------- #
+    delivered: List[int] = field(default_factory=list)  # updates aggregated
+    crashed: List[int] = field(default_factory=list)  # no update arrived
+    late: List[int] = field(default_factory=list)  # missed the deadline
+    corrupted: List[int] = field(default_factory=list)  # corrupt update drawn
+    quarantined: List[int] = field(default_factory=list)  # excluded this round
+    clawback: float = 0.0  # escrowed payment refunded for undelivered work
+    reliability: Optional[np.ndarray] = None  # per-node EWMA delivery rate
 
 
 class EdgeLearningEnv:
@@ -150,9 +179,27 @@ class EdgeLearningEnv:
             price_scale=float(np.mean(self.price_caps)),
             time_scale=time_scale,
             max_rounds=config.max_rounds,
+            include_reliability=config.faults is not None,
         )
         self.ledger = BudgetLedger(config.budget)
         self._churn_rng = np.random.default_rng(config.availability_seed)
+        if config.faults is not None:
+            self.injector: Optional[FaultInjector] = FaultInjector(
+                config.faults, self.n_nodes
+            )
+            self.reliability: Optional[ReliabilityTracker] = ReliabilityTracker(
+                self.n_nodes
+            )
+            self.round_deadline: Optional[float] = (
+                config.round_deadline_factor * time_scale
+                if config.round_deadline_factor is not None
+                else None
+            )
+        else:
+            self.injector = None
+            self.reliability = None
+            self.round_deadline = None
+        self._episode = -1
         self._accuracy = 0.0
         self._round = 0
         self._done = True  # must reset() before stepping
@@ -184,6 +231,17 @@ class EdgeLearningEnv:
         """Start a new episode; returns the initial exterior state."""
         self.ledger.reset()
         self.encoder.reset()
+        self._episode += 1
+        # Each episode gets its own churn substream so seeded evaluation
+        # episodes are individually reproducible (the stream would
+        # otherwise keep advancing across episodes).
+        self._churn_rng = np.random.default_rng(
+            [self.config.availability_seed, self._episode]
+        )
+        if self.injector is not None:
+            self.injector.reset(self._episode)
+        if self.reliability is not None:
+            self.reliability.reset()
         self._accuracy = float(self.learning.reset())
         self._round = 0
         self._done = False
@@ -208,12 +266,22 @@ class EdgeLearningEnv:
             available = np.ones(self.n_nodes, dtype=bool)
         unavailable = [i for i in range(self.n_nodes) if not available[i]]
 
+        # Quarantined nodes (repeat fault offenders) are not recruitable
+        # this round — like churned-out nodes, but by server decision.
+        if self.reliability is not None and cfg.fault_defenses:
+            quarantined_now = self.reliability.quarantined(self._round)
+        else:
+            quarantined_now = []
+        recruitable = available.copy()
+        for i in quarantined_now:
+            recruitable[i] = False
+
         responses = [
             node_response(prof, float(p), cfg.local_epochs)
             for prof, p in zip(self.profiles, prices)
         ]
         participates = np.array(
-            [r.participates and available[i] for i, r in enumerate(responses)]
+            [r.participates and recruitable[i] for i, r in enumerate(responses)]
         )
         participants = [i for i in range(self.n_nodes) if participates[i]]
         payments = np.array(
@@ -230,13 +298,19 @@ class EdgeLearningEnv:
         )
         total_payment = float(payments.sum())
 
+        reliability_scores = (
+            self.reliability.scores() if self.reliability is not None else None
+        )
+
         # --- no participation: wasted round, nothing charged ------------- #
         if not participants:
             self._round += 1
             truncated = self._round >= cfg.max_rounds
             self._done = truncated
             self.encoder.record_round(zetas, prices, times)
-            state = self.encoder.encode(self.ledger.remaining, self._round)
+            state = self.encoder.encode(
+                self.ledger.remaining, self._round, reliability=reliability_scores
+            )
             penalty = cfg.rewards.no_participation_penalty
             return StepResult(
                 state=state,
@@ -256,13 +330,23 @@ class EdgeLearningEnv:
                 utilities=utilities,
                 remaining_budget=self.ledger.remaining,
                 round_index=self._round,
+                quarantined=quarantined_now,
+                reliability=reliability_scores,
             )
 
         # --- budget check (Algorithm 1 line 17) -------------------------- #
-        if not self.ledger.charge(total_payment):
+        # With faults enabled the payment is *escrowed*: held against the
+        # budget now, reconciled against actual delivery below.
+        if self.injector is not None:
+            kept = self.ledger.escrow(total_payment)
+        else:
+            kept = self.ledger.charge(total_payment)
+        if not kept:
             # Overdraw: the round is discarded and learning stops.
             self._done = True
-            state = self.encoder.encode(0.0, self._round)
+            state = self.encoder.encode(
+                0.0, self._round, reliability=reliability_scores
+            )
             return StepResult(
                 state=state,
                 reward_exterior=0.0,
@@ -281,29 +365,92 @@ class EdgeLearningEnv:
                 utilities=np.zeros(self.n_nodes),
                 remaining_budget=self.ledger.remaining,
                 round_index=self._round,
+                quarantined=quarantined_now,
+                reliability=reliability_scores,
             )
+
+        # --- mid-round faults: who actually delivers? -------------------- #
+        delivered = list(participants)
+        crashed: List[int] = []
+        late: List[int] = []
+        corrupt: List[int] = []
+        poisoned: List[int] = []
+        clawback = 0.0
+        if self.injector is not None:
+            self.injector.begin_round(self._round)
+            groups = FaultInjector.split(self.injector.draw(participants))
+            crashed = groups["crashed"]
+            corrupt = groups["corrupt"]
+            for i in groups["stragglers"]:
+                times[i] *= self.injector.config.straggler_factor
+            if cfg.fault_defenses and self.round_deadline is not None:
+                late = [
+                    i for i in groups["stragglers"] if times[i] > self.round_deadline
+                ]
+            # A crash is physical — no update arrives either way.  The
+            # defenses decide what happens to stragglers (deadline) and
+            # corrupt updates (validation catches them; without it they
+            # poison the aggregate).
+            caught = corrupt if cfg.fault_defenses else []
+            poisoned = [] if cfg.fault_defenses else corrupt
+            failed = sorted(set(crashed) | set(late) | set(caught))
+            delivered = [i for i in participants if i not in set(failed)]
+            if cfg.fault_defenses:
+                delivered_payment = float(payments[delivered].sum())
+            else:
+                delivered_payment = total_payment  # paid regardless
+            clawback = self.ledger.settle(delivered_payment)
+            for i in failed:
+                if cfg.fault_defenses:
+                    payments[i] = 0.0  # clawed back
+                times[i] = 0.0
+                zetas[i] = 0.0
 
         # --- the federated round ----------------------------------------- #
         previous_accuracy = self._accuracy
-        self._accuracy = float(self.learning.step(participants))
-        participant_times = times[participants]
-        round_time = float(participant_times.max())
-        efficiency = time_efficiency(participant_times)
+        if delivered:
+            if poisoned:
+                # Corrupt updates reached aggregation (defenses off).
+                self._accuracy = float(
+                    self.learning.step(delivered, poisoned_ids=poisoned)
+                )
+            else:
+                self._accuracy = float(self.learning.step(delivered))
+            participant_times = times[delivered]
+            round_time = float(participant_times.max())
+            efficiency = time_efficiency(participant_times)
+        else:
+            # Everyone failed mid-round: the global model is untouched.
+            round_time = 0.0
+            efficiency = 0.0
+
+        if self.reliability is not None:
+            failed_ids = sorted(set(participants) - set(delivered))
+            self.reliability.update_round(
+                self._round,
+                delivered=delivered,
+                failed=failed_ids,
+                offenders=corrupt,
+            )
+            reliability_scores = self.reliability.scores()
 
         r_ext = exterior_reward(
             cfg.rewards, self._accuracy, previous_accuracy, round_time
         )
-        # Over *available* nodes: `times` holds 0 for priced-out decliners,
-        # so they count as fully idle; unavailable nodes are excluded — no
+        # Over *available* (and non-quarantined) nodes: `times` holds 0 for
+        # priced-out decliners and mid-round failures, so they count as
+        # fully idle; unavailable/quarantined nodes are excluded — no
         # allocation could have recruited them.
-        r_inn = inner_reward(cfg.rewards, times[available])
+        r_inn = inner_reward(cfg.rewards, times[recruitable])
 
         self._round += 1
         self.encoder.record_round(zetas, prices, times)
         truncated = self._round >= cfg.max_rounds
         budget_out = self.ledger.remaining <= 0
         self._done = truncated or budget_out
-        state = self.encoder.encode(self.ledger.remaining, self._round)
+        state = self.encoder.encode(
+            self.ledger.remaining, self._round, reliability=reliability_scores
+        )
         return StepResult(
             state=state,
             reward_exterior=r_ext,
@@ -322,4 +469,11 @@ class EdgeLearningEnv:
             utilities=utilities,
             remaining_budget=self.ledger.remaining,
             round_index=self._round,
+            delivered=delivered,
+            crashed=crashed,
+            late=late,
+            corrupted=corrupt,
+            quarantined=quarantined_now,
+            clawback=clawback,
+            reliability=reliability_scores,
         )

@@ -32,6 +32,7 @@ class ExteriorStateEncoder:
         price_scale: float,
         time_scale: float,
         max_rounds: int,
+        include_reliability: bool = False,
     ):
         check_positive("n_nodes", n_nodes)
         check_positive("history", history)
@@ -45,13 +46,18 @@ class ExteriorStateEncoder:
         self.price_scale = float(price_scale)
         self.time_scale = float(time_scale)
         self.max_rounds = int(max_rounds)
+        #: robustness extension: append per-node delivery-reliability
+        #: scores (already in [0, 1]) so the exterior agent can learn to
+        #: price unreliable nodes down.
+        self.include_reliability = bool(include_reliability)
         self._rows: Deque[np.ndarray] = deque(maxlen=self.history)
         self.reset()
 
     @property
     def dim(self) -> int:
-        """Observation dimension: ``3·N·L + 2``."""
-        return 3 * self.n_nodes * self.history + 2
+        """Observation dimension: ``3·N·L + 2`` (+ ``N`` with reliability)."""
+        extra = self.n_nodes if self.include_reliability else 0
+        return 3 * self.n_nodes * self.history + extra + 2
 
     def reset(self) -> None:
         self._rows.clear()
@@ -89,16 +95,45 @@ class ExteriorStateEncoder:
         )
         self._rows.append(row)
 
-    def encode(self, remaining_budget: float, round_index: int) -> np.ndarray:
-        """Current observation vector (history oldest-first, then scalars)."""
+    def encode(
+        self,
+        remaining_budget: float,
+        round_index: int,
+        reliability: "np.ndarray | None" = None,
+    ) -> np.ndarray:
+        """Current observation vector (history oldest-first, then scalars).
+
+        When the encoder was built with ``include_reliability``, per-node
+        reliability scores are appended before the scalar tail; omitting
+        them encodes a fully reliable fleet (all ones).
+        """
         flat = np.concatenate(list(self._rows))
+        parts = [flat]
+        if self.include_reliability:
+            if reliability is None:
+                reliability = np.ones(self.n_nodes)
+            reliability = np.asarray(reliability, dtype=np.float64)
+            if reliability.shape != (self.n_nodes,):
+                raise ValueError(
+                    f"reliability must have shape ({self.n_nodes},), "
+                    f"got {reliability.shape}"
+                )
+            if not np.all(np.isfinite(reliability)):
+                raise ValueError("reliability contains non-finite entries")
+            parts.append(np.clip(reliability, 0.0, 1.0))
+        elif reliability is not None:
+            raise ValueError(
+                "reliability given but encoder was built without "
+                "include_reliability"
+            )
         tail = np.array(
             [
                 remaining_budget / self.budget_scale,
                 round_index / self.max_rounds,
             ]
         )
-        return np.concatenate([flat, tail])
+        parts.append(tail)
+        return np.concatenate(parts)
 
     def last_round(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Most recent (zetas, prices, times) row, de-normalized."""

@@ -33,7 +33,7 @@ from repro.economics.pricing import (
     node_response,
     NodeResponse,
 )
-from repro.economics.budget import BudgetExhausted, BudgetLedger
+from repro.economics.budget import BudgetExhausted, BudgetLedger, EscrowError
 from repro.economics.market import (
     RoundQuote,
     feasible_rounds,
@@ -69,6 +69,7 @@ __all__ = [
     "equal_time_prices",
     "BudgetLedger",
     "BudgetExhausted",
+    "EscrowError",
     "RoundQuote",
     "participation_fraction",
     "participation_curve",

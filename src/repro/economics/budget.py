@@ -2,13 +2,17 @@
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.utils.validation import check_positive
 
 
 class BudgetExhausted(RuntimeError):
     """Raised when a charge is attempted after the ledger closed."""
+
+
+class EscrowError(RuntimeError):
+    """Raised on escrow misuse (double escrow, settle without escrow)."""
 
 
 class BudgetLedger:
@@ -27,6 +31,8 @@ class BudgetLedger:
         self._spent = 0.0
         self._closed = False
         self._round_payments: List[float] = []
+        self._pending_escrow: Optional[float] = None
+        self._clawback_total = 0.0
 
     @property
     def spent(self) -> float:
@@ -48,6 +54,16 @@ class BudgetLedger:
     def round_payments(self) -> List[float]:
         return list(self._round_payments)
 
+    @property
+    def pending_escrow(self) -> Optional[float]:
+        """Amount held in escrow for the in-flight round (None when idle)."""
+        return self._pending_escrow
+
+    @property
+    def clawback_total(self) -> float:
+        """Total refunded across the episode for undelivered work."""
+        return self._clawback_total
+
     def can_afford(self, amount: float) -> bool:
         return not self._closed and amount <= self.remaining
 
@@ -59,6 +75,8 @@ class BudgetLedger:
         and the edge learning must be immediately stopped" (§V-A).
         """
         check_positive("amount", amount, strict=False)
+        if self._pending_escrow is not None:
+            raise EscrowError("previous escrow not settled; call settle() first")
         if self._closed:
             raise BudgetExhausted(
                 "charge() after the budget was exhausted; start a new episode"
@@ -70,8 +88,48 @@ class BudgetLedger:
         self._round_payments.append(amount)
         return True
 
+    def escrow(self, amount: float) -> bool:
+        """Hold ``amount`` for a round whose delivery is not yet known.
+
+        Identical overdraw semantics to :meth:`charge` (an overdraw closes
+        the ledger and records nothing), but the held amount stays pending
+        until :meth:`settle` reconciles it against delivered work.
+        """
+        if not self.charge(amount):
+            return False
+        self._pending_escrow = float(amount)
+        return True
+
+    def settle(self, delivered_amount: float) -> float:
+        """Reconcile the pending escrow against delivered work.
+
+        The difference (payments promised to nodes that crashed, missed
+        the deadline, or were quarantined) is clawed back — refunded to
+        the budget so only delivered work counts against ``η``.  Returns
+        the clawback amount.
+        """
+        if self._pending_escrow is None:
+            raise EscrowError("settle() without a pending escrow")
+        check_positive("delivered_amount", delivered_amount, strict=False)
+        pending = self._pending_escrow
+        if delivered_amount > pending + 1e-9:
+            raise EscrowError(
+                f"delivered amount {delivered_amount} exceeds escrowed "
+                f"{pending}"
+            )
+        clawback = max(0.0, pending - float(delivered_amount))
+        # Clamp: a refund can never push cumulative spend negative.
+        clawback = min(clawback, self._spent)
+        self._spent -= clawback
+        self._round_payments[-1] = pending - clawback
+        self._clawback_total += clawback
+        self._pending_escrow = None
+        return clawback
+
     def reset(self) -> None:
         """Reopen the ledger with the full budget (new episode)."""
         self._spent = 0.0
         self._closed = False
         self._round_payments.clear()
+        self._pending_escrow = None
+        self._clawback_total = 0.0

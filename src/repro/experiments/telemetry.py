@@ -46,6 +46,16 @@ def flatten_step(result: StepResult) -> Dict[str, object]:
         else 0.0
     )
     record["total_node_utility"] = float(result.utilities.sum())
+    # Fault/robustness counters (all zero in the fault-free model).
+    record["n_delivered"] = len(result.delivered)
+    record["n_crashed"] = len(result.crashed)
+    record["n_late"] = len(result.late)
+    record["n_corrupted"] = len(result.corrupted)
+    record["n_quarantined"] = len(result.quarantined)
+    record["clawback"] = float(result.clawback)
+    record["min_reliability"] = (
+        float(result.reliability.min()) if result.reliability is not None else 1.0
+    )
     return record
 
 
@@ -85,6 +95,19 @@ class EpisodeRecorder:
             writer.writeheader()
             writer.writerows(self.records)
         return target
+
+    def fault_summary(self) -> Dict[str, float]:
+        """Episode totals of the fault counters (zeros when fault-free)."""
+        def total(field: str) -> float:
+            return float(self.series(field).sum()) if self.records else 0.0
+
+        return {
+            "crashes": total("n_crashed"),
+            "stragglers": total("n_late"),
+            "corruptions": total("n_corrupted"),
+            "quarantines": total("n_quarantined"),
+            "clawback_total": total("clawback"),
+        }
 
     def series(self, field: str) -> np.ndarray:
         """Column of one numeric field across the trace."""

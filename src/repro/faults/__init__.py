@@ -1,0 +1,30 @@
+"""Mid-round fault injection and failure handling.
+
+The paper's incentive MDP pays for promised work; this package makes the
+reproduction survive (and account for) work that never arrives:
+
+* :class:`FaultInjector` — seeded crash/straggler/corrupt outcomes per
+  (episode, round, node);
+* :class:`FaultyEdgeNode` — wraps an :class:`~repro.fl.node.EdgeNode` to
+  realize those outcomes physically in real federated training;
+* :class:`ReliabilityTracker` — EWMA delivery rates plus quarantine with
+  exponential backoff, the reliability signal fed into the exterior state.
+
+Escrow/clawback accounting lives in
+:class:`repro.economics.budget.BudgetLedger`; the server-side delivery
+pipeline (deadline, validation, quarantine, graceful degradation) in
+:class:`repro.fl.session.FederatedSession`.
+"""
+
+from repro.faults.injector import FaultConfig, FaultInjector, FaultType
+from repro.faults.node import FaultyEdgeNode, HONEST_DELIVERY_TIME
+from repro.faults.reliability import ReliabilityTracker
+
+__all__ = [
+    "FaultConfig",
+    "FaultInjector",
+    "FaultType",
+    "FaultyEdgeNode",
+    "HONEST_DELIVERY_TIME",
+    "ReliabilityTracker",
+]

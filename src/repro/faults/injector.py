@@ -1,0 +1,213 @@
+"""Seeded mid-round fault injection.
+
+The paper's MDP assumes every node that accepts its price delivers its
+update; the only failure the environment modelled before this package was
+pre-round churn (``EnvConfig.availability``).  :class:`FaultInjector`
+closes the gap with the three classic mid-round failures of real MEC
+fleets (cf. FMore, arXiv:2002.09699):
+
+* **crash** — the node trains (or not) but no update ever arrives;
+* **straggler** — the update arrives with its delivery time inflated by
+  ``straggler_factor``, possibly past the server's round deadline;
+* **corrupt** — the update arrives on time but is garbage (NaN-filled or
+  amplified), the kind of fault server-side validation must catch.
+
+Outcomes are a pure function of ``(seed, episode, round, node)`` via a
+counter-based RNG, so any layer (the incentive environment, the federated
+session, a wrapped node) can re-derive the same outcome independently —
+no shared mutable stream, no draw-order coupling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+class FaultType(Enum):
+    """What happens to one node's update in one round."""
+
+    NONE = "none"
+    CRASH = "crash"
+    STRAGGLER = "straggler"
+    CORRUPT = "corrupt"
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Per-node per-round fault probabilities and fault shapes.
+
+    ``corrupt_mode`` selects what a corrupt update looks like: ``"nan"``
+    (detectable by any finite check — the default) or ``"amplify"``
+    (finite but scaled by ``amplify_factor``; evades finite validation and
+    motivates robust aggregation instead).
+    """
+
+    crash_rate: float = 0.0
+    straggler_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    straggler_factor: float = 4.0
+    corrupt_mode: str = "nan"
+    amplify_factor: float = -10.0
+    seed: int = 0
+
+    def __post_init__(self):
+        for name in ("crash_rate", "straggler_rate", "corrupt_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.total_rate > 1.0:
+            raise ValueError(
+                f"fault rates sum to {self.total_rate}, must be <= 1"
+            )
+        if self.straggler_factor <= 1.0:
+            raise ValueError(
+                f"straggler_factor must exceed 1, got {self.straggler_factor}"
+            )
+        if self.corrupt_mode not in ("nan", "amplify"):
+            raise ValueError(
+                f"corrupt_mode must be 'nan' or 'amplify', "
+                f"got {self.corrupt_mode!r}"
+            )
+
+    @property
+    def total_rate(self) -> float:
+        return self.crash_rate + self.straggler_rate + self.corrupt_rate
+
+    @classmethod
+    def mixed(cls, rate: float, seed: int = 0, **kwargs) -> "FaultConfig":
+        """Split one total fault rate evenly across the three types."""
+        check_positive("rate", rate, strict=False)
+        each = rate / 3.0
+        return cls(
+            crash_rate=each,
+            straggler_rate=each,
+            corrupt_rate=each,
+            seed=seed,
+            **kwargs,
+        )
+
+
+class FaultInjector:
+    """Deterministic per-(episode, round, node) fault oracle.
+
+    Call :meth:`reset` at episode start and :meth:`begin_round` before
+    each round; :meth:`outcome` is then stable and repeatable for every
+    node, and :meth:`draw` tallies the outcomes for a participant set.
+    """
+
+    def __init__(self, config: FaultConfig, n_nodes: int):
+        check_positive("n_nodes", n_nodes)
+        self.config = config
+        self.n_nodes = int(n_nodes)
+        self._episode = 0
+        self._round = 0
+        self.counters: Dict[str, int] = {
+            "crashes": 0,
+            "stragglers": 0,
+            "corruptions": 0,
+        }
+
+    @property
+    def episode(self) -> int:
+        return self._episode
+
+    @property
+    def round_index(self) -> int:
+        return self._round
+
+    def reset(self, episode: int) -> None:
+        """Enter episode ``episode`` (each episode gets its own substream)."""
+        if episode < 0:
+            raise ValueError(f"episode must be >= 0, got {episode}")
+        self._episode = int(episode)
+        self._round = 0
+
+    def begin_round(self, round_index: int) -> None:
+        if round_index < 0:
+            raise ValueError(f"round_index must be >= 0, got {round_index}")
+        self._round = int(round_index)
+
+    def outcome(self, node_id: int) -> FaultType:
+        """The (pure, repeatable) fault outcome for one node this round."""
+        if not 0 <= node_id < self.n_nodes:
+            raise IndexError(
+                f"node_id {node_id} out of range [0, {self.n_nodes})"
+            )
+        cfg = self.config
+        if cfg.total_rate == 0.0:
+            return FaultType.NONE
+        rng = np.random.default_rng(
+            [cfg.seed, self._episode, self._round, node_id]
+        )
+        u = rng.random()
+        if u < cfg.crash_rate:
+            return FaultType.CRASH
+        if u < cfg.crash_rate + cfg.straggler_rate:
+            return FaultType.STRAGGLER
+        if u < cfg.total_rate:
+            return FaultType.CORRUPT
+        return FaultType.NONE
+
+    def draw(self, node_ids: Sequence[int]) -> Dict[int, FaultType]:
+        """Outcomes for a participant set; tallies the fault counters.
+
+        Returns only the faulted nodes (``NONE`` entries are omitted).
+        """
+        outcomes: Dict[int, FaultType] = {}
+        for node_id in node_ids:
+            fault = self.outcome(node_id)
+            if fault is FaultType.NONE:
+                continue
+            outcomes[node_id] = fault
+            if fault is FaultType.CRASH:
+                self.counters["crashes"] += 1
+            elif fault is FaultType.STRAGGLER:
+                self.counters["stragglers"] += 1
+            else:
+                self.counters["corruptions"] += 1
+        return outcomes
+
+    def corrupt_state(
+        self, state: Dict[str, np.ndarray]
+    ) -> Dict[str, np.ndarray]:
+        """A corrupted copy of a model state dict (per ``corrupt_mode``)."""
+        if self.config.corrupt_mode == "nan":
+            return {
+                name: np.full_like(np.asarray(array, dtype=np.float64), np.nan)
+                for name, array in state.items()
+            }
+        return {
+            name: np.asarray(array, dtype=np.float64) * self.config.amplify_factor
+            for name, array in state.items()
+        }
+
+    def reset_counters(self) -> None:
+        for key in self.counters:
+            self.counters[key] = 0
+
+    @staticmethod
+    def split(
+        outcomes: Dict[int, FaultType]
+    ) -> Dict[str, List[int]]:
+        """Group an outcome map into sorted id lists by fault type."""
+        groups: Dict[str, List[int]] = {
+            "crashed": [],
+            "stragglers": [],
+            "corrupt": [],
+        }
+        for node_id, fault in outcomes.items():
+            if fault is FaultType.CRASH:
+                groups["crashed"].append(node_id)
+            elif fault is FaultType.STRAGGLER:
+                groups["stragglers"].append(node_id)
+            elif fault is FaultType.CORRUPT:
+                groups["corrupt"].append(node_id)
+        for ids in groups.values():
+            ids.sort()
+        return groups

@@ -1,0 +1,88 @@
+"""A fault-injecting wrapper around :class:`repro.fl.node.EdgeNode`.
+
+The wrapper consults a :class:`~repro.faults.injector.FaultInjector` on
+every ``local_update`` and realizes the drawn outcome physically:
+
+* **crash** — returns ``None`` (the session treats a missing state dict
+  as a crashed node);
+* **straggler** — trains honestly but reports ``last_delivery_time``
+  inflated by the injector's ``straggler_factor``;
+* **corrupt** — trains honestly, then corrupts the returned state dict
+  (NaN-filled or amplified per ``corrupt_mode``).
+
+Because injector outcomes are pure functions of (episode, round, node),
+the incentive environment and the wrapped node always agree on what
+happened without sharing any mutable RNG stream.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.faults.injector import FaultInjector, FaultType
+from repro.fl.node import EdgeNode
+from repro.nn.module import Module
+
+#: delivery time (abstract units) reported by an on-time node.
+HONEST_DELIVERY_TIME = 1.0
+
+
+class FaultyEdgeNode:
+    """Delegating proxy that injects faults into ``local_update``."""
+
+    def __init__(self, base: EdgeNode, injector: FaultInjector):
+        self.base = base
+        self.injector = injector
+        #: delivery time of the most recent update (None after a crash).
+        self.last_delivery_time: Optional[float] = None
+        #: the most recent drawn outcome (for introspection/telemetry).
+        self.last_fault: FaultType = FaultType.NONE
+
+    # ---- EdgeNode surface -------------------------------------------- #
+    @property
+    def node_id(self) -> int:
+        return self.base.node_id
+
+    @property
+    def dataset(self):
+        return self.base.dataset
+
+    @property
+    def profile(self):
+        return self.base.profile
+
+    @property
+    def config(self):
+        return self.base.config
+
+    @property
+    def data_size(self) -> int:
+        return self.base.data_size
+
+    def respond_to_price(self, price: float):
+        return self.base.respond_to_price(price)
+
+    # ---- the faulty update ------------------------------------------- #
+    def local_update(
+        self, model: Module, global_state: Dict[str, np.ndarray]
+    ) -> Optional[Dict[str, np.ndarray]]:
+        fault = self.injector.outcome(self.node_id)
+        self.last_fault = fault
+        if fault is FaultType.CRASH:
+            self.last_delivery_time = None
+            return None
+        state = self.base.local_update(model, global_state)
+        if fault is FaultType.STRAGGLER:
+            self.last_delivery_time = (
+                HONEST_DELIVERY_TIME * self.injector.config.straggler_factor
+            )
+        else:
+            self.last_delivery_time = HONEST_DELIVERY_TIME
+        if fault is FaultType.CORRUPT:
+            state = self.injector.corrupt_state(state)
+        return state
+
+    def __repr__(self) -> str:
+        return f"FaultyEdgeNode({self.base!r})"

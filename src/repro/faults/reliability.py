@@ -1,0 +1,149 @@
+"""Per-node delivery-reliability tracking with quarantine backoff.
+
+:class:`ReliabilityTracker` keeps an EWMA delivery rate per node — the
+signal the exterior agent needs to learn to price unreliable nodes down —
+and a quarantine schedule with exponential backoff for repeat offenders
+(corrupt updates, or delivery rates collapsing below ``score_floor``).
+A quarantined node is excluded from recruitment until its release round.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.utils.validation import check_in_range, check_positive
+
+
+class ReliabilityTracker:
+    """EWMA delivery rate + exponential-backoff quarantine per node."""
+
+    def __init__(
+        self,
+        n_nodes: int,
+        alpha: float = 0.3,
+        score_floor: float = 0.35,
+        quarantine_base: int = 2,
+        quarantine_cap: int = 16,
+    ):
+        check_positive("n_nodes", n_nodes)
+        check_in_range("alpha", alpha, 0.0, 1.0, inclusive=(False, True))
+        check_in_range("score_floor", score_floor, 0.0, 1.0)
+        check_positive("quarantine_base", quarantine_base)
+        check_positive("quarantine_cap", quarantine_cap)
+        if quarantine_cap < quarantine_base:
+            raise ValueError(
+                f"quarantine_cap ({quarantine_cap}) must be >= "
+                f"quarantine_base ({quarantine_base})"
+            )
+        self.n_nodes = int(n_nodes)
+        self.alpha = float(alpha)
+        self.score_floor = float(score_floor)
+        self.quarantine_base = int(quarantine_base)
+        self.quarantine_cap = int(quarantine_cap)
+        self._scores = np.ones(self.n_nodes)
+        self._offenses = np.zeros(self.n_nodes, dtype=np.int64)
+        self._quarantine_start = np.zeros(self.n_nodes, dtype=np.int64)
+        self._release_round = np.zeros(self.n_nodes, dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # observation
+    # ------------------------------------------------------------------ #
+    def record(self, node_id: int, delivered: bool) -> None:
+        """Fold one delivery outcome into the node's EWMA score."""
+        self._check_id(node_id)
+        target = 1.0 if delivered else 0.0
+        self._scores[node_id] += self.alpha * (target - self._scores[node_id])
+
+    def flag(self, node_id: int, round_index: int) -> int:
+        """Register an offense; quarantine with doubling backoff.
+
+        Returns the quarantine duration in rounds.  The node is excluded
+        from rounds ``round_index + 1 .. round_index + duration``.
+        """
+        self._check_id(node_id)
+        self._offenses[node_id] += 1
+        duration = min(
+            self.quarantine_cap,
+            self.quarantine_base * 2 ** (int(self._offenses[node_id]) - 1),
+        )
+        if not self.is_quarantined(node_id, round_index):
+            self._quarantine_start[node_id] = round_index + 1
+        self._release_round[node_id] = max(
+            int(self._release_round[node_id]), round_index + 1 + duration
+        )
+        return duration
+
+    def update_round(
+        self,
+        round_index: int,
+        delivered: Iterable[int],
+        failed: Iterable[int] = (),
+        offenders: Iterable[int] = (),
+    ) -> List[int]:
+        """Fold one round's delivery report in; returns newly flagged ids.
+
+        ``offenders`` (e.g. nodes whose updates failed validation) are
+        flagged immediately; other failures only depress the EWMA, and a
+        node whose score sinks below ``score_floor`` is also flagged.
+        """
+        failed = sorted(set(failed))
+        offenders = set(offenders)
+        for node_id in delivered:
+            self.record(node_id, True)
+        for node_id in failed:
+            self.record(node_id, False)
+        flagged = []
+        for node_id in failed:
+            low_score = self._scores[node_id] < self.score_floor
+            if node_id in offenders or low_score:
+                self.flag(node_id, round_index)
+                flagged.append(node_id)
+        return flagged
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def scores(self) -> np.ndarray:
+        """EWMA delivery rate per node (1.0 = perfectly reliable)."""
+        return self._scores.copy()
+
+    def offenses(self) -> np.ndarray:
+        return self._offenses.copy()
+
+    def is_quarantined(self, node_id: int, round_index: int) -> bool:
+        self._check_id(node_id)
+        return (
+            int(self._quarantine_start[node_id])
+            <= round_index
+            < int(self._release_round[node_id])
+        )
+
+    def quarantined(self, round_index: int) -> List[int]:
+        """Ids excluded from round ``round_index``."""
+        return [
+            i
+            for i in range(self.n_nodes)
+            if self._quarantine_start[i] <= round_index < self._release_round[i]
+        ]
+
+    def reset(self) -> None:
+        """Forget everything (new episode)."""
+        self._scores[:] = 1.0
+        self._offenses[:] = 0
+        self._quarantine_start[:] = 0
+        self._release_round[:] = 0
+
+    def _check_id(self, node_id: int) -> None:
+        if not 0 <= node_id < self.n_nodes:
+            raise IndexError(
+                f"node_id {node_id} out of range [0, {self.n_nodes})"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"ReliabilityTracker(n_nodes={self.n_nodes}, "
+            f"mean_score={self._scores.mean():.3f}, "
+            f"offenses={int(self._offenses.sum())})"
+        )

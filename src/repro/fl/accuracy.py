@@ -104,12 +104,18 @@ class SurrogateAccuracy:
         curve: SurrogateCurve,
         data_weights: Sequence[float],
         rng: RNGLike = None,
+        poison_factor: float = 5.0,
     ):
         weights = np.asarray(data_weights, dtype=np.float64)
         check_probability_vector("data_weights", weights)
+        check_positive("poison_factor", poison_factor, strict=False)
         self.curve = curve
         self._weights = weights
         self._rng = as_generator(rng)
+        #: how strongly one corrupt update that reaches aggregation undoes
+        #: progress, in units of its sender's honest contribution (the
+        #: surrogate analogue of a poisoned FedAvg step).
+        self.poison_factor = float(poison_factor)
         self._effective_rounds = 0.0
         self._accuracy = curve.a_init
 
@@ -130,7 +136,18 @@ class SurrogateAccuracy:
         self._accuracy = self.curve.a_init
         return self._accuracy
 
-    def step(self, participant_ids: Sequence[int]) -> float:
+    def step(
+        self,
+        participant_ids: Sequence[int],
+        poisoned_ids: Sequence[int] = (),
+    ) -> float:
+        """Advance by the aggregated updates' combined data weight.
+
+        ``poisoned_ids`` (a subset of ``participant_ids``) marks corrupt
+        updates that reached aggregation: each *subtracts*
+        ``poison_factor`` times its honest contribution, modelling a
+        poisoned FedAvg step dragging the model backwards.
+        """
         ids = sorted(set(participant_ids))
         if not ids:
             raise ValueError("step() needs at least one participant")
@@ -138,7 +155,16 @@ class SurrogateAccuracy:
             raise IndexError(
                 f"participant ids {ids} out of range [0, {self.num_nodes})"
             )
-        self._effective_rounds += float(self._weights[ids].sum())
+        poisoned = sorted(set(poisoned_ids))
+        if poisoned and not set(poisoned) <= set(ids):
+            raise ValueError(
+                f"poisoned_ids {poisoned} must be a subset of participants {ids}"
+            )
+        honest = [i for i in ids if i not in set(poisoned)]
+        delta = float(self._weights[honest].sum()) - self.poison_factor * float(
+            self._weights[poisoned].sum()
+        )
+        self._effective_rounds = max(0.0, self._effective_rounds + delta)
         clean = self.curve.accuracy(self._effective_rounds)
         noisy = clean + self._rng.normal(0.0, self.curve.noise_std)
         self._accuracy = float(np.clip(noisy, 0.0, 1.0))
@@ -170,8 +196,25 @@ class RealTrainingAccuracy:
             self._initial_accuracy = self.session.server.evaluate().accuracy
         return self._initial_accuracy
 
-    def step(self, participant_ids: Sequence[int]) -> float:
+    def step(
+        self,
+        participant_ids: Sequence[int],
+        poisoned_ids: Sequence[int] = (),
+    ) -> float:
+        """One real federated round.
+
+        ``poisoned_ids`` is accepted for interface parity with the
+        surrogate and ignored: in real training, corruption is physical —
+        a wrapped node (:class:`repro.faults.FaultyEdgeNode`) hands the
+        server a corrupted state dict, and the session's validation
+        pipeline (or lack of it) decides the consequence.
+        """
         return self.session.run_round(participant_ids).accuracy
+
+    @property
+    def last_round(self):
+        """The most recent :class:`~repro.fl.session.RoundResult` (or None)."""
+        return self.session.history[-1] if self.session.history else None
 
 
 def build_learning_process(

@@ -10,7 +10,7 @@ can be configured declaratively.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Callable, Dict, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
 import numpy as np
 
@@ -28,7 +28,40 @@ def _check_states(states: Sequence[Dict[str, np.ndarray]]) -> list:
     for i, state in enumerate(states[1:], start=1):
         if list(state.keys()) != keys:
             raise KeyError(f"state {i} keys differ from state 0")
+    # A single NaN/inf input would silently poison every coordinate-wise
+    # statistic; reject it at the door.  Callers that want to *skip* bad
+    # updates instead (the quarantine path) filter with validate_update
+    # before aggregating.
+    for i, state in enumerate(states):
+        for key in keys:
+            if not np.all(np.isfinite(np.asarray(state[key]))):
+                raise ValueError(
+                    f"state {i} entry {key!r} contains non-finite values; "
+                    "validate/quarantine updates before aggregation"
+                )
     return keys
+
+
+def validate_update(
+    state: Dict[str, np.ndarray],
+    reference: Optional[Dict[str, np.ndarray]] = None,
+) -> Optional[str]:
+    """Server-side sanity check of one incoming update.
+
+    Returns ``None`` when the update is acceptable, else a short reason
+    string: non-finite entries, or keys/shapes that do not match the
+    ``reference`` (typically the broadcast global state).
+    """
+    if reference is not None:
+        if list(state.keys()) != list(reference.keys()):
+            return "keys differ from the broadcast state"
+        for key, array in state.items():
+            if np.asarray(array).shape != np.asarray(reference[key]).shape:
+                return f"shape mismatch for {key!r}"
+    for key, array in state.items():
+        if not np.all(np.isfinite(np.asarray(array))):
+            return f"non-finite values in {key!r}"
+    return None
 
 
 def fedavg(

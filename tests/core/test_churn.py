@@ -78,6 +78,33 @@ class TestAvailability:
 
         assert run() == run()
 
+    def test_churn_reproducible_across_episodes(self):
+        """reset() reseeds the churn stream per episode: two identically
+        seeded envs agree episode by episode, even when their first
+        episodes consumed different numbers of draws."""
+
+        def episode(env, n_rounds):
+            env.reset()
+            prices = np.sqrt(env.price_floors * env.price_caps)
+            return [tuple(env.step(prices).unavailable) for _ in range(n_rounds)]
+
+        a = churn_env(0.5, seed=11)
+        b = churn_env(0.5, seed=11)
+        # Episode 0: different lengths, so the raw streams desynchronize.
+        episode(a, 3)
+        episode(b, 9)
+        # Episode 1 must still agree draw for draw.
+        assert episode(a, 8) == episode(b, 8)
+
+    def test_each_episode_gets_distinct_draws(self):
+        env = churn_env(0.5, seed=4)
+        env.reset()
+        prices = np.sqrt(env.price_floors * env.price_caps)
+        first = [tuple(env.step(prices).unavailable) for _ in range(8)]
+        env.reset()
+        second = [tuple(env.step(prices).unavailable) for _ in range(8)]
+        assert first != second  # fresh substream, not a replay
+
     def test_learning_survives_churn(self):
         """Accuracy still improves when a third of the fleet flickers."""
         env = churn_env(0.66, budget=1e6, max_rounds=15)

@@ -1,0 +1,210 @@
+"""EdgeLearningEnv under mid-round faults: escrow, clawback, quarantine,
+reliability-aware state, and the defenses-off control."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_environment
+from repro.faults import FaultConfig
+
+pytestmark = pytest.mark.faults
+
+
+def fault_env(
+    rate=0.2,
+    defenses=True,
+    budget=40.0,
+    n_nodes=5,
+    seed=0,
+    fault_seed=1,
+    max_rounds=80,
+    **kwargs,
+):
+    faults = FaultConfig.mixed(rate, seed=fault_seed) if rate else None
+    return build_environment(
+        task_name="mnist",
+        n_nodes=n_nodes,
+        budget=budget,
+        accuracy_mode="surrogate",
+        seed=seed,
+        max_rounds=max_rounds,
+        faults=faults,
+        fault_defenses=defenses,
+        **kwargs,
+    ).env
+
+
+def run_episode(env):
+    env.reset()
+    prices = np.sqrt(env.price_floors * env.price_caps)
+    results = []
+    while not env.done:
+        results.append(env.step(prices))
+    return results
+
+
+class TestEscrowClawback:
+    def test_spent_equals_delivered_payments(self):
+        """The acceptance criterion: only delivered work is charged."""
+        env = fault_env(rate=0.2)
+        results = run_episode(env)
+        delivered_total = sum(float(r.payments.sum()) for r in results if r.round_kept)
+        assert env.ledger.spent == pytest.approx(delivered_total)
+        assert env.ledger.clawback_total == pytest.approx(
+            sum(r.clawback for r in results)
+        )
+        assert env.ledger.clawback_total > 0  # faults actually fired
+
+    def test_defenses_off_pays_for_nothing(self):
+        env = fault_env(rate=0.3, defenses=False)
+        results = run_episode(env)
+        assert env.ledger.clawback_total == 0.0
+        # Crashed nodes keep their payment (the pathology clawback fixes).
+        paid_crashes = [
+            float(r.payments[r.crashed].sum()) for r in results if r.crashed
+        ]
+        assert paid_crashes and max(paid_crashes) > 0
+
+    def test_payment_arrays_zeroed_for_failures(self):
+        env = fault_env(rate=0.4)
+        for r in run_episode(env):
+            if not r.round_kept:
+                continue
+            failed = set(r.participants) - set(r.delivered)
+            for i in failed:
+                assert r.payments[i] == 0.0
+                assert r.times[i] == 0.0
+
+    def test_mixed_faults_stay_close_to_fault_free_accuracy(self):
+        """20% mixed faults with defenses: within 5 points of fault-free."""
+        clean = run_episode(fault_env(rate=0.0))
+        faulty = run_episode(fault_env(rate=0.2))
+        assert faulty  # completed without exception
+        assert clean[-1].accuracy - faulty[-1].accuracy < 0.05
+
+    def test_defenses_off_visibly_degrades(self):
+        """Corrupt updates reaching aggregation drag accuracy down."""
+        on = run_episode(fault_env(rate=0.3, fault_seed=2))
+        off = run_episode(fault_env(rate=0.3, fault_seed=2, defenses=False))
+        assert off[-1].accuracy < on[-1].accuracy - 0.03
+
+
+class TestDeliveryReporting:
+    def test_delivered_partitions_participants(self):
+        env = fault_env(rate=0.4)
+        for r in run_episode(env):
+            if not r.round_kept:
+                continue
+            failed = sorted(set(r.crashed) | set(r.late) | set(r.corrupted))
+            assert sorted(r.delivered + failed) == sorted(
+                set(r.delivered) | set(failed)
+            )
+            assert set(r.delivered).isdisjoint(failed)
+            assert set(r.delivered) | set(r.crashed) <= set(r.participants)
+
+    def test_quarantined_never_participate(self):
+        env = fault_env(rate=0.5, budget=100.0)
+        saw_quarantine = False
+        for r in run_episode(env):
+            if r.quarantined:
+                saw_quarantine = True
+                assert set(r.quarantined).isdisjoint(r.participants)
+        assert saw_quarantine
+
+    def test_reliability_in_state_and_result(self):
+        env = fault_env(rate=0.3)
+        base_dim = 3 * env.n_nodes * env.config.history + 2
+        assert env.state_dim == base_dim + env.n_nodes
+        results = run_episode(env)
+        last = results[-1]
+        assert last.reliability is not None
+        assert last.reliability.shape == (env.n_nodes,)
+        assert np.all((last.reliability >= 0) & (last.reliability <= 1))
+        # unreliable fleet -> scores visibly below 1
+        assert last.reliability.min() < 1.0
+        assert last.state.shape == (env.state_dim,)
+
+    def test_fault_free_env_reports_empty_fault_fields(self):
+        env = fault_env(rate=0.0)
+        for r in run_episode(env):
+            if r.round_kept:
+                assert r.delivered == r.participants
+            assert r.crashed == [] and r.late == [] and r.corrupted == []
+            assert r.clawback == 0.0
+            assert r.reliability is None
+
+
+class TestReproducibility:
+    def test_zero_rate_matches_fault_free_trajectory(self):
+        """faults with all-zero rates reproduce the fault-free run."""
+        clean = run_episode(fault_env(rate=0.0))
+        zeroed = run_episode(
+            build_environment(
+                task_name="mnist",
+                n_nodes=5,
+                budget=40.0,
+                accuracy_mode="surrogate",
+                seed=0,
+                max_rounds=80,
+                faults=FaultConfig(),
+            ).env
+        )
+        assert len(clean) == len(zeroed)
+        for a, b in zip(clean, zeroed):
+            assert a.accuracy == pytest.approx(b.accuracy)
+            assert a.reward_exterior == pytest.approx(b.reward_exterior)
+            assert a.reward_inner == pytest.approx(b.reward_inner)
+            np.testing.assert_allclose(a.payments, b.payments)
+            # States agree on everything but the appended reliability block.
+            np.testing.assert_allclose(
+                a.state[:-2], b.state[: a.state.shape[0] - 2]
+            )
+            np.testing.assert_allclose(a.state[-2:], b.state[-2:])
+
+    def test_faulty_episodes_reproducible(self):
+        def trace():
+            env = fault_env(rate=0.4, fault_seed=9)
+            out = []
+            for _ in range(2):  # two episodes: per-episode substreams
+                for r in run_episode(env):
+                    out.append(
+                        (
+                            tuple(r.delivered),
+                            tuple(r.crashed),
+                            tuple(r.corrupted),
+                            round(r.clawback, 12),
+                        )
+                    )
+            return out
+
+        assert trace() == trace()
+
+
+class TestTelemetryCounters:
+    def test_flatten_and_summary(self):
+        from repro.experiments.telemetry import EpisodeRecorder
+
+        env = fault_env(rate=0.4)
+        recorder = EpisodeRecorder()
+        env.reset()
+        prices = np.sqrt(env.price_floors * env.price_caps)
+        while not env.done:
+            recorder.observe(env.step(prices))
+        record = recorder.records[0]
+        for key in (
+            "n_delivered",
+            "n_crashed",
+            "n_late",
+            "n_corrupted",
+            "n_quarantined",
+            "clawback",
+            "min_reliability",
+        ):
+            assert key in record
+        summary = recorder.fault_summary()
+        assert summary["clawback_total"] == pytest.approx(
+            env.ledger.clawback_total
+        )
+        assert (
+            summary["crashes"] + summary["stragglers"] + summary["corruptions"]
+        ) > 0

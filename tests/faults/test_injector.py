@@ -1,0 +1,124 @@
+"""FaultInjector: seeded, counter-based crash/straggler/corrupt draws."""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultConfig, FaultInjector, FaultType
+
+pytestmark = pytest.mark.faults
+
+
+class TestFaultConfig:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError, match="crash_rate"):
+            FaultConfig(crash_rate=1.5)
+        with pytest.raises(ValueError, match="sum"):
+            FaultConfig(crash_rate=0.5, straggler_rate=0.4, corrupt_rate=0.2)
+        with pytest.raises(ValueError, match="straggler_factor"):
+            FaultConfig(straggler_factor=0.9)
+        with pytest.raises(ValueError, match="corrupt_mode"):
+            FaultConfig(corrupt_mode="scramble")
+
+    def test_mixed_splits_evenly(self):
+        cfg = FaultConfig.mixed(0.3, seed=7)
+        assert cfg.crash_rate == pytest.approx(0.1)
+        assert cfg.straggler_rate == pytest.approx(0.1)
+        assert cfg.corrupt_rate == pytest.approx(0.1)
+        assert cfg.seed == 7
+
+
+class TestDeterminism:
+    def test_outcome_is_pure(self):
+        inj = FaultInjector(FaultConfig.mixed(0.9, seed=3), n_nodes=8)
+        inj.reset(2)
+        inj.begin_round(5)
+        first = [inj.outcome(i) for i in range(8)]
+        second = [inj.outcome(i) for i in range(8)]
+        assert first == second
+
+    def test_two_injectors_agree(self):
+        cfg = FaultConfig.mixed(0.6, seed=11)
+        a = FaultInjector(cfg, n_nodes=6)
+        b = FaultInjector(cfg, n_nodes=6)
+        for episode in range(2):
+            a.reset(episode)
+            b.reset(episode)
+            for rnd in range(4):
+                a.begin_round(rnd)
+                b.begin_round(rnd)
+                assert [a.outcome(i) for i in range(6)] == [
+                    b.outcome(i) for i in range(6)
+                ]
+
+    def test_episodes_differ(self):
+        inj = FaultInjector(FaultConfig.mixed(0.9, seed=0), n_nodes=32)
+        inj.reset(0)
+        inj.begin_round(0)
+        ep0 = [inj.outcome(i) for i in range(32)]
+        inj.reset(1)
+        inj.begin_round(0)
+        ep1 = [inj.outcome(i) for i in range(32)]
+        assert ep0 != ep1
+
+    def test_zero_rate_never_faults(self):
+        inj = FaultInjector(FaultConfig(), n_nodes=4)
+        inj.begin_round(9)
+        assert all(inj.outcome(i) is FaultType.NONE for i in range(4))
+        assert inj.draw(range(4)) == {}
+
+
+class TestDrawAndCounters:
+    def test_draw_rates_roughly_match(self):
+        inj = FaultInjector(
+            FaultConfig(crash_rate=0.2, straggler_rate=0.2, corrupt_rate=0.2),
+            n_nodes=50,
+        )
+        faulted = 0
+        for rnd in range(40):
+            inj.begin_round(rnd)
+            faulted += len(inj.draw(range(50)))
+        # 2000 draws at 60% total rate; allow a wide band.
+        assert 1000 <= faulted <= 1400
+        counts = inj.counters
+        assert faulted == sum(counts.values())
+        for key in ("crashes", "stragglers", "corruptions"):
+            assert counts[key] > 200
+
+    def test_split_groups(self):
+        outcomes = {
+            3: FaultType.CRASH,
+            1: FaultType.CORRUPT,
+            2: FaultType.STRAGGLER,
+            0: FaultType.CRASH,
+        }
+        groups = FaultInjector.split(outcomes)
+        assert groups == {
+            "crashed": [0, 3],
+            "stragglers": [2],
+            "corrupt": [1],
+        }
+
+    def test_node_id_range_checked(self):
+        inj = FaultInjector(FaultConfig.mixed(0.3), n_nodes=3)
+        with pytest.raises(IndexError):
+            inj.outcome(3)
+
+
+class TestCorruptState:
+    def test_nan_mode(self):
+        inj = FaultInjector(FaultConfig(corrupt_rate=0.5), n_nodes=2)
+        state = {"w": np.ones((2, 2)), "b": np.zeros(3)}
+        bad = inj.corrupt_state(state)
+        assert np.isnan(bad["w"]).all()
+        assert np.isnan(bad["b"]).all()
+        assert np.isfinite(state["w"]).all()  # the original is untouched
+
+    def test_amplify_mode(self):
+        inj = FaultInjector(
+            FaultConfig(corrupt_rate=0.5, corrupt_mode="amplify", amplify_factor=-10.0),
+            n_nodes=2,
+        )
+        state = {"w": np.ones(4)}
+        bad = inj.corrupt_state(state)
+        np.testing.assert_allclose(bad["w"], -10.0)
+        assert np.isfinite(bad["w"]).all()

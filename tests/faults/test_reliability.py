@@ -1,0 +1,83 @@
+"""ReliabilityTracker: EWMA delivery rates and quarantine backoff."""
+
+import numpy as np
+import pytest
+
+from repro.faults import ReliabilityTracker
+
+pytestmark = pytest.mark.faults
+
+
+class TestScores:
+    def test_initially_fully_reliable(self):
+        t = ReliabilityTracker(4)
+        np.testing.assert_allclose(t.scores(), 1.0)
+
+    def test_ewma_moves_toward_outcomes(self):
+        t = ReliabilityTracker(2, alpha=0.5)
+        t.record(0, False)
+        assert t.scores()[0] == pytest.approx(0.5)
+        t.record(0, False)
+        assert t.scores()[0] == pytest.approx(0.25)
+        t.record(0, True)
+        assert t.scores()[0] == pytest.approx(0.625)
+        assert t.scores()[1] == 1.0  # untouched node unchanged
+
+    def test_scores_copy_is_defensive(self):
+        t = ReliabilityTracker(2)
+        s = t.scores()
+        s[0] = -1.0
+        assert t.scores()[0] == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReliabilityTracker(0)
+        with pytest.raises(ValueError):
+            ReliabilityTracker(2, alpha=0.0)
+        with pytest.raises(ValueError):
+            ReliabilityTracker(2, quarantine_base=8, quarantine_cap=4)
+        t = ReliabilityTracker(2)
+        with pytest.raises(IndexError):
+            t.record(2, True)
+
+
+class TestQuarantine:
+    def test_backoff_doubles_and_caps(self):
+        t = ReliabilityTracker(1, quarantine_base=2, quarantine_cap=8)
+        assert t.flag(0, round_index=0) == 2
+        assert t.flag(0, round_index=10) == 4
+        assert t.flag(0, round_index=20) == 8
+        assert t.flag(0, round_index=30) == 8  # capped
+
+    def test_quarantine_window(self):
+        t = ReliabilityTracker(3, quarantine_base=2)
+        t.flag(1, round_index=5)  # excluded from rounds 6 and 7
+        assert not t.is_quarantined(1, 5)
+        assert t.is_quarantined(1, 6)
+        assert t.is_quarantined(1, 7)
+        assert not t.is_quarantined(1, 8)
+        assert t.quarantined(6) == [1]
+        assert t.quarantined(8) == []
+
+    def test_update_round_flags_offenders_immediately(self):
+        t = ReliabilityTracker(4)
+        flagged = t.update_round(0, delivered=[0, 1], failed=[2, 3], offenders=[3])
+        assert flagged == [3]
+        assert t.is_quarantined(3, 1)
+        assert not t.is_quarantined(2, 1)  # one miss is not an offense
+
+    def test_update_round_flags_low_scores(self):
+        t = ReliabilityTracker(1, alpha=0.5, score_floor=0.4)
+        t.update_round(0, delivered=[], failed=[0])  # score 0.5
+        assert not t.is_quarantined(0, 1)
+        flagged = t.update_round(1, delivered=[], failed=[0])  # score 0.25
+        assert flagged == [0]
+        assert t.is_quarantined(0, 2)
+
+    def test_reset_forgets_everything(self):
+        t = ReliabilityTracker(2)
+        t.update_round(0, delivered=[], failed=[0], offenders=[0])
+        t.reset()
+        np.testing.assert_allclose(t.scores(), 1.0)
+        assert t.quarantined(1) == []
+        assert t.offenses().sum() == 0

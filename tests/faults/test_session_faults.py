@@ -1,0 +1,175 @@
+"""FederatedSession delivery pipeline: deadline, validation, quarantine."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_task, partition_dataset
+from repro.economics import sample_profiles
+from repro.faults import (
+    FaultConfig,
+    FaultInjector,
+    FaultyEdgeNode,
+    ReliabilityTracker,
+)
+from repro.fl import EdgeNode, FederatedSession, LocalTrainingConfig, ParameterServer
+from repro.nn import McMahanCNN
+
+pytestmark = pytest.mark.faults
+
+
+def tiny_nodes(n_nodes=3, train=45, test=30):
+    task = make_task("mnist", rng=0)
+    train_ds, test_ds = task.train_test_split(train, test, rng=1)
+    parts = partition_dataset(train_ds, n_nodes, scheme="iid", rng=2)
+    profiles = sample_profiles(n_nodes, rng=3)
+    cfg = LocalTrainingConfig(local_epochs=1, batch_size=15)
+    server = ParameterServer(lambda: McMahanCNN(rng=4), test_ds)
+    nodes = [
+        EdgeNode(i, parts[i], profiles[i], cfg, rng=10 + i) for i in range(n_nodes)
+    ]
+    return server, nodes
+
+
+class CrashingNode:
+    """Minimal stand-in: quacks like an EdgeNode but never delivers."""
+
+    def __init__(self, base):
+        self.base = base
+        self.node_id = base.node_id
+        self.data_size = base.data_size
+        self.last_delivery_time = None
+
+    def local_update(self, model, global_state):
+        return None
+
+
+class NaNNode:
+    def __init__(self, base):
+        self.base = base
+        self.node_id = base.node_id
+        self.data_size = base.data_size
+
+    def local_update(self, model, global_state):
+        state = self.base.local_update(model, global_state)
+        return {k: np.full_like(v, np.nan) for k, v in state.items()}
+
+
+class SlowNode:
+    def __init__(self, base, delivery_time):
+        self.base = base
+        self.node_id = base.node_id
+        self.data_size = base.data_size
+        self.last_delivery_time = delivery_time
+
+    def local_update(self, model, global_state):
+        return self.base.local_update(model, global_state)
+
+
+class TestDeliveryPipeline:
+    def test_crash_is_skipped_not_fatal(self):
+        server, nodes = tiny_nodes()
+        nodes[0] = CrashingNode(nodes[0])
+        session = FederatedSession(server, nodes)
+        result = session.run_round()
+        assert result.crashed_ids == [0]
+        assert result.delivered_ids == [1, 2]
+        assert server.round_index == 1  # survivors were aggregated
+
+    def test_nan_update_quarantined_by_validation(self):
+        server, nodes = tiny_nodes()
+        nodes[1] = NaNNode(nodes[1])
+        session = FederatedSession(server, nodes, validate_updates=True)
+        result = session.run_round()
+        assert result.invalid_ids == [1]
+        assert result.delivered_ids == [0, 2]
+        assert np.isfinite(server.broadcast()["conv1.weight"]).all()
+
+    def test_nan_update_without_validation_raises(self):
+        server, nodes = tiny_nodes()
+        nodes[1] = NaNNode(nodes[1])
+        session = FederatedSession(server, nodes, validate_updates=False)
+        with pytest.raises(ValueError, match="non-finite"):
+            session.run_round()
+
+    def test_deadline_drops_stragglers(self):
+        server, nodes = tiny_nodes()
+        nodes[2] = SlowNode(nodes[2], delivery_time=5.0)
+        session = FederatedSession(server, nodes, deadline=2.0)
+        result = session.run_round()
+        assert result.late_ids == [2]
+        assert result.delivered_ids == [0, 1]
+
+    def test_all_fail_leaves_model_untouched(self):
+        server, nodes = tiny_nodes()
+        wrapped = [CrashingNode(n) for n in nodes]
+        session = FederatedSession(server, wrapped)
+        before = {k: v.copy() for k, v in server.broadcast().items()}
+        result = session.run_round()
+        assert result.delivered_ids == []
+        assert result.crashed_ids == [0, 1, 2]
+        assert server.round_index == 0  # no aggregation happened
+        after = server.broadcast()
+        for key in before:
+            np.testing.assert_array_equal(before[key], after[key])
+
+    def test_reliability_quarantines_offender_next_round(self):
+        server, nodes = tiny_nodes()
+        nodes[1] = NaNNode(nodes[1])
+        tracker = ReliabilityTracker(3)
+        session = FederatedSession(server, nodes, reliability=tracker)
+        first = session.run_round()
+        assert first.invalid_ids == [1]
+        second = session.run_round()
+        assert second.quarantined_ids == [1]
+        assert 1 not in second.participant_ids
+        assert second.delivered_ids == [0, 2]
+
+    def test_session_reset_resets_reliability(self):
+        server, nodes = tiny_nodes()
+        tracker = ReliabilityTracker(3)
+        tracker.flag(0, 0)
+        session = FederatedSession(server, nodes, reliability=tracker)
+        session.reset()
+        assert tracker.quarantined(1) == []
+
+    def test_deadline_validated(self):
+        server, nodes = tiny_nodes()
+        with pytest.raises(ValueError, match="deadline"):
+            FederatedSession(server, nodes, deadline=0.0)
+
+
+class TestFaultyEdgeNodeInSession:
+    def test_injected_faults_end_to_end(self):
+        """A session over FaultyEdgeNodes survives a high mixed fault rate."""
+        server, nodes = tiny_nodes()
+        injector = FaultInjector(
+            FaultConfig(crash_rate=0.25, straggler_rate=0.25, corrupt_rate=0.25, seed=5),
+            n_nodes=3,
+        )
+        tracker = ReliabilityTracker(3)
+        session = FederatedSession(
+            server,
+            [FaultyEdgeNode(n, injector) for n in nodes],
+            deadline=2.0,
+            validate_updates=True,
+            reliability=tracker,
+            injector=injector,
+        )
+        results = session.run(4)
+        assert len(results) == 4
+        seen_failures = sum(
+            len(r.crashed_ids) + len(r.late_ids) + len(r.invalid_ids)
+            for r in results
+        )
+        assert seen_failures > 0  # the injector actually fired
+        assert np.isfinite(server.broadcast()["conv1.weight"]).all()
+
+    def test_wrapper_delegates_node_surface(self):
+        _, nodes = tiny_nodes()
+        injector = FaultInjector(FaultConfig(), n_nodes=3)
+        wrapped = FaultyEdgeNode(nodes[0], injector)
+        assert wrapped.node_id == nodes[0].node_id
+        assert wrapped.data_size == nodes[0].data_size
+        assert wrapped.profile is nodes[0].profile
+        response = wrapped.respond_to_price(1.0)
+        assert response == nodes[0].respond_to_price(1.0)

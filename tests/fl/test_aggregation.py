@@ -72,3 +72,48 @@ class TestFedAvg:
         merged = fedavg([make_state(s) for s in scales], weights)
         assert merged["w"].min() >= min(scales) - 1e-9
         assert merged["w"].max() <= max(scales) + 1e-9
+
+
+class TestNonFiniteInputGuard:
+    """A single NaN update must raise, never silently poison the model."""
+
+    def nan_state(self):
+        state = make_state(1.0)
+        state["w"] = state["w"].copy()
+        state["w"][0, 0] = np.nan
+        return state
+
+    def test_fedavg_rejects_nan_input(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            fedavg([make_state(1.0), self.nan_state()], [1.0, 1.0])
+
+    def test_median_rejects_nan_input(self):
+        from repro.fl import median_aggregate
+
+        with pytest.raises(ValueError, match="non-finite"):
+            median_aggregate(
+                [make_state(1.0), make_state(2.0), self.nan_state()]
+            )
+
+    def test_trimmed_mean_rejects_nan_input(self):
+        from repro.fl import trimmed_mean_aggregate
+
+        with pytest.raises(ValueError, match="non-finite"):
+            trimmed_mean_aggregate(
+                [make_state(1.0), make_state(2.0), self.nan_state()]
+            )
+
+    def test_validate_update_screens_before_aggregation(self):
+        from repro.fl.aggregation import validate_update
+
+        reference = make_state(0.0)
+        assert validate_update(make_state(1.0), reference) is None
+        assert "non-finite" in validate_update(self.nan_state(), reference)
+        wrong_keys = OrderedDict([("other", np.zeros(2))])
+        assert "keys" in validate_update(wrong_keys, reference)
+        wrong_shape = OrderedDict(
+            [("w", np.zeros((3, 3))), ("b", np.zeros(3))]
+        )
+        assert "shape" in validate_update(wrong_shape, reference)
+        # Without a reference only finiteness is checked.
+        assert validate_update(wrong_keys) is None
