@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test faults bench repro repro-paper report clean
+.PHONY: install test faults bench bench-smoke bench-rollout repro repro-paper report clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -16,6 +16,15 @@ faults:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Quick end-to-end check of the rollout benchmark harness (tiny workload).
+bench-smoke:
+	$(PYTHON) -m pytest -m bench tests/
+
+# Regenerate the committed vectorized-rollout throughput report.
+bench-rollout:
+	$(PYTHON) -m repro.bench rollout --num-envs 1,4,8 \
+		--episodes-per-env 6 --warmup-episodes 2 --out BENCH_rollout.json
 
 # Regenerate every paper figure/table at quick scale and rebuild the report.
 repro:

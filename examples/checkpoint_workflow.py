@@ -42,7 +42,7 @@ def main() -> None:
     agent.eval_mode()
     from repro.core.mechanism import Observation
 
-    state = env.reset()
+    state, _ = env.reset()
     obs = Observation(state, env.ledger.remaining, 0)
     agent.begin_episode(obs)
     deployed.begin_episode(obs)

@@ -46,7 +46,8 @@ def run(defenses: bool) -> None:
     delivered_total = 0.0
     try:
         while not env.done:
-            result = env.step(prices)
+            *_, info = env.step(prices)
+            result = info["step_result"]
             delivered_total += float(result.payments.sum())
             failures = []
             if result.crashed:

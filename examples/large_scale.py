@@ -33,7 +33,7 @@ def main() -> None:
 
     # Frozen-policy episode with a readable trace.
     agent.eval_mode()
-    state = env.reset()
+    state, _ = env.reset()
     obs = Observation(state, env.ledger.remaining, env.round_index)
     agent.begin_episode(obs)
     print(f"\n{'k':>3} {'p_total':>10} {'nodes':>5} {'T_k':>6} {'eff':>5} "
@@ -41,7 +41,8 @@ def main() -> None:
     efficiencies = []
     while not env.done:
         prices = agent.propose_prices(obs)
-        result = env.step(prices)
+        *_, info = env.step(prices)
+        result = info["step_result"]
         agent.observe(prices, result)
         if result.round_kept:
             efficiencies.append(result.efficiency)

@@ -23,16 +23,8 @@ import numpy as np
 from repro.core.env import EdgeLearningEnv, StepResult
 from repro.core.mechanism import IncentiveMechanism, Observation
 from repro.rl.ppo import PPOAgent, PPOConfig
+from repro.utils.numerics import sigmoid as _sigmoid
 from repro.utils.rng import RNGLike
-
-
-def _sigmoid(x: np.ndarray) -> np.ndarray:
-    out = np.empty_like(x)
-    pos = x >= 0
-    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
-    ez = np.exp(x[~pos])
-    out[~pos] = ez / (1.0 + ez)
-    return out
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,175 @@
+"""Rollout throughput benchmarks.
+
+Measures environment steps per second for the sequential reference path
+(``num_envs = 1``, :func:`repro.experiments.runner.run_episode`) and the
+vectorized engine (:func:`repro.experiments.runner.run_episodes_vectorized`)
+at increasing replica counts, on identical configurations.
+
+Run as ``python -m repro.bench rollout --num-envs 1,4,8``; results land in
+``BENCH_rollout.json``.  The rollout runs with learning frozen (no PPO
+updates) but the full stochastic acting path — observation-normalizer
+updates, Gaussian sampling, value estimates — so the measured cost is the
+per-step inference + environment work that vectorization targets.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.builder import build_environment
+from repro.core.chiron import ChironAgent, ChironConfig
+from repro.core.vector import VectorizedEdgeLearningEnv
+from repro.experiments.runner import run_episode, run_episodes_vectorized
+
+
+class _StepCounter:
+    """Counts ``step`` calls on instrumented environment replicas."""
+
+    def __init__(self):
+        self.count = 0
+
+    def instrument(self, env) -> None:
+        original = env.step
+
+        def counted(prices):
+            self.count += 1
+            return original(prices)
+
+        env.step = counted
+
+
+def _make_agent(env, agent_seed: int) -> ChironAgent:
+    # deterministic_eval=False keeps the stochastic acting path (normalizer
+    # updates + sampling) under eval_mode, i.e. a training-shaped rollout
+    # without the PPO update cost polluting the throughput number.
+    agent = ChironAgent(
+        env,
+        ChironConfig(deterministic_eval=False),
+        rng=np.random.default_rng(agent_seed),
+    )
+    agent.eval_mode()
+    return agent
+
+
+def _bench_sequential(
+    env_seed: int,
+    agent_seed: int,
+    episodes: int,
+    warmup_episodes: int,
+    **build_kwargs,
+) -> Dict[str, float]:
+    env = build_environment(seed=env_seed, **build_kwargs).env
+    agent = _make_agent(env, agent_seed)
+    for _ in range(warmup_episodes):
+        run_episode(env, agent)
+    counter = _StepCounter()
+    counter.instrument(env)
+    start = time.perf_counter()
+    for _ in range(episodes):
+        run_episode(env, agent)
+    elapsed = time.perf_counter() - start
+    return {
+        "num_envs": 1,
+        "mode": "sequential",
+        "episodes": episodes,
+        "steps": counter.count,
+        "seconds": elapsed,
+        "steps_per_sec": counter.count / elapsed,
+    }
+
+
+def _bench_vectorized(
+    env_seed: int,
+    agent_seed: int,
+    num_envs: int,
+    episodes: int,
+    warmup_episodes: int,
+    **build_kwargs,
+) -> Dict[str, float]:
+    env = build_environment(seed=env_seed, **build_kwargs).env
+    agent = _make_agent(env, agent_seed)
+    venv = VectorizedEdgeLearningEnv.from_env(env, num_envs)
+    if warmup_episodes:
+        run_episodes_vectorized(venv, agent, warmup_episodes * num_envs, num_envs)
+    counter = _StepCounter()
+    for replica in venv.envs:
+        counter.instrument(replica)
+    start = time.perf_counter()
+    run_episodes_vectorized(venv, agent, episodes, num_envs)
+    elapsed = time.perf_counter() - start
+    return {
+        "num_envs": num_envs,
+        "mode": "vectorized",
+        "episodes": episodes,
+        "steps": counter.count,
+        "seconds": elapsed,
+        "steps_per_sec": counter.count / elapsed,
+    }
+
+
+def run_rollout_benchmark(
+    num_envs: List[int],
+    episodes_per_env: int = 4,
+    warmup_episodes: int = 1,
+    n_nodes: int = 5,
+    budget: float = 100.0,
+    seed: int = 0,
+    agent_seed: int = 42,
+) -> dict:
+    """Benchmark rollout throughput at each replica count in ``num_envs``.
+
+    Every entry rolls out ``episodes_per_env × num_envs`` episodes on a
+    freshly built environment/agent pair (identical config and seeds), so
+    per-replica workloads match across entries.  ``num_envs = 1`` uses the
+    sequential reference path and anchors the reported speedups.
+    """
+    build_kwargs = dict(n_nodes=n_nodes, budget=budget)
+    results = []
+    for m in num_envs:
+        if m == 1:
+            entry = _bench_sequential(
+                seed, agent_seed, episodes_per_env, warmup_episodes, **build_kwargs
+            )
+        else:
+            entry = _bench_vectorized(
+                seed,
+                agent_seed,
+                m,
+                episodes_per_env * m,
+                warmup_episodes,
+                **build_kwargs,
+            )
+        results.append(entry)
+    baseline = next((r for r in results if r["num_envs"] == 1), None)
+    speedups: Dict[str, float] = {}
+    if baseline is not None:
+        for entry in results:
+            speedups[str(entry["num_envs"])] = (
+                entry["steps_per_sec"] / baseline["steps_per_sec"]
+            )
+    return {
+        "benchmark": "rollout",
+        "config": {
+            "n_nodes": n_nodes,
+            "budget": budget,
+            "seed": seed,
+            "agent_seed": agent_seed,
+            "episodes_per_env": episodes_per_env,
+            "warmup_episodes": warmup_episodes,
+        },
+        "results": results,
+        "speedup_vs_sequential": speedups,
+    }
+
+
+def write_report(report: dict, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+
+__all__ = ["run_rollout_benchmark", "write_report"]

@@ -1,0 +1,76 @@
+"""CLI for the rollout throughput benchmark.
+
+Examples::
+
+    python -m repro.bench rollout --num-envs 1,4,8
+    python -m repro.bench rollout --num-envs 1,2 --episodes-per-env 1 \\
+        --out /tmp/bench_smoke.json        # quick smoke run
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench import run_rollout_benchmark, write_report
+
+
+def _parse_num_envs(value: str):
+    try:
+        parsed = [int(part) for part in value.split(",") if part.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--num-envs expects comma-separated integers, got {value!r}"
+        )
+    if not parsed or any(m < 1 for m in parsed):
+        raise argparse.ArgumentTypeError(
+            f"--num-envs entries must be positive, got {value!r}"
+        )
+    return parsed
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench", description=__doc__
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    rollout = subparsers.add_parser(
+        "rollout", help="environment-steps-per-second rollout benchmark"
+    )
+    rollout.add_argument(
+        "--num-envs",
+        type=_parse_num_envs,
+        default=[1, 4, 8],
+        help="comma-separated replica counts (1 = sequential baseline)",
+    )
+    rollout.add_argument("--episodes-per-env", type=int, default=4)
+    rollout.add_argument("--warmup-episodes", type=int, default=1)
+    rollout.add_argument("--n-nodes", type=int, default=5)
+    rollout.add_argument("--budget", type=float, default=100.0)
+    rollout.add_argument("--seed", type=int, default=0)
+    rollout.add_argument("--out", default="BENCH_rollout.json")
+    args = parser.parse_args(argv)
+
+    report = run_rollout_benchmark(
+        num_envs=args.num_envs,
+        episodes_per_env=args.episodes_per_env,
+        warmup_episodes=args.warmup_episodes,
+        n_nodes=args.n_nodes,
+        budget=args.budget,
+        seed=args.seed,
+    )
+    write_report(report, args.out)
+    for entry in report["results"]:
+        speedup = report["speedup_vs_sequential"].get(str(entry["num_envs"]))
+        suffix = f"  ({speedup:.2f}x vs sequential)" if speedup else ""
+        print(
+            f"num_envs={entry['num_envs']:>2} [{entry['mode']}] "
+            f"{entry['steps']} steps in {entry['seconds']:.3f}s = "
+            f"{entry['steps_per_sec']:.0f} steps/s{suffix}"
+        )
+    print(f"report written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

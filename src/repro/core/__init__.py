@@ -10,16 +10,18 @@
   a fully wired environment from an :class:`ExperimentConfig`.
 """
 
-from repro.core.env import EdgeLearningEnv, EnvConfig, StepResult
+from repro.core.env import EdgeLearningEnv, EnvConfig, LegacyEnvAdapter, StepResult
 from repro.core.state import ExteriorStateEncoder
 from repro.core.rewards import RewardConfig, exterior_reward, inner_reward
 from repro.core.mechanism import IncentiveMechanism, Observation
 from repro.core.chiron import ChironAgent, ChironConfig
-from repro.core.builder import BuildResult, build_environment
+from repro.core.builder import BuildConfig, BuildResult, build_environment
+from repro.core.vector import VectorizedEdgeLearningEnv
 
 __all__ = [
     "EdgeLearningEnv",
     "EnvConfig",
+    "LegacyEnvAdapter",
     "StepResult",
     "ExteriorStateEncoder",
     "RewardConfig",
@@ -29,6 +31,8 @@ __all__ = [
     "Observation",
     "ChironAgent",
     "ChironConfig",
+    "BuildConfig",
     "BuildResult",
     "build_environment",
+    "VectorizedEdgeLearningEnv",
 ]

@@ -9,7 +9,7 @@ or the calibrated surrogate) closes the loop.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional
 
 import numpy as np
@@ -38,6 +38,55 @@ from repro.utils.validation import check_positive
 #: dataset bits times this factor; 10 keeps computation time commensurate
 #: with the 10-20 s communication window of §VI-A.
 COMPUTE_AMPLIFICATION = 10.0
+
+
+@dataclass(frozen=True)
+class BuildConfig:
+    """Everything :func:`build_environment` needs, as one config object.
+
+    Collapses the former keyword soup into a frozen dataclass with
+    dict round-trips (:meth:`to_dict` / :meth:`from_dict`), so experiment
+    registry entries can be stored as plain JSON dicts and rebuilt
+    loss-free.  ``env`` overrides the derived :class:`EnvConfig` wholesale;
+    when ``None`` one is assembled from the scalar fields below exactly as
+    the keyword API always did.
+    """
+
+    task_name: str = "mnist"
+    n_nodes: int = 5
+    budget: float = 100.0
+    accuracy_mode: str = "surrogate"
+    seed: int = 0
+    samples_per_node: int = 120
+    test_size: int = 400
+    partition_scheme: str = "iid"
+    local_epochs: int = 5
+    history: int = 4
+    max_rounds: int = 500
+    availability: float = 1.0
+    env: Optional[EnvConfig] = None
+    hardware_spec: Optional[HardwareSpec] = None
+    training_config: Optional[LocalTrainingConfig] = None
+    faults: Optional[FaultConfig] = None
+    fault_defenses: bool = True
+    round_deadline_factor: Optional[float] = 4.0
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (see :mod:`repro.utils.config`)."""
+        from repro.utils.config import config_to_dict
+
+        return config_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BuildConfig":
+        """Reconstruct from :meth:`to_dict` output."""
+        from repro.utils.config import config_from_dict
+
+        return config_from_dict(cls, data)
+
+    def build(self) -> "BuildResult":
+        """Construct the fully wired environment this config describes."""
+        return build_environment(config=self)
 
 
 @dataclass
@@ -79,8 +128,14 @@ def build_environment(
     faults: Optional[FaultConfig] = None,
     fault_defenses: bool = True,
     round_deadline_factor: Optional[float] = 4.0,
+    config: Optional[BuildConfig] = None,
 ) -> BuildResult:
     """Construct an :class:`EdgeLearningEnv` for a named task.
+
+    The primary surface is a single :class:`BuildConfig` (``config=...`` or
+    ``BuildConfig(...).build()``); the individual keywords remain supported
+    and are folded into one internally — passing ``config`` together with
+    any other keyword is an error.
 
     ``accuracy_mode``:
 
@@ -95,6 +150,57 @@ def build_environment(
     server a poisoned state dict — and the session's validation pipeline
     is switched with ``fault_defenses``.
     """
+    legacy_kwargs = dict(
+        task_name=task_name,
+        n_nodes=n_nodes,
+        budget=budget,
+        accuracy_mode=accuracy_mode,
+        seed=seed,
+        samples_per_node=samples_per_node,
+        test_size=test_size,
+        partition_scheme=partition_scheme,
+        local_epochs=local_epochs,
+        history=history,
+        max_rounds=max_rounds,
+        availability=availability,
+        env=env_config,
+        hardware_spec=hardware_spec,
+        training_config=training_config,
+        faults=faults,
+        fault_defenses=fault_defenses,
+        round_deadline_factor=round_deadline_factor,
+    )
+    if config is None:
+        config = BuildConfig(**legacy_kwargs)
+    else:
+        defaults = BuildConfig()
+        clashes = sorted(
+            k for k, v in legacy_kwargs.items() if v != getattr(defaults, k)
+        )
+        if clashes:
+            raise ValueError(
+                f"pass either config=... or individual keywords, not both "
+                f"(got config plus {clashes})"
+            )
+    task_name = config.task_name
+    n_nodes = config.n_nodes
+    budget = config.budget
+    accuracy_mode = config.accuracy_mode
+    seed = config.seed
+    samples_per_node = config.samples_per_node
+    test_size = config.test_size
+    partition_scheme = config.partition_scheme
+    local_epochs = config.local_epochs
+    history = config.history
+    max_rounds = config.max_rounds
+    availability = config.availability
+    env_config = config.env
+    hardware_spec = config.hardware_spec
+    training_config = config.training_config
+    faults = config.faults
+    fault_defenses = config.fault_defenses
+    round_deadline_factor = config.round_deadline_factor
+
     if task_name not in TASK_SPECS:
         raise ValueError(
             f"unknown task {task_name!r}; available: {sorted(TASK_SPECS)}"
@@ -179,7 +285,7 @@ def build_environment(
             task_name, weights, rng=seeds.generator("surrogate")
         )
 
-    config = env_config or EnvConfig(
+    mdp_config = env_config or EnvConfig(
         budget=budget,
         local_epochs=local_epochs,
         history=history,
@@ -190,8 +296,8 @@ def build_environment(
         fault_defenses=fault_defenses,
         round_deadline_factor=round_deadline_factor,
     )
-    env = EdgeLearningEnv(profiles, learning, config)
-    if config.faults is not None and session is not None:
+    env = EdgeLearningEnv(profiles, learning, mdp_config)
+    if mdp_config.faults is not None and session is not None:
         # Realize faults physically: wrap every node around the env's
         # injector (outcomes are pure functions of (episode, round, node),
         # so env and nodes always agree on what happened).  The env is the
@@ -201,7 +307,7 @@ def build_environment(
         assert env.injector is not None
         wrapped = [FaultyEdgeNode(session.nodes[i], env.injector) for i in session.node_ids]
         session.nodes = {n.node_id: n for n in wrapped}
-        session.validate_updates = bool(config.fault_defenses)
+        session.validate_updates = bool(mdp_config.fault_defenses)
     return BuildResult(
         env=env,
         profiles=profiles,

@@ -22,29 +22,16 @@ well-posed credit assignment).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.env import EdgeLearningEnv, StepResult
 from repro.core.mechanism import IncentiveMechanism, Observation
 from repro.rl.ppo import PPOAgent, PPOConfig
+from repro.utils.numerics import sigmoid as _sigmoid
+from repro.utils.numerics import softmax as _softmax
 from repro.utils.rng import RNGLike, as_generator, spawn_generators
-
-
-def _sigmoid(x: float) -> float:
-    # Guarded against overflow for very negative/positive raw actions.
-    if x >= 0:
-        z = np.exp(-x)
-        return float(1.0 / (1.0 + z))
-    z = np.exp(x)
-    return float(z / (1.0 + z))
-
-
-def _softmax(x: np.ndarray) -> np.ndarray:
-    shifted = x - x.max()
-    e = np.exp(shifted)
-    return e / e.sum()
 
 
 @dataclass(frozen=True)
@@ -71,6 +58,19 @@ class ChironConfig:
             raise ValueError(
                 f"algorithm must be 'ppo' or 'a2c', got {self.algorithm!r}"
             )
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (nested PPO configs included)."""
+        from repro.utils.config import config_to_dict
+
+        return config_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChironConfig":
+        """Reconstruct from :meth:`to_dict` output (registry entries)."""
+        from repro.utils.config import config_from_dict
+
+        return config_from_dict(cls, data)
 
 
 class ChironAgent(IncentiveMechanism):
@@ -128,11 +128,15 @@ class ChironAgent(IncentiveMechanism):
         ratio = self._price_high / self._price_low
         return float(self._price_low * ratio ** _sigmoid(raw))
 
-    def _inner_obs(self, total_price: float) -> np.ndarray:
+    def _inner_obs(
+        self, total_price: float, last_times: Optional[np.ndarray] = None
+    ) -> np.ndarray:
         base = np.array([total_price / self.env.max_total_price])
         if not self.config.inner_observes_times:
             return base
-        scaled = self._last_times / self.env.encoder.time_scale
+        if last_times is None:
+            last_times = self._last_times
+        scaled = last_times / self.env.encoder.time_scale
         return np.concatenate([base, scaled])
 
     def propose_prices(self, obs: Observation) -> np.ndarray:
@@ -215,6 +219,140 @@ class ChironAgent(IncentiveMechanism):
             inn_stats = self.inner.update()
             diagnostics.update({f"exterior_{k}": v for k, v in ext_stats.items()})
             diagnostics.update({f"inner_{k}": v for k, v in inn_stats.items()})
+        return diagnostics
+
+    # ------------------------------------------------------------------ #
+    # vectorized protocol (see IncentiveMechanism.supports_vectorized)
+    # ------------------------------------------------------------------ #
+    supports_vectorized = True
+
+    def begin_vectorized(self, num_replicas: int) -> None:
+        """Open per-replica learning state for an M-replica rollout.
+
+        Replica transitions are *staged* inside the sub-agents and flushed
+        into the PPO buffer at each replica's episode end
+        (:meth:`end_episode_at`), so GAE never sees interleaved episodes.
+        """
+        self.exterior.begin_staging(num_replicas)
+        self.inner.begin_staging(num_replicas)
+        self._vec_pending: List[Optional[dict]] = [None] * num_replicas
+        self._vec_last_times = np.zeros((num_replicas, self.env.n_nodes))
+        self._vec_ep_ext = np.zeros(num_replicas)
+        self._vec_ep_inn = np.zeros(num_replicas)
+
+    def begin_episode_at(self, replica: int) -> None:
+        """Per-replica analogue of :meth:`begin_episode`."""
+        self._vec_pending[replica] = None
+        self._vec_ep_ext[replica] = 0.0
+        self._vec_ep_inn[replica] = 0.0
+        self._vec_last_times[replica] = 0.0
+
+    def propose_prices_batch(
+        self, obs_batch: np.ndarray, replicas: Sequence[int]
+    ) -> np.ndarray:
+        """Price vectors for a batch of replica observations.
+
+        ``obs_batch`` holds one exterior state per entry of ``replicas``
+        (the active replica indices).  Both policy forwards run once over
+        the whole batch; a single-replica batch reproduces
+        :meth:`propose_prices` bit for bit.
+        """
+        deterministic = not self.training and self.config.deterministic_eval
+        obs_batch = np.asarray(obs_batch, dtype=np.float64)
+        ext_actions, ext_logps, ext_values, ext_norm = self.exterior.act_batch(
+            obs_batch, deterministic=deterministic
+        )
+        total_prices = [
+            self._total_price_from_raw(float(a[0])) for a in ext_actions
+        ]
+        inner_obs = np.stack(
+            [
+                self._inner_obs(tp, self._vec_last_times[r])
+                for tp, r in zip(total_prices, replicas)
+            ]
+        )
+        inn_actions, inn_logps, inn_values, inn_norm = self.inner.act_batch(
+            inner_obs, deterministic=deterministic
+        )
+        prices = np.empty((len(replicas), self.env.n_nodes))
+        for j, replica in enumerate(replicas):
+            prices[j] = total_prices[j] * _softmax(inn_actions[j])
+            self._vec_pending[replica] = {
+                "ext_norm": ext_norm[j],
+                "ext_action": ext_actions[j],
+                "ext_logp": float(ext_logps[j]),
+                "ext_value": float(ext_values[j]),
+                "inn_norm": inn_norm[j],
+                "inn_action": inn_actions[j],
+                "inn_logp": float(inn_logps[j]),
+                "inn_value": float(inn_values[j]),
+            }
+        return prices
+
+    def observe_batch(
+        self,
+        replicas: Sequence[int],
+        prices: np.ndarray,
+        results: Sequence[StepResult],
+    ) -> None:
+        """Per-replica analogue of :meth:`observe` for one batched step."""
+        for j, replica in enumerate(replicas):
+            result = results[j]
+            pend = self._vec_pending[replica]
+            if pend is None:
+                raise RuntimeError(
+                    "observe_batch() without a preceding propose_prices_batch()"
+                )
+            self._vec_pending[replica] = None
+            self._vec_last_times[replica] = np.asarray(result.times, dtype=float)
+            self._vec_ep_ext[replica] += result.reward_exterior
+            self._vec_ep_inn[replica] += result.reward_inner
+            if not self.training:
+                continue
+            terminal = result.done
+            self.exterior.stage(
+                replica,
+                pend["ext_norm"],
+                pend["ext_action"],
+                result.reward_exterior,
+                pend["ext_value"],
+                pend["ext_logp"],
+                terminal,
+            )
+            self.inner.stage(
+                replica,
+                pend["inn_norm"],
+                pend["inn_action"],
+                result.reward_inner,
+                pend["inn_value"],
+                pend["inn_logp"],
+                terminal,
+            )
+
+    def end_episode_at(self, replica: int) -> Dict[str, float]:
+        """Per-replica analogue of :meth:`end_episode`.
+
+        Flushes the replica's staged trajectory into the sub-agents'
+        buffers, then applies the same update trigger as the sequential
+        path (buffer non-empty and past ``min_update_batch``).
+        """
+        diagnostics: Dict[str, float] = {
+            "episode_reward_exterior": float(self._vec_ep_ext[replica]),
+            "episode_reward_inner": float(self._vec_ep_inn[replica]),
+        }
+        if self.training:
+            self.exterior.flush_staged(replica)
+            self.inner.flush_staged(replica)
+            if (
+                len(self.exterior.buffer) > 0
+                and self.exterior.ready_to_update()
+            ):
+                ext_stats = self.exterior.update()
+                inn_stats = self.inner.update()
+                diagnostics.update(
+                    {f"exterior_{k}": v for k, v in ext_stats.items()}
+                )
+                diagnostics.update({f"inner_{k}": v for k, v in inn_stats.items()})
         return diagnostics
 
     # ------------------------------------------------------------------ #

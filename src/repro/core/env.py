@@ -13,12 +13,25 @@ One :meth:`EdgeLearningEnv.step` is one training round ``k``:
 
 The environment is mechanism-agnostic: Chiron and every baseline interact
 with it through the same price-vector action.
+
+The step/reset surface follows the Gymnasium convention:
+
+* ``reset(seed=None) -> (obs, info)``
+* ``step(prices) -> (obs, reward, terminated, truncated, info)``
+
+where ``reward`` is the exterior reward and ``info["step_result"]`` carries
+the full :class:`StepResult` (inner reward, payments, fault outcome, …).
+The pre-redesign signatures (``reset() -> obs``, ``step() -> StepResult``)
+remain available through :meth:`EdgeLearningEnv.legacy`, which warns once
+per process.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -83,6 +96,19 @@ class EnvConfig:
             )
         if self.round_deadline_factor is not None:
             check_positive("round_deadline_factor", self.round_deadline_factor)
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (nested reward/fault configs included)."""
+        from repro.utils.config import config_to_dict
+
+        return config_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EnvConfig":
+        """Reconstruct from :meth:`to_dict` output (registry entries)."""
+        from repro.utils.config import config_from_dict
+
+        return config_from_dict(cls, data)
 
 
 @dataclass(frozen=True)
@@ -182,6 +208,8 @@ class EdgeLearningEnv:
             include_reliability=config.faults is not None,
         )
         self.ledger = BudgetLedger(config.budget)
+        self._all_recruitable = np.ones(self.n_nodes, dtype=bool)
+        self._seed_base = config.availability_seed
         self._churn_rng = np.random.default_rng(config.availability_seed)
         if config.faults is not None:
             self.injector: Optional[FaultInjector] = FaultInjector(
@@ -227,17 +255,24 @@ class EdgeLearningEnv:
     # ------------------------------------------------------------------ #
     # episode control
     # ------------------------------------------------------------------ #
-    def reset(self) -> np.ndarray:
-        """Start a new episode; returns the initial exterior state."""
+    def reset(self, seed: Optional[int] = None) -> Tuple[np.ndarray, dict]:
+        """Start a new episode; returns ``(initial_state, info)``.
+
+        ``seed`` rebases the per-episode churn/fault substreams, so
+        ``reset(seed=s)`` is reproducible regardless of how many episodes
+        ran before it.  Without a seed, episodes keep advancing through the
+        substream sequence fixed at construction.
+        """
+        if seed is not None:
+            self._seed_base = int(seed)
+            self._episode = -1
         self.ledger.reset()
         self.encoder.reset()
         self._episode += 1
         # Each episode gets its own churn substream so seeded evaluation
         # episodes are individually reproducible (the stream would
         # otherwise keep advancing across episodes).
-        self._churn_rng = np.random.default_rng(
-            [self.config.availability_seed, self._episode]
-        )
+        self._churn_rng = np.random.default_rng([self._seed_base, self._episode])
         if self.injector is not None:
             self.injector.reset(self._episode)
         if self.reliability is not None:
@@ -245,9 +280,36 @@ class EdgeLearningEnv:
         self._accuracy = float(self.learning.reset())
         self._round = 0
         self._done = False
-        return self.encoder.encode(self.ledger.remaining, self._round)
+        obs = self.encoder.encode(self.ledger.remaining, self._round)
+        info = {
+            "remaining_budget": self.ledger.remaining,
+            "round_index": self._round,
+            "accuracy": self._accuracy,
+        }
+        return obs, info
 
-    def step(self, prices: Sequence[float]) -> StepResult:
+    def step(
+        self, prices: Sequence[float]
+    ) -> Tuple[np.ndarray, float, bool, bool, dict]:
+        """Run one round; returns ``(obs, reward, terminated, truncated, info)``.
+
+        ``reward`` is the exterior reward (Eqn 14).  ``info`` carries the
+        full :class:`StepResult` under ``"step_result"`` plus the fields a
+        training loop reads every step (``reward_inner``,
+        ``remaining_budget``, ``round_index``, ``accuracy``).
+        """
+        result = self._advance(prices)
+        terminated = result.done and not result.truncated
+        info = {
+            "step_result": result,
+            "reward_inner": result.reward_inner,
+            "remaining_budget": result.remaining_budget,
+            "round_index": result.round_index,
+            "accuracy": result.accuracy,
+        }
+        return result.state, result.reward_exterior, terminated, result.truncated, info
+
+    def _advance(self, prices: Sequence[float]) -> StepResult:
         """Run one round under the posted per-node price vector."""
         if self._done:
             raise RuntimeError("step() on a finished episode; call reset()")
@@ -256,15 +318,16 @@ class EdgeLearningEnv:
             raise ValueError(
                 f"prices must have shape ({self.n_nodes},), got {prices.shape}"
             )
-        if np.any(prices < 0) or not np.all(np.isfinite(prices)):
+        if not np.all(np.isfinite(prices)) or prices.min() < 0.0:
             raise ValueError(f"prices must be finite and non-negative: {prices}")
 
         cfg = self.config
         if cfg.availability < 1.0:
             available = self._churn_rng.random(self.n_nodes) < cfg.availability
+            unavailable = [i for i in range(self.n_nodes) if not available[i]]
         else:
-            available = np.ones(self.n_nodes, dtype=bool)
-        unavailable = [i for i in range(self.n_nodes) if not available[i]]
+            available = None  # everyone reachable; skip the mask entirely
+            unavailable = []
 
         # Quarantined nodes (repeat fault offenders) are not recruitable
         # this round — like churned-out nodes, but by server decision.
@@ -272,31 +335,34 @@ class EdgeLearningEnv:
             quarantined_now = self.reliability.quarantined(self._round)
         else:
             quarantined_now = []
-        recruitable = available.copy()
-        for i in quarantined_now:
-            recruitable[i] = False
+        if available is None and not quarantined_now:
+            recruitable = self._all_recruitable  # shared constant, not mutated
+        else:
+            recruitable = (
+                available.copy()
+                if available is not None
+                else np.ones(self.n_nodes, dtype=bool)
+            )
+            for i in quarantined_now:
+                recruitable[i] = False
 
-        responses = [
-            node_response(prof, float(p), cfg.local_epochs)
-            for prof, p in zip(self.profiles, prices)
-        ]
-        participates = np.array(
-            [r.participates and recruitable[i] for i, r in enumerate(responses)]
-        )
-        participants = [i for i in range(self.n_nodes) if participates[i]]
-        payments = np.array(
-            [r.payment if participates[i] else 0.0 for i, r in enumerate(responses)]
-        )
-        zetas = np.array(
-            [r.zeta if participates[i] else 0.0 for i, r in enumerate(responses)]
-        )
-        times = np.array(
-            [r.time if participates[i] else 0.0 for i, r in enumerate(responses)]
-        )
-        utilities = np.array(
-            [r.utility if participates[i] else 0.0 for i, r in enumerate(responses)]
-        )
-        total_payment = float(payments.sum())
+        # Single pass over the fleet: responses and the per-node round
+        # vectors together (this loop runs every environment step).
+        participants: List[int] = []
+        payments = np.zeros(self.n_nodes)
+        zetas = np.zeros(self.n_nodes)
+        times = np.zeros(self.n_nodes)
+        utilities = np.zeros(self.n_nodes)
+        total_payment = 0.0
+        for i, (prof, p) in enumerate(zip(self.profiles, prices)):
+            r = node_response(prof, float(p), cfg.local_epochs)
+            if r.participates and recruitable[i]:
+                participants.append(i)
+                payments[i] = r.payment
+                zetas[i] = r.zeta
+                times[i] = r.time
+                utilities[i] = r.utility
+                total_payment += r.payment
 
         reliability_scores = (
             self.reliability.scores() if self.reliability is not None else None
@@ -477,3 +543,85 @@ class EdgeLearningEnv:
             clawback=clawback,
             reliability=reliability_scores,
         )
+
+    # ------------------------------------------------------------------ #
+    # replication / compatibility
+    # ------------------------------------------------------------------ #
+    def spawn(self, seed: int) -> "EdgeLearningEnv":
+        """An independent replica of this environment reseeded with ``seed``.
+
+        The replica shares the (immutable) hardware profiles and reward
+        scales but owns fresh stochastic state: its own learning-process
+        noise stream, churn substream base, and — when faults are enabled —
+        its own fault seed, all derived from ``seed``.  Only learning
+        processes exposing ``clone()`` (the surrogate) can be replicated;
+        real-training sessions hold live model state and cannot.
+        """
+        clone = getattr(self.learning, "clone", None)
+        if clone is None:
+            raise TypeError(
+                f"{type(self.learning).__name__} does not support clone(); "
+                "only surrogate-backed environments can spawn replicas"
+            )
+        seed = int(seed)
+        # Two decorrelated child streams from the replica seed: one for the
+        # learning-process noise, one for the fault model.
+        children = np.random.SeedSequence(seed).spawn(2)
+        faults = self.config.faults
+        if faults is not None:
+            faults = dataclasses.replace(
+                faults, seed=int(children[1].generate_state(1)[0])
+            )
+        config = dataclasses.replace(
+            self.config, availability_seed=seed, faults=faults
+        )
+        learning = clone(rng=np.random.default_rng(children[0]))
+        return EdgeLearningEnv(self.profiles, learning, config)
+
+    def legacy(self) -> "LegacyEnvAdapter":
+        """Pre-redesign view: ``reset() -> obs``, ``step() -> StepResult``."""
+        return LegacyEnvAdapter(self)
+
+
+_LEGACY_API_WARNED = False
+
+
+def _warn_legacy_api() -> None:
+    global _LEGACY_API_WARNED
+    if not _LEGACY_API_WARNED:
+        _LEGACY_API_WARNED = True
+        warnings.warn(
+            "EdgeLearningEnv's legacy signatures (reset() -> obs, "
+            "step() -> StepResult) are deprecated; use the Gymnasium-style "
+            "reset(seed=None) -> (obs, info) and step(prices) -> "
+            "(obs, reward, terminated, truncated, info) — the StepResult "
+            "is available as info['step_result'].",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+
+class LegacyEnvAdapter:
+    """Old-signature shim over an :class:`EdgeLearningEnv`.
+
+    Restores the pre-redesign surface for code not yet migrated; every
+    other attribute (``done``, ``ledger``, ``encoder``, …) passes through
+    to the wrapped environment.  Emits one :class:`DeprecationWarning` per
+    process, on first use.
+    """
+
+    def __init__(self, env: EdgeLearningEnv):
+        self._env = env
+
+    def reset(self) -> np.ndarray:
+        _warn_legacy_api()
+        obs, _ = self._env.reset()
+        return obs
+
+    def step(self, prices: Sequence[float]) -> StepResult:
+        _warn_legacy_api()
+        _, _, _, _, info = self._env.step(prices)
+        return info["step_result"]
+
+    def __getattr__(self, name: str):
+        return getattr(self._env, name)

@@ -14,7 +14,8 @@ from typing import List, Sequence
 
 import numpy as np
 
-from repro.core.chiron import ChironAgent, _softmax
+from repro.core.chiron import ChironAgent
+from repro.utils.numerics import softmax as _softmax
 
 
 @dataclass(frozen=True)

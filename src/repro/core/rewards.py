@@ -54,6 +54,19 @@ class RewardConfig:
         """The scale to divide seconds by (1.0 if never resolved)."""
         return self.time_scale if self.time_scale is not None else 1.0
 
+    def to_dict(self) -> dict:
+        """Plain-dict form (see :mod:`repro.utils.config`)."""
+        from repro.utils.config import config_to_dict
+
+        return config_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RewardConfig":
+        """Reconstruct from :meth:`to_dict` output."""
+        from repro.utils.config import config_from_dict
+
+        return config_from_dict(cls, data)
+
 
 def exterior_reward(
     config: RewardConfig,

@@ -84,8 +84,6 @@ class ExteriorStateEncoder:
                 raise ValueError(
                     f"{name} must have shape ({self.n_nodes},), got {arr.shape}"
                 )
-            if not np.all(np.isfinite(arr)):
-                raise ValueError(f"{name} contains non-finite entries")
         row = np.concatenate(
             [
                 zetas / GHZ,
@@ -93,6 +91,16 @@ class ExteriorStateEncoder:
                 times / self.time_scale,
             ]
         )
+        # One finiteness scan over the assembled row (scaling by finite
+        # positive constants preserves finiteness) — this runs every round.
+        if not np.all(np.isfinite(row)):
+            for name, arr in (
+                ("zetas", zetas),
+                ("prices", prices),
+                ("times", times),
+            ):
+                if not np.all(np.isfinite(arr)):
+                    raise ValueError(f"{name} contains non-finite entries")
         self._rows.append(row)
 
     def encode(
@@ -107,8 +115,7 @@ class ExteriorStateEncoder:
         reliability scores are appended before the scalar tail; omitting
         them encodes a fully reliable fleet (all ones).
         """
-        flat = np.concatenate(list(self._rows))
-        parts = [flat]
+        parts = list(self._rows)
         if self.include_reliability:
             if reliability is None:
                 reliability = np.ones(self.n_nodes)

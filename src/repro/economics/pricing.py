@@ -13,13 +13,12 @@ ideal, used as a baseline and as ground truth in tests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from math import sqrt
-from typing import Optional, Sequence
+from typing import NamedTuple, Optional, Sequence
 
 import numpy as np
 
-from repro.economics.energy import communication_energy, total_energy
+from repro.economics.energy import communication_energy
 from repro.economics.hardware import HardwareProfile
 from repro.economics.timing import communication_time, computation_time
 from repro.utils.validation import check_positive
@@ -34,12 +33,17 @@ def best_response_frequency(
         return profile.zeta_min
     kappa = profile.kappa(local_epochs)
     unconstrained = price / kappa
-    return float(np.clip(unconstrained, profile.zeta_min, profile.zeta_max))
+    # Scalar clip without the np.clip dispatch overhead — this sits on the
+    # per-node per-round hot path of EdgeLearningEnv.step.
+    if unconstrained < profile.zeta_min:
+        return profile.zeta_min
+    if unconstrained > profile.zeta_max:
+        return profile.zeta_max
+    return float(unconstrained)
 
 
-@dataclass(frozen=True)
-class NodeResponse:
-    """A node's reaction to a posted price."""
+class NodeResponse(NamedTuple):
+    """A node's reaction to a posted price (immutable)."""
 
     participates: bool
     zeta: float  # chosen CPU frequency (Hz); zeta_min when declining
@@ -59,9 +63,38 @@ def node_response(
     A declining node contributes nothing, costs nothing and is treated as
     infinitely slow (it never gates the round makespan because the caller
     excludes non-participants).
+
+    The Eqn 6-11 arithmetic is inlined rather than composed from
+    :mod:`repro.economics.energy` / :mod:`~repro.economics.timing`: this
+    runs once per node per environment step, and the helper wrappers'
+    repeated argument validation is hoisted into the two checks below.
     """
-    zeta = best_response_frequency(profile, price, local_epochs)
-    utility = price * zeta - total_energy(profile, zeta, local_epochs)
+    check_positive("price", price, strict=False)
+    check_positive("local_epochs", local_epochs)
+    work = local_epochs * profile.cycles_per_bit * profile.bits_per_epoch
+    kappa = 2.0 * local_epochs * profile.capacitance * profile.cycles_per_bit * (
+        profile.bits_per_epoch
+    )
+    if price == 0.0:
+        zeta = profile.zeta_min
+    else:
+        unconstrained = price / kappa
+        if unconstrained < profile.zeta_min:
+            zeta = profile.zeta_min
+        elif unconstrained > profile.zeta_max:
+            zeta = profile.zeta_max
+        else:
+            zeta = float(unconstrained)
+    # E_cmp = σ α c d ζ²; E_com = ε T_com (same op order as total_energy).
+    energy = (
+        local_epochs
+        * profile.capacitance
+        * profile.cycles_per_bit
+        * profile.bits_per_epoch
+        * zeta**2
+        + profile.comm_power * profile.comm_time
+    )
+    utility = price * zeta - energy
     if utility < profile.reserve_utility:
         return NodeResponse(
             participates=False,
@@ -71,16 +104,13 @@ def node_response(
             time=float("inf"),
             energy=0.0,
         )
-    time = computation_time(profile, zeta, local_epochs) + communication_time(
-        profile
-    )
     return NodeResponse(
         participates=True,
         zeta=zeta,
         utility=utility,
         payment=price * zeta,
-        time=time,
-        energy=total_energy(profile, zeta, local_epochs),
+        time=work / zeta + profile.comm_time,
+        energy=energy,
     )
 
 

@@ -1,13 +1,25 @@
-"""Drive mechanisms through episodes of the edge-learning MDP."""
+"""Drive mechanisms through episodes of the edge-learning MDP.
+
+Two rollout paths:
+
+* :func:`run_episode` — one environment, one episode (the sequential
+  reference path).
+* :func:`run_episodes_vectorized` — M independently seeded environment
+  replicas stepped in lockstep, with batched mechanism inference
+  (:meth:`~repro.core.chiron.ChironAgent.propose_prices_batch`).  With
+  ``num_envs=1`` it reproduces the sequential path bit for bit; with more
+  replicas it amortizes the policy forward across the batch.
+"""
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.core.env import EdgeLearningEnv
 from repro.core.mechanism import IncentiveMechanism, Observation
+from repro.core.vector import VectorizedEdgeLearningEnv
 from repro.experiments.results import EpisodeResult, TrainingHistory
 from repro.utils.logging import get_logger
 from repro.utils.validation import check_positive
@@ -19,7 +31,7 @@ def run_episode(env: EdgeLearningEnv, mechanism: IncentiveMechanism) -> Tuple[
     EpisodeResult, dict
 ]:
     """Run one episode to budget exhaustion; returns (result, diagnostics)."""
-    state = env.reset()
+    state, _ = env.reset()
     obs = Observation(state, env.ledger.remaining, env.round_index)
     mechanism.begin_episode(obs)
 
@@ -31,7 +43,8 @@ def run_episode(env: EdgeLearningEnv, mechanism: IncentiveMechanism) -> Tuple[
     wasted = 0
     while not env.done:
         prices = mechanism.propose_prices(obs)
-        result = env.step(prices)
+        _, _, _, _, info = env.step(prices)
+        result = info["step_result"]
         mechanism.observe(prices, result)
         reward_ext += result.reward_exterior
         reward_inn += result.reward_inner
@@ -57,17 +70,148 @@ def run_episode(env: EdgeLearningEnv, mechanism: IncentiveMechanism) -> Tuple[
     return episode, diagnostics
 
 
+def _blank_accumulator() -> dict:
+    return {
+        "efficiencies": [],
+        "total_time": 0.0,
+        "reward_ext": 0.0,
+        "reward_inn": 0.0,
+        "kept": 0,
+        "wasted": 0,
+    }
+
+
+def run_episodes_vectorized(
+    env: Union[EdgeLearningEnv, VectorizedEdgeLearningEnv],
+    mechanism: IncentiveMechanism,
+    episodes: int,
+    num_envs: int = 1,
+) -> List[Tuple[EpisodeResult, dict]]:
+    """Run ``episodes`` episodes across ``num_envs`` environment replicas.
+
+    Replicas run out of budget at different times, so episodes complete
+    out of phase: whenever a replica finishes, its episode is recorded and
+    the replica is reset onto the next pending episode (if any).  Returns
+    ``(EpisodeResult, diagnostics)`` pairs in completion order.
+
+    Requires a mechanism implementing the vectorized batch protocol
+    (``supports_vectorized``); currently that is
+    :class:`~repro.core.chiron.ChironAgent` (both PPO and A2C variants).
+    """
+    check_positive("episodes", episodes)
+    if not getattr(mechanism, "supports_vectorized", False):
+        raise TypeError(
+            f"mechanism {mechanism.name!r} does not implement the vectorized "
+            "batch protocol; run it with train_mechanism(..., num_envs=1)"
+        )
+    if isinstance(env, VectorizedEdgeLearningEnv):
+        venv = env
+    else:
+        venv = VectorizedEdgeLearningEnv.from_env(env, num_envs)
+    num_replicas = venv.num_envs
+
+    mechanism.begin_vectorized(num_replicas)
+    obs = np.zeros((num_replicas, venv.state_dim))
+    active = [False] * num_replicas
+    accumulators: List[Optional[dict]] = [None] * num_replicas
+    started = 0
+    completed: List[Tuple[EpisodeResult, dict]] = []
+
+    def start_episode(replica: int) -> None:
+        nonlocal started
+        initial, _ = venv.reset_at(replica)
+        obs[replica] = initial
+        mechanism.begin_episode_at(replica)
+        accumulators[replica] = _blank_accumulator()
+        active[replica] = True
+        started += 1
+
+    for replica in range(min(num_replicas, episodes)):
+        start_episode(replica)
+
+    prices_full = np.zeros((num_replicas, venv.n_nodes))
+    while any(active):
+        replicas = [i for i in range(num_replicas) if active[i]]
+        prices = mechanism.propose_prices_batch(obs[replicas], replicas)
+        prices_full[replicas] = prices
+        _, _, _, _, infos = venv.step(prices_full, active=active)
+        results = [infos[i]["step_result"] for i in replicas]
+        mechanism.observe_batch(replicas, prices, results)
+        for j, replica in enumerate(replicas):
+            result = results[j]
+            acc = accumulators[replica]
+            acc["reward_ext"] += result.reward_exterior
+            acc["reward_inn"] += result.reward_inner
+            if result.round_kept:
+                acc["kept"] += 1
+                acc["efficiencies"].append(result.efficiency)
+                acc["total_time"] += result.round_time
+            elif not result.done:
+                acc["wasted"] += 1
+            obs[replica] = result.state
+            if result.done:
+                diagnostics = mechanism.end_episode_at(replica)
+                replica_env = venv.envs[replica]
+                completed.append(
+                    (
+                        EpisodeResult(
+                            rounds=acc["kept"],
+                            final_accuracy=replica_env.accuracy,
+                            mean_time_efficiency=(
+                                float(np.mean(acc["efficiencies"]))
+                                if acc["efficiencies"]
+                                else 0.0
+                            ),
+                            total_learning_time=acc["total_time"],
+                            budget_spent=replica_env.ledger.spent,
+                            reward_exterior=acc["reward_ext"],
+                            reward_inner=acc["reward_inn"],
+                            wasted_rounds=acc["wasted"],
+                        ),
+                        diagnostics,
+                    )
+                )
+                active[replica] = False
+                if started < episodes:
+                    start_episode(replica)
+    return completed
+
+
 def train_mechanism(
-    env: EdgeLearningEnv,
+    env: Union[EdgeLearningEnv, VectorizedEdgeLearningEnv],
     mechanism: IncentiveMechanism,
     episodes: int,
     log_every: Optional[int] = None,
+    num_envs: int = 1,
 ) -> TrainingHistory:
-    """Train a mechanism for ``episodes`` budget-bounded episodes."""
+    """Train a mechanism for ``episodes`` budget-bounded episodes.
+
+    ``num_envs > 1`` rolls episodes out on that many environment replicas
+    via :func:`run_episodes_vectorized` (vector-capable mechanisms only);
+    the history then lists episodes in completion order.
+    """
     check_positive("episodes", episodes)
+    check_positive("num_envs", num_envs)
     if hasattr(mechanism, "train_mode"):
         mechanism.train_mode()
     history = TrainingHistory(mechanism=mechanism.name)
+    if num_envs > 1 or isinstance(env, VectorizedEdgeLearningEnv):
+        for episode_idx, (result, diag) in enumerate(
+            run_episodes_vectorized(env, mechanism, episodes, num_envs)
+        ):
+            history.append(result, diag)
+            if log_every and (episode_idx + 1) % log_every == 0:
+                _log.info(
+                    "%s episode %d/%d: reward=%.1f acc=%.3f rounds=%d eff=%.2f",
+                    mechanism.name,
+                    episode_idx + 1,
+                    episodes,
+                    result.reward_exterior,
+                    result.final_accuracy,
+                    result.rounds,
+                    result.mean_time_efficiency,
+                )
+        return history
     for episode_idx in range(episodes):
         result, diag = run_episode(env, mechanism)
         history.append(result, diag)

@@ -128,12 +128,13 @@ def record_episode(
 ) -> EpisodeRecorder:
     """Run one episode, capturing per-round telemetry."""
     recorder = recorder if recorder is not None else EpisodeRecorder()
-    state = env.reset()
+    state, _ = env.reset()
     obs = Observation(state, env.ledger.remaining, env.round_index)
     mechanism.begin_episode(obs)
     while not env.done:
         prices = mechanism.propose_prices(obs)
-        result = env.step(prices)
+        _, _, _, _, info = env.step(prices)
+        result = info["step_result"]
         mechanism.observe(prices, result)
         recorder.observe(result)
         obs = Observation(result.state, result.remaining_budget, result.round_index)

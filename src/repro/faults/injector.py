@@ -79,6 +79,19 @@ class FaultConfig:
     def total_rate(self) -> float:
         return self.crash_rate + self.straggler_rate + self.corrupt_rate
 
+    def to_dict(self) -> dict:
+        """Plain-dict form (see :mod:`repro.utils.config`)."""
+        from repro.utils.config import config_to_dict
+
+        return config_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultConfig":
+        """Reconstruct from :meth:`to_dict` output."""
+        from repro.utils.config import config_from_dict
+
+        return config_from_dict(cls, data)
+
     @classmethod
     def mixed(cls, rate: float, seed: int = 0, **kwargs) -> "FaultConfig":
         """Split one total fault rate evenly across the three types."""

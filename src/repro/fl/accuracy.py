@@ -136,6 +136,13 @@ class SurrogateAccuracy:
         self._accuracy = self.curve.a_init
         return self._accuracy
 
+    def clone(self, rng: RNGLike = None) -> "SurrogateAccuracy":
+        """A fresh process over the same curve/weights with its own noise
+        stream — used to spawn independent environment replicas."""
+        return SurrogateAccuracy(
+            self.curve, self._weights, rng=rng, poison_factor=self.poison_factor
+        )
+
     def step(
         self,
         participant_ids: Sequence[int],
@@ -155,19 +162,24 @@ class SurrogateAccuracy:
             raise IndexError(
                 f"participant ids {ids} out of range [0, {self.num_nodes})"
             )
-        poisoned = sorted(set(poisoned_ids))
-        if poisoned and not set(poisoned) <= set(ids):
-            raise ValueError(
-                f"poisoned_ids {poisoned} must be a subset of participants {ids}"
+        poisoned_set = set(poisoned_ids)
+        if poisoned_set:
+            poisoned = sorted(poisoned_set)
+            if not poisoned_set <= set(ids):
+                raise ValueError(
+                    f"poisoned_ids {poisoned} must be a subset of "
+                    f"participants {ids}"
+                )
+            honest = [i for i in ids if i not in poisoned_set]
+            delta = float(self._weights[honest].sum()) - self.poison_factor * float(
+                self._weights[poisoned].sum()
             )
-        honest = [i for i in ids if i not in set(poisoned)]
-        delta = float(self._weights[honest].sum()) - self.poison_factor * float(
-            self._weights[poisoned].sum()
-        )
+        else:
+            delta = float(self._weights[ids].sum())
         self._effective_rounds = max(0.0, self._effective_rounds + delta)
         clean = self.curve.accuracy(self._effective_rounds)
         noisy = clean + self._rng.normal(0.0, self.curve.noise_std)
-        self._accuracy = float(np.clip(noisy, 0.0, 1.0))
+        self._accuracy = min(max(float(noisy), 0.0), 1.0)
         return self._accuracy
 
 

@@ -39,6 +39,29 @@ def _mlp(sizes: Sequence[int], rng: RNGLike) -> Sequential:
     return Sequential(*layers)
 
 
+def _fast_forward(net: Sequential, x: np.ndarray) -> np.ndarray:
+    """Raw-numpy inference pass through a Linear/Tanh :class:`Sequential`.
+
+    Performs exactly the arithmetic of the autograd path (``x @ W.T + b``,
+    ``np.tanh``) without building a graph — bit-identical outputs at a
+    fraction of the per-call overhead.  Used by the batched rollout
+    methods, where inference dominates and gradients are never needed.
+    """
+    for layer in net:
+        if isinstance(layer, Linear):
+            x = x @ layer.weight.data.T
+            if layer.bias is not None:
+                x = x + layer.bias.data
+        elif isinstance(layer, Tanh):
+            x = np.tanh(x)
+        else:
+            raise TypeError(
+                f"fast forward supports Linear/Tanh only, got "
+                f"{type(layer).__name__}"
+            )
+    return x
+
+
 class GaussianPolicy(Module):
     """Diagonal Gaussian policy ``π(a|s) = N(μ_θ(s), diag(σ²))``."""
 
@@ -87,6 +110,33 @@ class GaussianPolicy(Module):
         )
         return action, log_prob
 
+    def act_batch(
+        self, obs: np.ndarray, deterministic: bool = False
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Sample actions for ``(M, obs_dim)``; returns ``(actions, log_probs)``.
+
+        Row ``i`` consumes the sample stream exactly as the ``i``-th
+        sequential :meth:`act` call would, so an ``M = 1`` batch is
+        bit-identical to the single-observation path.
+        """
+        obs = np.asarray(obs, dtype=np.float64)
+        if obs.ndim != 2 or obs.shape[1] != self.obs_dim:
+            raise ValueError(
+                f"expected obs of shape (M, {self.obs_dim}), got {obs.shape}"
+            )
+        mean = _fast_forward(self.mean_net, obs)
+        log_std = np.clip(self.log_std.data, _LOG_STD_MIN, _LOG_STD_MAX)
+        std = np.exp(log_std)
+        if deterministic:
+            actions = mean.copy()
+        else:
+            noise = self._sample_rng.normal(size=(obs.shape[0], self.act_dim))
+            actions = mean + std * noise
+        log_probs = -0.5 * np.sum(
+            ((actions - mean) / std) ** 2 + 2.0 * log_std + _LOG_2PI, axis=1
+        )
+        return actions, log_probs
+
     def log_prob(self, obs, actions) -> Tensor:
         """Differentiable log π(a|s) for batches (used by the PPO loss)."""
         mean = self.forward(obs)
@@ -133,3 +183,12 @@ class ValueNetwork(Module):
         """Scalar value of a single observation (no graph)."""
         with no_grad():
             return float(self.forward(np.asarray(obs, dtype=np.float64)).data[0])
+
+    def values(self, obs: np.ndarray) -> np.ndarray:
+        """Values for an ``(M, obs_dim)`` batch (raw-numpy fast path)."""
+        obs = np.asarray(obs, dtype=np.float64)
+        if obs.ndim != 2 or obs.shape[1] != self.obs_dim:
+            raise ValueError(
+                f"expected obs of shape (M, {self.obs_dim}), got {obs.shape}"
+            )
+        return _fast_forward(self.net, obs).reshape(-1)

@@ -59,6 +59,19 @@ class PPOConfig:
         check_positive("update_epochs", self.update_epochs)
         check_positive("entropy_coef", self.entropy_coef, strict=False)
 
+    def to_dict(self) -> dict:
+        """Plain-dict form (see :mod:`repro.utils.config`)."""
+        from repro.utils.config import config_to_dict
+
+        return config_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PPOConfig":
+        """Reconstruct from :meth:`to_dict` output (registry entries)."""
+        from repro.utils.config import config_from_dict
+
+        return config_from_dict(cls, data)
+
 
 def _explained_variance(predictions: np.ndarray, targets: np.ndarray) -> float:
     """``1 − Var[target − pred] / Var[target]`` — 1 is a perfect critic."""
@@ -116,6 +129,10 @@ class PPOAgent:
         self._shuffle_rng = shuffle_rng
         self._mse = MSELoss()
         self.episodes_seen = 0
+        # Per-replica transition staging for vectorized rollouts: replicas
+        # accumulate here and flush whole trajectories into the buffer at
+        # their episode ends, so GAE never sees interleaved episodes.
+        self._staged: list = []
 
     # ------------------------------------------------------------------ #
     # acting
@@ -137,6 +154,23 @@ class PPOAgent:
         value = self.value_net.value(norm)
         return action, log_prob, value
 
+    def act_batch(self, obs: np.ndarray, deterministic: bool = False):
+        """Batched :meth:`act` over ``(M, obs_dim)`` observations.
+
+        Returns ``(actions (M, act_dim), log_probs (M,), values (M,),
+        norm_obs (M, obs_dim))`` — the normalized observations are handed
+        back so callers can stage them directly (see :meth:`stage`),
+        skipping the redundant re-normalization :meth:`store` performs.
+        An ``M = 1`` batch reproduces :meth:`act` bit for bit.
+        """
+        obs = np.asarray(obs, dtype=np.float64)
+        if self.obs_stat is not None and not deterministic:
+            self.obs_stat.update(obs)
+        norm = self._normalize(obs)
+        actions, log_probs = self.policy.act_batch(norm, deterministic=deterministic)
+        values = self.value_net.values(norm)
+        return actions, log_probs, values, norm
+
     def store(
         self,
         obs: np.ndarray,
@@ -148,6 +182,38 @@ class PPOAgent:
     ) -> None:
         """Record a transition (observation stored *normalized*)."""
         self.buffer.push(self._normalize(obs), action, reward, value, log_prob, done)
+
+    # ------------------------------------------------------------------ #
+    # vectorized staging
+    # ------------------------------------------------------------------ #
+    def begin_staging(self, num_replicas: int) -> None:
+        """Open ``num_replicas`` per-replica trajectory accumulators."""
+        self._staged = [[] for _ in range(num_replicas)]
+
+    def stage(
+        self,
+        replica: int,
+        norm_obs: np.ndarray,
+        action: np.ndarray,
+        reward: float,
+        value: float,
+        log_prob: float,
+        done: bool,
+    ) -> None:
+        """Hold one transition for ``replica`` (obs already normalized)."""
+        self._staged[replica].append(
+            (norm_obs, action, reward, value, log_prob, done)
+        )
+
+    def flush_staged(self, replica: int) -> None:
+        """Move ``replica``'s staged trajectory into the rollout buffer.
+
+        Called at that replica's episode end — trajectories enter the
+        buffer contiguously, in episode-completion order.
+        """
+        for norm_obs, action, reward, value, log_prob, done in self._staged[replica]:
+            self.buffer.push(norm_obs, action, reward, value, log_prob, done)
+        self._staged[replica] = []
 
     # ------------------------------------------------------------------ #
     # learning

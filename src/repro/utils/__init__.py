@@ -12,7 +12,9 @@ from repro.utils.validation import (
     check_probability_vector,
     check_shape,
 )
+from repro.utils.config import config_from_dict, config_to_dict
 from repro.utils.logging import get_logger, set_verbosity
+from repro.utils.numerics import sigmoid, softmax
 from repro.utils.serialization import from_json_file, to_json_file
 from repro.utils.moving import ExponentialMovingAverage, MovingWindow
 
@@ -25,8 +27,12 @@ __all__ = [
     "check_positive",
     "check_probability_vector",
     "check_shape",
+    "config_from_dict",
+    "config_to_dict",
     "get_logger",
     "set_verbosity",
+    "sigmoid",
+    "softmax",
     "from_json_file",
     "to_json_file",
     "ExponentialMovingAverage",

@@ -1,0 +1,84 @@
+"""Dict round-trips for configuration dataclasses.
+
+Every tunable in the library is a frozen dataclass (``EnvConfig``,
+``PPOConfig``, ``ChironConfig``, ``BuildConfig``, …).  Experiment registry
+entries, checkpoints and result payloads want those as plain dicts — JSON
+in, JSON out — so each config class exposes::
+
+    config.to_dict()          # nested plain dict (tuples become lists)
+    Config.from_dict(data)    # reconstructs, recursing into nested configs
+
+built on the two generic helpers here.  ``from_dict`` validates through the
+dataclass ``__post_init__`` (a bad dict fails exactly like a bad
+constructor call) and rejects unknown keys so typos surface immediately.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Mapping, Type, TypeVar, Union, get_args, get_origin, get_type_hints
+
+T = TypeVar("T")
+
+__all__ = ["config_to_dict", "config_from_dict"]
+
+
+def _jsonify(value: Any) -> Any:
+    """Tuples -> lists, recursively, so ``to_dict`` output is JSON-native."""
+    if isinstance(value, dict):
+        return {k: _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    return value
+
+
+def config_to_dict(config: Any) -> dict:
+    """Nested plain-dict form of a config dataclass instance."""
+    if not dataclasses.is_dataclass(config) or isinstance(config, type):
+        raise TypeError(
+            f"config_to_dict needs a dataclass instance, got {type(config).__name__}"
+        )
+    return _jsonify(dataclasses.asdict(config))
+
+
+def _coerce(annotation: Any, value: Any) -> Any:
+    """Rebuild ``value`` according to a field's type annotation."""
+    if value is None:
+        return None
+    origin = get_origin(annotation)
+    if origin is Union:
+        inner = [a for a in get_args(annotation) if a is not type(None)]
+        if len(inner) == 1:
+            return _coerce(inner[0], value)
+        return value
+    if dataclasses.is_dataclass(annotation) and isinstance(annotation, type):
+        if isinstance(annotation, type) and isinstance(value, annotation):
+            return value
+        if isinstance(value, Mapping):
+            return config_from_dict(annotation, value)
+        return value
+    if annotation is tuple or origin is tuple:
+        return tuple(value)
+    return value
+
+
+def config_from_dict(cls: Type[T], data: Mapping[str, Any]) -> T:
+    """Instantiate dataclass ``cls`` from a (possibly nested) plain dict."""
+    if not dataclasses.is_dataclass(cls):
+        raise TypeError(f"{cls!r} is not a dataclass")
+    if not isinstance(data, Mapping):
+        raise TypeError(
+            f"{cls.__name__}.from_dict needs a mapping, got {type(data).__name__}"
+        )
+    field_map = {f.name: f for f in dataclasses.fields(cls) if f.init}
+    unknown = sorted(set(data) - set(field_map))
+    if unknown:
+        raise ValueError(
+            f"unknown {cls.__name__} keys {unknown}; "
+            f"known: {sorted(field_map)}"
+        )
+    hints = get_type_hints(cls)
+    kwargs = {
+        name: _coerce(hints.get(name, Any), value) for name, value in data.items()
+    }
+    return cls(**kwargs)

@@ -1,0 +1,56 @@
+"""Shared numerically-stable nonlinearities.
+
+Both agents (Chiron's exterior/inner pair and the flat DRL baseline) map
+raw Gaussian actions into valid ranges with the same two squashes — a
+sigmoid onto a price interval and a softmax onto an allocation simplex.
+These used to live as private helpers in each module; they are hoisted
+here so agents, the policy-introspection readouts and the batched rollout
+engine all share one implementation (and one set of overflow guards).
+
+All functions accept scalars, vectors, or ``(batch, dim)`` matrices and
+are bit-compatible with the per-call helpers they replaced.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+__all__ = ["sigmoid", "softmax"]
+
+
+def sigmoid(x: Union[float, np.ndarray]) -> Union[float, np.ndarray]:
+    """Overflow-guarded logistic function.
+
+    Scalars return Python floats; arrays return arrays of the same shape.
+    The two-branch form never exponentiates a positive argument, so very
+    large raw actions cannot overflow.
+    """
+    if np.ndim(x) == 0:
+        x = float(x)
+        if x >= 0:
+            z = np.exp(-x)
+            return float(1.0 / (1.0 + z))
+        z = np.exp(x)
+        return float(z / (1.0 + z))
+    x = np.asarray(x, dtype=np.float64)
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ez = np.exp(x[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Shift-stabilized softmax along ``axis``.
+
+    For 1-D inputs this reproduces the classic ``exp(x - max) / sum`` form
+    exactly; for batched inputs each row along ``axis`` is normalized
+    independently.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - x.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=axis, keepdims=True)

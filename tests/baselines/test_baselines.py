@@ -17,13 +17,20 @@ from repro.experiments.runner import run_episode, train_mechanism
 from repro.rl import PPOConfig
 
 
+def step_result(env, prices):
+    """Step through the Gymnasium-style API, returning the StepResult."""
+    *_, info = env.step(prices)
+    return info["step_result"]
+
+
+
 @pytest.fixture
 def env(surrogate_env):
     return surrogate_env.env
 
 
 def obs_for(env):
-    state = env.reset()
+    state, _ = env.reset()
     return Observation(state, env.ledger.remaining, 0)
 
 
@@ -59,7 +66,7 @@ class TestDRLSingle:
         obs = obs_for(env)
         agent.begin_episode(obs)
         prices = agent.propose_prices(obs)
-        result = env.step(prices)
+        result = step_result(env, prices)
         agent.observe(prices, result)
         with pytest.raises(RuntimeError):
             agent.observe(prices, result)
@@ -71,7 +78,7 @@ class TestGreedy:
         obs = obs_for(env)
         agent.begin_episode(obs)
         p1 = agent.propose_prices(obs)
-        result = env.step(p1)
+        result = step_result(env, p1)
         agent.observe(p1, result)
         p2 = agent.propose_prices(obs)
         assert not np.allclose(p1, p2, atol=0.0)  # still exploring during warmup
@@ -119,7 +126,7 @@ class TestFixedPrice:
     def test_everyone_participates(self, env):
         mech = FixedPriceMechanism(env, markup=1.5)
         env.reset()
-        result = env.step(mech.propose_prices(obs_for(env)))
+        result = step_result(env, mech.propose_prices(obs_for(env)))
         assert len(result.participants) == env.n_nodes
 
     def test_markup_validation(self, env):
@@ -153,7 +160,7 @@ class TestOracle:
     def test_equal_times_in_episode(self, env):
         mech = EqualTimeOracle(env, spend_fraction=0.3)
         env.reset()
-        result = env.step(mech.propose_prices(obs_for(env)))
+        result = step_result(env, mech.propose_prices(obs_for(env)))
         assert len(result.participants) == env.n_nodes
         assert result.efficiency > 0.97
 

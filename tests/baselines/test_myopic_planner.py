@@ -9,6 +9,13 @@ from repro.core.mechanism import Observation
 from repro.experiments.runner import run_episode
 
 
+def step_result(env, prices):
+    """Step through the Gymnasium-style API, returning the StepResult."""
+    *_, info = env.step(prices)
+    return info["step_result"]
+
+
+
 @pytest.fixture
 def env(surrogate_env):
     return surrogate_env.env
@@ -27,7 +34,7 @@ class TestMyopicPlanner:
         planner = MyopicPlannerOracle(env)
         env.reset()
         obs = Observation(env.encoder.encode(env.ledger.remaining, 0), env.ledger.remaining, 0)
-        result = env.step(planner.propose_prices(obs))
+        result = step_result(env, planner.propose_prices(obs))
         assert len(result.participants) == env.n_nodes
         assert result.efficiency > 0.9  # Lemma-1 allocation
 
@@ -39,7 +46,7 @@ class TestMyopicPlanner:
     def test_ignores_budget_state(self, env):
         """Myopia: the chosen prices do not depend on remaining budget."""
         planner = MyopicPlannerOracle(env)
-        state = env.reset()
+        state, _ = env.reset()
         rich = Observation(state, env.ledger.remaining, 0)
         poor = Observation(state, env.ledger.remaining * 0.01, 0)
         np.testing.assert_allclose(

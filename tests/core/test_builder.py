@@ -8,6 +8,13 @@ from repro.core.builder import COMPUTE_AMPLIFICATION, _bits_per_epoch
 from repro.fl import RealTrainingAccuracy, SurrogateAccuracy
 
 
+def step_result(env, prices):
+    """Step through the Gymnasium-style API, returning the StepResult."""
+    *_, info = env.step(prices)
+    return info["step_result"]
+
+
+
 class TestSurrogateMode:
     def test_builds(self, surrogate_env):
         build = surrogate_env
@@ -73,7 +80,7 @@ class TestRealMode:
         env = build.env
         env.reset()
         prices = np.sqrt(env.price_floors * env.price_caps)
-        result = env.step(prices)
+        result = step_result(env, prices)
         assert result.round_kept
         assert 0 < result.accuracy <= 1
 

@@ -9,6 +9,13 @@ from repro.experiments.runner import run_episode, train_mechanism
 from repro.rl import PPOConfig
 
 
+def step_result(env, prices):
+    """Step through the Gymnasium-style API, returning the StepResult."""
+    *_, info = env.step(prices)
+    return info["step_result"]
+
+
+
 @pytest.fixture
 def env(surrogate_env):
     return surrogate_env.env
@@ -22,7 +29,7 @@ def fast_chiron(env, **kwargs):
 class TestActionStructure:
     def test_prices_positive_and_bounded(self, env):
         agent = fast_chiron(env)
-        state = env.reset()
+        state, _ = env.reset()
         obs = Observation(state, env.ledger.remaining, 0)
         agent.begin_episode(obs)
         prices = agent.propose_prices(obs)
@@ -33,7 +40,7 @@ class TestActionStructure:
     def test_factorization_eqn13(self, env):
         """p_i = a^E · a^I_i with a^I on the simplex -> Σp_i = a^E."""
         agent = fast_chiron(env)
-        state = env.reset()
+        state, _ = env.reset()
         obs = Observation(state, env.ledger.remaining, 0)
         agent.begin_episode(obs)
         prices = agent.propose_prices(obs)
@@ -62,11 +69,11 @@ class TestActionStructure:
 class TestEpisodeProtocol:
     def test_observe_requires_propose(self, env):
         agent = fast_chiron(env)
-        state = env.reset()
+        state, _ = env.reset()
         obs = Observation(state, env.ledger.remaining, 0)
         agent.begin_episode(obs)
         result_prices = agent.propose_prices(obs)
-        step = env.step(result_prices)
+        step = step_result(env, result_prices)
         agent.observe(result_prices, step)
         with pytest.raises(RuntimeError):
             agent.observe(result_prices, step)  # no pending action
@@ -79,11 +86,11 @@ class TestEpisodeProtocol:
 
     def test_buffers_grow_in_training(self, env):
         agent = fast_chiron(env)
-        state = env.reset()
+        state, _ = env.reset()
         obs = Observation(state, env.ledger.remaining, 0)
         agent.begin_episode(obs)
         prices = agent.propose_prices(obs)
-        step = env.step(prices)
+        step = step_result(env, prices)
         agent.observe(prices, step)
         assert len(agent.exterior.buffer) == 1
         assert len(agent.inner.buffer) == 1
@@ -91,18 +98,18 @@ class TestEpisodeProtocol:
     def test_eval_mode_freezes(self, env):
         agent = fast_chiron(env)
         agent.eval_mode()
-        state = env.reset()
+        state, _ = env.reset()
         obs = Observation(state, env.ledger.remaining, 0)
         agent.begin_episode(obs)
         prices = agent.propose_prices(obs)
-        step = env.step(prices)
+        step = step_result(env, prices)
         agent.observe(prices, step)
         assert len(agent.exterior.buffer) == 0
 
     def test_eval_deterministic(self, env):
         agent = fast_chiron(env)
         agent.eval_mode()
-        state = env.reset()
+        state, _ = env.reset()
         obs = Observation(state, env.ledger.remaining, 0)
         agent.begin_episode(obs)
         p1 = agent.propose_prices(obs)
@@ -123,7 +130,7 @@ class TestHierarchy:
     def test_inner_state_is_exterior_action(self, env):
         """§V-A: s^I_k = a^E_k (normalized)."""
         agent = fast_chiron(env)
-        state = env.reset()
+        state, _ = env.reset()
         obs = Observation(state, env.ledger.remaining, 0)
         agent.begin_episode(obs)
         prices = agent.propose_prices(obs)

@@ -6,6 +6,13 @@ import pytest
 from repro.core import EnvConfig, build_environment
 
 
+def step_result(env, prices):
+    """Step through the Gymnasium-style API, returning the StepResult."""
+    *_, info = env.step(prices)
+    return info["step_result"]
+
+
+
 def churn_env(availability, budget=1e6, n_nodes=6, seed=0, max_rounds=50):
     return build_environment(
         task_name="mnist",
@@ -24,7 +31,7 @@ class TestAvailability:
         env.reset()
         prices = np.sqrt(env.price_floors * env.price_caps)
         for _ in range(5):
-            result = env.step(prices)
+            result = step_result(env, prices)
             assert result.unavailable == []
             assert len(result.participants) == env.n_nodes
 
@@ -34,7 +41,7 @@ class TestAvailability:
         prices = np.sqrt(env.price_floors * env.price_caps)
         dropped = 0
         for _ in range(20):
-            result = env.step(prices)
+            result = step_result(env, prices)
             dropped += len(result.unavailable)
         # Expect ≈ 20 rounds × 6 nodes × 0.5; allow a wide band.
         assert 30 <= dropped <= 90
@@ -46,7 +53,7 @@ class TestAvailability:
         for _ in range(10):
             if env.done:
                 break
-            result = env.step(prices)
+            result = step_result(env, prices)
             for node in result.unavailable:
                 assert result.payments[node] == 0.0
                 assert result.times[node] == 0.0
@@ -60,7 +67,7 @@ class TestAvailability:
         # Price node 0 only; node 1 declines -> counted idle (reward < 0).
         prices = np.zeros(2)
         prices[0] = np.sqrt(env.price_floors[0] * env.price_caps[0])
-        result = env.step(prices)
+        result = step_result(env, prices)
         assert result.reward_inner < 0
 
     def test_availability_validated(self):
@@ -74,7 +81,7 @@ class TestAvailability:
             env = churn_env(0.6, seed=3)
             env.reset()
             prices = np.sqrt(env.price_floors * env.price_caps)
-            return [tuple(env.step(prices).unavailable) for _ in range(10)]
+            return [tuple(step_result(env, prices).unavailable) for _ in range(10)]
 
         assert run() == run()
 
@@ -86,7 +93,7 @@ class TestAvailability:
         def episode(env, n_rounds):
             env.reset()
             prices = np.sqrt(env.price_floors * env.price_caps)
-            return [tuple(env.step(prices).unavailable) for _ in range(n_rounds)]
+            return [tuple(step_result(env, prices).unavailable) for _ in range(n_rounds)]
 
         a = churn_env(0.5, seed=11)
         b = churn_env(0.5, seed=11)
@@ -100,9 +107,9 @@ class TestAvailability:
         env = churn_env(0.5, seed=4)
         env.reset()
         prices = np.sqrt(env.price_floors * env.price_caps)
-        first = [tuple(env.step(prices).unavailable) for _ in range(8)]
+        first = [tuple(step_result(env, prices).unavailable) for _ in range(8)]
         env.reset()
-        second = [tuple(env.step(prices).unavailable) for _ in range(8)]
+        second = [tuple(step_result(env, prices).unavailable) for _ in range(8)]
         assert first != second  # fresh substream, not a replay
 
     def test_learning_survives_churn(self):
@@ -112,7 +119,7 @@ class TestAvailability:
         prices = np.sqrt(env.price_floors * env.price_caps)
         accs = []
         while not env.done:
-            result = env.step(prices)
+            result = step_result(env, prices)
             if result.round_kept:
                 accs.append(result.accuracy)
         assert accs[-1] > accs[0]

@@ -1,0 +1,97 @@
+"""Unified config surface: dict round-trips and the BuildConfig path.
+
+Every tunable dataclass must survive ``Config.from_dict(config.to_dict())``
+unchanged (including nested configs), and ``build_environment`` must treat
+a single ``BuildConfig`` and the equivalent keyword spelling identically.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import ChironConfig, EnvConfig, RewardConfig, build_environment
+from repro.core.builder import BuildConfig
+from repro.faults import FaultConfig
+from repro.rl import PPOConfig
+
+ALL_CONFIGS = [
+    EnvConfig(budget=20.0),
+    EnvConfig(budget=35.0, availability=0.8, faults=FaultConfig.mixed(0.2)),
+    RewardConfig(),
+    PPOConfig(),
+    ChironConfig(),
+    BuildConfig(),
+    FaultConfig(),
+    FaultConfig.mixed(0.2, seed=3),
+    PPOConfig(hidden=(32, 16), gamma=0.9, min_update_batch=64),
+    BuildConfig(n_nodes=7, budget=55.0, faults=FaultConfig.mixed(0.1, seed=1)),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "config", ALL_CONFIGS, ids=lambda c: type(c).__name__
+    )
+    def test_to_dict_from_dict_identity(self, config):
+        data = config.to_dict()
+        assert config.from_dict(data) == config
+
+    @pytest.mark.parametrize(
+        "config", ALL_CONFIGS, ids=lambda c: type(c).__name__
+    )
+    def test_to_dict_is_json_native(self, config):
+        # Registry entries and checkpoints serialize these directly.
+        restored = type(config).from_dict(json.loads(json.dumps(config.to_dict())))
+        assert restored == config
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            PPOConfig.from_dict({"gamma": 0.9, "gammma": 0.9})
+
+    def test_bad_values_fail_like_the_constructor(self):
+        with pytest.raises(ValueError):
+            PPOConfig.from_dict({"actor_lr": -1.0})
+
+    def test_nested_configs_reconstructed(self):
+        cfg = ChironConfig()
+        restored = ChironConfig.from_dict(cfg.to_dict())
+        assert isinstance(restored.exterior, PPOConfig)
+        assert isinstance(restored.inner, PPOConfig)
+
+
+class TestBuildConfigPath:
+    KWARGS = dict(
+        task_name="mnist",
+        n_nodes=4,
+        budget=15.0,
+        accuracy_mode="surrogate",
+        seed=0,
+        max_rounds=60,
+    )
+
+    def run_fixed_price_episode(self, env):
+        env.reset()
+        prices = np.sqrt(env.price_floors * env.price_caps)
+        trace = []
+        while not env.done:
+            *_, info = env.step(prices)
+            trace.append(info["step_result"].accuracy)
+        return trace
+
+    def test_config_object_equals_keyword_spelling(self):
+        by_kwargs = build_environment(**self.KWARGS).env
+        by_config = build_environment(config=BuildConfig(**self.KWARGS)).env
+        assert by_config.n_nodes == by_kwargs.n_nodes
+        assert by_config.state_dim == by_kwargs.state_dim
+        assert self.run_fixed_price_episode(by_config) == (
+            self.run_fixed_price_episode(by_kwargs)
+        )
+
+    def test_build_method_on_config(self):
+        build = BuildConfig(**self.KWARGS).build()
+        assert build.env.n_nodes == 4
+
+    def test_config_and_kwargs_clash(self):
+        with pytest.raises(ValueError, match="not both"):
+            build_environment(config=BuildConfig(**self.KWARGS), n_nodes=9)

@@ -7,6 +7,13 @@ from repro.core import EdgeLearningEnv, EnvConfig, build_environment
 from repro.core.env import StepResult
 
 
+def step_result(env, prices):
+    """Step through the Gymnasium-style API, returning the StepResult."""
+    *_, info = env.step(prices)
+    return info["step_result"]
+
+
+
 @pytest.fixture
 def env(surrogate_env):
     return surrogate_env.env
@@ -20,17 +27,17 @@ def mid_prices(env):
 class TestLifecycle:
     def test_must_reset_before_step(self, env):
         with pytest.raises(RuntimeError):
-            env.step(mid_prices(env))
+            step_result(env, mid_prices(env))
 
     def test_reset_returns_state(self, env):
-        state = env.reset()
+        state, _ = env.reset()
         assert state.shape == (env.state_dim,)
         assert not env.done
         assert env.round_index == 0
 
     def test_step_advances(self, env):
         env.reset()
-        result = env.step(mid_prices(env))
+        result = step_result(env, mid_prices(env))
         assert isinstance(result, StepResult)
         assert result.round_index == 1
         assert result.round_kept
@@ -39,15 +46,15 @@ class TestLifecycle:
     def test_step_after_done_raises(self, env):
         env.reset()
         while not env.done:
-            env.step(env.price_caps)  # expensive: exhausts budget fast
+            step_result(env, env.price_caps)  # expensive: exhausts budget fast
         with pytest.raises(RuntimeError):
-            env.step(mid_prices(env))
+            step_result(env, mid_prices(env))
 
     def test_reset_restores_budget_and_accuracy(self, env):
         env.reset()
-        env.step(mid_prices(env))
+        step_result(env, mid_prices(env))
         first_acc = env.accuracy
-        state = env.reset()
+        state, _ = env.reset()
         assert env.ledger.remaining == env.config.budget
         assert env.accuracy < first_acc
         np.testing.assert_allclose(state[:-2], 0.0)
@@ -57,27 +64,27 @@ class TestPriceValidation:
     def test_shape(self, env):
         env.reset()
         with pytest.raises(ValueError):
-            env.step(np.ones(2))
+            step_result(env, np.ones(2))
 
     def test_negative(self, env):
         env.reset()
         prices = mid_prices(env)
         prices[0] = -1.0
         with pytest.raises(ValueError):
-            env.step(prices)
+            step_result(env, prices)
 
     def test_nonfinite(self, env):
         env.reset()
         prices = mid_prices(env)
         prices[0] = np.inf
         with pytest.raises(ValueError):
-            env.step(prices)
+            step_result(env, prices)
 
 
 class TestBudgetSemantics:
     def test_payments_charged(self, env):
         env.reset()
-        result = env.step(mid_prices(env))
+        result = step_result(env, mid_prices(env))
         assert result.payments.sum() > 0
         assert env.ledger.spent == pytest.approx(result.payments.sum())
         assert result.remaining_budget == pytest.approx(
@@ -92,7 +99,7 @@ class TestBudgetSemantics:
         env = build.env
         env.reset()
         # Price caps cost far more than 0.35 total: first round overdraws.
-        result = env.step(env.price_caps)
+        result = step_result(env, env.price_caps)
         assert result.done
         assert not result.round_kept
         assert result.participants == []
@@ -103,7 +110,7 @@ class TestBudgetSemantics:
         env.reset()
         rounds = 0
         while not env.done:
-            result = env.step(env.price_caps)
+            result = step_result(env, env.price_caps)
             rounds += 1
             assert rounds < 50  # caps are expensive; must end quickly
         assert result.done
@@ -111,7 +118,7 @@ class TestBudgetSemantics:
     def test_spent_plus_remaining_invariant(self, env):
         env.reset()
         while not env.done:
-            env.step(mid_prices(env))
+            step_result(env, mid_prices(env))
             assert env.ledger.spent + env.ledger.remaining == pytest.approx(
                 env.config.budget
             )
@@ -120,7 +127,7 @@ class TestBudgetSemantics:
 class TestNoParticipation:
     def test_zero_prices_waste_round(self, env):
         env.reset()
-        result = env.step(np.zeros(env.n_nodes))
+        result = step_result(env, np.zeros(env.n_nodes))
         assert not result.round_kept
         assert not result.done
         assert result.participants == []
@@ -136,28 +143,28 @@ class TestNoParticipation:
         env = build.env
         env.reset()
         for _ in range(3):
-            result = env.step(np.zeros(3))
+            result = step_result(env, np.zeros(3))
         assert result.done and result.truncated
 
 
 class TestStepResultConsistency:
     def test_efficiency_matches_times(self, env):
         env.reset()
-        result = env.step(mid_prices(env))
+        result = step_result(env, mid_prices(env))
         times = result.times[result.participants]
         expected = times.sum() / (len(times) * times.max())
         assert result.efficiency == pytest.approx(expected)
 
     def test_round_time_is_makespan(self, env):
         env.reset()
-        result = env.step(mid_prices(env))
+        result = step_result(env, mid_prices(env))
         assert result.round_time == pytest.approx(
             result.times[result.participants].max()
         )
 
     def test_participant_utilities_clear_reserve(self, env):
         env.reset()
-        result = env.step(mid_prices(env))
+        result = step_result(env, mid_prices(env))
         for i in result.participants:
             assert result.utilities[i] >= env.profiles[i].reserve_utility - 1e-12
 
@@ -165,7 +172,7 @@ class TestStepResultConsistency:
         env.reset()
         prices = mid_prices(env)
         prices[0] = 0.0  # node 0 declines
-        result = env.step(prices)
+        result = step_result(env, prices)
         assert 0 not in result.participants
         assert result.payments[0] == 0
         assert result.zetas[0] == 0
@@ -176,7 +183,7 @@ class TestStepResultConsistency:
         prices = mid_prices(env)
         accs = []
         while not env.done and len(accs) < 10:
-            accs.append(env.step(prices).accuracy)
+            accs.append(step_result(env, prices).accuracy)
         # Observation noise allows tiny dips; the trend must rise.
         assert accs[-1] > accs[0]
 
@@ -191,7 +198,7 @@ class TestTruncation:
         env.reset()
         prices = np.sqrt(env.price_floors * env.price_caps)
         for _ in range(4):
-            result = env.step(prices)
+            result = step_result(env, prices)
         assert result.done and result.truncated
 
 

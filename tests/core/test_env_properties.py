@@ -8,6 +8,13 @@ from hypothesis import strategies as st
 from repro.core import build_environment
 
 
+def step_result(env, prices):
+    """Step through the Gymnasium-style API, returning the StepResult."""
+    *_, info = env.step(prices)
+    return info["step_result"]
+
+
+
 def fresh_env(seed=0):
     return build_environment(
         task_name="mnist",
@@ -41,7 +48,7 @@ def test_env_invariants_under_random_prices(data, seed):
             label="price multipliers",
         )
         prices = floor_scale * np.asarray(multipliers)
-        result = env.step(prices)
+        result = step_result(env, prices)
         steps += 1
 
         # Budget never negative; spent+remaining == total.
@@ -85,6 +92,6 @@ def test_episode_always_terminates(seed):
     prices = env.price_floors * rng.uniform(1.0, 5.0, size=env.n_nodes)
     steps = 0
     while not env.done:
-        env.step(prices)
+        step_result(env, prices)
         steps += 1
         assert steps <= env.config.max_rounds

@@ -1,0 +1,154 @@
+"""The Gymnasium-style environment protocol (API redesign PR).
+
+Covers the 5-tuple step contract, the terminated/truncated split, seeded
+reset reproducibility, and the deprecation shim for the pre-redesign
+signatures.
+"""
+
+import numpy as np
+import pytest
+
+import repro.core.env as env_module
+from repro.core import LegacyEnvAdapter, StepResult, build_environment
+
+
+def make_env(**kwargs):
+    defaults = dict(
+        task_name="mnist",
+        n_nodes=4,
+        budget=20.0,
+        accuracy_mode="surrogate",
+        seed=0,
+        max_rounds=120,
+    )
+    defaults.update(kwargs)
+    return build_environment(**defaults).env
+
+
+def mid_prices(env):
+    return np.sqrt(env.price_floors * env.price_caps)
+
+
+class TestResetContract:
+    def test_reset_returns_obs_and_info(self):
+        env = make_env()
+        obs, info = env.reset()
+        assert isinstance(obs, np.ndarray)
+        assert obs.shape == (env.state_dim,)
+        assert info["round_index"] == 0
+        assert info["remaining_budget"] == pytest.approx(env.ledger.remaining)
+        assert 0.0 <= info["accuracy"] <= 1.0
+
+    def test_seeded_reset_reproducible_after_prior_episodes(self):
+        """reset(seed=s) pins the churn substream regardless of history.
+
+        Only the per-episode substreams (churn, faults) rebase on a seeded
+        reset; the learning-noise stream keeps advancing, so accuracy is
+        deliberately excluded from the comparison.
+        """
+
+        def trajectory(env):
+            env.reset(seed=123)
+            prices = mid_prices(env)
+            out = []
+            while not env.done:
+                *_, info = env.step(prices)
+                out.append(info["step_result"])
+            return out
+
+        a = make_env(availability=0.7)
+        b = make_env(availability=0.7)
+        # Burn two unseeded episodes on `a` so its substream counter differs.
+        for _ in range(2):
+            a.reset()
+            while not a.done:
+                a.step(mid_prices(a))
+        ta, tb = trajectory(a), trajectory(b)
+        assert len(ta) == len(tb)
+        for ra, rb in zip(ta, tb):
+            assert ra.participants == rb.participants
+            assert ra.unavailable == rb.unavailable
+            np.testing.assert_array_equal(ra.payments, rb.payments)
+            np.testing.assert_array_equal(ra.state, rb.state)
+
+
+class TestStepContract:
+    def test_step_five_tuple(self):
+        env = make_env()
+        env.reset()
+        obs, reward, terminated, truncated, info = env.step(mid_prices(env))
+        assert isinstance(obs, np.ndarray) and obs.shape == (env.state_dim,)
+        assert isinstance(reward, float)
+        assert isinstance(terminated, bool) and isinstance(truncated, bool)
+        result = info["step_result"]
+        assert isinstance(result, StepResult)
+        assert reward == result.reward_exterior
+        assert info["reward_inner"] == result.reward_inner
+        assert info["remaining_budget"] == result.remaining_budget
+        assert info["round_index"] == result.round_index
+        assert info["accuracy"] == result.accuracy
+        np.testing.assert_array_equal(obs, result.state)
+
+    def test_budget_exhaustion_terminates(self):
+        env = make_env()
+        env.reset()
+        terminated = truncated = False
+        while not env.done:
+            _, _, terminated, truncated, _ = env.step(mid_prices(env))
+        assert terminated and not truncated
+
+    def test_max_rounds_truncates(self):
+        env = make_env(budget=1e6, max_rounds=3)
+        env.reset()
+        terminated = truncated = False
+        while not env.done:
+            _, _, terminated, truncated, _ = env.step(mid_prices(env))
+        assert truncated and not terminated
+        assert env.round_index == 3
+
+    def test_step_after_done_raises(self):
+        env = make_env(budget=1e6, max_rounds=1)
+        env.reset()
+        env.step(mid_prices(env))
+        with pytest.raises(RuntimeError, match="reset"):
+            env.step(mid_prices(env))
+
+
+class TestLegacyAdapter:
+    @pytest.fixture(autouse=True)
+    def fresh_warning_flag(self, monkeypatch):
+        # The shim warns once per process; rearm it so each test observes
+        # the first-use warning independently.
+        monkeypatch.setattr(env_module, "_LEGACY_API_WARNED", False)
+
+    def test_legacy_signatures(self):
+        env = make_env()
+        shim = env.legacy()
+        assert isinstance(shim, LegacyEnvAdapter)
+        with pytest.warns(DeprecationWarning):
+            obs = shim.reset()
+        assert isinstance(obs, np.ndarray) and obs.shape == (env.state_dim,)
+        result = shim.step(mid_prices(env))
+        assert isinstance(result, StepResult)
+        assert result.round_index == 1
+
+    def test_warns_exactly_once(self):
+        shim = make_env().legacy()
+        import warnings as _warnings
+
+        with _warnings.catch_warnings(record=True) as caught:
+            _warnings.simplefilter("always")
+            shim.reset()
+            shim.step(mid_prices(shim))
+            shim.step(mid_prices(shim))
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+
+    def test_attribute_passthrough(self):
+        env = make_env()
+        shim = env.legacy()
+        assert shim.n_nodes == env.n_nodes
+        assert shim.state_dim == env.state_dim
+        assert shim.ledger is env.ledger

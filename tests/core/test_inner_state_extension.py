@@ -9,6 +9,13 @@ from repro.experiments.runner import train_mechanism
 from repro.rl import PPOConfig
 
 
+def step_result(env, prices):
+    """Step through the Gymnasium-style API, returning the StepResult."""
+    *_, info = env.step(prices)
+    return info["step_result"]
+
+
+
 def agent_with(env, observes_times):
     ppo = PPOConfig(actor_lr=1e-3, critic_lr=1e-3, hidden=(16, 16))
     return ChironAgent(
@@ -31,7 +38,7 @@ class TestInnerObservesTimes:
     def test_first_round_times_zero(self, surrogate_env):
         env = surrogate_env.env
         agent = agent_with(env, True)
-        state = env.reset()
+        state, _ = env.reset()
         obs = Observation(state, env.ledger.remaining, 0)
         agent.begin_episode(obs)
         agent.propose_prices(obs)
@@ -41,11 +48,11 @@ class TestInnerObservesTimes:
     def test_second_round_sees_times(self, surrogate_env):
         env = surrogate_env.env
         agent = agent_with(env, True)
-        state = env.reset()
+        state, _ = env.reset()
         obs = Observation(state, env.ledger.remaining, 0)
         agent.begin_episode(obs)
         prices = agent.propose_prices(obs)
-        result = env.step(prices)
+        result = step_result(env, prices)
         agent.observe(prices, result)
         obs2 = Observation(result.state, result.remaining_budget, result.round_index)
         agent.propose_prices(obs2)
@@ -57,7 +64,7 @@ class TestInnerObservesTimes:
         env = surrogate_env.env
         agent = agent_with(env, True)
         train_mechanism(env, agent, episodes=1)
-        state = env.reset()
+        state, _ = env.reset()
         obs = Observation(state, env.ledger.remaining, 0)
         agent.begin_episode(obs)
         agent.propose_prices(obs)

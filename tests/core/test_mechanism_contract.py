@@ -13,6 +13,13 @@ from repro.experiments.mechanisms import MECHANISM_NAMES, make_mechanism
 from repro.experiments.runner import run_episode
 
 
+def step_result(env, prices):
+    """Step through the Gymnasium-style API, returning the StepResult."""
+    *_, info = env.step(prices)
+    return info["step_result"]
+
+
+
 @pytest.fixture
 def env(surrogate_env):
     return surrogate_env.env
@@ -22,7 +29,7 @@ def env(surrogate_env):
 class TestMechanismContract:
     def test_prices_valid(self, name, env):
         mechanism = make_mechanism(name, env, rng=0)
-        state = env.reset()
+        state, _ = env.reset()
         obs = Observation(state, env.ledger.remaining, 0)
         mechanism.begin_episode(obs)
         prices = mechanism.propose_prices(obs)
@@ -49,9 +56,9 @@ class TestMechanismContract:
     def test_attracts_participation(self, name, env):
         """Every shipped mechanism prices at least one node into the round."""
         mechanism = make_mechanism(name, env, rng=0)
-        state = env.reset()
+        state, _ = env.reset()
         obs = Observation(state, env.ledger.remaining, 0)
         mechanism.begin_episode(obs)
-        result = env.step(mechanism.propose_prices(obs))
+        result = step_result(env, mechanism.propose_prices(obs))
         assert result.round_kept
         assert len(result.participants) >= 1

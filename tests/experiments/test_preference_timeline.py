@@ -9,6 +9,13 @@ from repro.experiments.figures import render_lambda_sweep, render_round_timeline
 from repro.experiments.preference import run_lambda_sweep
 
 
+def step_result(env, prices):
+    """Step through the Gymnasium-style API, returning the StepResult."""
+    *_, info = env.step(prices)
+    return info["step_result"]
+
+
+
 class TestLambdaSweep:
     def test_tiny_sweep(self):
         result = run_lambda_sweep(
@@ -37,9 +44,9 @@ class TestRoundTimeline:
     def test_renders_participants(self, surrogate_env):
         env = surrogate_env.env
         mech = FixedPriceMechanism(env, markup=2.0)
-        state = env.reset()
+        state, _ = env.reset()
         obs = Observation(state, env.ledger.remaining, 0)
-        result = env.step(mech.propose_prices(obs))
+        result = step_result(env, mech.propose_prices(obs))
         text = render_round_timeline(result)
         assert "makespan" in text
         assert text.count("node") == env.n_nodes
@@ -50,12 +57,12 @@ class TestRoundTimeline:
         env.reset()
         prices = np.sqrt(env.price_floors * env.price_caps)
         prices[0] = 0.0
-        result = env.step(prices)
+        result = step_result(env, prices)
         text = render_round_timeline(result)
         assert "(declined)" in text
 
     def test_no_participants(self, surrogate_env):
         env = surrogate_env.env
         env.reset()
-        result = env.step(np.zeros(env.n_nodes))
+        result = step_result(env, np.zeros(env.n_nodes))
         assert "no participants" in render_round_timeline(result)

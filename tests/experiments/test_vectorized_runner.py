@@ -1,0 +1,98 @@
+"""run_episodes_vectorized: the batched rollout engine.
+
+The anchor property: training through the vector path with ``num_envs=1``
+is bit-identical to the sequential ``train_mechanism`` loop — same episode
+results, same diagnostics, same final policy parameters.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import VectorizedEdgeLearningEnv, build_environment
+from repro.experiments.mechanisms import make_mechanism
+from repro.experiments.runner import (
+    run_episodes_vectorized,
+    train_mechanism,
+)
+
+
+def make_env(**kwargs):
+    defaults = dict(
+        task_name="mnist",
+        n_nodes=4,
+        budget=15.0,
+        accuracy_mode="surrogate",
+        seed=0,
+        max_rounds=60,
+    )
+    defaults.update(kwargs)
+    return build_environment(**defaults).env
+
+
+def chiron_parameters(agent):
+    params = []
+    for ppo in (agent.exterior, agent.inner):
+        params.extend(p.data.copy() for p in ppo.policy.parameters())
+        params.extend(p.data.copy() for p in ppo.value_net.parameters())
+    return params
+
+
+class TestSingleReplicaBitIdentity:
+    def test_matches_sequential_training(self):
+        episodes = 4
+        env_seq = make_env()
+        agent_seq = make_mechanism("chiron", env_seq, rng=1, tier="quick")
+        hist_seq = train_mechanism(env_seq, agent_seq, episodes=episodes)
+
+        env_vec = make_env()
+        agent_vec = make_mechanism("chiron", env_vec, rng=1, tier="quick")
+        venv = VectorizedEdgeLearningEnv.from_env(env_vec, 1)
+        hist_vec = train_mechanism(venv, agent_vec, episodes=episodes)
+
+        assert len(hist_seq.episodes) == len(hist_vec.episodes) == episodes
+        for a, b in zip(hist_seq.episodes, hist_vec.episodes):
+            assert a.rounds == b.rounds
+            assert a.final_accuracy == b.final_accuracy
+            assert a.reward_exterior == b.reward_exterior
+            assert a.reward_inner == b.reward_inner
+            assert a.budget_spent == b.budget_spent
+        for p, q in zip(
+            chiron_parameters(agent_seq), chiron_parameters(agent_vec)
+        ):
+            np.testing.assert_array_equal(p, q)
+
+
+class TestMultiReplica:
+    def test_three_replicas_complete_all_episodes(self):
+        env = make_env()
+        agent = make_mechanism("chiron", env, rng=1, tier="quick")
+        history = train_mechanism(env, agent, episodes=5, num_envs=3)
+        assert len(history.episodes) == 5
+        for ep in history.episodes:
+            assert ep.rounds > 0
+            assert np.isfinite(ep.reward_exterior)
+            assert 0.0 <= ep.final_accuracy <= 1.0
+
+    def test_prebuilt_vector_env_accepted(self):
+        env = make_env()
+        agent = make_mechanism("chiron", env, rng=1, tier="quick")
+        venv = VectorizedEdgeLearningEnv.from_env(env, 2)
+        results = run_episodes_vectorized(venv, agent, episodes=3)
+        assert len(results) == 3
+        for result, diagnostics in results:
+            assert result.rounds > 0
+            assert "episode_reward_exterior" in diagnostics
+
+
+class TestProtocolGating:
+    def test_non_vectorized_mechanism_rejected(self):
+        env = make_env()
+        greedy = make_mechanism("greedy", env, rng=0)
+        assert not getattr(greedy, "supports_vectorized", False)
+        with pytest.raises(TypeError, match="vectorized"):
+            run_episodes_vectorized(env, greedy, episodes=1)
+
+    def test_chiron_advertises_support(self):
+        env = make_env()
+        agent = make_mechanism("chiron", env, rng=0, tier="quick")
+        assert agent.supports_vectorized

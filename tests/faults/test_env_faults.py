@@ -39,7 +39,8 @@ def run_episode(env):
     prices = np.sqrt(env.price_floors * env.price_caps)
     results = []
     while not env.done:
-        results.append(env.step(prices))
+        *_, info = env.step(prices)
+        results.append(info["step_result"])
     return results
 
 
@@ -189,7 +190,8 @@ class TestTelemetryCounters:
         env.reset()
         prices = np.sqrt(env.price_floors * env.price_caps)
         while not env.done:
-            recorder.observe(env.step(prices))
+            *_, info = env.step(prices)
+            recorder.observe(info["step_result"])
         record = recorder.records[0]
         for key in (
             "n_delivered",

@@ -11,6 +11,13 @@ from repro.experiments.runner import evaluate_mechanism, run_episode, train_mech
 from repro.rl import PPOConfig
 
 
+def step_result(env, prices):
+    """Step through the Gymnasium-style API, returning the StepResult."""
+    *_, info = env.step(prices)
+    return info["step_result"]
+
+
+
 class TestRealModeEndToEnd:
     def test_chiron_episode_on_real_training(self):
         """Chiron drives actual numpy-CNN federated training."""
@@ -47,7 +54,7 @@ class TestRealModeEndToEnd:
         initial = env.accuracy
         prices = np.sqrt(env.price_floors * env.price_caps)
         while not env.done:
-            result = env.step(prices)
+            result = step_result(env, prices)
         assert result.accuracy > initial + 0.3
 
 

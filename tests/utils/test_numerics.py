@@ -1,0 +1,61 @@
+"""Shared nonlinearities in repro.utils.numerics (hoisted in the redesign)."""
+
+import numpy as np
+
+from repro.utils.numerics import sigmoid, softmax
+
+
+class TestSigmoid:
+    def test_scalar_returns_float(self):
+        out = sigmoid(0.0)
+        assert isinstance(out, float)
+        assert out == 0.5
+
+    def test_matches_naive_form_in_safe_range(self):
+        x = np.linspace(-20, 20, 101)
+        np.testing.assert_allclose(sigmoid(x), 1.0 / (1.0 + np.exp(-x)))
+
+    def test_overflow_guarded(self):
+        assert sigmoid(1000.0) == 1.0
+        assert sigmoid(-1000.0) == 0.0
+        out = sigmoid(np.array([-1000.0, 0.0, 1000.0]))
+        assert np.all(np.isfinite(out))
+        np.testing.assert_array_equal(out, [0.0, 0.5, 1.0])
+
+    def test_scalar_and_array_paths_agree(self):
+        xs = np.array([-5.0, -0.5, 0.0, 0.5, 5.0])
+        arr = sigmoid(xs)
+        for x, expected in zip(xs, arr):
+            assert sigmoid(float(x)) == expected
+
+    def test_symmetry(self):
+        x = np.linspace(-8, 8, 33)
+        np.testing.assert_allclose(sigmoid(x) + sigmoid(-x), np.ones_like(x))
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        x = np.random.default_rng(0).normal(size=(4, 6))
+        out = softmax(x)
+        np.testing.assert_allclose(out.sum(axis=-1), np.ones(4))
+        assert np.all(out > 0)
+
+    def test_matches_classic_form_1d(self):
+        x = np.array([0.3, -1.2, 2.0, 0.0])
+        e = np.exp(x - x.max())
+        np.testing.assert_array_equal(softmax(x), e / e.sum())
+
+    def test_batched_rows_equal_per_row(self):
+        x = np.random.default_rng(1).normal(size=(3, 5))
+        batched = softmax(x)
+        for i in range(3):
+            np.testing.assert_array_equal(batched[i], softmax(x[i]))
+
+    def test_shift_invariance(self):
+        x = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(softmax(x), softmax(x + 100.0))
+
+    def test_large_inputs_stable(self):
+        out = softmax(np.array([1e4, 1e4 + 1.0]))
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(out.sum(), 1.0)
