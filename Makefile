@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test faults bench bench-smoke bench-rollout repro repro-paper report clean
+.PHONY: install test faults bench bench-smoke bench-rollout obs-demo repro repro-paper report clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -20,6 +20,10 @@ bench:
 # Quick end-to-end check of the rollout benchmark harness (tiny workload).
 bench-smoke:
 	$(PYTHON) -m pytest -m bench tests/
+
+# Instrumented demo episode: prints the Prometheus snapshot + span profile.
+obs-demo:
+	$(PYTHON) -m repro.obs demo
 
 # Regenerate the committed vectorized-rollout throughput report.
 bench-rollout:

@@ -21,6 +21,8 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import obs as _obs
+
 ArrayLike = Union[np.ndarray, float, int, list, tuple]
 
 _grad_state = threading.local()
@@ -176,11 +178,15 @@ class Tensor:
                 f"seed gradient shape {seed.shape} != tensor shape {self.shape}"
             )
 
-        order = self._topological_order()
-        self._accumulate(seed)
-        for node in reversed(order):
-            if node._backward is not None and node.grad is not None:
-                node._backward(node.grad)
+        with _obs.span("autograd.backward"):
+            order = self._topological_order()
+            self._accumulate(seed)
+            for node in reversed(order):
+                if node._backward is not None and node.grad is not None:
+                    node._backward(node.grad)
+        if _obs.enabled():
+            _obs.counter("autograd.backward.calls").inc()
+            _obs.counter("autograd.backward.nodes").inc(len(order))
 
     def _topological_order(self) -> List["Tensor"]:
         order: List[Tensor] = []

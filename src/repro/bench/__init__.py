@@ -20,10 +20,12 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.core.builder import build_environment
 from repro.core.chiron import ChironAgent, ChironConfig
 from repro.core.vector import VectorizedEdgeLearningEnv
 from repro.experiments.runner import run_episode, run_episodes_vectorized
+from repro.obs.registry import MetricsRegistry
 
 
 class _StepCounter:
@@ -111,6 +113,30 @@ def _bench_vectorized(
     }
 
 
+def _collect_profile(
+    env_seed: int, agent_seed: int, **build_kwargs
+) -> List[dict]:
+    """Span profile of one instrumented sequential episode.
+
+    Uses a private registry so the benchmark numbers above (measured with
+    observability off) stay untouched, and restores whatever obs state the
+    caller had.
+    """
+    env = build_environment(seed=env_seed, **build_kwargs).env
+    agent = _make_agent(env, agent_seed)
+    previous = obs.get_registry()
+    registry = MetricsRegistry()
+    obs.enable(registry)
+    try:
+        run_episode(env, agent)
+        return registry.profile()
+    finally:
+        if previous is obs.NOOP_REGISTRY:
+            obs.disable()
+        else:
+            obs.enable(previous)
+
+
 def run_rollout_benchmark(
     num_envs: List[int],
     episodes_per_env: int = 4,
@@ -119,6 +145,7 @@ def run_rollout_benchmark(
     budget: float = 100.0,
     seed: int = 0,
     agent_seed: int = 42,
+    include_profile: bool = True,
 ) -> dict:
     """Benchmark rollout throughput at each replica count in ``num_envs``.
 
@@ -151,7 +178,7 @@ def run_rollout_benchmark(
             speedups[str(entry["num_envs"])] = (
                 entry["steps_per_sec"] / baseline["steps_per_sec"]
             )
-    return {
+    report = {
         "benchmark": "rollout",
         "config": {
             "n_nodes": n_nodes,
@@ -164,6 +191,9 @@ def run_rollout_benchmark(
         "results": results,
         "speedup_vs_sequential": speedups,
     }
+    if include_profile:
+        report["profile"] = _collect_profile(seed, agent_seed, **build_kwargs)
+    return report
 
 
 def write_report(report: dict, path: str) -> None:

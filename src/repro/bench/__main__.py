@@ -49,6 +49,11 @@ def main(argv=None) -> int:
     rollout.add_argument("--budget", type=float, default=100.0)
     rollout.add_argument("--seed", type=int, default=0)
     rollout.add_argument("--out", default="BENCH_rollout.json")
+    rollout.add_argument(
+        "--no-profile",
+        action="store_true",
+        help="skip the instrumented span-profile episode",
+    )
     args = parser.parse_args(argv)
 
     report = run_rollout_benchmark(
@@ -58,6 +63,7 @@ def main(argv=None) -> int:
         n_nodes=args.n_nodes,
         budget=args.budget,
         seed=args.seed,
+        include_profile=not args.no_profile,
     )
     write_report(report, args.out)
     for entry in report["results"]:
@@ -68,6 +74,11 @@ def main(argv=None) -> int:
             f"{entry['steps']} steps in {entry['seconds']:.3f}s = "
             f"{entry['steps_per_sec']:.0f} steps/s{suffix}"
         )
+    if report.get("profile"):
+        from repro.obs.tracing import format_profile
+
+        print("\nspan profile (1 instrumented sequential episode):")
+        print(format_profile(report["profile"]))
     print(f"report written to {args.out}")
     return 0
 

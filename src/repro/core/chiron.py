@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs as _obs
 from repro.core.env import EdgeLearningEnv, StepResult
 from repro.core.mechanism import IncentiveMechanism, Observation
 from repro.rl.ppo import PPOAgent, PPOConfig
@@ -141,15 +142,16 @@ class ChironAgent(IncentiveMechanism):
 
     def propose_prices(self, obs: Observation) -> np.ndarray:
         deterministic = not self.training and self.config.deterministic_eval
-        ext_action, ext_logp, ext_value = self.exterior.act(
-            obs.state, deterministic=deterministic
-        )
-        total_price = self._total_price_from_raw(float(ext_action[0]))
+        with _obs.span("chiron.act"):
+            ext_action, ext_logp, ext_value = self.exterior.act(
+                obs.state, deterministic=deterministic
+            )
+            total_price = self._total_price_from_raw(float(ext_action[0]))
 
-        inner_obs = self._inner_obs(total_price)
-        inn_action, inn_logp, inn_value = self.inner.act(
-            inner_obs, deterministic=deterministic
-        )
+            inner_obs = self._inner_obs(total_price)
+            inn_action, inn_logp, inn_value = self.inner.act(
+                inner_obs, deterministic=deterministic
+            )
         proportions = _softmax(inn_action)
         prices = total_price * proportions
 
@@ -259,21 +261,22 @@ class ChironAgent(IncentiveMechanism):
         """
         deterministic = not self.training and self.config.deterministic_eval
         obs_batch = np.asarray(obs_batch, dtype=np.float64)
-        ext_actions, ext_logps, ext_values, ext_norm = self.exterior.act_batch(
-            obs_batch, deterministic=deterministic
-        )
-        total_prices = [
-            self._total_price_from_raw(float(a[0])) for a in ext_actions
-        ]
-        inner_obs = np.stack(
-            [
-                self._inner_obs(tp, self._vec_last_times[r])
-                for tp, r in zip(total_prices, replicas)
+        with _obs.span("chiron.act_batch"):
+            ext_actions, ext_logps, ext_values, ext_norm = self.exterior.act_batch(
+                obs_batch, deterministic=deterministic
+            )
+            total_prices = [
+                self._total_price_from_raw(float(a[0])) for a in ext_actions
             ]
-        )
-        inn_actions, inn_logps, inn_values, inn_norm = self.inner.act_batch(
-            inner_obs, deterministic=deterministic
-        )
+            inner_obs = np.stack(
+                [
+                    self._inner_obs(tp, self._vec_last_times[r])
+                    for tp, r in zip(total_prices, replicas)
+                ]
+            )
+            inn_actions, inn_logps, inn_values, inn_norm = self.inner.act_batch(
+                inner_obs, deterministic=deterministic
+            )
         prices = np.empty((len(replicas), self.env.n_nodes))
         for j, replica in enumerate(replicas):
             prices[j] = total_prices[j] * _softmax(inn_actions[j])

@@ -35,6 +35,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs as _obs
 from repro.core.rewards import RewardConfig, exterior_reward, inner_reward
 from repro.core.state import ExteriorStateEncoder
 from repro.economics.budget import BudgetLedger
@@ -44,7 +45,10 @@ from repro.economics.timing import time_efficiency
 from repro.faults.injector import FaultConfig, FaultInjector
 from repro.faults.reliability import ReliabilityTracker
 from repro.fl.accuracy import LearningProcess
+from repro.utils.logging import get_logger
 from repro.utils.validation import check_positive
+
+_log = get_logger("core.env")
 
 
 @dataclass(frozen=True)
@@ -298,7 +302,10 @@ class EdgeLearningEnv:
         training loop reads every step (``reward_inner``,
         ``remaining_budget``, ``round_index``, ``accuracy``).
         """
-        result = self._advance(prices)
+        with _obs.span("env.step"):
+            result = self._advance(prices)
+        if _obs.enabled():
+            self._record_obs(result)
         terminated = result.done and not result.truncated
         info = {
             "step_result": result,
@@ -347,22 +354,25 @@ class EdgeLearningEnv:
                 recruitable[i] = False
 
         # Single pass over the fleet: responses and the per-node round
-        # vectors together (this loop runs every environment step).
+        # vectors together (this loop runs every environment step).  The
+        # span wraps the whole loop — never the per-node body — so the
+        # disabled-mode hook cost is independent of fleet size.
         participants: List[int] = []
         payments = np.zeros(self.n_nodes)
         zetas = np.zeros(self.n_nodes)
         times = np.zeros(self.n_nodes)
         utilities = np.zeros(self.n_nodes)
         total_payment = 0.0
-        for i, (prof, p) in enumerate(zip(self.profiles, prices)):
-            r = node_response(prof, float(p), cfg.local_epochs)
-            if r.participates and recruitable[i]:
-                participants.append(i)
-                payments[i] = r.payment
-                zetas[i] = r.zeta
-                times[i] = r.time
-                utilities[i] = r.utility
-                total_payment += r.payment
+        with _obs.span("env.respond"):
+            for i, (prof, p) in enumerate(zip(self.profiles, prices)):
+                r = node_response(prof, float(p), cfg.local_epochs)
+                if r.participates and recruitable[i]:
+                    participants.append(i)
+                    payments[i] = r.payment
+                    zetas[i] = r.zeta
+                    times[i] = r.time
+                    utilities[i] = r.utility
+                    total_payment += r.payment
 
         reliability_scores = (
             self.reliability.scores() if self.reliability is not None else None
@@ -471,17 +481,29 @@ class EdgeLearningEnv:
                     payments[i] = 0.0  # clawed back
                 times[i] = 0.0
                 zetas[i] = 0.0
+            if crashed or late or corrupt or quarantined_now or clawback > 0.0:
+                _log.debug(
+                    "round %d fault pipeline: crashed=%s late=%s corrupt=%s "
+                    "quarantined=%s clawback=%.4f",
+                    self._round,
+                    crashed,
+                    late,
+                    corrupt,
+                    quarantined_now,
+                    clawback,
+                )
 
         # --- the federated round ----------------------------------------- #
         previous_accuracy = self._accuracy
         if delivered:
-            if poisoned:
-                # Corrupt updates reached aggregation (defenses off).
-                self._accuracy = float(
-                    self.learning.step(delivered, poisoned_ids=poisoned)
-                )
-            else:
-                self._accuracy = float(self.learning.step(delivered))
+            with _obs.span("env.learning"):
+                if poisoned:
+                    # Corrupt updates reached aggregation (defenses off).
+                    self._accuracy = float(
+                        self.learning.step(delivered, poisoned_ids=poisoned)
+                    )
+                else:
+                    self._accuracy = float(self.learning.step(delivered))
             participant_times = times[delivered]
             round_time = float(participant_times.max())
             efficiency = time_efficiency(participant_times)
@@ -543,6 +565,52 @@ class EdgeLearningEnv:
             clawback=clawback,
             reliability=reliability_scores,
         )
+
+    # ------------------------------------------------------------------ #
+    # observability
+    # ------------------------------------------------------------------ #
+    def _record_obs(self, result: StepResult) -> None:
+        """Publish one finished round to the live obs registry.
+
+        Called only when observability is enabled; reads the already
+        computed :class:`StepResult`, so it can never perturb the
+        environment's dynamics or random streams.
+        """
+        _obs.counter("env.rounds").inc()
+        if result.round_kept:
+            _obs.counter("env.rounds.kept").inc()
+            _obs.histogram("env.round_time").observe(result.round_time)
+            _obs.histogram("env.participants").observe(len(result.participants))
+            _obs.ewma("env.efficiency").update(result.efficiency)
+            _obs.counter("env.payments").inc(float(result.payments.sum()))
+        elif result.done and not result.truncated:
+            _obs.counter("env.rounds.overdraw").inc()
+        else:
+            _obs.counter("env.rounds.no_participation").inc()
+        _obs.gauge("env.accuracy").set(result.accuracy)
+        _obs.gauge("env.remaining_budget").set(result.remaining_budget)
+        if result.crashed:
+            _obs.counter("env.faults.crashed").inc(len(result.crashed))
+        if result.late:
+            _obs.counter("env.faults.late").inc(len(result.late))
+        if result.corrupted:
+            _obs.counter("env.faults.corrupted").inc(len(result.corrupted))
+        if result.quarantined:
+            _obs.counter("env.faults.quarantined").inc(len(result.quarantined))
+        if result.clawback:
+            _obs.counter("env.clawback").inc(result.clawback)
+        if result.done:
+            _obs.counter("env.episodes").inc()
+        if _obs.get_registry().sinks:
+            # Stream the full per-round record (a superset of the
+            # telemetry flattening) to any attached JSONL/event sinks.
+            from repro.experiments.telemetry import flatten_step
+
+            record = flatten_step(result)
+            record["episode"] = self._episode
+            record["terminated"] = bool(result.done and not result.truncated)
+            record["truncated"] = bool(result.truncated)
+            _obs.event("env.round", record)
 
     # ------------------------------------------------------------------ #
     # replication / compatibility

@@ -26,6 +26,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs as _obs
 from repro.core.env import EdgeLearningEnv
 
 
@@ -131,13 +132,18 @@ class VectorizedEdgeLearningEnv:
         terminated = np.zeros(self.num_envs, dtype=bool)
         truncated = np.zeros(self.num_envs, dtype=bool)
         infos: List[Optional[dict]] = [None] * self.num_envs
-        for i, env in enumerate(self._envs):
-            if not active[i]:
-                continue
-            obs, reward, term, trunc, info = env.step(prices[i])
-            self._last_obs[i] = obs
-            rewards[i] = reward
-            terminated[i] = term
-            truncated[i] = trunc
-            infos[i] = info
+        with _obs.span("env.step_all"):
+            stepped = 0
+            for i, env in enumerate(self._envs):
+                if not active[i]:
+                    continue
+                obs, reward, term, trunc, info = env.step(prices[i])
+                self._last_obs[i] = obs
+                rewards[i] = reward
+                terminated[i] = term
+                truncated[i] = trunc
+                infos[i] = info
+                stepped += 1
+        if _obs.enabled():
+            _obs.counter("env.vector.steps").inc(stepped)
         return self._last_obs.copy(), rewards, terminated, truncated, infos

@@ -4,7 +4,11 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro import obs as _obs
+from repro.utils.logging import get_logger
 from repro.utils.validation import check_positive
+
+_log = get_logger("economics.budget")
 
 
 class BudgetExhausted(RuntimeError):
@@ -83,9 +87,14 @@ class BudgetLedger:
             )
         if amount > self.remaining:
             self._closed = True
+            if _obs.enabled():
+                _obs.counter("budget.overdraws").inc()
             return False
         self._spent += amount
         self._round_payments.append(amount)
+        if _obs.enabled():
+            _obs.counter("budget.charges").inc()
+            _obs.counter("budget.spent").inc(amount)
         return True
 
     def escrow(self, amount: float) -> bool:
@@ -124,6 +133,14 @@ class BudgetLedger:
         self._round_payments[-1] = pending - clawback
         self._clawback_total += clawback
         self._pending_escrow = None
+        if clawback > 0.0:
+            _log.debug(
+                "escrow settle: clawed back %.4f of %.4f escrowed",
+                clawback,
+                pending,
+            )
+            if _obs.enabled():
+                _obs.counter("budget.clawback").inc(clawback)
         return clawback
 
     def reset(self) -> None:

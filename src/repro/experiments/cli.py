@@ -36,9 +36,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     for exp_id in exp_ids:
         spec = get_experiment(exp_id)
         print(f"== {exp_id}: {spec.description} (scale={args.scale}) ==")
-        start = time.time()
+        start = time.perf_counter()
         payload, rendered = spec.runner(args.scale, args.seed)
-        elapsed = time.time() - start
+        elapsed = time.perf_counter() - start
         print(rendered)
         print(f"-- finished in {elapsed:.1f}s --\n")
         if args.out:

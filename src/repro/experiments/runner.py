@@ -17,6 +17,7 @@ from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro import obs as _obs
 from repro.core.env import EdgeLearningEnv
 from repro.core.mechanism import IncentiveMechanism, Observation
 from repro.core.vector import VectorizedEdgeLearningEnv
@@ -31,32 +32,37 @@ def run_episode(env: EdgeLearningEnv, mechanism: IncentiveMechanism) -> Tuple[
     EpisodeResult, dict
 ]:
     """Run one episode to budget exhaustion; returns (result, diagnostics)."""
-    state, _ = env.reset()
-    obs = Observation(state, env.ledger.remaining, env.round_index)
-    mechanism.begin_episode(obs)
+    with _obs.span("episode"):
+        state, _ = env.reset()
+        obs = Observation(state, env.ledger.remaining, env.round_index)
+        mechanism.begin_episode(obs)
 
-    efficiencies: List[float] = []
-    total_time = 0.0
-    reward_ext = 0.0
-    reward_inn = 0.0
-    kept = 0
-    wasted = 0
-    while not env.done:
-        prices = mechanism.propose_prices(obs)
-        _, _, _, _, info = env.step(prices)
-        result = info["step_result"]
-        mechanism.observe(prices, result)
-        reward_ext += result.reward_exterior
-        reward_inn += result.reward_inner
-        if result.round_kept:
-            kept += 1
-            efficiencies.append(result.efficiency)
-            total_time += result.round_time
-        elif not result.done:
-            wasted += 1
-        obs = Observation(result.state, result.remaining_budget, result.round_index)
+        efficiencies: List[float] = []
+        total_time = 0.0
+        reward_ext = 0.0
+        reward_inn = 0.0
+        kept = 0
+        wasted = 0
+        while not env.done:
+            prices = mechanism.propose_prices(obs)
+            _, _, _, _, info = env.step(prices)
+            result = info["step_result"]
+            mechanism.observe(prices, result)
+            reward_ext += result.reward_exterior
+            reward_inn += result.reward_inner
+            if result.round_kept:
+                kept += 1
+                efficiencies.append(result.efficiency)
+                total_time += result.round_time
+            elif not result.done:
+                wasted += 1
+            obs = Observation(
+                result.state, result.remaining_budget, result.round_index
+            )
 
-    diagnostics = mechanism.end_episode()
+        diagnostics = mechanism.end_episode()
+    if _obs.enabled():
+        _obs.counter("runner.episodes").inc()
     episode = EpisodeResult(
         rounds=kept,
         final_accuracy=env.accuracy,
@@ -131,12 +137,13 @@ def run_episodes_vectorized(
 
     prices_full = np.zeros((num_replicas, venv.n_nodes))
     while any(active):
-        replicas = [i for i in range(num_replicas) if active[i]]
-        prices = mechanism.propose_prices_batch(obs[replicas], replicas)
-        prices_full[replicas] = prices
-        _, _, _, _, infos = venv.step(prices_full, active=active)
-        results = [infos[i]["step_result"] for i in replicas]
-        mechanism.observe_batch(replicas, prices, results)
+        with _obs.span("runner.vectorized"):
+            replicas = [i for i in range(num_replicas) if active[i]]
+            prices = mechanism.propose_prices_batch(obs[replicas], replicas)
+            prices_full[replicas] = prices
+            _, _, _, _, infos = venv.step(prices_full, active=active)
+            results = [infos[i]["step_result"] for i in replicas]
+            mechanism.observe_batch(replicas, prices, results)
         for j, replica in enumerate(replicas):
             result = results[j]
             acc = accumulators[replica]
@@ -172,6 +179,8 @@ def run_episodes_vectorized(
                     )
                 )
                 active[replica] = False
+                if _obs.enabled():
+                    _obs.counter("runner.episodes").inc()
                 if started < episodes:
                     start_episode(replica)
     return completed

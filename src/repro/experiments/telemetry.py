@@ -140,3 +140,33 @@ def record_episode(
         obs = Observation(result.state, result.remaining_budget, result.round_index)
     mechanism.end_episode()
     return recorder
+
+
+def stream_episode(
+    env: EdgeLearningEnv,
+    mechanism: IncentiveMechanism,
+    path: PathLike,
+    recorder: Optional[EpisodeRecorder] = None,
+) -> EpisodeRecorder:
+    """:func:`record_episode` that also streams ``env.round`` events to JSONL.
+
+    Attaches a :class:`repro.obs.JsonlEventSink` to the live observability
+    registry for the duration of the episode, enabling observability if it
+    is not already on.  The streamed records are a superset of
+    :func:`flatten_step` (they add ``episode``/``terminated``/``truncated``),
+    written as each round completes — useful for tailing long runs.
+    """
+    from repro import obs
+    from repro.obs.exporters import JsonlEventSink
+
+    was_enabled = obs.enabled()
+    registry = obs.enable()
+    sink = JsonlEventSink(path)
+    registry.add_sink(sink)
+    try:
+        return record_episode(env, mechanism, recorder=recorder)
+    finally:
+        registry.remove_sink(sink)
+        sink.close()
+        if not was_enabled:
+            obs.disable()

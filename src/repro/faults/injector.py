@@ -26,6 +26,7 @@ from typing import Dict, Iterable, List, Sequence
 
 import numpy as np
 
+from repro import obs as _obs
 from repro.utils.validation import check_positive
 
 
@@ -184,6 +185,9 @@ class FaultInjector:
                 self.counters["stragglers"] += 1
             else:
                 self.counters["corruptions"] += 1
+        if outcomes and _obs.enabled():
+            for fault in outcomes.values():
+                _obs.counter("faults.injected", kind=fault.value).inc()
         return outcomes
 
     def corrupt_state(

@@ -14,6 +14,7 @@ from typing import Callable, Dict, Optional, Sequence
 
 import numpy as np
 
+from repro import obs as _obs
 from repro.utils.validation import check_finite, check_in_range
 
 
@@ -87,12 +88,17 @@ def fedavg(
         raise ValueError("weights must not all be zero")
     w = w / total
 
-    keys = _check_states(states)
-    merged: "OrderedDict[str, np.ndarray]" = OrderedDict()
-    for key in keys:
-        stacked = np.stack([np.asarray(s[key], dtype=np.float64) for s in states])
-        merged[key] = np.tensordot(w, stacked, axes=(0, 0))
-        check_finite(f"aggregated[{key}]", merged[key])
+    with _obs.span("fl.aggregate"):
+        keys = _check_states(states)
+        merged: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        for key in keys:
+            stacked = np.stack(
+                [np.asarray(s[key], dtype=np.float64) for s in states]
+            )
+            merged[key] = np.tensordot(w, stacked, axes=(0, 0))
+            check_finite(f"aggregated[{key}]", merged[key])
+    if _obs.enabled():
+        _obs.counter("fl.aggregations", rule="fedavg").inc()
     return merged
 
 
@@ -105,12 +111,17 @@ def median_aggregate(
     ``weights`` is accepted for interface compatibility and ignored — the
     median is an unweighted order statistic.
     """
-    keys = _check_states(states)
-    merged: "OrderedDict[str, np.ndarray]" = OrderedDict()
-    for key in keys:
-        stacked = np.stack([np.asarray(s[key], dtype=np.float64) for s in states])
-        merged[key] = np.median(stacked, axis=0)
-        check_finite(f"aggregated[{key}]", merged[key])
+    with _obs.span("fl.aggregate"):
+        keys = _check_states(states)
+        merged: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        for key in keys:
+            stacked = np.stack(
+                [np.asarray(s[key], dtype=np.float64) for s in states]
+            )
+            merged[key] = np.median(stacked, axis=0)
+            check_finite(f"aggregated[{key}]", merged[key])
+    if _obs.enabled():
+        _obs.counter("fl.aggregations", rule="median").inc()
     return merged
 
 
@@ -126,18 +137,23 @@ def trimmed_mean_aggregate(
     ignored (order statistics are unweighted).
     """
     check_in_range("trim_ratio", trim_ratio, 0.0, 0.5, inclusive=(True, False))
-    keys = _check_states(states)
-    n = len(states)
-    k = int(trim_ratio * n)
-    merged: "OrderedDict[str, np.ndarray]" = OrderedDict()
-    for key in keys:
-        stacked = np.sort(
-            np.stack([np.asarray(s[key], dtype=np.float64) for s in states]),
-            axis=0,
-        )
-        kept = stacked[k : n - k] if k > 0 else stacked
-        merged[key] = kept.mean(axis=0)
-        check_finite(f"aggregated[{key}]", merged[key])
+    with _obs.span("fl.aggregate"):
+        keys = _check_states(states)
+        n = len(states)
+        k = int(trim_ratio * n)
+        merged: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        for key in keys:
+            stacked = np.sort(
+                np.stack(
+                    [np.asarray(s[key], dtype=np.float64) for s in states]
+                ),
+                axis=0,
+            )
+            kept = stacked[k : n - k] if k > 0 else stacked
+            merged[key] = kept.mean(axis=0)
+            check_finite(f"aggregated[{key}]", merged[key])
+    if _obs.enabled():
+        _obs.counter("fl.aggregations", rule="trimmed_mean").inc()
     return merged
 
 

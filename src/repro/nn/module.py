@@ -7,6 +7,7 @@ from typing import Dict, Iterator, Tuple
 
 import numpy as np
 
+from repro import obs as _obs
 from repro.autograd.tensor import Tensor
 from repro.nn.parameter import Parameter
 
@@ -23,6 +24,7 @@ class Module:
         object.__setattr__(self, "_parameters", OrderedDict())
         object.__setattr__(self, "_modules", OrderedDict())
         object.__setattr__(self, "training", True)
+        object.__setattr__(self, "_span_name", "nn." + type(self).__name__)
 
     # ------------------------------------------------------------------ #
     # registration
@@ -51,7 +53,8 @@ class Module:
         )
 
     def __call__(self, *inputs):
-        return self.forward(*inputs)
+        with _obs.span(self._span_name):
+            return self.forward(*inputs)
 
     # ------------------------------------------------------------------ #
     # parameter iteration

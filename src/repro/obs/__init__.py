@@ -1,0 +1,155 @@
+"""``repro.obs`` — unified observability: metrics, spans, exporters.
+
+One import gives instrumented code everything::
+
+    from repro import obs
+
+    obs.counter("env.rounds").inc()
+    obs.gauge("env.accuracy").set(0.93)
+    with obs.span("ppo.update"):
+        ...
+
+**Zero-cost when disabled** (the default): every facade call dispatches
+to a shared no-op registry whose instruments are module-level singletons
+— no allocation, no locking, no timing, and bit-identical rollout
+results.  ``obs.enable()`` swaps in a live
+:class:`~repro.obs.registry.MetricsRegistry`; ``obs.disable()`` swaps
+the no-op back and returns the live registry so collected data survives::
+
+    obs.enable()
+    run_episode(env, agent)
+    registry = obs.disable()
+    print(to_prometheus(registry.snapshot()))
+
+Exporters (:func:`to_prometheus`, :func:`to_json`,
+:class:`JsonlEventSink`) and the report CLI (``python -m repro.obs
+report``) live in :mod:`repro.obs.exporters` / :mod:`repro.obs.__main__`.
+See ``docs/observability.md`` for the full tour.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    DEFAULT_QUANTILES,
+    EWMA,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NOOP_REGISTRY,
+    NoopRegistry,
+    disable,
+    enable,
+    enabled,
+    get_registry,
+)
+from repro.obs import registry as _registry_mod
+from repro.obs.exporters import (
+    JsonlEventSink,
+    load_snapshot,
+    parse_prometheus,
+    read_jsonl,
+    to_json,
+    to_prometheus,
+    write_snapshot,
+)
+from repro.obs.tracing import NOOP_SPAN, Span, SpanTracer, format_profile
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "EWMA",
+    "MetricsRegistry",
+    "NoopRegistry",
+    "NOOP_REGISTRY",
+    "NOOP_SPAN",
+    "Span",
+    "SpanTracer",
+    "JsonlEventSink",
+    "DEFAULT_BUCKETS",
+    "DEFAULT_QUANTILES",
+    "counter",
+    "gauge",
+    "histogram",
+    "ewma",
+    "span",
+    "event",
+    "add_sink",
+    "remove_sink",
+    "snapshot",
+    "profile",
+    "reset",
+    "enable",
+    "disable",
+    "enabled",
+    "get_registry",
+    "format_profile",
+    "to_prometheus",
+    "parse_prometheus",
+    "to_json",
+    "load_snapshot",
+    "write_snapshot",
+    "read_jsonl",
+]
+
+
+# --------------------------------------------------------------------- #
+# facade — every call dispatches to the active registry, so hot paths
+# hold `from repro import obs` and pay one function call when disabled.
+# --------------------------------------------------------------------- #
+def counter(name: str, **labels):
+    """Get-or-create the counter ``name`` (no-op singleton when disabled)."""
+    return _registry_mod._active.counter(name, **labels)
+
+
+def gauge(name: str, **labels):
+    """Get-or-create the gauge ``name`` (no-op singleton when disabled)."""
+    return _registry_mod._active.gauge(name, **labels)
+
+
+def histogram(name: str, buckets: Sequence[float] = DEFAULT_BUCKETS, **labels):
+    """Get-or-create the histogram ``name`` (no-op when disabled)."""
+    return _registry_mod._active.histogram(name, buckets=buckets, **labels)
+
+
+def ewma(name: str, alpha: float = 0.1, **labels):
+    """Get-or-create the EWMA ``name`` (no-op singleton when disabled)."""
+    return _registry_mod._active.ewma(name, alpha=alpha, **labels)
+
+
+def span(name: str):
+    """A context manager timing one nested region (no-op when disabled)."""
+    return _registry_mod._active.span(name)
+
+
+def event(name: str, record: dict) -> None:
+    """Stream one structured record to attached sinks (no-op otherwise)."""
+    _registry_mod._active.event(name, record)
+
+
+def add_sink(sink) -> None:
+    """Attach an event sink to the active registry (ignored when disabled)."""
+    _registry_mod._active.add_sink(sink)
+
+
+def remove_sink(sink) -> None:
+    _registry_mod._active.remove_sink(sink)
+
+
+def snapshot() -> dict:
+    """JSON-ready state of the active registry (empty when disabled)."""
+    return _registry_mod._active.snapshot()
+
+
+def profile() -> list:
+    """The active registry's span call-tree (empty when disabled)."""
+    return _registry_mod._active.profile()
+
+
+def reset() -> None:
+    """Clear instruments and span stats on the active registry."""
+    _registry_mod._active.reset()

@@ -1,0 +1,155 @@
+"""Observability CLI.
+
+Examples::
+
+    # Render a metrics + span-profile summary from a JSON snapshot.
+    python -m repro.obs report snapshot.json
+
+    # Run a short instrumented episode and print the Prometheus snapshot
+    # (the `make obs-demo` target).
+    python -m repro.obs demo --n-nodes 4 --budget 20 --out snapshot.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.obs.exporters import load_snapshot, to_prometheus, write_snapshot
+from repro.obs.tracing import format_profile
+
+
+def render_report(snapshot: dict) -> str:
+    """Human-readable metrics table + span-profile tree for a snapshot."""
+    lines: List[str] = []
+    metrics = snapshot.get("metrics", [])
+    lines.append(f"== metrics ({len(metrics)}) ==")
+    if metrics:
+        width = max(len(m["name"]) for m in metrics)
+        for metric in metrics:
+            labels = metric.get("labels", {})
+            label_text = (
+                "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+                if labels
+                else ""
+            )
+            name = f"{metric['name']}{label_text}"
+            kind = metric["type"]
+            if kind == "histogram":
+                quantiles = metric.get("quantiles", {})
+                q_text = " ".join(
+                    f"p{float(q) * 100:g}={v:.4g}"
+                    for q, v in sorted(quantiles.items())
+                    if v is not None
+                )
+                mean = metric["sum"] / metric["count"] if metric["count"] else 0.0
+                value = (
+                    f"count={metric['count']} mean={mean:.4g} {q_text}".rstrip()
+                )
+            else:
+                value = f"{metric['value']:.6g}"
+            lines.append(f"  {name.ljust(width + 2)} [{kind}] {value}")
+    else:
+        lines.append("  (none)")
+    lines.append("")
+    lines.append("== span profile ==")
+    lines.append(format_profile(snapshot.get("profile", [])))
+    return "\n".join(lines)
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    snapshot = load_snapshot(args.snapshot)
+    if args.format == "prometheus":
+        print(to_prometheus(snapshot), end="")
+    else:
+        print(render_report(snapshot))
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    # Imported lazily: the report path must not drag the whole training
+    # stack in just to pretty-print a snapshot file.
+    import numpy as np
+
+    from repro import obs
+    from repro.core.builder import build_environment
+    from repro.core.chiron import ChironAgent, ChironConfig
+    from repro.experiments.runner import run_episode
+    from repro.faults.injector import FaultConfig
+
+    faults = (
+        FaultConfig.mixed(args.fault_rate, seed=args.seed)
+        if args.fault_rate > 0
+        else None
+    )
+    build = build_environment(
+        n_nodes=args.n_nodes,
+        budget=args.budget,
+        seed=args.seed,
+        faults=faults,
+    )
+    agent = ChironAgent(
+        build.env, ChironConfig(), rng=np.random.default_rng(args.seed)
+    )
+    registry = obs.enable()
+    try:
+        for _ in range(args.episodes):
+            run_episode(build.env, agent)
+        snapshot = registry.snapshot()
+    finally:
+        obs.disable()
+    print(to_prometheus(snapshot), end="")
+    print()
+    print(render_report(snapshot))
+    if args.out:
+        path = write_snapshot(snapshot, args.out)
+        print(f"\nsnapshot written to {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Observability snapshot tooling (see docs/observability.md)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_report = sub.add_parser(
+        "report", help="render a metrics/profile summary from a JSON snapshot"
+    )
+    p_report.add_argument("snapshot", help="path to a JSON snapshot file")
+    p_report.add_argument(
+        "--format",
+        choices=("text", "prometheus"),
+        default="text",
+        help="output style (default: human-readable text)",
+    )
+    p_report.set_defaults(func=_cmd_report)
+
+    p_demo = sub.add_parser(
+        "demo",
+        help="run a short instrumented episode and print the snapshot",
+    )
+    p_demo.add_argument("--n-nodes", type=int, default=4)
+    p_demo.add_argument("--budget", type=float, default=20.0)
+    p_demo.add_argument("--episodes", type=int, default=1)
+    p_demo.add_argument("--seed", type=int, default=0)
+    p_demo.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.15,
+        help="total mixed fault rate (0 disables fault injection)",
+    )
+    p_demo.add_argument("--out", help="also write the JSON snapshot here")
+    p_demo.set_defaults(func=_cmd_demo)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

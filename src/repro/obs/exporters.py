@@ -1,0 +1,232 @@
+"""Snapshot exporters: Prometheus text format, JSON, and a JSONL sink.
+
+All exporters work on the plain-dict snapshots produced by
+:meth:`repro.obs.registry.MetricsRegistry.snapshot` — they never touch a
+live registry, so a snapshot written to disk renders identically later
+(``python -m repro.obs report snapshot.json``).
+
+* :func:`to_prometheus` / :func:`parse_prometheus` — the text exposition
+  format; the parser exists so round-trips can be verified and scraped
+  files re-read.
+* :func:`to_json` / :func:`load_snapshot` — loss-free JSON round-trip.
+* :class:`JsonlEventSink` — streams per-round event records (supersets of
+  :func:`repro.experiments.telemetry.flatten_step`) as JSON lines.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+PathLike = Union[str, Path]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>\S+)$"
+)
+_LABEL_RE = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>[^"]*)"')
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Dotted instrument name -> Prometheus-legal metric name."""
+    cleaned = _NAME_RE.sub("_", name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _format_value(value) -> str:
+    if value is None:
+        return "NaN"
+    return repr(float(value))
+
+
+def _format_labels(labels: Dict[str, str], extra: Dict[str, str] = {}) -> str:
+    merged = {**labels, **extra}
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{key}="{value}"' for key, value in sorted(merged.items())
+    )
+    return "{" + body + "}"
+
+
+def to_prometheus(snapshot: dict) -> str:
+    """Render a registry snapshot in the Prometheus text format.
+
+    Counters and gauges map directly; EWMAs export as gauges; histograms
+    export cumulative ``_bucket``/``_sum``/``_count`` series plus their
+    streaming quantile estimates as a ``<name>_quantile`` gauge family.
+    The span profile exports as three counter families keyed by the span
+    path (``span_seconds_total``, ``span_self_seconds_total``,
+    ``span_calls_total``).
+    """
+    lines = []
+    typed = set()
+
+    def declare(name: str, kind: str) -> None:
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for metric in snapshot.get("metrics", []):
+        name = sanitize_metric_name(metric["name"])
+        labels = metric.get("labels", {})
+        kind = metric["type"]
+        if kind in ("counter", "gauge", "ewma"):
+            declare(name, "counter" if kind == "counter" else "gauge")
+            lines.append(
+                f"{name}{_format_labels(labels)} "
+                f"{_format_value(metric['value'])}"
+            )
+        elif kind == "histogram":
+            declare(name, "histogram")
+            for bound, cumulative in metric["buckets"]:
+                lines.append(
+                    f"{name}_bucket"
+                    f"{_format_labels(labels, {'le': _format_value(bound)})} "
+                    f"{_format_value(cumulative)}"
+                )
+            lines.append(
+                f"{name}_bucket{_format_labels(labels, {'le': '+Inf'})} "
+                f"{_format_value(metric['count'])}"
+            )
+            lines.append(
+                f"{name}_sum{_format_labels(labels)} "
+                f"{_format_value(metric['sum'])}"
+            )
+            lines.append(
+                f"{name}_count{_format_labels(labels)} "
+                f"{_format_value(metric['count'])}"
+            )
+            quantiles = metric.get("quantiles", {})
+            if quantiles:
+                declare(f"{name}_quantile", "gauge")
+                for q, value in sorted(quantiles.items()):
+                    lines.append(
+                        f"{name}_quantile"
+                        f"{_format_labels(labels, {'quantile': q})} "
+                        f"{_format_value(value)}"
+                    )
+        else:
+            raise ValueError(f"unknown metric type {kind!r}")
+
+    profile = snapshot.get("profile", [])
+    if profile:
+        declare("span_seconds_total", "counter")
+        declare("span_self_seconds_total", "counter")
+        declare("span_calls_total", "counter")
+        for node in profile:
+            span_labels = _format_labels({"span": node["path"]})
+            lines.append(
+                f"span_seconds_total{span_labels} "
+                f"{_format_value(node['total'])}"
+            )
+            lines.append(
+                f"span_self_seconds_total{span_labels} "
+                f"{_format_value(node['self'])}"
+            )
+            lines.append(
+                f"span_calls_total{span_labels} {_format_value(node['count'])}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(
+    text: str,
+) -> Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float]:
+    """Parse Prometheus text back into ``{(name, labels): value}``.
+
+    The inverse of :func:`to_prometheus` for round-trip verification;
+    comment/``# TYPE`` lines are skipped.
+    """
+    samples: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"unparseable sample line: {line!r}")
+        labels = tuple(
+            sorted(
+                (m.group("key"), m.group("value"))
+                for m in _LABEL_RE.finditer(match.group("labels") or "")
+            )
+        )
+        samples[(match.group("name"), labels)] = float(match.group("value"))
+    return samples
+
+
+def to_json(snapshot: dict, indent: Optional[int] = None) -> str:
+    """Serialize a snapshot loss-free (``load_snapshot`` inverts it)."""
+    return json.dumps(snapshot, sort_keys=True, indent=indent)
+
+
+def load_snapshot(source: Union[str, PathLike]) -> dict:
+    """Load a snapshot from a JSON string or a file path."""
+    if isinstance(source, Path):
+        return json.loads(source.read_text(encoding="utf-8"))
+    text = str(source)
+    if text.lstrip().startswith(("{", "[")):
+        return json.loads(text)
+    return json.loads(Path(text).read_text(encoding="utf-8"))
+
+
+def write_snapshot(snapshot: dict, path: PathLike) -> Path:
+    """Write a snapshot as pretty-printed JSON; returns the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(to_json(snapshot, indent=2) + "\n", encoding="utf-8")
+    return target
+
+
+class JsonlEventSink:
+    """Streams event records as JSON lines, one object per event.
+
+    Attach with ``obs.add_sink(JsonlEventSink(path))``; every
+    ``obs.event(name, record)`` then appends
+    ``{"event": name, **record}`` immediately (line-buffered), so a
+    long-running training process can be tailed live.  Thread-safe.
+    """
+
+    def __init__(self, path: PathLike):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = self.path.open("w", encoding="utf-8")
+        self._lock = threading.Lock()
+        self.events_written = 0
+
+    def emit(self, name: str, record: dict) -> None:
+        line = json.dumps({"event": name, **record}, sort_keys=True)
+        with self._lock:
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            self.events_written += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+    def __enter__(self) -> "JsonlEventSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+def read_jsonl(path: PathLike) -> list:
+    """Read back a JSONL event stream as a list of dicts."""
+    records = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

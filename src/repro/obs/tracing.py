@@ -1,0 +1,155 @@
+"""Span tracing: nested monotonic timings aggregated into a call-tree.
+
+A span is opened with ``obs.span("ppo.update")`` and used as a context
+manager; nesting is tracked per thread, so a span opened inside another
+span becomes its child in the profile.  Timings use
+:func:`time.perf_counter` (monotonic, high resolution) and are aggregated
+by *path* — ``"episode/env.step/env.respond"`` — into
+:class:`SpanStats` holding call count, total (inclusive) time, and self
+(exclusive) time.
+
+The tracer never samples and never allocates per-call state beyond one
+small list entry on the thread-local stack, so it is cheap enough to wrap
+hot paths; with observability disabled the no-op span (see
+:mod:`repro.obs.registry`) skips even that.
+"""
+
+from __future__ import annotations
+
+import threading
+from time import perf_counter
+from typing import Dict, List, Optional
+
+
+class SpanStats:
+    """Aggregated timings of one call-tree node."""
+
+    __slots__ = ("count", "total", "self_time")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.self_time = 0.0
+
+
+class SpanTracer:
+    """Aggregates nested span timings into a call-tree profile.
+
+    Thread-safe: each thread keeps its own span stack (so nesting is
+    well-defined per thread of execution), while the aggregated stats are
+    shared under a lock.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._stats: Dict[str, SpanStats] = {}
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def begin(self, name: str) -> None:
+        """Open a span named ``name`` under the current thread's top span."""
+        stack = self._stack()
+        path = f"{stack[-1][0]}/{name}" if stack else name
+        # [path, start, accumulated child time]
+        stack.append([path, perf_counter(), 0.0])
+
+    def end(self) -> None:
+        """Close the current thread's innermost open span."""
+        stack = self._stack()
+        if not stack:
+            raise RuntimeError("span end() without a matching begin()")
+        path, start, child_time = stack.pop()
+        elapsed = perf_counter() - start
+        if stack:
+            stack[-1][2] += elapsed
+        with self._lock:
+            stats = self._stats.get(path)
+            if stats is None:
+                stats = self._stats[path] = SpanStats()
+            stats.count += 1
+            stats.total += elapsed
+            stats.self_time += elapsed - child_time
+
+    # ------------------------------------------------------------------ #
+    # reading
+    # ------------------------------------------------------------------ #
+    def profile(self) -> List[dict]:
+        """The call-tree as a flat, path-sorted list of JSON-ready nodes.
+
+        Sorting by path keeps every node immediately after its parent, so
+        renderers can indent by ``depth`` without reconstructing the tree.
+        """
+        with self._lock:
+            items = sorted(self._stats.items())
+        return [
+            {
+                "path": path,
+                "name": path.rsplit("/", 1)[-1],
+                "depth": path.count("/"),
+                "count": stats.count,
+                "total": stats.total,
+                "self": stats.self_time,
+            }
+            for path, stats in items
+        ]
+
+    def reset(self) -> None:
+        with self._lock:
+            self._stats.clear()
+
+
+class Span:
+    """Context manager recording one timed region into a tracer."""
+
+    __slots__ = ("_tracer", "_name")
+
+    def __init__(self, tracer: SpanTracer, name: str):
+        self._tracer = tracer
+        self._name = name
+
+    def __enter__(self) -> "Span":
+        self._tracer.begin(self._name)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer.end()
+        return False
+
+
+class NoopSpan:
+    """Shared do-nothing span for disabled observability (reentrant)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NOOP_SPAN = NoopSpan()
+
+
+def format_profile(profile: List[dict], indent: str = "  ") -> str:
+    """Render a :meth:`SpanTracer.profile` list as an aligned text tree."""
+    if not profile:
+        return "(no spans recorded)"
+    header = f"{'calls':>8}  {'total(s)':>10}  {'self(s)':>10}  span"
+    lines = [header, "-" * len(header)]
+    for node in profile:
+        label = indent * node["depth"] + node["name"]
+        lines.append(
+            f"{node['count']:>8}  {node['total']:>10.4f}  "
+            f"{node['self']:>10.4f}  {label}"
+        )
+    return "\n".join(lines)

@@ -15,6 +15,7 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
+from repro import obs as _obs
 from repro.autograd import no_grad
 from repro.autograd.tensor import Tensor
 from repro.nn.layers import Linear, Sequential, Tanh
@@ -47,19 +48,20 @@ def _fast_forward(net: Sequential, x: np.ndarray) -> np.ndarray:
     fraction of the per-call overhead.  Used by the batched rollout
     methods, where inference dominates and gradients are never needed.
     """
-    for layer in net:
-        if isinstance(layer, Linear):
-            x = x @ layer.weight.data.T
-            if layer.bias is not None:
-                x = x + layer.bias.data
-        elif isinstance(layer, Tanh):
-            x = np.tanh(x)
-        else:
-            raise TypeError(
-                f"fast forward supports Linear/Tanh only, got "
-                f"{type(layer).__name__}"
-            )
-    return x
+    with _obs.span("nn.fast_forward"):
+        for layer in net:
+            if isinstance(layer, Linear):
+                x = x @ layer.weight.data.T
+                if layer.bias is not None:
+                    x = x + layer.bias.data
+            elif isinstance(layer, Tanh):
+                x = np.tanh(x)
+            else:
+                raise TypeError(
+                    f"fast forward supports Linear/Tanh only, got "
+                    f"{type(layer).__name__}"
+                )
+        return x
 
 
 class GaussianPolicy(Module):

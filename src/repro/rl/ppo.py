@@ -13,6 +13,7 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
+from repro import obs as _obs
 from repro.rl.buffer import Batch, RolloutBuffer
 from repro.rl.policy import GaussianPolicy, ValueNetwork
 from repro.rl.running_stat import RunningMeanStd
@@ -144,15 +145,16 @@ class PPOAgent:
 
     def act(self, obs: np.ndarray, deterministic: bool = False):
         """Sample ``(action, log_prob, value)`` for one raw observation."""
-        obs = np.asarray(obs, dtype=np.float64)
-        if self.obs_stat is not None and not deterministic:
-            # Deterministic (evaluation) calls must not pollute the
-            # normalizer, and repeated eval calls must be reproducible.
-            self.obs_stat.update(obs)
-        norm = self._normalize(obs)
-        action, log_prob = self.policy.act(norm, deterministic=deterministic)
-        value = self.value_net.value(norm)
-        return action, log_prob, value
+        with _obs.span("ppo.act"):
+            obs = np.asarray(obs, dtype=np.float64)
+            if self.obs_stat is not None and not deterministic:
+                # Deterministic (evaluation) calls must not pollute the
+                # normalizer, and repeated eval calls must be reproducible.
+                self.obs_stat.update(obs)
+            norm = self._normalize(obs)
+            action, log_prob = self.policy.act(norm, deterministic=deterministic)
+            value = self.value_net.value(norm)
+            return action, log_prob, value
 
     def act_batch(self, obs: np.ndarray, deterministic: bool = False):
         """Batched :meth:`act` over ``(M, obs_dim)`` observations.
@@ -163,13 +165,16 @@ class PPOAgent:
         skipping the redundant re-normalization :meth:`store` performs.
         An ``M = 1`` batch reproduces :meth:`act` bit for bit.
         """
-        obs = np.asarray(obs, dtype=np.float64)
-        if self.obs_stat is not None and not deterministic:
-            self.obs_stat.update(obs)
-        norm = self._normalize(obs)
-        actions, log_probs = self.policy.act_batch(norm, deterministic=deterministic)
-        values = self.value_net.values(norm)
-        return actions, log_probs, values, norm
+        with _obs.span("ppo.act_batch"):
+            obs = np.asarray(obs, dtype=np.float64)
+            if self.obs_stat is not None and not deterministic:
+                self.obs_stat.update(obs)
+            norm = self._normalize(obs)
+            actions, log_probs = self.policy.act_batch(
+                norm, deterministic=deterministic
+            )
+            values = self.value_net.values(norm)
+            return actions, log_probs, values, norm
 
     def store(
         self,
@@ -232,41 +237,57 @@ class PPOAgent:
         if len(self.buffer) == 0:
             raise ValueError("update() called with an empty buffer")
         cfg = self.config
-        batch = self.buffer.compute(last_value=last_value)
-        self.buffer.clear()
+        with _obs.span("ppo.update"):
+            batch = self.buffer.compute(last_value=last_value)
+            self.buffer.clear()
 
-        advantages = batch.advantages
-        if cfg.normalize_advantages and len(batch) > 1:
-            advantages = (advantages - advantages.mean()) / (advantages.std() + 1e-8)
-        batch = Batch(
-            obs=batch.obs,
-            actions=batch.actions,
-            log_probs=batch.log_probs,
-            advantages=advantages,
-            returns=batch.returns,
-        )
+            advantages = batch.advantages
+            if cfg.normalize_advantages and len(batch) > 1:
+                advantages = (advantages - advantages.mean()) / (
+                    advantages.std() + 1e-8
+                )
+            batch = Batch(
+                obs=batch.obs,
+                actions=batch.actions,
+                log_probs=batch.log_probs,
+                advantages=advantages,
+                returns=batch.returns,
+            )
 
-        mb_size = cfg.minibatch_size or len(batch)
-        keys = ("actor_loss", "critic_loss", "entropy", "approx_kl", "clip_fraction")
-        stats = {key: 0.0 for key in keys}
-        updates = 0
-        for _epoch in range(cfg.update_epochs):
-            for mb in RolloutBuffer.minibatches(batch, mb_size, self._shuffle_rng):
-                stats_mb = self._update_minibatch(mb)
-                for key in keys:
-                    stats[key] += stats_mb[key]
-                updates += 1
+            mb_size = cfg.minibatch_size or len(batch)
+            keys = (
+                "actor_loss",
+                "critic_loss",
+                "entropy",
+                "approx_kl",
+                "clip_fraction",
+            )
+            stats = {key: 0.0 for key in keys}
+            updates = 0
+            for _epoch in range(cfg.update_epochs):
+                for mb in RolloutBuffer.minibatches(
+                    batch, mb_size, self._shuffle_rng
+                ):
+                    stats_mb = self._update_minibatch(mb)
+                    for key in keys:
+                        stats[key] += stats_mb[key]
+                    updates += 1
 
-        self.episodes_seen += 1
-        self._actor_sched.step()
-        self._critic_sched.step()
-        n = max(updates, 1)
-        result = {key: stats[key] / n for key in keys}
-        result["actor_lr"] = self.actor_opt.lr
-        result["batch_size"] = float(len(batch))
-        result["explained_variance"] = _explained_variance(
-            self._predict_values(batch.obs), batch.returns
-        )
+            self.episodes_seen += 1
+            self._actor_sched.step()
+            self._critic_sched.step()
+            n = max(updates, 1)
+            result = {key: stats[key] / n for key in keys}
+            result["actor_lr"] = self.actor_opt.lr
+            result["batch_size"] = float(len(batch))
+            result["explained_variance"] = _explained_variance(
+                self._predict_values(batch.obs), batch.returns
+            )
+        if _obs.enabled():
+            _obs.counter("ppo.updates").inc()
+            _obs.histogram("ppo.update.batch_size").observe(float(len(batch)))
+            for key in keys:
+                _obs.ewma(f"ppo.{key}").update(result[key])
         return result
 
     def _predict_values(self, obs: np.ndarray) -> np.ndarray:

@@ -7,12 +7,32 @@ import numpy as np
 import pytest
 
 from repro.baselines import FixedPriceMechanism
-from repro.experiments.telemetry import EpisodeRecorder, record_episode
+from repro.core.builder import build_environment
+from repro.core.env import StepResult
+from repro.experiments.telemetry import (
+    EpisodeRecorder,
+    flatten_step,
+    record_episode,
+    stream_episode,
+)
+from repro.faults.injector import FaultConfig
 
 
 @pytest.fixture
 def trace(surrogate_env):
     env = surrogate_env.env
+    return record_episode(env, FixedPriceMechanism(env, markup=2.0))
+
+
+@pytest.fixture
+def faulted_trace():
+    """A trace from an episode that actually exercises the fault pipeline."""
+    env = build_environment(
+        n_nodes=4,
+        budget=15.0,
+        seed=123,
+        faults=FaultConfig.mixed(0.3, seed=7),
+    ).env
     return record_episode(env, FixedPriceMechanism(env, markup=2.0))
 
 
@@ -61,3 +81,106 @@ class TestExport:
     def test_clear(self, trace):
         trace.clear()
         assert len(trace) == 0
+
+
+_FAULT_FIELDS = (
+    "n_delivered",
+    "n_crashed",
+    "n_late",
+    "n_corrupted",
+    "n_quarantined",
+    "clawback",
+    "min_reliability",
+)
+
+
+class TestFaultTelemetry:
+    def test_fault_counters_round_trip_jsonl(self, faulted_trace, tmp_path):
+        path = faulted_trace.to_jsonl(tmp_path / "trace.jsonl")
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(records) == len(faulted_trace)
+        for field in _FAULT_FIELDS:
+            assert all(field in r for r in records)
+        # The mixed-fault episode must actually exercise the pipeline, and
+        # the written stream must agree with the in-memory one.
+        assert any(
+            r["n_crashed"] or r["n_late"] or r["n_corrupted"] for r in records
+        )
+        for written, kept in zip(records, faulted_trace.records):
+            for field in _FAULT_FIELDS:
+                assert written[field] == pytest.approx(float(kept[field]))
+
+    def test_fault_counters_round_trip_csv(self, faulted_trace, tmp_path):
+        path = faulted_trace.to_csv(tmp_path / "trace.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == len(faulted_trace)
+        for row, kept in zip(rows, faulted_trace.records):
+            for field in _FAULT_FIELDS:
+                assert float(row[field]) == pytest.approx(float(kept[field]))
+
+    def test_min_reliability_and_clawback_consistent(self, faulted_trace):
+        reliability = faulted_trace.series("min_reliability")
+        assert np.all(reliability >= 0.0) and np.all(reliability <= 1.0)
+        clawback = faulted_trace.series("clawback")
+        assert np.all(clawback >= 0.0)
+        summary = faulted_trace.fault_summary()
+        assert summary["clawback_total"] == pytest.approx(clawback.sum())
+        assert summary["crashes"] == faulted_trace.series("n_crashed").sum()
+
+    def test_flatten_step_empty_participants(self):
+        """A round nobody joined: zero counts, no div-by-zero, kept flags."""
+        n = 3
+        result = StepResult(
+            state=np.zeros(4),
+            reward_exterior=0.0,
+            reward_inner=0.0,
+            done=False,
+            truncated=False,
+            round_kept=False,
+            accuracy=0.1,
+            round_time=0.0,
+            efficiency=0.0,
+            participants=[],
+            unavailable=[0, 2],
+            payments=np.zeros(n),
+            zetas=np.zeros(n),
+            times=np.zeros(n),
+            utilities=np.zeros(n),
+            remaining_budget=5.0,
+            round_index=0,
+        )
+        record = flatten_step(result)
+        assert record["n_participants"] == 0
+        assert record["n_unavailable"] == 2
+        assert record["mean_zeta_ghz"] == 0.0
+        assert record["total_payment"] == 0.0
+        assert record["n_delivered"] == 0
+        assert record["clawback"] == 0.0
+        assert record["min_reliability"] == 1.0
+        recorder = EpisodeRecorder()
+        recorder.observe(result)
+        assert recorder.fault_summary()["crashes"] == 0.0
+
+
+class TestStreamEpisode:
+    def test_streams_superset_of_flatten_step(self, tmp_path):
+        from repro import obs
+        from repro.obs.exporters import read_jsonl
+
+        env = build_environment(n_nodes=3, budget=8.0, seed=5).env
+        path = tmp_path / "rounds.jsonl"
+        recorder = stream_episode(
+            env, FixedPriceMechanism(env, markup=2.0), path
+        )
+        assert not obs.enabled()  # restored afterwards
+        events = read_jsonl(path)
+        assert len(events) == len(recorder)
+        for event, record in zip(events, recorder.records):
+            assert event["event"] == "env.round"
+            assert {"episode", "terminated", "truncated"} <= set(event)
+            for field, value in record.items():
+                if isinstance(value, float):
+                    assert event[field] == pytest.approx(value)
+                else:
+                    assert event[field] == value

@@ -1,0 +1,13 @@
+"""Observability-suite fixtures: never leak a live registry across tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _reset_obs_state():
+    yield
+    obs.disable()

@@ -1,0 +1,68 @@
+"""CLI smoke tests: `python -m repro.obs report` and `demo`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.__main__ import main, render_report
+from repro.obs.exporters import write_snapshot
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import Span
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture
+def snapshot_file(tmp_path):
+    reg = MetricsRegistry()
+    reg.counter("env.rounds").inc(3)
+    reg.histogram("env.round_time").observe(2.0)
+    with Span(reg.tracer, "episode"):
+        pass
+    return write_snapshot(reg.snapshot(), tmp_path / "snap.json")
+
+
+def test_report_text(snapshot_file, capsys):
+    assert main(["report", str(snapshot_file)]) == 0
+    out = capsys.readouterr().out
+    assert "env.rounds" in out
+    assert "episode" in out
+
+
+def test_report_prometheus(snapshot_file, capsys):
+    assert main(["report", str(snapshot_file), "--format", "prometheus"]) == 0
+    out = capsys.readouterr().out
+    assert "env_rounds 3.0" in out
+    assert "span_calls_total" in out
+
+
+def test_render_report_empty():
+    text = render_report({"metrics": [], "profile": []})
+    assert "(none)" in text
+    assert "(no spans recorded)" in text
+
+
+def test_demo_smoke(tmp_path, capsys):
+    out_path = tmp_path / "demo.json"
+    code = main(
+        [
+            "demo",
+            "--n-nodes",
+            "3",
+            "--budget",
+            "5",
+            "--seed",
+            "0",
+            "--out",
+            str(out_path),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "env_rounds" in out
+    assert "span profile" in out
+    assert out_path.exists()
+    # The demo must leave observability disabled.
+    from repro import obs
+
+    assert not obs.enabled()

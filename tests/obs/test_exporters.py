@@ -1,0 +1,124 @@
+"""Exporters: Prometheus round-trip, JSON round-trip, the JSONL sink."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.exporters import (
+    JsonlEventSink,
+    load_snapshot,
+    parse_prometheus,
+    read_jsonl,
+    sanitize_metric_name,
+    to_json,
+    to_prometheus,
+    write_snapshot,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import Span
+
+pytestmark = pytest.mark.obs
+
+
+def _populated_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("env.rounds").inc(7)
+    reg.counter("faults.injected", kind="crash").inc(2)
+    reg.gauge("env.accuracy").set(0.93)
+    reg.ewma("env.efficiency").update(1.5)
+    h = reg.histogram("env.round_time", buckets=[1.0, 10.0])
+    for v in (0.5, 2.0, 20.0):
+        h.observe(v)
+    with Span(reg.tracer, "episode"):
+        with Span(reg.tracer, "env.step"):
+            pass
+    return reg
+
+
+class TestPrometheus:
+    def test_sanitize(self):
+        assert sanitize_metric_name("env.round_time") == "env_round_time"
+        assert sanitize_metric_name("9lives") == "_9lives"
+
+    def test_round_trip_scalars(self):
+        snapshot = _populated_registry().snapshot()
+        samples = parse_prometheus(to_prometheus(snapshot))
+        assert samples[("env_rounds", ())] == 7.0
+        assert samples[("faults_injected", (("kind", "crash"),))] == 2.0
+        assert samples[("env_accuracy", ())] == pytest.approx(0.93)
+        assert samples[("env_efficiency", ())] == pytest.approx(1.5)
+
+    def test_round_trip_histogram(self):
+        snapshot = _populated_registry().snapshot()
+        samples = parse_prometheus(to_prometheus(snapshot))
+        assert samples[("env_round_time_bucket", (("le", "1.0"),))] == 1.0
+        assert samples[("env_round_time_bucket", (("le", "10.0"),))] == 2.0
+        assert samples[("env_round_time_bucket", (("le", "+Inf"),))] == 3.0
+        assert samples[("env_round_time_count", ())] == 3.0
+        assert samples[("env_round_time_sum", ())] == pytest.approx(22.5)
+        assert ("env_round_time_quantile", (("quantile", "0.5"),)) in samples
+
+    def test_round_trip_spans(self):
+        snapshot = _populated_registry().snapshot()
+        samples = parse_prometheus(to_prometheus(snapshot))
+        assert samples[("span_calls_total", (("span", "episode"),))] == 1.0
+        assert (
+            "span_seconds_total",
+            (("span", "episode/env.step"),),
+        ) in samples
+        assert (
+            "span_self_seconds_total",
+            (("span", "episode"),),
+        ) in samples
+
+    def test_type_lines_present(self):
+        text = to_prometheus(_populated_registry().snapshot())
+        assert "# TYPE env_rounds counter" in text
+        assert "# TYPE env_accuracy gauge" in text
+        assert "# TYPE env_round_time histogram" in text
+
+
+class TestJson:
+    def test_round_trip_string(self):
+        snapshot = _populated_registry().snapshot()
+        assert load_snapshot(to_json(snapshot)) == snapshot
+
+    def test_round_trip_file(self, tmp_path):
+        snapshot = _populated_registry().snapshot()
+        path = write_snapshot(snapshot, tmp_path / "snap.json")
+        assert load_snapshot(path) == snapshot
+        assert load_snapshot(str(path)) == snapshot
+
+
+class TestJsonlSink:
+    def test_streams_events_immediately(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonlEventSink(path) as sink:
+            sink.emit("env.round", {"round_index": 0, "accuracy": 0.5})
+            # Line-buffered: the record is on disk before close().
+            first = path.read_text().splitlines()[0]
+            assert json.loads(first)["event"] == "env.round"
+            sink.emit("env.round", {"round_index": 1, "accuracy": 0.6})
+            assert sink.events_written == 2
+        records = read_jsonl(path)
+        assert [r["round_index"] for r in records] == [0, 1]
+
+    def test_registry_event_dispatch(self, tmp_path):
+        registry = obs.enable()
+        sink = JsonlEventSink(tmp_path / "events.jsonl")
+        registry.add_sink(sink)
+        obs.event("tick", {"n": 1})
+        registry.remove_sink(sink)
+        obs.event("tick", {"n": 2})  # after removal: not written
+        sink.close()
+        records = read_jsonl(sink.path)
+        assert len(records) == 1
+        assert records[0] == {"event": "tick", "n": 1}
+
+    def test_sink_requires_emit(self):
+        registry = obs.enable()
+        with pytest.raises(TypeError, match="emit"):
+            registry.add_sink(object())

@@ -1,0 +1,176 @@
+"""Metrics registry: instruments, labels, the enable/disable facade."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs.registry import (
+    NOOP_COUNTER,
+    NOOP_EWMA,
+    NOOP_GAUGE,
+    NOOP_HISTOGRAM,
+    MetricsRegistry,
+    _P2Quantile,
+)
+
+pytestmark = pytest.mark.obs
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.counter("a").inc(2.5)
+        assert reg.counter("a").value == 3.5
+
+    def test_counter_rejects_negative(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="must be >= 0"):
+            reg.counter("a").inc(-1.0)
+
+    def test_gauge_set_inc_dec(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("g")
+        g.set(5.0)
+        g.inc(1.0)
+        g.dec(2.0)
+        assert g.value == 4.0
+
+    def test_ewma_first_value_then_blend(self):
+        reg = MetricsRegistry()
+        e = reg.ewma("e", alpha=0.5)
+        e.update(10.0)
+        assert e.value == 10.0
+        e.update(0.0)
+        assert e.value == 5.0
+        assert e.count == 2
+
+    def test_histogram_buckets_are_cumulative(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=[1.0, 10.0])
+        for value in (0.5, 0.7, 5.0, 100.0):
+            h.observe(value)
+        snap = h.snapshot()
+        assert snap["buckets"] == [[1.0, 2], [10.0, 3]]
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(106.2)
+        assert snap["min"] == 0.5
+        assert snap["max"] == 100.0
+
+    def test_histogram_quantiles_track_distribution(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        values = np.linspace(0.0, 100.0, 1001)
+        for v in values:
+            h.observe(float(v))
+        assert h.quantile(0.5) == pytest.approx(50.0, abs=2.0)
+        assert h.quantile(0.9) == pytest.approx(90.0, abs=2.0)
+        assert h.quantile(0.99) == pytest.approx(99.0, abs=2.0)
+
+    def test_quantile_small_sample_interpolates(self):
+        q = _P2Quantile(0.5)
+        for x in (3.0, 1.0, 2.0):
+            q.observe(x)
+        assert q.value() == pytest.approx(2.0)
+
+    def test_quantile_empty_is_none(self):
+        assert _P2Quantile(0.5).value() is None
+
+
+class TestRegistry:
+    def test_get_or_create_is_stable(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.counter("x", node=1) is reg.counter("x", node=1)
+        assert reg.counter("x", node=1) is not reg.counter("x", node=2)
+
+    def test_labels_coerced_to_str(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x", node=3)
+        assert c.labels == {"node": "3"}
+
+    def test_type_clash_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("x")
+
+    def test_snapshot_lists_all_instruments(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(1.0)
+        reg.ewma("e").update(2.0)
+        reg.histogram("h").observe(3.0)
+        snap = reg.snapshot()
+        assert sorted(m["name"] for m in snap["metrics"]) == [
+            "c",
+            "e",
+            "g",
+            "h",
+        ]
+        assert snap["profile"] == []
+
+    def test_reset_clears_instruments_keeps_sinks(self):
+        reg = MetricsRegistry()
+
+        class Sink:
+            def emit(self, name, record):
+                pass
+
+        sink = Sink()
+        reg.add_sink(sink)
+        reg.counter("c").inc()
+        reg.reset()
+        assert reg.snapshot()["metrics"] == []
+        assert reg.sinks == [sink]
+
+    def test_concurrent_counter_increments(self):
+        reg = MetricsRegistry()
+
+        def work():
+            for _ in range(1000):
+                reg.counter("hits").inc()
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.counter("hits").value == 4000.0
+
+
+class TestFacade:
+    def test_disabled_returns_noop_singletons(self):
+        assert not obs.enabled()
+        assert obs.counter("anything") is NOOP_COUNTER
+        assert obs.gauge("anything") is NOOP_GAUGE
+        assert obs.ewma("anything") is NOOP_EWMA
+        assert obs.histogram("anything") is NOOP_HISTOGRAM
+        assert obs.span("anything") is obs.NOOP_SPAN
+
+    def test_enable_routes_facade_to_live_registry(self):
+        registry = obs.enable()
+        assert obs.enabled()
+        obs.counter("hits").inc()
+        assert registry.counter("hits").value == 1.0
+        returned = obs.disable()
+        assert returned is registry
+        assert not obs.enabled()
+
+    def test_enable_twice_keeps_registry(self):
+        first = obs.enable()
+        assert obs.enable() is first
+
+    def test_enable_explicit_registry_replaces(self):
+        obs.enable()
+        mine = MetricsRegistry()
+        assert obs.enable(mine) is mine
+        assert obs.get_registry() is mine
+
+    def test_disabled_snapshot_is_empty(self):
+        assert obs.snapshot() == {"metrics": [], "profile": []}
+        assert obs.profile() == []

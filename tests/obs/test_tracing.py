@@ -1,0 +1,136 @@
+"""Span tracing: nesting, self-time accounting, thread isolation."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.obs.tracing import NOOP_SPAN, Span, SpanTracer, format_profile
+
+pytestmark = pytest.mark.obs
+
+
+def _by_path(profile):
+    return {node["path"]: node for node in profile}
+
+
+class TestSpanTracer:
+    def test_single_span_counts_and_times(self):
+        tracer = SpanTracer()
+        with Span(tracer, "work"):
+            time.sleep(0.01)
+        nodes = _by_path(tracer.profile())
+        assert set(nodes) == {"work"}
+        node = nodes["work"]
+        assert node["count"] == 1
+        assert node["depth"] == 0
+        assert node["name"] == "work"
+        assert node["total"] >= 0.01
+        assert node["self"] == pytest.approx(node["total"])
+
+    def test_nesting_builds_paths_and_self_time(self):
+        tracer = SpanTracer()
+        with Span(tracer, "outer"):
+            with Span(tracer, "inner"):
+                time.sleep(0.01)
+        nodes = _by_path(tracer.profile())
+        assert set(nodes) == {"outer", "outer/inner"}
+        outer, inner = nodes["outer"], nodes["outer/inner"]
+        assert inner["depth"] == 1
+        assert inner["name"] == "inner"
+        # Parent total covers the child; parent self excludes it.
+        assert outer["total"] >= inner["total"]
+        assert outer["self"] == pytest.approx(
+            outer["total"] - inner["total"], abs=1e-6
+        )
+
+    def test_same_name_different_parents_are_distinct(self):
+        tracer = SpanTracer()
+        with Span(tracer, "a"):
+            with Span(tracer, "step"):
+                pass
+        with Span(tracer, "b"):
+            with Span(tracer, "step"):
+                pass
+        assert set(_by_path(tracer.profile())) == {
+            "a",
+            "a/step",
+            "b",
+            "b/step",
+        }
+
+    def test_repeated_calls_aggregate(self):
+        tracer = SpanTracer()
+        for _ in range(5):
+            with Span(tracer, "loop"):
+                pass
+        assert _by_path(tracer.profile())["loop"]["count"] == 5
+
+    def test_profile_sorted_parent_before_child(self):
+        tracer = SpanTracer()
+        with Span(tracer, "z"):
+            pass
+        with Span(tracer, "a"):
+            with Span(tracer, "child"):
+                pass
+        paths = [node["path"] for node in tracer.profile()]
+        assert paths == ["a", "a/child", "z"]
+
+    def test_end_without_begin_raises(self):
+        with pytest.raises(RuntimeError, match="without a matching begin"):
+            SpanTracer().end()
+
+    def test_threads_have_independent_stacks(self):
+        tracer = SpanTracer()
+        ready = threading.Barrier(2)
+
+        def worker(name):
+            with Span(tracer, name):
+                ready.wait(timeout=5)
+
+        threads = [
+            threading.Thread(target=worker, args=(f"t{i}",)) for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Concurrent roots never nest under each other.
+        assert set(_by_path(tracer.profile())) == {"t0", "t1"}
+
+    def test_reset_clears_stats(self):
+        tracer = SpanTracer()
+        with Span(tracer, "x"):
+            pass
+        tracer.reset()
+        assert tracer.profile() == []
+
+
+class TestNoopSpan:
+    def test_reentrant_and_shared(self):
+        with NOOP_SPAN:
+            with NOOP_SPAN:
+                pass
+
+    def test_propagates_exceptions(self):
+        with pytest.raises(ValueError):
+            with NOOP_SPAN:
+                raise ValueError("boom")
+
+
+class TestFormatProfile:
+    def test_empty(self):
+        assert format_profile([]) == "(no spans recorded)"
+
+    def test_indents_by_depth(self):
+        tracer = SpanTracer()
+        with Span(tracer, "outer"):
+            with Span(tracer, "inner"):
+                pass
+        text = format_profile(tracer.profile())
+        lines = text.splitlines()
+        assert "span" in lines[0]
+        assert any(line.endswith("outer") for line in lines)
+        assert any(line.endswith("  inner") for line in lines)
