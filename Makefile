@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test faults bench bench-smoke bench-rollout obs-demo repro repro-paper report clean
+.PHONY: install test faults bench bench-smoke bench-rollout obs-demo golden-verify golden-update diff-matrix fuzz repro repro-paper report clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -24,6 +24,24 @@ bench-smoke:
 # Instrumented demo episode: prints the Prometheus snapshot + span profile.
 obs-demo:
 	$(PYTHON) -m repro.obs demo
+
+# Recompute every golden scenario and compare digests against tests/golden/.
+golden-verify:
+	$(PYTHON) -m repro.testing verify
+
+# Re-record the golden traces after an *intentional* numeric change.
+# Review the diff before committing (see docs/testing.md).
+golden-update:
+	$(PYTHON) -m repro.testing update
+
+# Differential N-way identity matrix: sequential vs obs-on vs audited vs
+# vectorized M=1/M=4 must be bit-identical.
+diff-matrix:
+	$(PYTHON) -m repro.testing diff
+
+# Seeded invariant fuzz: random environments + random autograd op chains.
+fuzz:
+	$(PYTHON) -m repro.testing fuzz
 
 # Regenerate the committed vectorized-rollout throughput report.
 bench-rollout:

@@ -2,11 +2,26 @@
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Callable, NamedTuple, Optional, Sequence
 
 import numpy as np
 
 from repro.autograd.tensor import Tensor
+
+
+class GradientMismatch(NamedTuple):
+    """One analytic-vs-numeric disagreement found by :func:`gradcheck_report`."""
+
+    input_index: int
+    max_abs_err: float
+    analytic: np.ndarray
+    numeric: np.ndarray
+
+    def describe(self) -> str:
+        return (
+            f"gradient mismatch on input {self.input_index}: "
+            f"max abs err {self.max_abs_err:.3e}"
+        )
 
 
 def numerical_gradient(
@@ -43,6 +58,28 @@ def gradcheck(
     Raises ``AssertionError`` with a diagnostic message on mismatch; returns
     ``True`` otherwise (so it can sit inside a bare ``assert``).
     """
+    mismatch = gradcheck_report(fn, inputs, eps=eps, atol=atol, rtol=rtol)
+    if mismatch is not None:
+        raise AssertionError(
+            f"{mismatch.describe()}\n"
+            f"analytic:\n{mismatch.analytic}\nnumeric:\n{mismatch.numeric}"
+        )
+    return True
+
+
+def gradcheck_report(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    eps: float = 1e-6,
+    atol: float = 1e-6,
+    rtol: float = 1e-4,
+) -> Optional[GradientMismatch]:
+    """Non-raising :func:`gradcheck`: the first mismatch, or ``None``.
+
+    Used by the seeded fuzz driver (:mod:`repro.testing.fuzz`), which
+    sweeps hundreds of generated op chains and wants a structured verdict
+    per case rather than an exception to parse.
+    """
     inputs = list(inputs)
     for t in inputs:
         t.zero_grad()
@@ -54,9 +91,11 @@ def gradcheck(
         analytic = t.grad if t.grad is not None else np.zeros_like(t.data)
         numeric = numerical_gradient(fn, inputs, idx, eps=eps)
         if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
-            worst = np.abs(analytic - numeric).max()
-            raise AssertionError(
-                f"gradient mismatch on input {idx}: max abs err {worst:.3e}\n"
-                f"analytic:\n{analytic}\nnumeric:\n{numeric}"
+            worst = float(np.abs(analytic - numeric).max())
+            return GradientMismatch(
+                input_index=idx,
+                max_abs_err=worst,
+                analytic=np.array(analytic, copy=True),
+                numeric=numeric,
             )
-    return True
+    return None

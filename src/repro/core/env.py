@@ -48,6 +48,10 @@ from repro.fl.accuracy import LearningProcess
 from repro.utils.logging import get_logger
 from repro.utils.validation import check_positive
 
+# Substream tag decorrelating the learning-noise rebase from the churn
+# stream (which uses [seed_base, episode]) on seeded resets.
+_LEARNING_STREAM = 0x4C4E  # "LN"
+
 _log = get_logger("core.env")
 
 
@@ -270,6 +274,13 @@ class EdgeLearningEnv:
         if seed is not None:
             self._seed_base = int(seed)
             self._episode = -1
+            # Rebase the learning-process noise stream too (when the
+            # process supports it): a seeded reset must pin *every*
+            # stochastic stream, not just churn/faults, or the episode's
+            # accuracy trajectory depends on how many episodes ran before.
+            reseed = getattr(self.learning, "reseed", None)
+            if reseed is not None:
+                reseed(np.random.default_rng([self._seed_base, _LEARNING_STREAM]))
         self.ledger.reset()
         self.encoder.reset()
         self._episode += 1

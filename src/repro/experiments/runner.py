@@ -28,12 +28,20 @@ from repro.utils.validation import check_positive
 _log = get_logger("experiments.runner")
 
 
-def run_episode(env: EdgeLearningEnv, mechanism: IncentiveMechanism) -> Tuple[
-    EpisodeResult, dict
-]:
-    """Run one episode to budget exhaustion; returns (result, diagnostics)."""
+def run_episode(
+    env: EdgeLearningEnv,
+    mechanism: IncentiveMechanism,
+    seed: Optional[int] = None,
+) -> Tuple[EpisodeResult, dict]:
+    """Run one episode to budget exhaustion; returns (result, diagnostics).
+
+    ``seed`` pins the episode's availability/fault/learning-noise streams,
+    making the rollout reproducible independent of how many episodes ran
+    before it (the golden-trace harness and differential runner rely on
+    exactly this).  ``None`` keeps the environment's own episode stream.
+    """
     with _obs.span("episode"):
-        state, _ = env.reset()
+        state, _ = env.reset(seed=seed)
         obs = Observation(state, env.ledger.remaining, env.round_index)
         mechanism.begin_episode(obs)
 
@@ -242,15 +250,29 @@ def evaluate_mechanism(
     env: EdgeLearningEnv,
     mechanism: IncentiveMechanism,
     episodes: int = 5,
+    seed: Optional[int] = None,
 ) -> List[EpisodeResult]:
-    """Run evaluation episodes with learning frozen (when supported)."""
+    """Run evaluation episodes with learning frozen (when supported).
+
+    With ``seed`` set, per-episode seeds are derived deterministically
+    (SeedSequence fan-out), so the whole evaluation is reproducible while
+    each episode still sees distinct stochastic streams.
+    """
     check_positive("episodes", episodes)
+    episode_seeds: List[Optional[int]] = [None] * episodes
+    if seed is not None:
+        episode_seeds = [
+            int(s)
+            for s in np.random.SeedSequence(seed).generate_state(
+                episodes, dtype=np.uint32
+            )
+        ]
     had_train_mode = hasattr(mechanism, "eval_mode")
     if had_train_mode:
         mechanism.eval_mode()
     results = []
-    for _ in range(episodes):
-        result, _diag = run_episode(env, mechanism)
+    for episode_seed in episode_seeds:
+        result, _diag = run_episode(env, mechanism, seed=episode_seed)
         results.append(result)
     if had_train_mode:
         mechanism.train_mode()

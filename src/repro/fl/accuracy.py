@@ -143,6 +143,16 @@ class SurrogateAccuracy:
             self.curve, self._weights, rng=rng, poison_factor=self.poison_factor
         )
 
+    def reseed(self, rng: RNGLike) -> None:
+        """Rebase the observation-noise stream (seeded episode resets).
+
+        Without this, ``EdgeLearningEnv.reset(seed=s)`` would rebase the
+        churn/fault substreams but leave the accuracy noise wherever the
+        previous episodes left it, silently breaking the seeded-reset
+        reproducibility contract (caught by the repro.testing tooling).
+        """
+        self._rng = as_generator(rng)
+
     def step(
         self,
         participant_ids: Sequence[int],

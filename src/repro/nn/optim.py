@@ -97,6 +97,56 @@ class Adam(Optimizer):
         self._m: Dict[int, np.ndarray] = {}
         self._v: Dict[int, np.ndarray] = {}
 
+    @property
+    def step_count(self) -> int:
+        """Number of :meth:`step` calls (drives bias correction)."""
+        return self._step_count
+
+    def flat_state(self) -> Dict[str, np.ndarray]:
+        """First/second moments and step count as flat arrays.
+
+        Moments for parameters never touched by :meth:`step` read as
+        zeros, matching their lazy initialization, so the round trip
+        through :meth:`load_flat_state` is exact at any training point.
+        """
+        m_parts = []
+        v_parts = []
+        for index, param in enumerate(self.parameters):
+            m = self._m.get(index)
+            m_parts.append(
+                np.ravel(m) if m is not None else np.zeros(param.data.size)
+            )
+            v = self._v.get(index)
+            v_parts.append(
+                np.ravel(v) if v is not None else np.zeros(param.data.size)
+            )
+        return {
+            "m": np.concatenate(m_parts),
+            "v": np.concatenate(v_parts),
+            "step_count": np.array([self._step_count], dtype=np.int64),
+        }
+
+    def load_flat_state(
+        self, m: np.ndarray, v: np.ndarray, step_count: int
+    ) -> None:
+        """Restore moments written by :meth:`flat_state`."""
+        total = sum(p.data.size for p in self.parameters)
+        m = np.asarray(m, dtype=np.float64).ravel()
+        v = np.asarray(v, dtype=np.float64).ravel()
+        if m.size != total or v.size != total:
+            raise ValueError(
+                f"moment vectors of size {m.size}/{v.size} do not match "
+                f"{total} optimized parameters"
+            )
+        offset = 0
+        for index, param in enumerate(self.parameters):
+            size = param.data.size
+            shape = param.data.shape
+            self._m[index] = m[offset : offset + size].reshape(shape).copy()
+            self._v[index] = v[offset : offset + size].reshape(shape).copy()
+            offset += size
+        self._step_count = int(step_count)
+
     def step(self) -> None:
         self._step_count += 1
         t = self._step_count
@@ -133,6 +183,17 @@ class ExponentialLR:
         self.gamma = float(gamma)
         self.every = int(every)
         self._ticks = 0
+
+    @property
+    def ticks(self) -> int:
+        """Completed :meth:`step` calls (decides when the next decay fires)."""
+        return self._ticks
+
+    def load_ticks(self, ticks: int) -> None:
+        """Restore the tick counter from a checkpoint."""
+        if ticks < 0:
+            raise ValueError(f"ticks must be >= 0, got {ticks}")
+        self._ticks = int(ticks)
 
     def step(self) -> float:
         """Advance one tick; returns the (possibly updated) learning rate."""

@@ -1,9 +1,19 @@
 """Save/restore trained agents.
 
 A PPO agent's learnable state is its policy and value parameters, the
-observation normalizer, optimizer learning rates and the episode counter.
+observation normalizer, optimizer learning rates and the episode counter —
+plus, for *bitwise* training resumption, the Adam first/second moments and
+step counts, the LR-scheduler tick counters, and the exact positions of
+the policy-sampling and minibatch-shuffle random streams (serialized as
+JSON bytes, see :func:`repro.utils.rng.pack_generator_state`).  With all
+of that restored, an agent loaded mid-training produces ``act`` samples
+and ``update`` parameter deltas identical to the run that was never
+interrupted (pinned by ``tests/rl/test_checkpoint.py``).
+
 Checkpoints are plain ``.npz`` archives — no pickling, so they are
-portable and safe to load.
+portable and safe to load.  Archives written before the full-fidelity
+keys existed still load: the extra state simply stays at its fresh
+initialization.
 
 ``save_ppo`` / ``load_ppo`` work on one agent; hierarchical agents (e.g.
 Chiron) prefix each sub-agent's keys and share a single archive.
@@ -17,6 +27,7 @@ from typing import Dict, Union
 import numpy as np
 
 from repro.rl.ppo import PPOAgent
+from repro.utils.rng import pack_generator_state, restore_generator_state
 
 PathLike = Union[str, Path]
 
@@ -30,6 +41,17 @@ def ppo_state_dict(agent: PPOAgent, prefix: str = "") -> Dict[str, np.ndarray]:
         f"{prefix}actor_lr": np.array([agent.actor_opt.lr]),
         f"{prefix}critic_lr": np.array([agent.critic_opt.lr]),
     }
+    for name, opt in (("actor", agent.actor_opt), ("critic", agent.critic_opt)):
+        for key, value in opt.flat_state().items():
+            state[f"{prefix}{name}_opt_{key}"] = value
+    state[f"{prefix}actor_sched_ticks"] = np.array(
+        [agent._actor_sched.ticks], dtype=np.int64
+    )
+    state[f"{prefix}critic_sched_ticks"] = np.array(
+        [agent._critic_sched.ticks], dtype=np.int64
+    )
+    state[f"{prefix}policy_rng"] = pack_generator_state(agent.policy._sample_rng)
+    state[f"{prefix}shuffle_rng"] = pack_generator_state(agent._shuffle_rng)
     if agent.obs_stat is not None:
         state[f"{prefix}obs_mean"] = agent.obs_stat.mean
         state[f"{prefix}obs_var"] = agent.obs_stat.var
@@ -40,7 +62,12 @@ def ppo_state_dict(agent: PPOAgent, prefix: str = "") -> Dict[str, np.ndarray]:
 def load_ppo_state(
     agent: PPOAgent, state: Dict[str, np.ndarray], prefix: str = ""
 ) -> None:
-    """Restore a state dict into an architecture-matching agent."""
+    """Restore a state dict into an architecture-matching agent.
+
+    Archives from before the full-fidelity keys (optimizer moments,
+    scheduler ticks, RNG streams) load without them — sufficient for
+    evaluation, not for bitwise training resumption.
+    """
     try:
         agent.policy.load_flat_parameters(state[f"{prefix}policy"])
         agent.value_net.load_flat_parameters(state[f"{prefix}value"])
@@ -49,6 +76,24 @@ def load_ppo_state(
     agent.episodes_seen = int(state[f"{prefix}episodes_seen"][0])
     agent.actor_opt.set_lr(float(state[f"{prefix}actor_lr"][0]))
     agent.critic_opt.set_lr(float(state[f"{prefix}critic_lr"][0]))
+    for name, opt in (("actor", agent.actor_opt), ("critic", agent.critic_opt)):
+        if f"{prefix}{name}_opt_m" in state:
+            opt.load_flat_state(
+                state[f"{prefix}{name}_opt_m"],
+                state[f"{prefix}{name}_opt_v"],
+                int(state[f"{prefix}{name}_opt_step_count"][0]),
+            )
+    if f"{prefix}actor_sched_ticks" in state:
+        agent._actor_sched.load_ticks(int(state[f"{prefix}actor_sched_ticks"][0]))
+        agent._critic_sched.load_ticks(
+            int(state[f"{prefix}critic_sched_ticks"][0])
+        )
+    if f"{prefix}policy_rng" in state:
+        restore_generator_state(
+            agent.policy._sample_rng, state[f"{prefix}policy_rng"]
+        )
+    if f"{prefix}shuffle_rng" in state:
+        restore_generator_state(agent._shuffle_rng, state[f"{prefix}shuffle_rng"])
     if agent.obs_stat is not None:
         if f"{prefix}obs_mean" not in state:
             raise KeyError(

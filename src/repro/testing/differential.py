@@ -1,0 +1,201 @@
+"""Differential runner: one engine for every execution-path identity claim.
+
+The reproduction promises that the Chiron mechanism computes *the same
+numbers* no matter which path executes it: the sequential reference env,
+the masked vectorized env (any M), with observability on or off, with the
+invariant auditor installed or not — and all of that both with and
+without the fault pipeline.  Each claim used to live in its own
+hand-rolled test; this module replays one :class:`~repro.testing.scenarios.Scenario`
+through an N-way variant matrix and reports the first diverging
+replica/round/field per variant.
+
+Variants (each compared bit-exactly against its reference):
+
+==================  ====================================================
+``rerun``           fresh build + identical seeds (determinism baseline)
+``obs_on``          same episode with :mod:`repro.obs` enabled
+``audited``         same episode through an enabled
+                    :class:`~repro.testing.invariants.InvariantAuditor`
+``vector_m1``       the M=1 vectorized wrapper (replica 0 is the env)
+``vector_m4``       M=4 lockstep vs the same four replicas stepped
+                    individually (full multi-replica comparison)
+==================  ====================================================
+
+Faults on/off is the *scenario* axis: running the matrix over both the
+``baseline`` and ``faulted`` scenarios covers the full
+{sequential, vectorized M∈{1,4}, obs on/off, faults on/off} grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro import obs as _obs
+from repro.core.vector import VectorizedEdgeLearningEnv
+from repro.testing import invariants
+from repro.testing.scenarios import (
+    Scenario,
+    capture,
+    get_scenario,
+    price_schedule,
+    replica_schedules,
+    replica_seeds,
+)
+from repro.testing.trace import (
+    Divergence,
+    EpisodeTrace,
+    capture_sequential,
+    first_divergence,
+)
+
+#: Variant names in matrix order.
+VARIANTS = ("rerun", "obs_on", "audited", "vector_m1", "vector_m4")
+
+
+@dataclass(frozen=True)
+class DifferentialOutcome:
+    """Result of one variant run: identical, or first divergence."""
+
+    scenario: str
+    variant: str
+    rounds: int
+    divergence: Optional[Divergence]
+
+    @property
+    def identical(self) -> bool:
+        return self.divergence is None
+
+    def describe(self) -> str:
+        if self.identical:
+            return (
+                f"[OK]   {self.scenario}/{self.variant}: bit-identical over "
+                f"{self.rounds} rounds"
+            )
+        return (
+            f"[DIFF] {self.scenario}/{self.variant}:\n"
+            f"{self.divergence.describe()}"
+        )
+
+
+def _sequential_trace(scenario: Scenario) -> EpisodeTrace:
+    env = scenario.build_env()
+    schedule = price_schedule(env, scenario.rounds, scenario.schedule_seed)
+    return capture_sequential(
+        env, schedule, scenario.episode_seed, scenario=scenario.name
+    )
+
+
+def _capture_obs_on(scenario: Scenario) -> EpisodeTrace:
+    _obs.enable()
+    try:
+        return _sequential_trace(scenario)
+    finally:
+        _obs.disable()
+
+
+def _capture_audited(scenario: Scenario) -> EpisodeTrace:
+    env = invariants.InvariantAuditor(scenario.build_env())
+    schedule = price_schedule(env.env, scenario.rounds, scenario.schedule_seed)
+    with invariants.auditing():
+        trace = capture_sequential(
+            env, schedule, scenario.episode_seed, scenario=scenario.name
+        )
+    if env.rounds_audited == 0:
+        raise RuntimeError(
+            f"auditor saw no rounds for scenario {scenario.name!r}"
+        )
+    return trace
+
+
+def _capture_vector(scenario: Scenario, num_envs: int) -> EpisodeTrace:
+    """Scenario through the vectorized path with ``num_envs`` replicas."""
+    import dataclasses
+
+    vec_scenario = dataclasses.replace(scenario, num_envs=num_envs)
+    return capture(vec_scenario)
+
+
+def _capture_singles(scenario: Scenario, num_envs: int) -> EpisodeTrace:
+    """The vector scenario's replicas, each stepped individually.
+
+    Builds the identical replica set (replica 0 is the base env, 1..M-1
+    spawned with the same derived seeds as
+    :meth:`VectorizedEdgeLearningEnv.from_env`) but never goes through the
+    vectorized step path — the sequential reference for ``vector_m4``.
+    """
+    env = scenario.build_env()
+    venv = VectorizedEdgeLearningEnv.from_env(env, num_envs)
+    schedules = replica_schedules(
+        env, scenario.rounds, scenario.schedule_seed, num_envs
+    )
+    seeds = replica_seeds(scenario.episode_seed, num_envs)
+    traces = [
+        capture_sequential(
+            venv.envs[i], schedules[i], seeds[i], scenario=scenario.name
+        )
+        for i in range(num_envs)
+    ]
+    return EpisodeTrace(
+        scenario=scenario.name,
+        episode_seed=seeds[0],
+        replicas=[t.replicas[0] for t in traces],
+        ledgers=[t.ledgers[0] for t in traces],
+    )
+
+
+def run_variant(
+    scenario: Scenario,
+    variant: str,
+    reference: Optional[EpisodeTrace] = None,
+) -> DifferentialOutcome:
+    """Run one variant and diff it against its reference trace.
+
+    ``reference`` (the plain sequential capture) is computed on demand
+    when not supplied; ``vector_m4`` ignores it and builds its own
+    multi-replica singles reference.
+    """
+    if variant == "vector_m4":
+        expected = _capture_singles(scenario, 4)
+        actual = _capture_vector(scenario, 4)
+    else:
+        expected = reference if reference is not None else _sequential_trace(scenario)
+        if variant == "rerun":
+            actual = _sequential_trace(scenario)
+        elif variant == "obs_on":
+            actual = _capture_obs_on(scenario)
+        elif variant == "audited":
+            actual = _capture_audited(scenario)
+        elif variant == "vector_m1":
+            actual = _capture_vector(scenario, 1)
+        else:
+            raise ValueError(
+                f"unknown variant {variant!r}; available: {VARIANTS}"
+            )
+    return DifferentialOutcome(
+        scenario=scenario.name,
+        variant=variant,
+        rounds=actual.num_rounds,
+        divergence=first_divergence(expected, actual),
+    )
+
+
+def run_matrix(
+    scenario_name: str,
+    variants: Optional[Sequence[str]] = None,
+) -> List[DifferentialOutcome]:
+    """Run every variant of one scenario against the sequential reference."""
+    scenario = get_scenario(scenario_name)
+    reference = _sequential_trace(scenario)
+    return [
+        run_variant(scenario, variant, reference=reference)
+        for variant in (variants or VARIANTS)
+    ]
+
+
+def matrix_report(
+    scenario_names: Sequence[str],
+    variants: Optional[Sequence[str]] = None,
+) -> Dict[str, List[DifferentialOutcome]]:
+    """The full scenarios × variants grid."""
+    return {name: run_matrix(name, variants) for name in scenario_names}

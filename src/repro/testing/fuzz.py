@@ -1,0 +1,243 @@
+"""Seeded fuzz driver: random-walk episodes and autograd op chains.
+
+Two generators, both deterministic functions of a case seed so every
+failure is replayable from its corpus index alone:
+
+* **Environment fuzz** — builds a randomized fleet (size, budget η,
+  churn, fault model, defenses on/off), drives it with a perturbed
+  random-walk price schedule (occasional zero-price starvation rounds and
+  overpayment spikes to provoke no-participation branches and budget
+  overdraws), and runs the whole episode under an enabled
+  :class:`~repro.testing.invariants.InvariantAuditor`.  Any invariant
+  breach surfaces as a failed case carrying the violation text.
+
+* **Autograd fuzz** — assembles a random chain of numerically smooth
+  tensor ops (kink-free, so finite differences are trustworthy) over one
+  or two input tensors and checks the analytic gradient against
+  :func:`~repro.autograd.gradcheck.gradcheck_report` central differences.
+
+``python -m repro.testing fuzz`` runs both corpora; the pytest suite runs
+a fixed slice of each so CI exercises the driver without open-ended
+runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.autograd.gradcheck import gradcheck_report
+from repro.autograd.tensor import Tensor
+from repro.core.builder import BuildConfig
+from repro.faults.injector import FaultConfig
+from repro.testing import invariants
+from repro.testing.scenarios import price_schedule
+
+#: Sub-stream tags keeping the two corpora decorrelated.
+_ENV_STREAM = 0xE5F
+_AUTOGRAD_STREAM = 0xA96
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One replayable fuzz verdict."""
+
+    kind: str  # "env" | "autograd"
+    seed: int
+    ok: bool
+    detail: str
+
+    def describe(self) -> str:
+        status = "PASS" if self.ok else "FAIL"
+        return f"[{status}] {self.kind} case {self.seed}: {self.detail}"
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate over a corpus run."""
+
+    cases: List[FuzzCase] = field(default_factory=list)
+
+    @property
+    def failures(self) -> List[FuzzCase]:
+        return [c for c in self.cases if not c.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def describe(self) -> str:
+        lines = [c.describe() for c in self.failures] or ["all cases passed"]
+        lines.append(
+            f"{len(self.cases) - len(self.failures)}/{len(self.cases)} "
+            "fuzz cases passed"
+        )
+        return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- #
+# environment fuzz
+# --------------------------------------------------------------------- #
+def fuzz_env_case(seed: int, rounds: int = 50) -> FuzzCase:
+    """One randomized audited episode; fails on any invariant violation."""
+    rng = np.random.default_rng([_ENV_STREAM, int(seed)])
+    use_faults = rng.random() < 0.6
+    faults = (
+        FaultConfig.mixed(
+            float(rng.uniform(0.1, 0.5)), seed=int(rng.integers(0, 2**16))
+        )
+        if use_faults
+        else None
+    )
+    build = BuildConfig(
+        n_nodes=int(rng.integers(2, 7)),
+        budget=float(rng.uniform(4.0, 60.0)),
+        seed=int(rng.integers(0, 2**16)),
+        availability=(
+            1.0 if rng.random() < 0.5 else float(rng.uniform(0.6, 0.95))
+        ),
+        faults=faults,
+        # With faults on, occasionally run defenses-off — the paper's
+        # control arm, whose accounting the auditor must also accept.
+        fault_defenses=bool(rng.random() < 0.8) if use_faults else True,
+    )
+    env = invariants.InvariantAuditor(build.build().env)
+    schedule = price_schedule(
+        env.env, rounds, seed=int(rng.integers(0, 2**31))
+    )
+    # Adversarial perturbations: starvation rounds (nobody participates)
+    # and overpayment spikes (burn the budget toward an overdraw).
+    starve = rng.random(rounds) < 0.10
+    spike = rng.random(rounds) < 0.05
+    schedule[starve] = 0.0
+    schedule[spike] *= 4.0
+    summary = {"use_faults": use_faults, "defenses": build.fault_defenses}
+    try:
+        with invariants.auditing():
+            env.reset(seed=int(rng.integers(0, 2**16)))
+            steps = 0
+            for k in range(rounds):
+                if env.done:
+                    break
+                env.step(schedule[k])
+                steps += 1
+    except invariants.InvariantViolation as exc:
+        return FuzzCase(
+            kind="env",
+            seed=seed,
+            ok=False,
+            detail=f"{exc} (build: {summary})",
+        )
+    return FuzzCase(
+        kind="env",
+        seed=seed,
+        ok=True,
+        detail=(
+            f"{steps} audited rounds, n={build.n_nodes}, "
+            f"faults={'on' if use_faults else 'off'}, "
+            f"defenses={'on' if build.fault_defenses else 'off'}"
+        ),
+    )
+
+
+# --------------------------------------------------------------------- #
+# autograd fuzz
+# --------------------------------------------------------------------- #
+#: Numerically smooth unary links — no relu/abs/clip kinks, arguments kept
+#: away from log/sqrt domains via sigmoid squashing — so central
+#: differences converge and a mismatch means a real backward bug.
+_UNARY_OPS: Sequence = (
+    ("tanh", lambda t: t.tanh()),
+    ("sigmoid", lambda t: t.sigmoid()),
+    ("exp_bounded", lambda t: t.tanh().exp()),
+    ("log_shifted", lambda t: (t.sigmoid() + 0.5).log()),
+    ("sqrt_shifted", lambda t: (t.sigmoid() + 0.5).sqrt()),
+    ("square", lambda t: t * t),
+    ("neg", lambda t: -t),
+)
+
+_BINARY_OPS: Sequence = (
+    ("add", lambda t, u: t + u),
+    ("mul", lambda t, u: t * u),
+    ("sub", lambda t, u: t - u),
+    ("div_safe", lambda t, u: t / (u.sigmoid() + 1.5)),
+)
+
+_SHAPES = ((2, 3), (4,), (3, 2), (1, 5))
+
+
+def _build_chain(rng: np.random.Generator):
+    """A random smooth op chain as (description, fn(a, b) -> Tensor)."""
+    length = int(rng.integers(3, 9))
+    unary_idx = rng.integers(0, len(_UNARY_OPS), size=length)
+    scales = rng.uniform(0.5, 1.5, size=length)
+    merge_at = int(rng.integers(0, length))
+    merge_idx = int(rng.integers(0, len(_BINARY_OPS)))
+    reduce_mean = bool(rng.random() < 0.5)
+
+    names = []
+    for j in range(length):
+        names.append(_UNARY_OPS[int(unary_idx[j])][0])
+        if j == merge_at:
+            names.append(f"<{_BINARY_OPS[merge_idx][0]}>")
+    names.append("mean" if reduce_mean else "sum")
+
+    def fn(a: Tensor, b: Tensor) -> Tensor:
+        t = a
+        for j in range(length):
+            t = _UNARY_OPS[int(unary_idx[j])][1](t) * float(scales[j])
+            if j == merge_at:
+                t = _BINARY_OPS[merge_idx][1](t, b)
+        return t.mean() if reduce_mean else t.sum()
+
+    return "->".join(names), fn
+
+
+def fuzz_autograd_case(seed: int) -> FuzzCase:
+    """One random op chain checked against numerical differentiation."""
+    rng = np.random.default_rng([_AUTOGRAD_STREAM, int(seed)])
+    shape = _SHAPES[int(rng.integers(0, len(_SHAPES)))]
+    a = Tensor(rng.uniform(-1.5, 1.5, size=shape), requires_grad=True)
+    b = Tensor(rng.uniform(-1.5, 1.5, size=shape), requires_grad=True)
+    description, fn = _build_chain(rng)
+    # Looser than the default unit-test tolerances: deep chains compound
+    # finite-difference curvature error, while genuine backward bugs are
+    # orders of magnitude larger.
+    mismatch = gradcheck_report(fn, [a, b], eps=1e-6, atol=1e-5, rtol=1e-3)
+    if mismatch is not None:
+        return FuzzCase(
+            kind="autograd",
+            seed=seed,
+            ok=False,
+            detail=f"{mismatch.describe()} in chain {description}",
+        )
+    return FuzzCase(
+        kind="autograd", seed=seed, ok=True, detail=f"chain {description}"
+    )
+
+
+# --------------------------------------------------------------------- #
+# corpus runner
+# --------------------------------------------------------------------- #
+def run_fuzz(
+    env_cases: int = 20,
+    autograd_cases: int = 30,
+    base_seed: int = 0,
+    rounds: int = 50,
+    progress: Optional[Callable[[FuzzCase], None]] = None,
+) -> FuzzReport:
+    """Run both corpora; seeds are ``base_seed + index`` for replay."""
+    report = FuzzReport()
+    for i in range(env_cases):
+        case = fuzz_env_case(base_seed + i, rounds=rounds)
+        report.cases.append(case)
+        if progress is not None:
+            progress(case)
+    for i in range(autograd_cases):
+        case = fuzz_autograd_case(base_seed + i)
+        report.cases.append(case)
+        if progress is not None:
+            progress(case)
+    return report

@@ -1,0 +1,161 @@
+"""Golden-trace harness: committed episode traces verified by digest.
+
+A golden file is the JSON payload of one scenario's
+:class:`~repro.testing.trace.EpisodeTrace` (see
+:mod:`repro.testing.scenarios`), including its SHA-256 digest.  ``verify``
+re-runs the scenario from scratch and compares:
+
+1. the stored digest against a digest recomputed from the stored body
+   (detects a corrupted or hand-edited golden file);
+2. the fresh capture's digest against the stored digest — bit-exact by
+   default; on mismatch the first diverging replica/round/field is
+   reported via :func:`~repro.testing.trace.first_divergence`.
+
+``update`` re-captures and rewrites the files; the workflow (when an
+update is legitimate, how to review one) is documented in
+``docs/testing.md``.  Both are exposed through ``python -m repro.testing``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.testing.scenarios import SCENARIOS, capture, get_scenario
+from repro.testing.trace import Divergence, EpisodeTrace, first_divergence
+
+#: Repo-relative home of the committed golden files.
+DEFAULT_GOLDEN_DIR = (
+    Path(__file__).resolve().parents[3] / "tests" / "golden"
+)
+
+
+def golden_path(name: str, directory: Optional[Path] = None) -> Path:
+    return Path(directory or DEFAULT_GOLDEN_DIR) / f"{name}.json"
+
+
+def load_golden(name: str, directory: Optional[Path] = None) -> EpisodeTrace:
+    path = golden_path(name, directory)
+    if not path.exists():
+        raise FileNotFoundError(
+            f"no golden trace {path}; generate it with "
+            f"`python -m repro.testing update {name}`"
+        )
+    with path.open("r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    return EpisodeTrace.from_payload(payload)
+
+
+def write_golden(
+    trace: EpisodeTrace, directory: Optional[Path] = None
+) -> Path:
+    path = golden_path(trace.scenario, directory)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as fh:
+        json.dump(trace.to_payload(), fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def update_golden(name: str, directory: Optional[Path] = None) -> Path:
+    """Re-capture one scenario and rewrite its golden file."""
+    return write_golden(capture(get_scenario(name)), directory)
+
+
+@dataclass(frozen=True)
+class VerifyReport:
+    """Outcome of verifying one scenario against its golden file."""
+
+    name: str
+    ok: bool
+    message: str
+    divergence: Optional[Divergence] = None
+
+    def describe(self) -> str:
+        status = "PASS" if self.ok else "FAIL"
+        text = f"[{status}] {self.name}: {self.message}"
+        if self.divergence is not None:
+            text += "\n" + _indent(self.divergence.describe())
+        return text
+
+
+def _indent(text: str, prefix: str = "    ") -> str:
+    return "\n".join(prefix + line for line in text.splitlines())
+
+
+def verify_golden(
+    name: str,
+    directory: Optional[Path] = None,
+    rtol: float = 0.0,
+    atol: float = 0.0,
+) -> VerifyReport:
+    """Re-run one scenario and compare it against its committed golden."""
+    try:
+        golden = load_golden(name, directory)
+    except (FileNotFoundError, ValueError, KeyError) as exc:
+        return VerifyReport(name=name, ok=False, message=str(exc))
+    stored_digest = None
+    path = golden_path(name, directory)
+    with path.open("r", encoding="utf-8") as fh:
+        stored_digest = json.load(fh).get("digest")
+    recomputed = golden.digest()
+    if stored_digest != recomputed:
+        return VerifyReport(
+            name=name,
+            ok=False,
+            message=(
+                f"golden file digest {stored_digest!r} does not match its "
+                f"own body ({recomputed!r}) — corrupted or hand-edited file"
+            ),
+        )
+    fresh = capture(get_scenario(name))
+    if rtol == 0.0 and atol == 0.0 and fresh.digest() == recomputed:
+        return VerifyReport(
+            name=name,
+            ok=True,
+            message=(
+                f"digest {recomputed} reproduced over "
+                f"{fresh.num_rounds} rounds / {fresh.num_replicas} replica(s)"
+            ),
+        )
+    divergence = first_divergence(golden, fresh, rtol=rtol, atol=atol)
+    if divergence is None:
+        return VerifyReport(
+            name=name,
+            ok=True,
+            message=(
+                "trace matches within tolerance "
+                f"(rtol={rtol:g}, atol={atol:g})"
+                if (rtol or atol)
+                else f"digest {recomputed} reproduced"
+            ),
+        )
+    return VerifyReport(
+        name=name,
+        ok=False,
+        message="fresh capture diverges from the committed golden trace",
+        divergence=divergence,
+    )
+
+
+def verify_all(
+    names: Optional[Sequence[str]] = None,
+    directory: Optional[Path] = None,
+    rtol: float = 0.0,
+    atol: float = 0.0,
+) -> List[VerifyReport]:
+    return [
+        verify_golden(name, directory, rtol=rtol, atol=atol)
+        for name in (names or sorted(SCENARIOS))
+    ]
+
+
+def update_all(
+    names: Optional[Sequence[str]] = None, directory: Optional[Path] = None
+) -> Dict[str, Path]:
+    return {
+        name: update_golden(name, directory)
+        for name in (names or sorted(SCENARIOS))
+    }

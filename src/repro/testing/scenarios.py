@@ -1,0 +1,197 @@
+"""Canonical seeded scenarios shared by golden traces and the diff matrix.
+
+A :class:`Scenario` pins everything a capture needs to be bit-reproducible:
+the :class:`~repro.core.builder.BuildConfig` (fleet, budget η, fault
+model), the episode seed fed to ``reset(seed=...)``, and the seed of the
+deterministic price *schedule* that drives the episode.  Schedules are
+generated independently of the environment's random streams (a seeded
+random walk over total price and allocation logits), so the exact same
+action sequence can be replayed against every execution path — the
+property the differential runner (:mod:`repro.testing.differential`)
+builds on.
+
+The three committed golden scenarios cover the paper's regimes:
+
+* ``baseline`` — fault-free model, the paper's Algorithm 1 exactly;
+* ``faulted`` — churn + mixed crash/straggler/corrupt faults with the
+  escrow/clawback defenses on (Eqn 9 accounting under failure);
+* ``vectorized_m4`` — four replicas in lockstep, proving the masked
+  vector path and :meth:`~repro.core.env.EdgeLearningEnv.spawn`
+  decorrelation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.builder import BuildConfig
+from repro.core.env import EdgeLearningEnv
+from repro.core.vector import VectorizedEdgeLearningEnv
+from repro.faults.injector import FaultConfig
+from repro.testing.trace import (
+    EpisodeTrace,
+    capture_sequential,
+    capture_vectorized,
+)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A fully pinned, replayable episode recipe."""
+
+    name: str
+    description: str
+    build: BuildConfig
+    episode_seed: int
+    schedule_seed: int
+    rounds: int = 80  # schedule horizon (capture stops early at env.done)
+    num_envs: int = 1  # > 1 captures through the vectorized path
+
+    def build_env(self) -> EdgeLearningEnv:
+        """A fresh, deterministic environment for this scenario."""
+        return self.build.build().env
+
+
+def price_schedule(
+    env: EdgeLearningEnv, rounds: int, seed: int
+) -> np.ndarray:
+    """A deterministic ``(rounds, N)`` price schedule for ``env``'s fleet.
+
+    A seeded geometric random walk over the *total* posted price (bounded
+    by the fleet's participation floor and saturation cap) times a
+    random-walk softmax allocation — the same factorization the inner
+    agent uses (Eqn 13), so schedules exercise realistic action structure:
+    partial participation, saturation, and occasional starvation rounds.
+
+    Depends only on ``(seed, rounds)`` and the fleet's price scales (which
+    are deterministic given the scenario's :class:`BuildConfig`), never on
+    the environment's random streams.
+    """
+    rng = np.random.default_rng(seed)
+    n = env.n_nodes
+    lo = np.log(0.6 * env.min_total_price)
+    hi = np.log(1.1 * env.max_total_price)
+    log_total = 0.5 * (lo + hi)
+    logits = rng.normal(0.0, 0.5, size=n)
+    schedule = np.empty((rounds, n), dtype=np.float64)
+    for k in range(rounds):
+        log_total = float(np.clip(log_total + rng.normal(0.0, 0.2), lo, hi))
+        logits = logits + rng.normal(0.0, 0.3, size=n)
+        shifted = np.exp(logits - logits.max())
+        proportions = shifted / shifted.sum()
+        schedule[k] = np.exp(log_total) * proportions
+    return schedule
+
+
+def replica_seeds(episode_seed: int, num_envs: int) -> List[int]:
+    """Per-replica episode seeds for vectorized captures.
+
+    Replica 0 keeps ``episode_seed`` itself — so an M=1 vectorized capture
+    replays *exactly* the sequential episode — and replicas 1..M-1 get
+    decorrelated seeds derived from it.
+    """
+    if num_envs == 1:
+        return [int(episode_seed)]
+    state = np.random.SeedSequence(episode_seed).generate_state(
+        num_envs - 1, dtype=np.uint32
+    )
+    return [int(episode_seed)] + [int(s) for s in state]
+
+
+def replica_schedules(
+    env: EdgeLearningEnv, rounds: int, schedule_seed: int, num_envs: int
+) -> List[np.ndarray]:
+    """One deterministic schedule per replica (replica 0 = the base one)."""
+    schedules = [price_schedule(env, rounds, schedule_seed)]
+    if num_envs > 1:
+        seeds = np.random.SeedSequence(schedule_seed).generate_state(
+            num_envs - 1, dtype=np.uint32
+        )
+        schedules.extend(price_schedule(env, rounds, int(s)) for s in seeds)
+    return schedules
+
+
+def capture(scenario: Scenario) -> EpisodeTrace:
+    """Build the scenario's environment and record its canonical trace."""
+    env = scenario.build_env()
+    meta = {
+        "description": scenario.description,
+        "build": scenario.build.to_dict(),
+        "schedule_seed": scenario.schedule_seed,
+        "rounds": scenario.rounds,
+        "num_envs": scenario.num_envs,
+    }
+    if scenario.num_envs == 1:
+        schedule = price_schedule(env, scenario.rounds, scenario.schedule_seed)
+        return capture_sequential(
+            env,
+            schedule,
+            episode_seed=scenario.episode_seed,
+            scenario=scenario.name,
+            meta=meta,
+        )
+    venv = VectorizedEdgeLearningEnv.from_env(env, scenario.num_envs)
+    schedules = replica_schedules(
+        env, scenario.rounds, scenario.schedule_seed, scenario.num_envs
+    )
+    seeds = replica_seeds(scenario.episode_seed, scenario.num_envs)
+    return capture_vectorized(
+        venv, schedules, seeds, scenario=scenario.name, meta=meta
+    )
+
+
+#: The committed golden scenarios (keys are golden-file stems).
+SCENARIOS: Dict[str, Scenario] = {
+    s.name: s
+    for s in (
+        Scenario(
+            name="baseline",
+            description=(
+                "Fault-free 4-node fleet, η=15 — the paper's Algorithm 1 "
+                "loop with no churn or failures."
+            ),
+            build=BuildConfig(n_nodes=4, budget=15.0, seed=123),
+            episode_seed=99,
+            schedule_seed=2024,
+        ),
+        Scenario(
+            name="faulted",
+            description=(
+                "Mixed crash/straggler/corrupt faults (rate 0.3) with "
+                "escrow/clawback defenses and 0.85 availability churn."
+            ),
+            build=BuildConfig(
+                n_nodes=4,
+                budget=15.0,
+                seed=123,
+                availability=0.85,
+                faults=FaultConfig.mixed(0.3, seed=7),
+            ),
+            episode_seed=99,
+            schedule_seed=2025,
+        ),
+        Scenario(
+            name="vectorized_m4",
+            description=(
+                "Four decorrelated replicas stepped in lockstep through "
+                "the masked vectorized path."
+            ),
+            build=BuildConfig(n_nodes=4, budget=15.0, seed=123),
+            episode_seed=99,
+            schedule_seed=2026,
+            num_envs=4,
+        ),
+    )
+}
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}"
+        ) from None

@@ -6,20 +6,25 @@ import pytest
 from repro.autograd import Tensor, functional as F, gradcheck
 
 
+def _as_pair(value):
+    return (value, value) if isinstance(value, int) else tuple(value)
+
+
 def reference_conv2d(x, w, b, stride, padding):
-    """Naive loop implementation as ground truth."""
+    """Naive loop implementation as ground truth (int or (h, w) pairs)."""
     n, c_in, h, w_in = x.shape
     c_out, _, kh, kw = w.shape
-    ph, pw = padding, padding
+    sh, sw = _as_pair(stride)
+    ph, pw = _as_pair(padding)
     xp = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
-    out_h = (h + 2 * ph - kh) // stride + 1
-    out_w = (w_in + 2 * pw - kw) // stride + 1
+    out_h = (h + 2 * ph - kh) // sh + 1
+    out_w = (w_in + 2 * pw - kw) // sw + 1
     out = np.zeros((n, c_out, out_h, out_w))
     for ni in range(n):
         for co in range(c_out):
             for i in range(out_h):
                 for j in range(out_w):
-                    patch = xp[ni, :, i * stride : i * stride + kh, j * stride : j * stride + kw]
+                    patch = xp[ni, :, i * sh : i * sh + kh, j * sw : j * sw + kw]
                     out[ni, co, i, j] = (patch * w[co]).sum()
             if b is not None:
                 out[ni, co] += b[co]
@@ -81,6 +86,129 @@ class TestConv2dGradients:
             [x, w],
             atol=1e-5,
         )
+
+
+class TestConv2dEdgeCases:
+    """Asymmetric padding, stride > kernel, and 1×1 spatial extents."""
+
+    @pytest.mark.parametrize("padding", [(2, 1), (0, 3), (1, 0)])
+    def test_asymmetric_padding_matches_reference(self, padding, rng):
+        x = rng.normal(size=(2, 2, 6, 7))
+        w = rng.normal(size=(3, 2, 3, 3))
+        b = rng.normal(size=(3,))
+        got = F.conv2d(Tensor(x), Tensor(w), Tensor(b), stride=1, padding=padding)
+        expected = reference_conv2d(x, w, b, 1, padding)
+        np.testing.assert_allclose(got.data, expected, atol=1e-10)
+
+    def test_asymmetric_padding_gradcheck(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 5, 4)), requires_grad=True)
+        w = Tensor(rng.normal(size=(2, 2, 3, 3)) * 0.2, requires_grad=True)
+        b = Tensor(rng.normal(size=(2,)), requires_grad=True)
+        assert gradcheck(
+            lambda x, w, b: F.conv2d(x, w, b, stride=1, padding=(2, 1)),
+            [x, w, b],
+            atol=1e-5,
+        )
+
+    def test_stride_exceeds_kernel_matches_reference(self, rng):
+        # Stride 3 with a 2x2 kernel: whole input columns/rows are never
+        # touched, so their gradient must be exactly zero.
+        x = rng.normal(size=(1, 2, 8, 8))
+        w = rng.normal(size=(2, 2, 2, 2))
+        got = F.conv2d(Tensor(x), Tensor(w), None, stride=3, padding=0)
+        expected = reference_conv2d(x, w, None, 3, 0)
+        np.testing.assert_allclose(got.data, expected, atol=1e-10)
+
+    def test_stride_exceeds_kernel_gradcheck_and_dead_pixels(self, rng):
+        x = Tensor(rng.normal(size=(1, 1, 7, 7)), requires_grad=True)
+        w = Tensor(rng.normal(size=(1, 1, 2, 2)) * 0.3, requires_grad=True)
+        assert gradcheck(
+            lambda x, w: F.conv2d(x, w, None, stride=3, padding=0),
+            [x, w],
+            atol=1e-5,
+        )
+        x.zero_grad()
+        F.conv2d(x, w, None, stride=3, padding=0).sum().backward()
+        # Column/row index 2 falls between windows (windows cover 0-1, 3-4, 6);
+        # the skipped pixels must receive exactly zero gradient.
+        assert np.all(x.grad[:, :, 2, :] == 0.0)
+        assert np.all(x.grad[:, :, :, 2] == 0.0)
+
+    def test_asymmetric_stride_gradcheck(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 7, 9)), requires_grad=True)
+        w = Tensor(rng.normal(size=(2, 2, 3, 3)) * 0.2, requires_grad=True)
+        assert gradcheck(
+            lambda x, w: F.conv2d(x, w, None, stride=(2, 3), padding=(1, 2)),
+            [x, w],
+            atol=1e-5,
+        )
+
+    def test_1x1_spatial_input_matches_reference(self, rng):
+        x = rng.normal(size=(2, 3, 1, 1))
+        w = rng.normal(size=(4, 3, 1, 1))
+        b = rng.normal(size=(4,))
+        got = F.conv2d(Tensor(x), Tensor(w), Tensor(b))
+        expected = reference_conv2d(x, w, b, 1, 0)
+        np.testing.assert_allclose(got.data, expected, atol=1e-10)
+        assert got.shape == (2, 4, 1, 1)
+
+    def test_1x1_spatial_input_gradcheck(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 1, 1)), requires_grad=True)
+        w = Tensor(rng.normal(size=(2, 3, 1, 1)) * 0.3, requires_grad=True)
+        b = Tensor(rng.normal(size=(2,)), requires_grad=True)
+        assert gradcheck(lambda x, w, b: F.conv2d(x, w, b), [x, w, b], atol=1e-5)
+
+    def test_1x1_input_with_padding_and_3x3_kernel(self, rng):
+        # Padding is the only thing making a 3x3 kernel fit a 1x1 image.
+        x = Tensor(rng.normal(size=(1, 2, 1, 1)), requires_grad=True)
+        w = Tensor(rng.normal(size=(2, 2, 3, 3)) * 0.2, requires_grad=True)
+        got = F.conv2d(x, w, None, stride=1, padding=1)
+        expected = reference_conv2d(x.data, w.data, None, 1, 1)
+        np.testing.assert_allclose(got.data, expected, atol=1e-10)
+        assert gradcheck(
+            lambda x, w: F.conv2d(x, w, None, stride=1, padding=1),
+            [x, w],
+            atol=1e-5,
+        )
+
+
+class TestPoolingEdgeCases:
+    def test_max_pool_stride_exceeds_kernel(self, rng):
+        # kernel 2, stride 3: row/column 2 (mod 3) is skipped entirely.
+        x = rng.normal(size=(1, 1, 8, 8))
+        out = F.max_pool2d(Tensor(x), kernel=2, stride=3)
+        assert out.shape == (1, 1, 3, 3)
+        for i in range(3):
+            for j in range(3):
+                window = x[0, 0, 3 * i : 3 * i + 2, 3 * j : 3 * j + 2]
+                assert out.data[0, 0, i, j] == window.max()
+
+    def test_max_pool_stride_exceeds_kernel_gradcheck(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 7, 7)), requires_grad=True)
+        assert gradcheck(
+            lambda x: F.max_pool2d(x, kernel=2, stride=3), [x], atol=1e-5
+        )
+        x.zero_grad()
+        F.max_pool2d(x, kernel=2, stride=3).sum().backward()
+        assert np.all(x.grad[:, :, 2, :] == 0.0)
+
+    def test_max_pool_1x1_spatial(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 1, 1)), requires_grad=True)
+        out = F.max_pool2d(x, kernel=1)
+        np.testing.assert_array_equal(out.data, x.data)
+        assert gradcheck(lambda x: F.max_pool2d(x, 1), [x], atol=1e-5)
+
+    def test_max_pool_asymmetric_kernel_gradcheck(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 6, 8)), requires_grad=True)
+        out = F.max_pool2d(x, kernel=(2, 4))
+        assert out.shape == (1, 2, 3, 2)
+        assert gradcheck(lambda x: F.max_pool2d(x, (2, 4)), [x], atol=1e-5)
+
+    def test_avg_pool_1x1_spatial_gradcheck(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 1, 1)), requires_grad=True)
+        out = F.avg_pool2d(x, kernel=1)
+        np.testing.assert_array_equal(out.data, x.data)
+        assert gradcheck(lambda x: F.avg_pool2d(x, 1), [x])
 
 
 class TestIm2col:

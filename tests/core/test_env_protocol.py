@@ -40,11 +40,13 @@ class TestResetContract:
         assert 0.0 <= info["accuracy"] <= 1.0
 
     def test_seeded_reset_reproducible_after_prior_episodes(self):
-        """reset(seed=s) pins the churn substream regardless of history.
+        """reset(seed=s) pins *every* stochastic stream regardless of history.
 
-        Only the per-episode substreams (churn, faults) rebase on a seeded
-        reset; the learning-noise stream keeps advancing, so accuracy is
-        deliberately excluded from the comparison.
+        Churn, faults, AND the learning-noise stream rebase on a seeded
+        reset.  The accuracy comparison pins a real bug the repro.testing
+        differential tooling surfaced: the learning noise used to keep
+        advancing across episodes, so a seeded reset on a warm environment
+        produced a different accuracy trajectory than on a fresh one.
         """
 
         def trajectory(env):
@@ -68,8 +70,22 @@ class TestResetContract:
         for ra, rb in zip(ta, tb):
             assert ra.participants == rb.participants
             assert ra.unavailable == rb.unavailable
+            assert ra.accuracy == rb.accuracy
+            assert ra.reward_exterior == rb.reward_exterior
             np.testing.assert_array_equal(ra.payments, rb.payments)
             np.testing.assert_array_equal(ra.state, rb.state)
+
+    def test_unseeded_reset_keeps_learning_stream_advancing(self):
+        """Without a seed, episodes stay decorrelated (training behavior)."""
+        env = make_env(availability=1.0)
+
+        def final_accuracy():
+            env.reset()
+            while not env.done:
+                env.step(mid_prices(env))
+            return env.accuracy
+
+        assert final_accuracy() != final_accuracy()
 
 
 class TestStepContract:

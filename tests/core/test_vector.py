@@ -74,43 +74,44 @@ class TestConstruction:
 class TestBitIdentity:
     @pytest.mark.parametrize("faults", [None, FaultConfig.mixed(0.3, seed=5)])
     def test_vector_step_matches_individual_replicas(self, faults):
-        """Lockstep stepping ≡ stepping each replica alone, incl. faults."""
+        """Lockstep stepping ≡ stepping each replica alone, incl. faults.
+
+        Both executions are captured as EpisodeTraces (repro.testing) and
+        compared digest-first; `first_divergence` localizes any mismatch
+        to its replica/round/field instead of the hand-rolled per-field
+        loop this test used to carry.
+        """
+        from repro.testing import (
+            EpisodeTrace,
+            capture_sequential,
+            capture_vectorized,
+            first_divergence,
+        )
+
         kwargs = dict(availability=0.8, faults=faults)
-        base_a = make_env(**kwargs)
-        base_b = make_env(**kwargs)
-        venv = VectorizedEdgeLearningEnv.from_env(base_a, 3)
+        venv = VectorizedEdgeLearningEnv.from_env(make_env(**kwargs), 3)
         # from_env derives replica seeds deterministically from the base
         # env's seed, so a second vector env over an identical base yields
         # identical replicas — step those one at a time as the reference.
-        singles = VectorizedEdgeLearningEnv.from_env(base_b, 3).envs
+        singles = VectorizedEdgeLearningEnv.from_env(make_env(**kwargs), 3).envs
 
-        obs, _ = venv.reset()
-        ref_obs = []
-        for env in singles:
-            o, _ = env.reset()
-            ref_obs.append(o)
-        np.testing.assert_array_equal(obs, np.stack(ref_obs))
-
-        prices = np.stack([mid_prices(env) for env in singles])
-        for _ in range(5):
-            if all(venv.dones):
-                break
-            active = [not d for d in venv.dones]
-            obs, rewards, term, trunc, infos = venv.step(prices, active=active)
-            for i, env in enumerate(singles):
-                if not active[i]:
-                    continue
-                o, r, te, tr, info = env.step(prices[i])
-                np.testing.assert_array_equal(obs[i], o)
-                assert rewards[i] == r
-                assert term[i] == te and trunc[i] == tr
-                ra = infos[i]["step_result"]
-                rb = info["step_result"]
-                assert ra.participants == rb.participants
-                assert ra.delivered == rb.delivered
-                assert ra.crashed == rb.crashed
-                assert ra.accuracy == rb.accuracy
-                np.testing.assert_array_equal(ra.payments, rb.payments)
+        seeds = [11, 22, 33]
+        rounds = 5
+        schedules = [np.tile(mid_prices(env), (rounds, 1)) for env in singles]
+        vector_trace = capture_vectorized(venv, schedules, seeds, scenario="vec")
+        single_traces = [
+            capture_sequential(env, schedules[i], seeds[i], scenario="vec")
+            for i, env in enumerate(singles)
+        ]
+        reference = EpisodeTrace(
+            scenario="vec",
+            episode_seed=seeds[0],
+            replicas=[t.replicas[0] for t in single_traces],
+            ledgers=[t.ledgers[0] for t in single_traces],
+        )
+        divergence = first_divergence(reference, vector_trace)
+        assert divergence is None, divergence.describe()
+        assert reference.digest() == vector_trace.digest()
 
 
 class TestMaskingAndReset:

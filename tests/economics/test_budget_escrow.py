@@ -114,3 +114,27 @@ class TestEscrow:
         assert ledger.clawback_total == 0.0
         assert ledger.spent == 0.0
         assert ledger.charge(5.0)
+
+
+class TestOverdrawAtomicity:
+    def test_refused_escrow_records_no_transient_spend(self):
+        # A refused escrow must be atomic: nothing may land on the books,
+        # not even transiently, or the auditor's B1 (spent <= eta, Eqn 9)
+        # could observe an over-spent ledger between escrow and refusal.
+        ledger = BudgetLedger(10.0)
+        ledger.escrow(4.0)
+        ledger.settle(4.0)
+        spent_before = ledger.spent
+        payments_before = list(ledger.round_payments)
+        assert not ledger.escrow(ledger.remaining + 1e-9)
+        assert ledger.spent == spent_before
+        assert list(ledger.round_payments) == payments_before
+        assert ledger.pending_escrow is None
+
+    def test_refused_charge_records_no_transient_spend(self):
+        ledger = BudgetLedger(8.0)
+        ledger.charge(3.0)
+        spent_before = ledger.spent
+        assert not ledger.charge(6.0)
+        assert ledger.spent == spent_before
+        assert ledger.remaining == 8.0 - 3.0

@@ -1,4 +1,10 @@
-"""Observability must never perturb rollouts: bit-identical on or off."""
+"""Observability must never perturb rollouts: bit-identical on or off.
+
+The comparison itself lives in :mod:`repro.testing` — episodes are
+captured as :class:`EpisodeTrace` objects and compared digest-first with
+``first_divergence`` localizing any mismatch, instead of the hand-rolled
+per-field loops this file used to carry.
+"""
 
 from __future__ import annotations
 
@@ -9,36 +15,13 @@ from repro import obs
 from repro.core.builder import build_environment
 from repro.core.chiron import ChironAgent, ChironConfig
 from repro.faults.injector import FaultConfig
+from repro.testing import capture_mechanism, first_divergence
 
 pytestmark = [pytest.mark.obs, pytest.mark.faults]
 
-_ARRAY_FIELDS = ("state", "payments", "zetas", "times", "utilities")
-_LIST_FIELDS = (
-    "participants",
-    "unavailable",
-    "delivered",
-    "crashed",
-    "late",
-    "corrupted",
-    "quarantined",
-)
-_SCALAR_FIELDS = (
-    "reward_exterior",
-    "reward_inner",
-    "done",
-    "truncated",
-    "round_kept",
-    "accuracy",
-    "round_time",
-    "efficiency",
-    "remaining_budget",
-    "round_index",
-    "clawback",
-)
 
-
-def _run_seeded_episode(enable_obs: bool):
-    """One fully seeded, faulted episode; returns its StepResult stream."""
+def _capture_seeded_episode(enable_obs: bool):
+    """One fully seeded, faulted episode as an EpisodeTrace."""
     build = build_environment(
         n_nodes=4,
         budget=15.0,
@@ -46,67 +29,35 @@ def _run_seeded_episode(enable_obs: bool):
         faults=FaultConfig.mixed(0.3, seed=7),
     )
     env = build.env
-    agent = ChironAgent(
-        env, ChironConfig(), rng=np.random.default_rng(123)
-    )
+    agent = ChironAgent(env, ChironConfig(), rng=np.random.default_rng(123))
     if enable_obs:
         obs.enable()
     try:
-        state, _ = env.reset(seed=99)
-        from repro.core.mechanism import Observation
-
-        observation = Observation(state, env.ledger.remaining, env.round_index)
-        agent.begin_episode(observation)
-        results = []
-        while not env.done:
-            prices = agent.propose_prices(observation)
-            _, _, _, _, info = env.step(prices)
-            result = info["step_result"]
-            agent.observe(prices, result)
-            results.append(result)
-            observation = Observation(
-                result.state, result.remaining_budget, result.round_index
-            )
-        agent.end_episode()
-        return results
+        return capture_mechanism(env, agent, episode_seed=99, scenario="obs")
     finally:
         if enable_obs:
             obs.disable()
 
 
-def _assert_identical(a, b):
-    assert len(a) == len(b)
-    for r_off, r_on in zip(a, b):
-        for field in _SCALAR_FIELDS:
-            assert getattr(r_off, field) == getattr(r_on, field), field
-        for field in _LIST_FIELDS:
-            assert getattr(r_off, field) == getattr(r_on, field), field
-        for field in _ARRAY_FIELDS:
-            np.testing.assert_array_equal(
-                getattr(r_off, field), getattr(r_on, field), err_msg=field
-            )
-        if r_off.reliability is None:
-            assert r_on.reliability is None
-        else:
-            np.testing.assert_array_equal(r_off.reliability, r_on.reliability)
-
-
 def test_rollout_bit_identical_with_obs_on_and_off():
-    baseline = _run_seeded_episode(enable_obs=False)
-    instrumented = _run_seeded_episode(enable_obs=True)
-    rerun = _run_seeded_episode(enable_obs=False)
+    baseline = _capture_seeded_episode(enable_obs=False)
+    instrumented = _capture_seeded_episode(enable_obs=True)
+    rerun = _capture_seeded_episode(enable_obs=False)
     # Sanity: the episode exercises the fault pipeline at all.
     assert any(
-        r.crashed or r.late or r.corrupted or r.quarantined for r in baseline
+        r["crashed"] or r["late"] or r["corrupted"] or r["quarantined"]
+        for r in baseline.replicas[0]
     )
-    _assert_identical(baseline, instrumented)
-    _assert_identical(baseline, rerun)
+    for other in (instrumented, rerun):
+        divergence = first_divergence(baseline, other)
+        assert divergence is None, divergence.describe()
+        assert baseline.digest() == other.digest()
 
 
 def test_instrumented_episode_populates_metrics_and_profile():
     obs.enable()
     try:
-        _run_seeded_episode(enable_obs=False)  # registry already live
+        _capture_seeded_episode(enable_obs=False)  # registry already live
         snapshot = obs.snapshot()
     finally:
         obs.disable()

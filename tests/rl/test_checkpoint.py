@@ -81,6 +81,134 @@ class TestManyAgents:
             load_many({"zzz": PPOAgent(6, 2, rng=0)}, path)
 
 
+class TestBitwiseResume:
+    """A mid-training round trip must resume the run bit for bit.
+
+    Full fidelity requires more than parameters: Adam moments and step
+    counts, LR-scheduler ticks, and the exact positions of the policy
+    sampling and minibatch shuffle streams.  These tests drive the saved
+    agent and its restored clone through identical post-checkpoint work
+    and demand exact equality — any drift means some state escaped the
+    checkpoint.
+    """
+
+    def _roundtrip_clone(self, agent, tmp_path):
+        path = save_ppo(agent, tmp_path / "mid.npz")
+        clone = PPOAgent(6, 2, config=agent.config, rng=4242)
+        load_ppo(clone, path)
+        return clone
+
+    def test_stochastic_act_stream_bitwise_identical(self, tmp_path):
+        agent = trained_agent(2)
+        clone = self._roundtrip_clone(agent, tmp_path)
+        obs_stream = np.random.default_rng(7).normal(size=(12, 6))
+        for obs in obs_stream:
+            a1, lp1, v1 = agent.act(obs)
+            a2, lp2, v2 = clone.act(obs)
+            np.testing.assert_array_equal(a1, a2)
+            assert lp1 == lp2
+            assert v1 == v2
+
+    def test_update_bitwise_identical(self, tmp_path):
+        agent = trained_agent(3)
+        clone = self._roundtrip_clone(agent, tmp_path)
+        # Feed both agents the same post-checkpoint episode.  Actions are
+        # sampled (stochastic) — identical only if the policy RNG stream
+        # was restored at its exact position.
+        reward_rng = np.random.default_rng(17)
+        obs_stream = np.random.default_rng(23).normal(size=(10, 6))
+        rewards = reward_rng.normal(size=10)
+        for which in (agent, clone):
+            for i, obs in enumerate(obs_stream):
+                a, lp, v = which.act(obs)
+                which.store(obs, a, float(rewards[i]), v, lp, done=(i == 9))
+        stats_a = agent.update()
+        stats_b = clone.update()
+        np.testing.assert_array_equal(
+            agent.policy.flat_parameters(), clone.policy.flat_parameters()
+        )
+        np.testing.assert_array_equal(
+            agent.value_net.flat_parameters(), clone.value_net.flat_parameters()
+        )
+        assert stats_a == stats_b
+        assert agent.actor_opt.lr == clone.actor_opt.lr
+        assert agent.actor_opt.step_count == clone.actor_opt.step_count
+        assert agent._actor_sched.ticks == clone._actor_sched.ticks
+
+    def test_optimizer_moments_round_trip_exactly(self, tmp_path):
+        agent = trained_agent(4)
+        clone = self._roundtrip_clone(agent, tmp_path)
+        for name in ("actor_opt", "critic_opt"):
+            orig = getattr(agent, name).flat_state()
+            restored = getattr(clone, name).flat_state()
+            np.testing.assert_array_equal(orig["m"], restored["m"])
+            np.testing.assert_array_equal(orig["v"], restored["v"])
+            assert orig["step_count"][0] == restored["step_count"][0]
+
+    def test_legacy_archive_without_new_keys_still_loads(self, tmp_path):
+        from repro.rl.checkpoint import load_ppo_state, ppo_state_dict
+
+        agent = trained_agent(5)
+        state = ppo_state_dict(agent)
+        legacy = {
+            k: v
+            for k, v in state.items()
+            if "opt_" not in k and "sched" not in k and "rng" not in k
+        }
+        clone = PPOAgent(6, 2, config=agent.config, rng=31)
+        load_ppo_state(clone, legacy)
+        np.testing.assert_array_equal(
+            clone.policy.flat_parameters(), agent.policy.flat_parameters()
+        )
+        # Ancillary state stays at its fresh defaults.
+        assert clone.actor_opt.step_count == 0
+
+
+class TestChironBitwiseResume:
+    """Hierarchical save/load: both sub-agents resume bit for bit."""
+
+    def test_exterior_and_inner_resume_bitwise(self, tmp_path, surrogate_env):
+        from repro.core.chiron import ChironAgent, ChironConfig
+        from repro.core.mechanism import Observation
+        from repro.experiments.runner import run_episode, train_mechanism
+
+        env = surrogate_env.env
+        agent = ChironAgent(env, ChironConfig(), rng=np.random.default_rng(5))
+        train_mechanism(env, agent, episodes=2)
+        path = agent.save(tmp_path / "chiron_mid.npz")
+
+        fresh = ChironAgent(env, ChironConfig(), rng=np.random.default_rng(99))
+        fresh.load(path)
+
+        # Identical twin environments: same spawn seed -> same streams.
+        env_a = env.spawn(123)
+        env_b = env.spawn(123)
+        result_a, diag_a = run_episode(env_a, agent)
+        result_b, diag_b = run_episode(env_b, fresh)
+
+        assert result_a.reward_exterior == result_b.reward_exterior
+        assert result_a.reward_inner == result_b.reward_inner
+        assert result_a.final_accuracy == result_b.final_accuracy
+        assert result_a.rounds == result_b.rounds
+        assert diag_a == diag_b
+        for name in ("exterior", "inner"):
+            np.testing.assert_array_equal(
+                getattr(agent, name).policy.flat_parameters(),
+                getattr(fresh, name).policy.flat_parameters(),
+            )
+            np.testing.assert_array_equal(
+                getattr(agent, name).value_net.flat_parameters(),
+                getattr(fresh, name).value_net.flat_parameters(),
+            )
+
+        # And the *next* stochastic action agrees too (RNG positions).
+        state, _ = env_a.reset(seed=7)
+        obs = Observation(state, env_a.ledger.remaining, env_a.round_index)
+        np.testing.assert_array_equal(
+            agent.propose_prices(obs), fresh.propose_prices(obs)
+        )
+
+
 class TestChironCheckpoint:
     def test_save_load_restores_policy(self, tmp_path, surrogate_env):
         from repro.experiments.mechanisms import make_mechanism

@@ -1,0 +1,32 @@
+"""Seeded fuzz drivers: a fixed corpus slice must stay green."""
+
+from repro.testing import fuzz_autograd_case, fuzz_env_case, run_fuzz
+
+
+class TestEnvFuzz:
+    def test_fixed_corpus_slice_passes(self):
+        for seed in range(4):
+            case = fuzz_env_case(seed, rounds=25)
+            assert case.ok, case.detail
+            assert case.kind == "env"
+
+    def test_case_is_deterministic(self):
+        a = fuzz_env_case(7, rounds=15)
+        b = fuzz_env_case(7, rounds=15)
+        assert (a.ok, a.detail) == (b.ok, b.detail)
+
+
+class TestAutogradFuzz:
+    def test_fixed_corpus_slice_passes(self):
+        for seed in range(8):
+            case = fuzz_autograd_case(seed)
+            assert case.ok, case.detail
+            assert case.kind == "autograd"
+
+
+def test_run_fuzz_aggregates_and_reports():
+    report = run_fuzz(env_cases=2, autograd_cases=3, base_seed=0, rounds=15)
+    assert report.ok
+    assert len(report.cases) == 5
+    assert report.failures == []
+    assert "5/5" in report.describe()

@@ -1,0 +1,91 @@
+"""Golden-trace harness: committed traces verify, tampering is caught."""
+
+import json
+
+import pytest
+
+from repro.testing import (
+    SCENARIOS,
+    EpisodeTrace,
+    golden,
+)
+from repro.testing.golden import (
+    golden_path,
+    load_golden,
+    verify_all,
+    verify_golden,
+    write_golden,
+)
+
+pytestmark = pytest.mark.golden
+
+
+class TestCommittedGoldens:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_verifies(self, name):
+        report = verify_golden(name)
+        assert report.ok, report.describe()
+
+    def test_verify_all_covers_every_scenario(self):
+        reports = verify_all()
+        assert {r.name for r in reports} == set(SCENARIOS)
+        assert all(r.ok for r in reports)
+
+    def test_at_least_three_goldens_committed(self):
+        committed = [n for n in SCENARIOS if golden_path(n).exists()]
+        assert len(committed) >= 3
+
+
+class TestTamperDetection:
+    def test_perturbed_trace_reports_first_divergence(self, tmp_path):
+        # A one-ULP-scale perturbation in any recorded field must be
+        # caught and localized to its replica/round/field.
+        trace = load_golden("baseline")
+        trace.replicas[0][0]["reward"] = trace.replicas[0][0]["reward"] + 1e-9
+        write_golden(trace, directory=tmp_path)
+        report = verify_golden("baseline", directory=tmp_path)
+        assert not report.ok
+        assert report.divergence is not None
+        assert report.divergence.round_index == 0
+        assert report.divergence.field == "reward"
+        assert "round 0" in report.describe()
+
+    def test_hand_edited_file_detected_by_digest(self, tmp_path):
+        # Editing the JSON without recomputing the digest is flagged as
+        # corruption before any re-capture runs.
+        payload = json.loads(golden_path("baseline").read_text())
+        payload["replicas"][0][0]["reward"] = 123.456
+        (tmp_path / "baseline.json").write_text(json.dumps(payload))
+        report = verify_golden("baseline", directory=tmp_path)
+        assert not report.ok
+        assert "hand-edited" in report.message
+
+    def test_unknown_schema_version_rejected(self, tmp_path):
+        payload = json.loads(golden_path("baseline").read_text())
+        payload["schema"] = 999
+        (tmp_path / "baseline.json").write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="schema"):
+            EpisodeTrace.from_payload(payload)
+        report = verify_golden("baseline", directory=tmp_path)
+        assert not report.ok
+
+    def test_missing_golden_reports_hint(self, tmp_path):
+        report = verify_golden("baseline", directory=tmp_path)
+        assert not report.ok
+        assert "repro.testing update" in report.message
+
+
+class TestTolerantComparison:
+    def test_small_drift_passes_under_nonzero_atol(self, tmp_path):
+        trace = load_golden("baseline")
+        trace.replicas[0][0]["reward"] = trace.replicas[0][0]["reward"] + 1e-12
+        write_golden(trace, directory=tmp_path)
+        strict = verify_golden("baseline", directory=tmp_path)
+        loose = verify_golden("baseline", directory=tmp_path, atol=1e-9)
+        assert not strict.ok
+        assert loose.ok
+
+
+def test_module_exports_public_api():
+    for attr in ("verify_golden", "update_golden", "write_golden"):
+        assert hasattr(golden, attr)

@@ -59,3 +59,21 @@ class TestSoftmax:
         out = softmax(np.array([1e4, 1e4 + 1.0]))
         assert np.all(np.isfinite(out))
         np.testing.assert_allclose(out.sum(), 1.0)
+
+    def test_simplex_drift_within_auditor_tolerance(self):
+        # The invariant auditor (repro.testing.invariants, S1) asserts that
+        # price allocations produced via softmax sum to 1 within
+        # SIMPLEX_ATOL.  Pin that guarantee here over a wide randomized
+        # sweep of logit scales so a future softmax rewrite that loosens
+        # the normalization fails loudly.
+        from repro.testing.invariants import SIMPLEX_ATOL
+
+        rng = np.random.default_rng(2024)
+        worst = 0.0
+        for _ in range(500):
+            dim = int(rng.integers(2, 12))
+            scale = float(rng.uniform(0.1, 50.0))
+            logits = rng.normal(scale=scale, size=dim)
+            drift = abs(float(softmax(logits).sum()) - 1.0)
+            worst = max(worst, drift)
+        assert worst <= SIMPLEX_ATOL
