@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test faults bench bench-smoke bench-rollout obs-demo golden-verify golden-update diff-matrix fuzz repro repro-paper report clean
+.PHONY: install test faults bench bench-smoke bench-rollout bench-sweep sweep-smoke parallel obs-demo golden-verify golden-update diff-matrix fuzz repro repro-paper report clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -47,6 +47,23 @@ fuzz:
 bench-rollout:
 	$(PYTHON) -m repro.bench rollout --num-envs 1,4,8 \
 		--episodes-per-env 6 --warmup-episodes 2 --out BENCH_rollout.json
+
+# Regenerate the committed process-parallel sweep report (wall-clock at
+# each worker count + determinism fingerprints; exits non-zero on a
+# fingerprint mismatch).
+bench-sweep:
+	$(PYTHON) -m repro.bench sweep --workers 1,2,4 --out BENCH_sweep.json
+
+# Just the process-parallel engine suite (also part of `test`).
+parallel:
+	$(PYTHON) -m pytest -m parallel tests/
+
+# Quick end-to-end proof that a 2-worker pooled sweep matches in-process
+# execution bit for bit (tiny workload; exits non-zero on mismatch).
+sweep-smoke:
+	$(PYTHON) -m repro.bench sweep --workers 1,2 --mechanisms greedy,random \
+		--train-episodes 2 --eval-episodes 1 --max-rounds 20 \
+		--out /tmp/sweep_smoke.json
 
 # Regenerate every paper figure/table at quick scale and rebuild the report.
 repro:

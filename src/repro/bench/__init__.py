@@ -196,10 +196,99 @@ def run_rollout_benchmark(
     return report
 
 
+def run_sweep_benchmark(
+    worker_counts: List[int],
+    mechanisms: Optional[List[str]] = None,
+    budgets: Optional[List[float]] = None,
+    n_seeds: int = 2,
+    n_nodes: int = 5,
+    train_episodes: int = 30,
+    eval_episodes: int = 3,
+    max_rounds: int = 60,
+    seed: int = 0,
+) -> dict:
+    """Benchmark the process-parallel sweep engine at each worker count.
+
+    The *same* grid of hermetic work items (mechanism × budget ×
+    seed_offset) is executed once per entry in ``worker_counts``; each
+    entry records wall-clock seconds and the
+    :meth:`~repro.parallel.SweepResult.fingerprint` of the results.  The
+    report's ``fingerprints_identical`` flag is the engine's determinism
+    contract made machine-checkable: every worker count must produce the
+    same SHA-256 or the benchmark itself flags the run as invalid.
+
+    ``cpu_count`` is recorded because the speedup column is only
+    meaningful relative to available physical parallelism — on a 1-core
+    host, pooled workers time-slice one CPU and the expected speedup for
+    this CPU-bound workload is ~1x (plus process overhead), which is the
+    honest number, not a bug.
+    """
+    import os
+
+    from repro.parallel import grid_items, run_sweep
+
+    mechanisms = mechanisms or ["chiron", "greedy", "random"]
+    budgets = budgets or [40.0, 80.0]
+    items = grid_items(
+        mechanisms=mechanisms,
+        budgets=budgets,
+        n_seeds=n_seeds,
+        seed=seed,
+        train_episodes=train_episodes,
+        eval_episodes=eval_episodes,
+        build_kwargs={
+            "task_name": "mnist",
+            "n_nodes": n_nodes,
+            "accuracy_mode": "surrogate",
+            "max_rounds": max_rounds,
+        },
+    )
+    results = []
+    for workers in worker_counts:
+        sweep = run_sweep(items, workers=workers)
+        results.append(
+            {
+                "workers": workers,
+                "items": len(items),
+                "seconds": sweep.elapsed,
+                "items_per_sec": len(items) / sweep.elapsed,
+                "fingerprint": sweep.fingerprint(),
+                "retries": sweep.retries,
+                "respawns": sweep.respawns,
+                "quarantined": len(sweep.quarantined),
+            }
+        )
+    baseline = next((r for r in results if r["workers"] == 1), None)
+    speedups: Dict[str, float] = {}
+    if baseline is not None:
+        for entry in results:
+            speedups[str(entry["workers"])] = (
+                baseline["seconds"] / entry["seconds"]
+            )
+    fingerprints = {entry["fingerprint"] for entry in results}
+    return {
+        "benchmark": "sweep",
+        "cpu_count": os.cpu_count(),
+        "config": {
+            "mechanisms": mechanisms,
+            "budgets": budgets,
+            "n_seeds": n_seeds,
+            "n_nodes": n_nodes,
+            "train_episodes": train_episodes,
+            "eval_episodes": eval_episodes,
+            "max_rounds": max_rounds,
+            "seed": seed,
+        },
+        "results": results,
+        "speedup_vs_workers1": speedups,
+        "fingerprints_identical": len(fingerprints) == 1,
+    }
+
+
 def write_report(report: dict, path: str) -> None:
     with open(path, "w") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")
 
 
-__all__ = ["run_rollout_benchmark", "write_report"]
+__all__ = ["run_rollout_benchmark", "run_sweep_benchmark", "write_report"]

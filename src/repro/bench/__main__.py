@@ -5,6 +5,9 @@ Examples::
     python -m repro.bench rollout --num-envs 1,4,8
     python -m repro.bench rollout --num-envs 1,2 --episodes-per-env 1 \\
         --out /tmp/bench_smoke.json        # quick smoke run
+    python -m repro.bench sweep --workers 1,4
+    python -m repro.bench sweep --workers 1,2 --train-episodes 1 \\
+        --eval-episodes 1 --out /tmp/sweep_smoke.json   # quick smoke run
 """
 
 from __future__ import annotations
@@ -12,21 +15,31 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.bench import run_rollout_benchmark, write_report
+from repro.bench import (
+    run_rollout_benchmark,
+    run_sweep_benchmark,
+    write_report,
+)
 
 
-def _parse_num_envs(value: str):
-    try:
-        parsed = [int(part) for part in value.split(",") if part.strip()]
-    except ValueError:
-        raise argparse.ArgumentTypeError(
-            f"--num-envs expects comma-separated integers, got {value!r}"
-        )
-    if not parsed or any(m < 1 for m in parsed):
-        raise argparse.ArgumentTypeError(
-            f"--num-envs entries must be positive, got {value!r}"
-        )
-    return parsed
+def _parse_int_list(flag: str):
+    def parse(value: str):
+        try:
+            parsed = [int(part) for part in value.split(",") if part.strip()]
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"{flag} expects comma-separated integers, got {value!r}"
+            )
+        if not parsed or any(m < 1 for m in parsed):
+            raise argparse.ArgumentTypeError(
+                f"{flag} entries must be positive, got {value!r}"
+            )
+        return parsed
+
+    return parse
+
+
+_parse_num_envs = _parse_int_list("--num-envs")
 
 
 def main(argv=None) -> int:
@@ -54,7 +67,33 @@ def main(argv=None) -> int:
         action="store_true",
         help="skip the instrumented span-profile episode",
     )
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="process-parallel experiment-sweep benchmark "
+        "(wall-clock + determinism fingerprints)",
+    )
+    sweep.add_argument(
+        "--workers",
+        type=_parse_int_list("--workers"),
+        default=[1, 4],
+        help="comma-separated pool sizes (1 = in-process baseline)",
+    )
+    sweep.add_argument(
+        "--mechanisms",
+        default="chiron,greedy,random",
+        help="comma-separated mechanism names for the grid",
+    )
+    sweep.add_argument("--n-seeds", type=int, default=2)
+    sweep.add_argument("--n-nodes", type=int, default=5)
+    sweep.add_argument("--train-episodes", type=int, default=30)
+    sweep.add_argument("--eval-episodes", type=int, default=3)
+    sweep.add_argument("--max-rounds", type=int, default=60)
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--out", default="BENCH_sweep.json")
     args = parser.parse_args(argv)
+
+    if args.command == "sweep":
+        return _run_sweep_command(args)
 
     report = run_rollout_benchmark(
         num_envs=args.num_envs,
@@ -80,6 +119,38 @@ def main(argv=None) -> int:
         print("\nspan profile (1 instrumented sequential episode):")
         print(format_profile(report["profile"]))
     print(f"report written to {args.out}")
+    return 0
+
+
+def _run_sweep_command(args) -> int:
+    report = run_sweep_benchmark(
+        worker_counts=args.workers,
+        mechanisms=[m for m in args.mechanisms.split(",") if m.strip()],
+        n_seeds=args.n_seeds,
+        n_nodes=args.n_nodes,
+        train_episodes=args.train_episodes,
+        eval_episodes=args.eval_episodes,
+        max_rounds=args.max_rounds,
+        seed=args.seed,
+    )
+    write_report(report, args.out)
+    for entry in report["results"]:
+        speedup = report["speedup_vs_workers1"].get(str(entry["workers"]))
+        suffix = f"  ({speedup:.2f}x vs workers=1)" if speedup else ""
+        print(
+            f"workers={entry['workers']:>2} {entry['items']} items in "
+            f"{entry['seconds']:.2f}s = {entry['items_per_sec']:.2f} "
+            f"items/s{suffix}  fp={entry['fingerprint'][:12]}"
+        )
+    print(
+        f"cpu_count={report['cpu_count']}  fingerprints_identical="
+        f"{report['fingerprints_identical']}"
+    )
+    print(f"report written to {args.out}")
+    # A fingerprint mismatch means the determinism contract broke: fail
+    # the command so CI catches it even if nobody reads the JSON.
+    if not report["fingerprints_identical"]:
+        return 1
     return 0
 
 

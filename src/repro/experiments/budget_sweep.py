@@ -12,12 +12,8 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
-from repro.core.builder import build_environment
-from repro.experiments.mechanisms import make_mechanism
 from repro.experiments.results import EvaluationSummary
-from repro.experiments.runner import evaluate_mechanism, train_mechanism
 from repro.utils.logging import get_logger
-from repro.utils.rng import SeedSequenceFactory
 from repro.utils.validation import check_positive
 
 _log = get_logger("experiments.budget_sweep")
@@ -86,45 +82,56 @@ def run_budget_sweep(
     accuracy_mode: str = "surrogate",
     max_rounds: int = 300,
     n_seeds: int = 1,
+    workers: int = 1,
 ) -> BudgetSweepResult:
     """Regenerate one of Figs. 4/5/6 as numeric series.
 
     ``n_seeds`` > 1 trains independent agents on independently drawn
     fleets per (mechanism, budget) cell and pools their evaluation
     episodes, trading runtime for variance.
+
+    The (mechanism × budget × seed_offset) grid runs through
+    :func:`repro.parallel.run_sweep` as hermetic work items; ``workers``
+    only changes wall-clock time, never a result (same fleet per seed
+    across mechanisms, same per-cell RNG streams as the historical
+    sequential loop).
     """
     check_positive("train_episodes", train_episodes)
     check_positive("eval_episodes", eval_episodes)
     check_positive("n_seeds", n_seeds)
     budgets = list(budgets) or list(DEFAULT_BUDGETS[task])
     result = BudgetSweepResult(task=task, n_nodes=n_nodes, budgets=budgets)
-    seeds = SeedSequenceFactory(seed)
 
+    from repro.parallel import episodes_from_dicts, grid_items, run_sweep
+
+    items = grid_items(
+        mechanisms=mechanisms,
+        budgets=budgets,
+        n_seeds=n_seeds,
+        seed=seed,
+        train_episodes=train_episodes,
+        eval_episodes=eval_episodes,
+        tier=tier,
+        build_kwargs={
+            "task_name": task,
+            "n_nodes": n_nodes,
+            "accuracy_mode": accuracy_mode,
+            "max_rounds": max_rounds,
+        },
+    )
+    sweep = run_sweep(items, workers=workers).raise_on_quarantine()
+    cells: Dict[tuple, list] = {}
+    for item in sweep.items:
+        key = (item["key"]["mechanism"], item["key"]["budget"])
+        cells.setdefault(key, []).extend(
+            episodes_from_dicts(item["eval_episodes"])
+        )
     for name in mechanisms:
         result.summaries[name] = []
         for budget in budgets:
-            episodes = []
-            for seed_offset in range(n_seeds):
-                build = build_environment(
-                    task_name=task,
-                    n_nodes=n_nodes,
-                    budget=budget,
-                    accuracy_mode=accuracy_mode,
-                    # same seed -> identical fleet across mechanisms
-                    seed=seed + seed_offset,
-                    max_rounds=max_rounds,
-                )
-                mechanism = make_mechanism(
-                    name,
-                    build.env,
-                    rng=seeds.generator(f"{name}/{budget}/{seed_offset}"),
-                    tier=tier,
-                )
-                train_mechanism(build.env, mechanism, train_episodes)
-                episodes.extend(
-                    evaluate_mechanism(build.env, mechanism, eval_episodes)
-                )
-            summary = EvaluationSummary.from_episodes(name, episodes)
+            summary = EvaluationSummary.from_episodes(
+                name, cells[(name, budget)]
+            )
             result.summaries[name].append(summary)
             _log.info(
                 "%s/%s η=%g: acc=%.3f rounds=%.1f eff=%.2f",

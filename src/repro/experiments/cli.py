@@ -37,7 +37,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         spec = get_experiment(exp_id)
         print(f"== {exp_id}: {spec.description} (scale={args.scale}) ==")
         start = time.perf_counter()
-        payload, rendered = spec.runner(args.scale, args.seed)
+        payload, rendered = spec.runner(
+            args.scale, args.seed, workers=args.workers
+        )
         elapsed = time.perf_counter() - start
         print(rendered)
         print(f"-- finished in {elapsed:.1f}s --\n")
@@ -73,6 +75,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="workload size: 'quick' (seconds-minutes) or 'paper' (hours)",
     )
     p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool size for grid experiments (results are "
+        "identical for any value; see docs/parallel.md)",
+    )
     p_run.add_argument("--out", help="directory for JSON payloads")
     p_run.set_defaults(func=_cmd_run)
 

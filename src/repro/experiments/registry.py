@@ -28,11 +28,20 @@ RunnerOutput = Tuple[dict, str]  # (json payload, rendered text)
 
 @dataclass(frozen=True)
 class ExperimentSpec:
-    """One reproducible figure/table."""
+    """One reproducible figure/table.
+
+    Runners take ``(scale, seed, workers=1)``.  Grid experiments (the
+    budget sweeps, Table I) fan their cells over a
+    :mod:`repro.parallel` process pool when ``workers > 1`` — results
+    are worker-count-invariant by the engine's determinism contract.
+    Single-training-run experiments (the convergence figures) are
+    inherently sequential and ignore ``workers``.
+    """
 
     exp_id: str
     description: str
-    runner: Callable[[str, int], RunnerOutput]  # (scale, seed) -> output
+    #: (scale, seed, workers=1) -> output
+    runner: Callable[..., RunnerOutput]
 
 
 def _scale_params(scale: str, quick: dict, paper: dict) -> dict:
@@ -43,7 +52,8 @@ def _scale_params(scale: str, quick: dict, paper: dict) -> dict:
     raise ValueError(f"unknown scale {scale!r}; expected 'quick' or 'paper'")
 
 
-def _fig3(scale: str, seed: int) -> RunnerOutput:
+def _fig3(scale: str, seed: int, workers: int = 1) -> RunnerOutput:
+    # Single training run: nothing to fan out, ``workers`` ignored.
     params = _scale_params(
         scale,
         quick=dict(episodes=120, tier="quick"),
@@ -57,7 +67,7 @@ def _fig3(scale: str, seed: int) -> RunnerOutput:
 
 
 def _budget_sweep_fig(task: str):
-    def runner(scale: str, seed: int) -> RunnerOutput:
+    def runner(scale: str, seed: int, workers: int = 1) -> RunnerOutput:
         params = _scale_params(
             scale,
             quick=dict(train_episodes=40, eval_episodes=5, tier="quick"),
@@ -68,6 +78,7 @@ def _budget_sweep_fig(task: str):
             mechanisms=("chiron", "drl_single", "greedy"),
             n_nodes=5,
             seed=seed,
+            workers=workers,
             **params,
         )
         return result.to_payload(), render_budget_sweep(result)
@@ -75,7 +86,8 @@ def _budget_sweep_fig(task: str):
     return runner
 
 
-def _fig7a(scale: str, seed: int) -> RunnerOutput:
+def _fig7a(scale: str, seed: int, workers: int = 1) -> RunnerOutput:
+    # Single training run: nothing to fan out, ``workers`` ignored.
     params = _scale_params(
         scale,
         quick=dict(episodes=40, tier="quick"),
@@ -88,7 +100,8 @@ def _fig7a(scale: str, seed: int) -> RunnerOutput:
     return result.to_payload(), render_convergence(result)
 
 
-def _fig7b(scale: str, seed: int) -> RunnerOutput:
+def _fig7b(scale: str, seed: int, workers: int = 1) -> RunnerOutput:
+    # Single training run: nothing to fan out, ``workers`` ignored.
     params = _scale_params(
         scale,
         quick=dict(episodes=40, tier="quick"),
@@ -101,13 +114,13 @@ def _fig7b(scale: str, seed: int) -> RunnerOutput:
     return result.to_payload(), render_convergence(result)
 
 
-def _table1(scale: str, seed: int) -> RunnerOutput:
+def _table1(scale: str, seed: int, workers: int = 1) -> RunnerOutput:
     params = _scale_params(
         scale,
         quick=dict(train_episodes=50, eval_episodes=3, tier="quick", n_seeds=3),
         paper=dict(train_episodes=500, eval_episodes=10, tier="paper"),
     )
-    result = run_table1(n_nodes=100, seed=seed, **params)
+    result = run_table1(n_nodes=100, seed=seed, workers=workers, **params)
     return result.to_payload(), render_table1(result)
 
 
@@ -142,12 +155,13 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
     "ext-lambda": ExperimentSpec(
         "ext-lambda",
         "[extension] λ preference-coefficient sweep (accuracy/time frontier)",
-        lambda scale, seed: _ext_lambda(scale, seed),
+        lambda scale, seed, workers=1: _ext_lambda(scale, seed),
     ),
 }
 
 
-def _ext_lambda(scale: str, seed: int) -> RunnerOutput:
+def _ext_lambda(scale: str, seed: int, workers: int = 1) -> RunnerOutput:
+    # Single λ-by-λ training chain: ``workers`` ignored.
     from repro.experiments.figures import render_lambda_sweep
     from repro.experiments.preference import run_lambda_sweep
 

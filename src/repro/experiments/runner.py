@@ -200,15 +200,30 @@ def train_mechanism(
     episodes: int,
     log_every: Optional[int] = None,
     num_envs: int = 1,
+    workers: int = 1,
 ) -> TrainingHistory:
     """Train a mechanism for ``episodes`` budget-bounded episodes.
 
     ``num_envs > 1`` rolls episodes out on that many environment replicas
     via :func:`run_episodes_vectorized` (vector-capable mechanisms only);
     the history then lists episodes in completion order.
+
+    ``workers`` must stay 1: training one mechanism is a sequential
+    chain (episode ``k+1`` starts from the policy episode ``k`` produced),
+    so there is nothing to fan out *within* a run.  Parallelism lives one
+    level up — :func:`repro.parallel.run_sweep` runs many independent
+    train+evaluate cells at once — and the explicit error points there
+    rather than silently ignoring the flag.
     """
     check_positive("episodes", episodes)
     check_positive("num_envs", num_envs)
+    if workers != 1:
+        raise ValueError(
+            "train_mechanism is inherently sequential (each episode "
+            "updates the policy the next one uses); use "
+            "repro.parallel.run_sweep to parallelize across independent "
+            "(mechanism, budget, seed) runs instead"
+        )
     if hasattr(mechanism, "train_mode"):
         mechanism.train_mode()
     history = TrainingHistory(mechanism=mechanism.name)
@@ -251,29 +266,77 @@ def evaluate_mechanism(
     mechanism: IncentiveMechanism,
     episodes: int = 5,
     seed: Optional[int] = None,
+    workers: int = 1,
 ) -> List[EpisodeResult]:
     """Run evaluation episodes with learning frozen (when supported).
 
-    With ``seed`` set, per-episode seeds are derived deterministically
-    (SeedSequence fan-out), so the whole evaluation is reproducible while
-    each episode still sees distinct stochastic streams.
+    With ``seed`` set, per-episode seeds come from
+    :func:`repro.utils.rng.spawn_seeds` (``SeedSequence.spawn`` fan-out)
+    and each episode runs on its own snapshot of ``(env, mechanism)``, so
+    episode ``i`` is a pure function of ``(seed, i)`` — the result list
+    is bit-identical for **any** ``workers`` value, and the caller's
+    ``env``/``mechanism`` are left untouched.  ``workers > 1`` fans the
+    episodes over a :mod:`repro.parallel` process pool.
+
+    Two deliberate behaviour changes versus the pre-parallel seeded path
+    (see ``tests/experiments/test_parallel_eval.py``):
+
+    * seeds used to be ``SeedSequence(seed).generate_state(episodes,
+      dtype=np.uint32)`` words, which are collision-prone across user
+      seeds (birthday bound near 2**16) and carry no independence
+      guarantee — spawned children carry both;
+    * episodes used to share mutable env/mechanism state, so episode
+      ``i``'s result depended on episodes ``< i`` having run — that
+      coupling is exactly what made parallel evaluation impossible.
+
+    ``seed=None`` (only valid with ``workers=1``) keeps the legacy
+    shared-state path: episodes continue the environment's own stream and
+    mechanism state advances across episodes, which training-time
+    evaluation and the checkpoint round-trip tests rely on.
     """
     check_positive("episodes", episodes)
-    episode_seeds: List[Optional[int]] = [None] * episodes
-    if seed is not None:
-        episode_seeds = [
-            int(s)
-            for s in np.random.SeedSequence(seed).generate_state(
-                episodes, dtype=np.uint32
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if seed is None:
+        if workers != 1:
+            raise ValueError(
+                "evaluate_mechanism(workers>1) requires seed=...: without "
+                "a seed, episodes share mutable env/mechanism state and "
+                "have no parallel decomposition"
             )
-        ]
-    had_train_mode = hasattr(mechanism, "eval_mode")
-    if had_train_mode:
-        mechanism.eval_mode()
-    results = []
-    for episode_seed in episode_seeds:
-        result, _diag = run_episode(env, mechanism, seed=episode_seed)
-        results.append(result)
-    if had_train_mode:
-        mechanism.train_mode()
-    return results
+        had_train_mode = hasattr(mechanism, "eval_mode")
+        if had_train_mode:
+            mechanism.eval_mode()
+        results = []
+        for _ in range(episodes):
+            result, _diag = run_episode(env, mechanism)
+            results.append(result)
+        if had_train_mode:
+            mechanism.train_mode()
+        return results
+
+    # Seeded: hermetic per-episode items through the parallel engine.
+    # workers=1 executes them in-process — same code path, no processes —
+    # so the worker count cannot change a single bit of the output.
+    import pickle
+
+    from repro.parallel.items import episodes_from_dicts, eval_item
+    from repro.parallel.pool import PoolConfig, run_items
+    from repro.utils.rng import spawn_seeds
+
+    bundle = pickle.dumps((env, mechanism))
+    items = [
+        eval_item(bundle, [episode_seed])
+        for episode_seed in spawn_seeds(seed, episodes)
+    ]
+    report = run_items(items, config=PoolConfig(workers=workers))
+    if report.quarantined:
+        failure = report.quarantined[0]
+        raise RuntimeError(
+            f"evaluation episode {failure.index} failed after "
+            f"{failure.attempts} attempts: "
+            f"{failure.errors[-1] if failure.errors else 'unknown'}"
+        )
+    return [
+        episodes_from_dicts(item["episodes"])[0] for item in report.results
+    ]

@@ -12,12 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
-from repro.core.builder import build_environment
-from repro.experiments.mechanisms import make_mechanism
 from repro.experiments.results import EvaluationSummary
-from repro.experiments.runner import evaluate_mechanism, train_mechanism
 from repro.utils.logging import get_logger
-from repro.utils.rng import SeedSequenceFactory
 
 _log = get_logger("experiments.table1")
 
@@ -63,6 +59,7 @@ def run_table1(
     tier: str = "quick",
     max_rounds: int = 200,
     n_seeds: int = 1,
+    workers: int = 1,
 ) -> Table1Result:
     """Train Chiron at 100-node scale for each budget and evaluate.
 
@@ -70,31 +67,41 @@ def run_table1(
     fleets and pools their evaluation episodes — at quick scale a single
     short training run is noisy enough that one budget can land on a poor
     policy by luck.
+
+    Every (budget, seed_offset) cell is an independent hermetic work item
+    run through :func:`repro.parallel.run_sweep`; ``workers > 1`` fans
+    the cells over a process pool and cannot change any number in the
+    table (the engine's determinism contract — ``workers=1`` also
+    reproduces the pre-engine sequential loop bit for bit).
     """
+    from repro.parallel import grid_items, run_sweep
+
     result = Table1Result(n_nodes=n_nodes, budgets=list(budgets))
-    seeds = SeedSequenceFactory(seed)
+    items = grid_items(
+        mechanisms=["chiron"],
+        budgets=budgets,
+        n_seeds=n_seeds,
+        seed=seed,
+        train_episodes=train_episodes,
+        eval_episodes=eval_episodes,
+        tier=tier,
+        build_kwargs={
+            "task_name": task,
+            "n_nodes": n_nodes,
+            "accuracy_mode": "surrogate",
+            "max_rounds": max_rounds,
+        },
+    )
+    sweep = run_sweep(items, workers=workers).raise_on_quarantine()
+    from repro.parallel import episodes_from_dicts
+
+    by_budget: Dict[float, list] = {budget: [] for budget in budgets}
+    for item in sweep.items:
+        by_budget[item["key"]["budget"]].extend(
+            episodes_from_dicts(item["eval_episodes"])
+        )
     for budget in budgets:
-        episodes = []
-        for seed_offset in range(n_seeds):
-            build = build_environment(
-                task_name=task,
-                n_nodes=n_nodes,
-                budget=budget,
-                accuracy_mode="surrogate",
-                seed=seed + seed_offset,
-                max_rounds=max_rounds,
-            )
-            mechanism = make_mechanism(
-                "chiron",
-                build.env,
-                rng=seeds.generator(f"chiron/{budget}/{seed_offset}"),
-                tier=tier,
-            )
-            train_mechanism(build.env, mechanism, train_episodes)
-            episodes.extend(
-                evaluate_mechanism(build.env, mechanism, eval_episodes)
-            )
-        summary = EvaluationSummary.from_episodes("chiron", episodes)
+        summary = EvaluationSummary.from_episodes("chiron", by_budget[budget])
         result.rows.append(summary)
         _log.info(
             "table1 η=%g: acc=%.3f rounds=%.1f eff=%.3f",

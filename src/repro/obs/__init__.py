@@ -49,11 +49,13 @@ from repro.obs.registry import (
 from repro.obs import registry as _registry_mod
 from repro.obs.exporters import (
     JsonlEventSink,
+    escape_label_value,
     load_snapshot,
     parse_prometheus,
     read_jsonl,
     to_json,
     to_prometheus,
+    unescape_label_value,
     write_snapshot,
 )
 from repro.obs.tracing import NOOP_SPAN, Span, SpanTracer, format_profile
@@ -70,6 +72,8 @@ __all__ = [
     "Span",
     "SpanTracer",
     "JsonlEventSink",
+    "escape_label_value",
+    "unescape_label_value",
     "DEFAULT_BUCKETS",
     "DEFAULT_QUANTILES",
     "counter",

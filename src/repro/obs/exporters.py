@@ -24,11 +24,19 @@ from typing import Dict, Optional, Tuple, Union
 PathLike = Union[str, Path]
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+# The label body is matched greedily up to the *last* '}' so quoted label
+# values may themselves contain '}' (e.g. span paths).
 _SAMPLE_RE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
-    r"(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>\S+)$"
+    r"(?:\{(?P<labels>.*)\})?\s+(?P<value>\S+)$"
 )
-_LABEL_RE = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>[^"]*)"')
+# A quoted label value is any run of non-special characters or escape
+# pairs, so escaped quotes/backslashes do not terminate the value.
+_LABEL_RE = re.compile(
+    r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"'
+)
+_UNESCAPE_RE = re.compile(r"\\(.)")
+_UNESCAPES = {"\\": "\\", '"': '"', "n": "\n"}
 
 
 def sanitize_metric_name(name: str) -> str:
@@ -39,18 +47,46 @@ def sanitize_metric_name(name: str) -> str:
     return cleaned
 
 
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash, double quote and newline would otherwise produce lines
+    :func:`parse_prometheus` (or a real Prometheus scraper) cannot read —
+    a span path is an arbitrary string, so this is load-bearing, not
+    cosmetic.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def unescape_label_value(value: str) -> str:
+    """Inverse of :func:`escape_label_value`."""
+    return _UNESCAPE_RE.sub(
+        lambda m: _UNESCAPES.get(m.group(1), m.group(1)), value
+    )
+
+
 def _format_value(value) -> str:
     if value is None:
         return "NaN"
     return repr(float(value))
 
 
-def _format_labels(labels: Dict[str, str], extra: Dict[str, str] = {}) -> str:
-    merged = {**labels, **extra}
+def _format_labels(
+    labels: Dict[str, str], extra: Optional[Dict[str, str]] = None
+) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
     if not merged:
         return ""
     body = ",".join(
-        f'{key}="{value}"' for key, value in sorted(merged.items())
+        f'{key}="{escape_label_value(value)}"'
+        for key, value in sorted(merged.items())
     )
     return "{" + body + "}"
 
@@ -154,7 +190,7 @@ def parse_prometheus(
             raise ValueError(f"unparseable sample line: {line!r}")
         labels = tuple(
             sorted(
-                (m.group("key"), m.group("value"))
+                (m.group("key"), unescape_label_value(m.group("value")))
                 for m in _LABEL_RE.finditer(match.group("labels") or "")
             )
         )

@@ -148,12 +148,13 @@ class Counter:
         return self._value
 
     def snapshot(self) -> dict:
-        return {
-            "name": self.name,
-            "type": "counter",
-            "labels": dict(self.labels),
-            "value": self._value,
-        }
+        with self._lock:
+            return {
+                "name": self.name,
+                "type": "counter",
+                "labels": dict(self.labels),
+                "value": self._value,
+            }
 
 
 class Gauge:
@@ -183,12 +184,13 @@ class Gauge:
         return self._value
 
     def snapshot(self) -> dict:
-        return {
-            "name": self.name,
-            "type": "gauge",
-            "labels": dict(self.labels),
-            "value": self._value,
-        }
+        with self._lock:
+            return {
+                "name": self.name,
+                "type": "gauge",
+                "labels": dict(self.labels),
+                "value": self._value,
+            }
 
 
 class EWMA:
@@ -223,14 +225,17 @@ class EWMA:
         return self._count
 
     def snapshot(self) -> dict:
-        return {
-            "name": self.name,
-            "type": "ewma",
-            "labels": dict(self.labels),
-            "value": self._value,
-            "alpha": self.alpha,
-            "count": self._count,
-        }
+        # Locked so (value, count) is an atomic pair: an unlocked read can
+        # observe count from after an update but value from before it.
+        with self._lock:
+            return {
+                "name": self.name,
+                "type": "ewma",
+                "labels": dict(self.labels),
+                "value": self._value,
+                "alpha": self.alpha,
+                "count": self._count,
+            }
 
 
 class Histogram:
@@ -302,7 +307,11 @@ class Histogram:
         estimator = self._quantiles.get(q)
         if estimator is None:
             raise KeyError(f"quantile {q} is not tracked by {self.name!r}")
-        return estimator.value()
+        # The P² marker lists are mutated in place by observe(); read them
+        # under the same lock so a concurrent observation cannot be seen
+        # mid-update.
+        with self._lock:
+            return estimator.value()
 
     def snapshot(self) -> dict:
         with self._lock:
@@ -492,7 +501,9 @@ class MetricsRegistry:
 
     def event(self, name: str, record: dict) -> None:
         """Stream one structured event record to every attached sink."""
-        for sink in self._sinks:
+        # Iterate a snapshot so a concurrent add/remove_sink cannot
+        # invalidate the iterator mid-event.
+        for sink in list(self._sinks):
             sink.emit(name, record)
 
     def add_sink(self, sink) -> None:

@@ -1,0 +1,435 @@
+"""Spawn-safe process pool with crash containment.
+
+The pool is deliberately *parent-driven*: each worker owns a private task
+queue and the parent dispatches exactly one item to an idle worker at a
+time.  That means the parent always knows which item a worker holds, so a
+worker that segfaults, is OOM-killed, or wedges past ``item_timeout`` is
+attributed to exactly one item — no guessing against a shared queue.
+
+Failure handling mirrors :mod:`repro.faults.reliability`:
+
+* failed items are retried with exponential backoff
+  (``backoff_base * 2**(attempts-1)``, capped at ``backoff_cap``) up to
+  ``max_retries`` extra attempts, then quarantined with their full error
+  history instead of sinking the sweep;
+* dead workers are respawned up to ``max_respawns`` times; when every
+  worker is dead and the respawn budget is spent, remaining items are
+  quarantined and the pool shuts down cleanly;
+* per-slot EWMA health (success -> 1, failure -> 0) is reported so a
+  flaky host shows up in the sweep report, not just in lost wall-clock.
+
+Determinism is *not* this module's job: work items are hermetic (they
+carry their own seeds — see :mod:`repro.parallel.seeds`), so the pool may
+schedule them in any order onto any worker.  Results are keyed by item
+index and returned in submission order.
+
+Workers pickle their result *before* enqueueing it; an unpicklable
+result therefore surfaces as an ordinary item error instead of crashing
+the queue's feeder thread with no diagnostics.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import pickle
+import queue as queue_mod
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import multiprocessing as mp
+
+__all__ = [
+    "PoolConfig",
+    "ItemFailure",
+    "PoolReport",
+    "run_items",
+    "resolve_callable",
+]
+
+#: EWMA smoothing for per-worker health, matching the reliability tracker.
+_HEALTH_ALPHA = 0.3
+
+#: How long the parent blocks on the result queue per loop iteration.
+_DRAIN_TIMEOUT = 0.05
+
+
+@dataclass(frozen=True)
+class PoolConfig:
+    """Tuning knobs for :func:`run_items`.
+
+    ``workers <= 1`` executes items in-process (no subprocesses at all) —
+    hermetic items make this bit-identical to the pooled path, and it is
+    the debuggable baseline the differential matrix compares against.
+    """
+
+    workers: int = 1
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    max_respawns: int = 4
+    item_timeout: Optional[float] = None
+    mp_context: str = "spawn"
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.item_timeout is not None and self.item_timeout <= 0:
+            raise ValueError(
+                f"item_timeout must be positive, got {self.item_timeout}"
+            )
+
+
+@dataclass
+class ItemFailure:
+    """One quarantined item: every error message from every attempt."""
+
+    index: int
+    attempts: int
+    errors: List[str] = field(default_factory=list)
+
+
+@dataclass
+class PoolReport:
+    """Outcome of one :func:`run_items` call.
+
+    ``results[i]`` is item ``i``'s return value, or ``None`` if the item
+    was quarantined (look it up in ``quarantined`` by index).
+    """
+
+    results: List[Any]
+    quarantined: List[ItemFailure]
+    retries: int = 0
+    respawns: int = 0
+    worker_health: Dict[int, float] = field(default_factory=dict)
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.quarantined
+
+
+def resolve_callable(path: str) -> Callable[[Any], Any]:
+    """Resolve ``"pkg.module:attr"`` to the callable it names.
+
+    Workers receive the *path*, not the function, so the pool never
+    pickles closures — only importable module-level callables work, which
+    is exactly the spawn-safety contract.
+    """
+    module_name, _, attr = path.partition(":")
+    if not module_name or not attr:
+        raise ValueError(
+            f"expected 'module:attr' callable path, got {path!r}"
+        )
+    module = importlib.import_module(module_name)
+    fn = getattr(module, attr)
+    if not callable(fn):
+        raise TypeError(f"{path!r} resolved to non-callable {fn!r}")
+    return fn
+
+
+def _worker_main(slot: int, fn_path: str, task_q, result_q) -> None:
+    """Worker loop: claim one payload at a time, execute, report.
+
+    The result is pickled here (inside the try) so both execution errors
+    and serialization errors come back as ``("error", ...)`` messages.
+    """
+    try:
+        fn = resolve_callable(fn_path)
+    except BaseException as exc:  # pragma: no cover - import failure path
+        result_q.put(("fatal", slot, -1, f"{type(exc).__name__}: {exc}"))
+        return
+    while True:
+        msg = task_q.get()
+        if msg is None:
+            break
+        index, payload = msg
+        try:
+            value = fn(payload)
+            blob = pickle.dumps(value)
+        except BaseException as exc:
+            detail = "".join(
+                traceback.format_exception_only(type(exc), exc)
+            ).strip()
+            result_q.put(("error", slot, index, detail))
+        else:
+            result_q.put(("ok", slot, index, blob))
+
+
+class _Slot:
+    """Parent-side bookkeeping for one worker process."""
+
+    def __init__(self, slot_id: int):
+        self.slot_id = slot_id
+        self.proc: Optional[mp.process.BaseProcess] = None
+        self.task_q = None
+        self.busy_index: Optional[int] = None
+        self.dispatched_at: float = 0.0
+        self.health: float = 1.0
+        self.completed: int = 0
+
+    @property
+    def alive(self) -> bool:
+        return self.proc is not None and self.proc.is_alive()
+
+    @property
+    def idle(self) -> bool:
+        return self.alive and self.busy_index is None
+
+    def record(self, success: bool) -> None:
+        target = 1.0 if success else 0.0
+        self.health += _HEALTH_ALPHA * (target - self.health)
+        if success:
+            self.completed += 1
+
+
+def _run_inprocess(
+    payloads: Sequence[Any], fn_path: str, config: PoolConfig
+) -> PoolReport:
+    """Sequential execution with the same retry/quarantine semantics."""
+    fn = resolve_callable(fn_path)
+    started = time.monotonic()
+    results: List[Any] = [None] * len(payloads)
+    quarantined: List[ItemFailure] = []
+    retries = 0
+    for index, payload in enumerate(payloads):
+        errors: List[str] = []
+        for attempt in range(config.max_retries + 1):
+            try:
+                results[index] = fn(payload)
+            except Exception as exc:
+                detail = "".join(
+                    traceback.format_exception_only(type(exc), exc)
+                ).strip()
+                errors.append(detail)
+                if attempt < config.max_retries:
+                    retries += 1
+                    time.sleep(
+                        min(
+                            config.backoff_base * 2**attempt,
+                            config.backoff_cap,
+                        )
+                    )
+            else:
+                break
+        else:
+            quarantined.append(
+                ItemFailure(
+                    index=index, attempts=len(errors), errors=errors
+                )
+            )
+    return PoolReport(
+        results=results,
+        quarantined=quarantined,
+        retries=retries,
+        respawns=0,
+        worker_health={0: 1.0 if not quarantined else 0.0},
+        elapsed=time.monotonic() - started,
+    )
+
+
+def run_items(
+    payloads: Sequence[Any],
+    fn_path: str = "repro.parallel.items:execute",
+    config: Optional[PoolConfig] = None,
+) -> PoolReport:
+    """Execute ``fn(payload)`` for every payload, surviving worker crashes.
+
+    Payloads must be picklable; ``fn_path`` names a module-level callable
+    (``"module:attr"``).  Results come back in submission order.  Items
+    that keep failing past the retry budget are quarantined, not raised —
+    inspect :attr:`PoolReport.quarantined`.
+    """
+    config = config or PoolConfig()
+    if config.workers <= 1:
+        return _run_inprocess(payloads, fn_path, config)
+    return _run_pool(payloads, fn_path, config)
+
+
+def _run_pool(
+    payloads: Sequence[Any], fn_path: str, config: PoolConfig
+) -> PoolReport:
+    ctx = mp.get_context(config.mp_context)
+    started = time.monotonic()
+    n = len(payloads)
+    results: List[Any] = [None] * n
+    pending = set(range(n))
+    ready: List[int] = list(range(n))
+    deferred: List[tuple] = []  # (ready_time, index) — small, linear scan
+    attempts: Dict[int, int] = {i: 0 for i in range(n)}
+    errors: Dict[int, List[str]] = {i: [] for i in range(n)}
+    quarantined: List[ItemFailure] = []
+    retries = 0
+    respawns = 0
+    respawn_budget = config.max_respawns
+
+    result_q = ctx.Queue()
+    slots = [_Slot(i) for i in range(min(config.workers, max(n, 1)))]
+
+    def spawn(slot: _Slot) -> None:
+        slot.task_q = ctx.Queue()
+        slot.proc = ctx.Process(
+            target=_worker_main,
+            args=(slot.slot_id, fn_path, slot.task_q, result_q),
+            daemon=True,
+        )
+        slot.proc.start()
+        slot.busy_index = None
+
+    def fail_item(index: int, detail: str, slot: Optional[_Slot]) -> None:
+        nonlocal retries
+        attempts[index] += 1
+        errors[index].append(detail)
+        if slot is not None:
+            slot.record(False)
+        if attempts[index] <= config.max_retries:
+            retries += 1
+            delay = min(
+                config.backoff_base * 2 ** (attempts[index] - 1),
+                config.backoff_cap,
+            )
+            deferred.append((time.monotonic() + delay, index))
+        else:
+            pending.discard(index)
+            quarantined.append(
+                ItemFailure(
+                    index=index,
+                    attempts=attempts[index],
+                    errors=list(errors[index]),
+                )
+            )
+
+    for slot in slots:
+        spawn(slot)
+
+    try:
+        while pending:
+            now = time.monotonic()
+
+            # Re-arm deferred retries whose backoff has elapsed.
+            if deferred:
+                due = [d for d in deferred if d[0] <= now]
+                if due:
+                    deferred[:] = [d for d in deferred if d[0] > now]
+                    ready.extend(index for _, index in due)
+
+            # Dispatch: one item per idle worker, parent keeps the map.
+            for slot in slots:
+                if not ready:
+                    break
+                if slot.idle:
+                    index = ready.pop(0)
+                    slot.busy_index = index
+                    slot.dispatched_at = now
+                    slot.task_q.put((index, payloads[index]))
+
+            # Drain every queued result before judging worker liveness so
+            # a worker that finished its item and *then* died is credited.
+            drained_any = False
+            try:
+                msg = result_q.get(timeout=_DRAIN_TIMEOUT)
+            except queue_mod.Empty:
+                msg = None
+            while msg is not None:
+                drained_any = True
+                kind, slot_id, index, payload = msg
+                slot = slots[slot_id]
+                if kind == "ok":
+                    results[index] = pickle.loads(payload)
+                    pending.discard(index)
+                    slot.record(True)
+                    slot.busy_index = None
+                elif kind == "error":
+                    slot.busy_index = None
+                    fail_item(index, payload, slot)
+                elif kind == "fatal":
+                    # Worker could not even import the target callable:
+                    # retrying on another worker cannot help.
+                    raise RuntimeError(
+                        f"worker failed to initialise {fn_path!r}: {payload}"
+                    )
+                try:
+                    msg = result_q.get_nowait()
+                except queue_mod.Empty:
+                    msg = None
+
+            # Liveness: a dead worker holding an item = crash on that item.
+            for slot in slots:
+                if slot.proc is not None and not slot.proc.is_alive():
+                    if slot.busy_index is not None:
+                        code = slot.proc.exitcode
+                        index = slot.busy_index
+                        slot.busy_index = None
+                        fail_item(
+                            index,
+                            f"worker {slot.slot_id} died "
+                            f"(exitcode={code}) while running item {index}",
+                            slot,
+                        )
+                    if pending and respawn_budget > 0:
+                        respawn_budget -= 1
+                        respawns += 1
+                        spawn(slot)
+                    else:
+                        slot.proc = None
+
+            # Timeouts: a wedged worker is terminated and treated as dead
+            # on the next liveness pass.
+            if config.item_timeout is not None:
+                for slot in slots:
+                    if (
+                        slot.alive
+                        and slot.busy_index is not None
+                        and now - slot.dispatched_at > config.item_timeout
+                    ):
+                        slot.proc.terminate()
+
+            if not any(slot.alive for slot in slots):
+                if respawn_budget <= 0 or not pending:
+                    # Nothing can make progress: quarantine the remainder.
+                    for index in sorted(pending):
+                        pending_errors = errors[index] + [
+                            "pool exhausted: all workers dead and "
+                            "respawn budget spent"
+                        ]
+                        quarantined.append(
+                            ItemFailure(
+                                index=index,
+                                attempts=attempts[index],
+                                errors=pending_errors,
+                            )
+                        )
+                    pending.clear()
+                    break
+
+            if not drained_any and not pending:
+                break
+    finally:
+        for slot in slots:
+            if slot.alive:
+                slot.task_q.put(None)
+        deadline = time.monotonic() + 2.0
+        for slot in slots:
+            if slot.proc is not None:
+                slot.proc.join(timeout=max(0.0, deadline - time.monotonic()))
+                if slot.proc.is_alive():
+                    slot.proc.terminate()
+                    slot.proc.join(timeout=1.0)
+        result_q.close()
+        result_q.cancel_join_thread()
+
+    quarantined.sort(key=lambda f: f.index)
+    return PoolReport(
+        results=results,
+        quarantined=quarantined,
+        retries=retries,
+        respawns=respawns,
+        worker_health={s.slot_id: s.health for s in slots},
+        elapsed=time.monotonic() - started,
+    )

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 
@@ -42,6 +42,43 @@ class RunningMeanStd:
         self.mean = new_mean
         self.var = m2 / total
         self.count = total
+
+    @classmethod
+    def merge(cls, parts: Sequence["RunningMeanStd"]) -> "RunningMeanStd":
+        """Combine independently accumulated stats (Chan parallel merge).
+
+        Folding ``k`` part-streams is exactly equivalent (to float
+        round-off) to a single stream that saw every batch, so the
+        process-parallel engine can hand each worker its own normalizer
+        and reconcile them afterwards.  Counts are taken as-is: give
+        secondary parts ``epsilon=0.0`` so the regularizing prior is not
+        counted once per worker.
+        """
+        parts = list(parts)
+        if not parts:
+            raise ValueError("cannot merge zero RunningMeanStd parts")
+        shape = parts[0].mean.shape
+        for part in parts[1:]:
+            if part.mean.shape != shape:
+                raise ValueError(
+                    f"shape mismatch in merge: {part.mean.shape} vs {shape}"
+                )
+        merged = cls(shape, epsilon=0.0)
+        merged.mean = parts[0].mean.copy()
+        merged.var = parts[0].var.copy()
+        merged.count = float(parts[0].count)
+        for part in parts[1:]:
+            delta = part.mean - merged.mean
+            total = merged.count + part.count
+            if total == 0.0:
+                continue
+            m_a = merged.var * merged.count
+            m_b = part.var * part.count
+            m2 = m_a + m_b + delta**2 * merged.count * part.count / total
+            merged.mean = merged.mean + delta * part.count / total
+            merged.var = m2 / total
+            merged.count = total
+        return merged
 
     @property
     def std(self) -> np.ndarray:

@@ -19,6 +19,10 @@ Variants (each compared bit-exactly against its reference):
 ``vector_m1``       the M=1 vectorized wrapper (replica 0 is the env)
 ``vector_m4``       M=4 lockstep vs the same four replicas stepped
                     individually (full multi-replica comparison)
+``parallel_w4``     the same capture executed in 4 separate worker
+                    processes via :mod:`repro.parallel` — every worker's
+                    trace must be bit-identical to the in-process one
+                    (process boundaries change nothing)
 ==================  ====================================================
 
 Faults on/off is the *scenario* axis: running the matrix over both the
@@ -50,7 +54,14 @@ from repro.testing.trace import (
 )
 
 #: Variant names in matrix order.
-VARIANTS = ("rerun", "obs_on", "audited", "vector_m1", "vector_m4")
+VARIANTS = (
+    "rerun",
+    "obs_on",
+    "audited",
+    "vector_m1",
+    "vector_m4",
+    "parallel_w4",
+)
 
 
 @dataclass(frozen=True)
@@ -144,6 +155,33 @@ def _capture_singles(scenario: Scenario, num_envs: int) -> EpisodeTrace:
     )
 
 
+def _capture_parallel(
+    scenario: Scenario, workers: int = 4
+) -> List[EpisodeTrace]:
+    """The scenario captured in ``workers`` separate worker processes.
+
+    Each worker rebuilds the *registered* scenario by name (hermetic work
+    item — nothing crosses the process boundary but the name), so this
+    only works for scenarios in :data:`repro.testing.scenarios.SCENARIOS`.
+    """
+    from repro.parallel.items import capture_item
+    from repro.parallel.pool import PoolConfig, run_items
+
+    get_scenario(scenario.name)  # fail fast on unregistered scenarios
+    items = [capture_item(scenario.name) for _ in range(workers)]
+    report = run_items(items, config=PoolConfig(workers=workers))
+    if report.quarantined:
+        failure = report.quarantined[0]
+        raise RuntimeError(
+            f"parallel capture of {scenario.name!r} lost item "
+            f"{failure.index}: "
+            f"{failure.errors[-1] if failure.errors else 'unknown'}"
+        )
+    return [
+        EpisodeTrace.from_payload(item["trace"]) for item in report.results
+    ]
+
+
 def run_variant(
     scenario: Scenario,
     variant: str,
@@ -153,8 +191,24 @@ def run_variant(
 
     ``reference`` (the plain sequential capture) is computed on demand
     when not supplied; ``vector_m4`` ignores it and builds its own
-    multi-replica singles reference.
+    multi-replica singles reference; ``parallel_w4`` compares against the
+    in-process :func:`~repro.testing.scenarios.capture` of the scenario.
     """
+    if variant == "parallel_w4":
+        expected = capture(scenario)
+        divergence = None
+        rounds = 0
+        for trace in _capture_parallel(scenario, workers=4):
+            rounds = trace.num_rounds
+            divergence = first_divergence(expected, trace)
+            if divergence is not None:
+                break
+        return DifferentialOutcome(
+            scenario=scenario.name,
+            variant=variant,
+            rounds=rounds,
+            divergence=divergence,
+        )
     if variant == "vector_m4":
         expected = _capture_singles(scenario, 4)
         actual = _capture_vector(scenario, 4)

@@ -62,6 +62,39 @@ def as_generator(rng: RNGLike = None) -> np.random.Generator:
     raise TypeError(f"cannot build a Generator from {type(rng).__name__}")
 
 
+def spawn_seeds(seed: RNGLike, n: int) -> List[int]:
+    """``n`` independent integer seeds derived via ``SeedSequence.spawn``.
+
+    The unified per-episode / per-worker derivation used across the
+    library (``evaluate_mechanism``, the :mod:`repro.parallel` engine):
+    child ``i`` is ``SeedSequence(seed).spawn(n)[i]``, whose stream depends
+    only on ``(seed, i)`` — never on how the items are later chunked over
+    workers — and each child is collapsed to a 64-bit integer so it can be
+    fed to ``reset(seed=...)``-style surfaces.
+
+    This replaces the older ``SeedSequence(seed).generate_state(n,
+    dtype=np.uint32)`` derivation: uint32 words from *different* user
+    seeds collide at birthday rate around 2**16 draws and are not part of
+    numpy's cross-stream independence contract, whereas spawned children
+    are guaranteed independent of each other and of the parent.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if isinstance(seed, np.random.SeedSequence):
+        root = seed
+    elif seed is None or isinstance(seed, (int, np.integer)):
+        root = np.random.SeedSequence(seed if seed is None else int(seed))
+    else:
+        raise TypeError(
+            f"cannot derive seeds from {type(seed).__name__}; "
+            "pass an int, SeedSequence, or None"
+        )
+    return [
+        int(child.generate_state(1, dtype=np.uint64)[0])
+        for child in root.spawn(n)
+    ]
+
+
 def spawn_generators(rng: RNGLike, n: int) -> List[np.random.Generator]:
     """Derive ``n`` independent child generators from ``rng``.
 

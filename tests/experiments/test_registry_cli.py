@@ -86,7 +86,7 @@ class TestCLI:
         # Patch in a featherweight experiment so the CLI test is instant.
         from repro.experiments import registry
 
-        def tiny_runner(scale, seed):
+        def tiny_runner(scale, seed, workers=1):
             return {"scale": scale, "seed": seed}, "rendered-output"
 
         monkeypatch.setitem(

@@ -122,3 +122,68 @@ class TestJsonlSink:
         registry = obs.enable()
         with pytest.raises(TypeError, match="emit"):
             registry.add_sink(object())
+
+
+class TestHostileLabels:
+    """Labels carrying Prometheus metacharacters must round-trip exactly.
+
+    Span paths are arbitrary strings, so backslashes, quotes, newlines
+    and even ``}``/``,``/``=`` inside a label value are all reachable in
+    production exports — not contrived input.
+    """
+
+    HOSTILE = [
+        'quo"te',
+        "back\\slash",
+        "new\nline",
+        'all\\three" \n at once',
+        "brace } and , comma = equals",
+        "trailing backslash\\",
+        "",
+    ]
+
+    def test_escape_unescape_inverse(self):
+        from repro.obs.exporters import (
+            escape_label_value,
+            unescape_label_value,
+        )
+
+        for value in self.HOSTILE:
+            escaped = escape_label_value(value)
+            assert "\n" not in escaped  # stays on one exposition line
+            assert unescape_label_value(escaped) == value
+
+    def test_hostile_labels_round_trip_through_text_format(self):
+        reg = MetricsRegistry()
+        for i, value in enumerate(self.HOSTILE):
+            reg.counter("hostile.hits", source=value).inc(i + 1)
+        samples = parse_prometheus(to_prometheus(reg.snapshot()))
+        for i, value in enumerate(self.HOSTILE):
+            key = ("hostile_hits", (("source", value),))
+            assert samples[key] == float(i + 1)
+
+    def test_hostile_span_path_round_trips(self):
+        reg = MetricsRegistry()
+        with Span(reg.tracer, 'ep"iso\\de'):
+            pass
+        samples = parse_prometheus(to_prometheus(reg.snapshot()))
+        span_keys = [
+            labels
+            for (name, labels) in samples
+            if name == "span_calls_total"
+        ]
+        assert (("span", 'ep"iso\\de'),) in span_keys
+
+    def test_each_export_is_independent(self):
+        # Regression for the mutable-default bug in ``_format_labels``:
+        # one call's extra labels must not leak into the next call.
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=[1.0]).observe(0.5)
+        reg.counter("c").inc()
+        first = to_prometheus(reg.snapshot())
+        second = to_prometheus(reg.snapshot())
+        assert first == second
+        # the bare counter line carries no `le` label from the histogram
+        for line in second.splitlines():
+            if line.startswith("c "):
+                assert "le=" not in line

@@ -174,3 +174,106 @@ class TestFacade:
     def test_disabled_snapshot_is_empty(self):
         assert obs.snapshot() == {"metrics": [], "profile": []}
         assert obs.profile() == []
+
+
+class TestConcurrencyHammer:
+    """Snapshots taken mid-mutation must never be torn.
+
+    Every instrument locks its snapshot, so a reader racing four writer
+    threads must always observe internally consistent pairs — EWMA
+    (value, count), histogram (count, sum, buckets) — and monotonically
+    growing counters.  This pins the lock audit: removing any snapshot
+    lock makes this test flaky.
+    """
+
+    def test_snapshot_under_concurrent_mutation(self):
+        reg = MetricsRegistry()
+        stop = threading.Event()
+        errors: list = []
+
+        def writer(offset: int):
+            i = 0
+            while not stop.is_set():
+                reg.counter("hits").inc()
+                reg.gauge("level").set(float(offset))
+                reg.ewma("eff", alpha=0.5).update(1.0)
+                reg.histogram("lat", buckets=(1.0, 10.0)).observe(
+                    0.5 if i % 2 else 5.0
+                )
+                i += 1
+
+        def reader():
+            last_hits = 0.0
+            while not stop.is_set():
+                try:
+                    snap = reg.snapshot()
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+                    return
+                for metric in snap["metrics"]:
+                    if metric["name"] == "hits":
+                        assert metric["value"] >= last_hits
+                        last_hits = metric["value"]
+                    elif metric["name"] == "eff":
+                        # EWMA of a constant stream is that constant once
+                        # any update landed; a torn (value, count) pair
+                        # would surface as count>0 with value 0.0.
+                        if metric["count"] > 0:
+                            assert metric["value"] == 1.0
+                    elif metric["name"] == "lat":
+                        cumulative = [c for _b, c in metric["buckets"]]
+                        assert cumulative == sorted(cumulative)
+                        assert metric["count"] >= cumulative[-1]
+                        if metric["count"]:
+                            assert metric["min"] >= 0.5
+                            assert metric["max"] <= 5.0
+
+        writers = [
+            threading.Thread(target=writer, args=(k,)) for k in range(4)
+        ]
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        for t in writers + readers:
+            t.start()
+        import time
+
+        time.sleep(0.8)
+        stop.set()
+        for t in writers + readers:
+            t.join(timeout=10)
+        assert not errors
+        # Final state is coherent: every write landed exactly once.
+        snap = {m["name"]: m for m in reg.snapshot()["metrics"]}
+        assert snap["hits"]["value"] == snap["lat"]["count"] * 1.0
+        assert snap["eff"]["count"] == int(snap["hits"]["value"])
+
+    def test_quantile_reads_race_observes(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("q", buckets=(1.0,))
+        stop = threading.Event()
+        errors: list = []
+
+        def observe():
+            while not stop.is_set():
+                hist.observe(0.5)
+
+        def query():
+            while not stop.is_set():
+                try:
+                    value = hist.quantile(0.5)
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+                    return
+                assert value is None or value == 0.5
+
+        threads = [threading.Thread(target=observe) for _ in range(2)] + [
+            threading.Thread(target=query) for _ in range(2)
+        ]
+        for t in threads:
+            t.start()
+        import time
+
+        time.sleep(0.4)
+        stop.set()
+        for t in threads:
+            t.join(timeout=10)
+        assert not errors

@@ -1,0 +1,155 @@
+"""Sweep engine: grid construction, determinism contract, obs merging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel import (
+    PoolConfig,
+    episodes_from_dicts,
+    grid_items,
+    run_sweep,
+    sweep_item,
+)
+
+pytestmark = pytest.mark.parallel
+
+TINY_BUILD = {
+    "task_name": "mnist",
+    "n_nodes": 4,
+    "accuracy_mode": "surrogate",
+    "max_rounds": 20,
+}
+
+
+def _tiny_grid(collect_obs: bool = False):
+    return grid_items(
+        mechanisms=["greedy", "random"],
+        budgets=[40.0],
+        n_seeds=1,
+        seed=0,
+        train_episodes=1,
+        eval_episodes=2,
+        build_kwargs=TINY_BUILD,
+        collect_obs=collect_obs,
+    )
+
+
+class TestGridItems:
+    def test_shape_and_keys(self):
+        items = grid_items(
+            mechanisms=["greedy", "random"],
+            budgets=[40.0, 80.0],
+            n_seeds=3,
+            seed=5,
+            train_episodes=2,
+            eval_episodes=1,
+            build_kwargs=TINY_BUILD,
+        )
+        assert len(items) == 2 * 2 * 3
+        first = items[0]
+        assert first["kind"] == "sweep"
+        assert first["key"] == {
+            "mechanism": "greedy",
+            "budget": 40.0,
+            "seed_offset": 0,
+        }
+        # Stream names must match the historical sequential loops exactly.
+        assert first["rng_stream"] == "greedy/40.0/0"
+        assert first["rng_root"] == 5
+        # Env seed is seed + seed_offset.
+        assert items[2]["build"]["seed"] == 7
+
+    def test_items_are_json_serializable(self):
+        import json
+
+        json.dumps(_tiny_grid())  # hermetic = plain data, no live objects
+
+
+class TestRunSweepDeterminism:
+    def test_worker_count_invariance(self):
+        items = _tiny_grid()
+        seq = run_sweep(items, workers=1)
+        pooled = run_sweep(items, workers=2)
+        assert seq.ok and pooled.ok
+        assert seq.fingerprint() == pooled.fingerprint()
+        # And the episode payloads round-trip to equal results.
+        for a, b in zip(seq.items, pooled.items):
+            assert episodes_from_dicts(a["eval_episodes"]) == episodes_from_dicts(
+                b["eval_episodes"]
+            )
+
+    def test_rerun_reproduces_fingerprint(self):
+        items = _tiny_grid()
+        assert (
+            run_sweep(items, workers=1).fingerprint()
+            == run_sweep(items, workers=1).fingerprint()
+        )
+
+    def test_fingerprint_excludes_timing(self):
+        items = _tiny_grid()
+        result = run_sweep(items, workers=1)
+        result.elapsed = 1234.5
+        result.worker_health = {0: 0.1}
+        other = run_sweep(items, workers=1)
+        assert result.fingerprint() == other.fingerprint()
+
+
+class TestRunSweepFailures:
+    def test_quarantine_surfaces_and_raises(self):
+        items = [{"kind": "fail", "message": "cell exploded"}]
+        result = run_sweep(
+            items,
+            pool_config=PoolConfig(workers=1, max_retries=0, backoff_base=0.01),
+        )
+        assert not result.ok
+        assert result.items == [None]
+        with pytest.raises(RuntimeError, match="cell exploded"):
+            result.raise_on_quarantine()
+
+    def test_ok_sweep_passes_through_raise_on_quarantine(self):
+        result = run_sweep([{"kind": "echo", "value": 1}], workers=1)
+        assert result.raise_on_quarantine() is result
+
+
+class TestObsCollection:
+    def test_snapshots_collected_and_merged(self):
+        result = run_sweep(_tiny_grid(collect_obs=True), workers=1)
+        assert result.ok
+        assert result.obs_snapshot is not None
+        names = {m["name"] for m in result.obs_snapshot["metrics"]}
+        assert "runner.episodes" in names
+        (episodes,) = [
+            m
+            for m in result.obs_snapshot["metrics"]
+            if m["name"] == "runner.episodes"
+        ]
+        # 2 items × (1 train + 2 eval) episodes, summed across items.
+        assert episodes["value"] == 6.0
+
+    def test_in_process_items_do_not_leak_obs_state(self):
+        from repro import obs
+
+        assert not obs.enabled()
+        run_sweep(_tiny_grid(collect_obs=True), workers=1)
+        assert not obs.enabled()
+
+    def test_obs_off_means_no_snapshot(self):
+        result = run_sweep(_tiny_grid(collect_obs=False), workers=1)
+        assert result.obs_snapshot is None
+
+
+class TestSweepItemHelper:
+    def test_round_trips_key_fields(self):
+        item = sweep_item(
+            build={"task_name": "mnist"},
+            mechanism="greedy",
+            rng_root=3,
+            rng_stream="greedy/40.0/0",
+            train_episodes=2,
+            eval_episodes=1,
+            key={"cell": 1},
+        )
+        assert item["kind"] == "sweep"
+        assert item["key"] == {"cell": 1}
+        assert item["obs"] is False

@@ -1,0 +1,154 @@
+"""Worker pool: crash containment, retry/backoff, quarantine, respawn.
+
+The misbehaving item kinds (``crash``/``fail``/``flaky``/``unpicklable``)
+live in :mod:`repro.parallel.items` precisely so these tests exercise the
+real dispatch path — the same ``execute`` entry point production sweeps
+resolve.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel.pool import (
+    ItemFailure,
+    PoolConfig,
+    resolve_callable,
+    run_items,
+)
+
+pytestmark = pytest.mark.parallel
+
+FAST = dict(max_retries=1, backoff_base=0.01, backoff_cap=0.05)
+
+
+class TestResolveCallable:
+    def test_resolves_module_attr(self):
+        fn = resolve_callable("repro.parallel.items:execute")
+        assert callable(fn)
+
+    def test_rejects_malformed_paths(self):
+        with pytest.raises(ValueError):
+            resolve_callable("no-colon-here")
+        with pytest.raises(TypeError):
+            resolve_callable("repro.parallel.items:__doc__")
+
+
+class TestInProcess:
+    def test_results_in_submission_order(self):
+        report = run_items(
+            [{"kind": "echo", "value": i} for i in range(5)],
+            config=PoolConfig(workers=1),
+        )
+        assert report.ok
+        assert [r["value"] for r in report.results] == list(range(5))
+
+    def test_failure_retried_then_quarantined(self):
+        report = run_items(
+            [{"kind": "fail", "message": "boom"}],
+            config=PoolConfig(workers=1, max_retries=2, backoff_base=0.001),
+        )
+        assert not report.ok
+        assert report.results == [None]
+        failure = report.quarantined[0]
+        assert isinstance(failure, ItemFailure)
+        assert failure.attempts == 3  # initial try + 2 retries
+        assert all("boom" in e for e in failure.errors)
+        assert report.retries == 2
+
+    def test_flaky_item_recovers_within_budget(self, tmp_path):
+        marker = tmp_path / "flaky"
+        report = run_items(
+            [
+                {
+                    "kind": "flaky",
+                    "path": str(marker),
+                    "fail_times": 1,
+                    "value": 7,
+                }
+            ],
+            config=PoolConfig(workers=1, max_retries=1, backoff_base=0.001),
+        )
+        assert report.ok
+        assert report.results[0]["value"] == 7
+        assert report.retries == 1
+
+
+class TestPooled:
+    def test_fan_out_uses_distinct_processes(self):
+        import os
+
+        report = run_items(
+            [{"kind": "echo", "value": i} for i in range(6)],
+            config=PoolConfig(workers=3, **FAST),
+        )
+        assert report.ok
+        assert [r["value"] for r in report.results] == list(range(6))
+        pids = {r["pid"] for r in report.results}
+        assert os.getpid() not in pids  # really ran out-of-process
+        assert len(pids) >= 2
+
+    def test_worker_crash_is_contained_and_attributed(self):
+        items = [
+            {"kind": "echo", "value": 0},
+            {"kind": "crash", "exitcode": 5},
+            {"kind": "echo", "value": 2},
+        ]
+        report = run_items(items, config=PoolConfig(workers=2, **FAST))
+        # Healthy items survive the neighbour's crash.
+        assert report.results[0]["value"] == 0
+        assert report.results[2]["value"] == 2
+        # The poisoned item is quarantined with crash evidence.
+        assert [f.index for f in report.quarantined] == [1]
+        assert any("died" in e for e in report.quarantined[0].errors)
+        assert report.respawns >= 1
+
+    def test_flaky_item_retries_across_workers(self, tmp_path):
+        marker = tmp_path / "flaky"
+        items = [
+            {"kind": "flaky", "path": str(marker), "fail_times": 1, "value": 1}
+        ]
+        report = run_items(
+            items, config=PoolConfig(workers=2, max_retries=2, backoff_base=0.01)
+        )
+        assert report.ok
+        assert report.results[0]["value"] == 1
+
+    def test_unpicklable_result_is_an_error_not_a_hang(self):
+        report = run_items(
+            [{"kind": "unpicklable"}],
+            config=PoolConfig(workers=2, max_retries=0, backoff_base=0.01),
+        )
+        assert not report.ok
+        assert any(
+            "pickle" in e.lower() for e in report.quarantined[0].errors
+        )
+
+    def test_item_timeout_terminates_wedged_worker(self):
+        items = [{"kind": "hang", "seconds": 60.0}]
+        report = run_items(
+            items,
+            config=PoolConfig(
+                workers=2, max_retries=0, backoff_base=0.01, item_timeout=0.5
+            ),
+        )
+        assert not report.ok
+        assert any("died" in e for e in report.quarantined[0].errors)
+
+    def test_health_tracks_failures(self):
+        report = run_items(
+            [{"kind": "fail"}] * 2,
+            config=PoolConfig(workers=2, max_retries=0, backoff_base=0.01),
+        )
+        assert not report.ok
+        assert any(h < 1.0 for h in report.worker_health.values())
+
+
+class TestConfigValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            PoolConfig(workers=-1)
+        with pytest.raises(ValueError):
+            PoolConfig(max_retries=-1)
+        with pytest.raises(ValueError):
+            PoolConfig(item_timeout=0.0)

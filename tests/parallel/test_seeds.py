@@ -1,0 +1,72 @@
+"""Seed derivation: spawn-based, collision-resistant, growth-stable."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.parallel.seeds import episode_seeds, item_sequence, sweep_item_seeds
+from repro.utils.rng import spawn_seeds
+
+pytestmark = pytest.mark.parallel
+
+
+class TestSpawnSeeds:
+    def test_deterministic_and_distinct(self):
+        a = spawn_seeds(42, 16)
+        b = spawn_seeds(42, 16)
+        assert a == b
+        assert len(set(a)) == 16
+
+    def test_prefix_stable_under_growth(self):
+        # Item i's seed must not change when the grid grows — appended
+        # cells extend a sweep without invalidating earlier results.
+        short = spawn_seeds(7, 5)
+        long = spawn_seeds(7, 50)
+        assert long[:5] == short
+
+    def test_accepts_seedsequence_and_none(self):
+        seq = np.random.SeedSequence(9)
+        assert spawn_seeds(seq, 3) == spawn_seeds(9, 3)
+        assert len(spawn_seeds(None, 3)) == 3  # entropy-seeded, no crash
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+        with pytest.raises(TypeError):
+            spawn_seeds("nope", 2)
+
+    def test_no_collisions_across_adjacent_user_seeds(self):
+        # The legacy uint32 generate_state derivation had no cross-seed
+        # independence guarantee; spawned children must not collide over
+        # a realistic block of user seeds.
+        seen = set()
+        for user_seed in range(64):
+            seen.update(spawn_seeds(user_seed, 8))
+        assert len(seen) == 64 * 8
+
+    def test_differs_from_legacy_uint32_derivation(self):
+        # Regression marker for the evaluate_mechanism bugfix: the new
+        # derivation is intentionally NOT the old uint32 word stream.
+        legacy = [
+            int(s)
+            for s in np.random.SeedSequence(123).generate_state(
+                5, dtype=np.uint32
+            )
+        ]
+        assert spawn_seeds(123, 5) != legacy
+
+
+class TestEngineSeedHelpers:
+    def test_episode_seeds_pure_function_of_item_and_index(self):
+        assert episode_seeds(11, 6) == episode_seeds(11, 6)
+        assert episode_seeds(11, 3) == episode_seeds(11, 6)[:3]
+        assert episode_seeds(11, 4) != episode_seeds(12, 4)
+
+    def test_sweep_item_seeds_prefix_property(self):
+        assert sweep_item_seeds(0, 4) == sweep_item_seeds(0, 9)[:4]
+
+    def test_item_sequence_reproduces_generator_stream(self):
+        g1 = np.random.default_rng(item_sequence(5))
+        g2 = np.random.default_rng(item_sequence(5))
+        assert np.array_equal(g1.integers(0, 1000, 10), g2.integers(0, 1000, 10))
