@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test faults bench bench-smoke bench-rollout bench-sweep sweep-smoke parallel obs-demo golden-verify golden-update diff-matrix fuzz repro repro-paper report clean
+.PHONY: install test faults bench bench-smoke bench-rollout bench-sweep sweep-smoke parallel resilience chaos-smoke resume-test obs-demo golden-verify golden-update diff-matrix fuzz repro repro-paper report clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -57,6 +57,21 @@ bench-sweep:
 # Just the process-parallel engine suite (also part of `test`).
 parallel:
 	$(PYTHON) -m pytest -m parallel tests/
+
+# Just the crash-safety suite (journal, resume, chaos; also part of `test`).
+resilience:
+	$(PYTHON) -m pytest -m resilience tests/
+
+# Deterministic fault injection through a journaled 2-worker pool:
+# crashes, hangs, poisoned payloads — exits non-zero if anything is
+# silently dropped or the journal replay diverges.
+chaos-smoke:
+	$(PYTHON) -m repro.resilience chaos
+
+# Parent-death drill: SIGKILL a live journaled sweep mid-grid, resume
+# from the journal, require the golden fingerprint bit for bit.
+resume-test:
+	$(PYTHON) -m repro.resilience resume-test
 
 # Quick end-to-end proof that a 2-worker pooled sweep matches in-process
 # execution bit for bit (tiny workload; exits non-zero on mismatch).

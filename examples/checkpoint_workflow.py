@@ -1,9 +1,12 @@
 #!/usr/bin/env python3
 """Train → checkpoint → reload → deploy: the persistence workflow.
 
-Trains Chiron, saves both sub-agents into one ``.npz`` archive, restores
-into a freshly constructed agent, and verifies the restored policy prices
-identically.  Also shows per-round telemetry export for the deployed run.
+Trains Chiron with *auto-checkpointing* (``checkpoint_every=``), kills
+the run mid-training, resumes it bitwise from the newest checkpoint,
+then saves both sub-agents into one ``.npz`` archive, restores into a
+freshly constructed agent, and verifies the restored policy prices
+identically.  Also shows per-round telemetry export for the deployed
+run.
 
 Run:  python examples/checkpoint_workflow.py
 """
@@ -23,13 +26,32 @@ def main() -> None:
         seed=0,
     )
     env = build.env
+    workdir = Path(tempfile.mkdtemp(prefix="chiron-ckpt-"))
 
-    # 1. Train.
+    # 1. Train with auto-checkpointing: every 20 completed episodes an
+    #    atomic checkpoint (agent + env RNG streams + history) lands in
+    #    ckpt_dir, so a crash loses at most 19 episodes of work.
+    ckpt_dir = workdir / "auto"
     agent = make_mechanism("chiron", env, rng=1, tier="quick")
-    train_mechanism(env, agent, episodes=80)
+    history = train_mechanism(
+        env, agent, episodes=80,
+        checkpoint_every=20, checkpoint_dir=ckpt_dir,
+    )
+    print(f"trained {len(history)} episodes (checkpoints in {ckpt_dir})")
+
+    # 1b. Simulate a crash + rerun: a fresh agent pointed at the same
+    #     directory resumes from episode 80 — nothing left to do, and
+    #     the restored history is the one the first run produced.
+    rerun_agent = make_mechanism("chiron", env, rng=1, tier="quick")
+    resumed = train_mechanism(
+        env, rerun_agent, episodes=80,
+        checkpoint_every=20, checkpoint_dir=ckpt_dir,
+    )
+    assert len(resumed) == len(history)
+    print("rerun resumed from the final checkpoint: 0 episodes re-trained ✓")
+    agent = rerun_agent  # the restored agent is the trained agent
 
     # 2. Checkpoint (plain npz: portable, no pickling).
-    workdir = Path(tempfile.mkdtemp(prefix="chiron-ckpt-"))
     path = agent.save(workdir / "chiron.npz")
     print(f"saved checkpoint: {path} ({path.stat().st_size / 1024:.1f} KiB)")
 

@@ -30,17 +30,18 @@ RunnerOutput = Tuple[dict, str]  # (json payload, rendered text)
 class ExperimentSpec:
     """One reproducible figure/table.
 
-    Runners take ``(scale, seed, workers=1)``.  Grid experiments (the
-    budget sweeps, Table I) fan their cells over a
+    Runners take ``(scale, seed, workers=1, journal=None)``.  Grid
+    experiments (the budget sweeps, Table I) fan their cells over a
     :mod:`repro.parallel` process pool when ``workers > 1`` — results
-    are worker-count-invariant by the engine's determinism contract.
-    Single-training-run experiments (the convergence figures) are
-    inherently sequential and ignore ``workers``.
+    are worker-count-invariant by the engine's determinism contract —
+    and honour ``journal`` (a path) for crash-safe resume via
+    :mod:`repro.resilience`.  Single-training-run experiments (the
+    convergence figures) are inherently sequential and ignore both.
     """
 
     exp_id: str
     description: str
-    #: (scale, seed, workers=1) -> output
+    #: (scale, seed, workers=1, journal=None) -> output
     runner: Callable[..., RunnerOutput]
 
 
@@ -52,8 +53,8 @@ def _scale_params(scale: str, quick: dict, paper: dict) -> dict:
     raise ValueError(f"unknown scale {scale!r}; expected 'quick' or 'paper'")
 
 
-def _fig3(scale: str, seed: int, workers: int = 1) -> RunnerOutput:
-    # Single training run: nothing to fan out, ``workers`` ignored.
+def _fig3(scale: str, seed: int, workers: int = 1, journal=None) -> RunnerOutput:
+    # Single training run: nothing to fan out, ``workers``/``journal`` ignored.
     params = _scale_params(
         scale,
         quick=dict(episodes=120, tier="quick"),
@@ -67,7 +68,9 @@ def _fig3(scale: str, seed: int, workers: int = 1) -> RunnerOutput:
 
 
 def _budget_sweep_fig(task: str):
-    def runner(scale: str, seed: int, workers: int = 1) -> RunnerOutput:
+    def runner(
+        scale: str, seed: int, workers: int = 1, journal=None
+    ) -> RunnerOutput:
         params = _scale_params(
             scale,
             quick=dict(train_episodes=40, eval_episodes=5, tier="quick"),
@@ -79,6 +82,7 @@ def _budget_sweep_fig(task: str):
             n_nodes=5,
             seed=seed,
             workers=workers,
+            journal=journal,
             **params,
         )
         return result.to_payload(), render_budget_sweep(result)
@@ -86,8 +90,8 @@ def _budget_sweep_fig(task: str):
     return runner
 
 
-def _fig7a(scale: str, seed: int, workers: int = 1) -> RunnerOutput:
-    # Single training run: nothing to fan out, ``workers`` ignored.
+def _fig7a(scale: str, seed: int, workers: int = 1, journal=None) -> RunnerOutput:
+    # Single training run: nothing to fan out, ``workers``/``journal`` ignored.
     params = _scale_params(
         scale,
         quick=dict(episodes=40, tier="quick"),
@@ -100,8 +104,8 @@ def _fig7a(scale: str, seed: int, workers: int = 1) -> RunnerOutput:
     return result.to_payload(), render_convergence(result)
 
 
-def _fig7b(scale: str, seed: int, workers: int = 1) -> RunnerOutput:
-    # Single training run: nothing to fan out, ``workers`` ignored.
+def _fig7b(scale: str, seed: int, workers: int = 1, journal=None) -> RunnerOutput:
+    # Single training run: nothing to fan out, ``workers``/``journal`` ignored.
     params = _scale_params(
         scale,
         quick=dict(episodes=40, tier="quick"),
@@ -114,13 +118,15 @@ def _fig7b(scale: str, seed: int, workers: int = 1) -> RunnerOutput:
     return result.to_payload(), render_convergence(result)
 
 
-def _table1(scale: str, seed: int, workers: int = 1) -> RunnerOutput:
+def _table1(scale: str, seed: int, workers: int = 1, journal=None) -> RunnerOutput:
     params = _scale_params(
         scale,
         quick=dict(train_episodes=50, eval_episodes=3, tier="quick", n_seeds=3),
         paper=dict(train_episodes=500, eval_episodes=10, tier="paper"),
     )
-    result = run_table1(n_nodes=100, seed=seed, workers=workers, **params)
+    result = run_table1(
+        n_nodes=100, seed=seed, workers=workers, journal=journal, **params
+    )
     return result.to_payload(), render_table1(result)
 
 
@@ -155,13 +161,13 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
     "ext-lambda": ExperimentSpec(
         "ext-lambda",
         "[extension] λ preference-coefficient sweep (accuracy/time frontier)",
-        lambda scale, seed, workers=1: _ext_lambda(scale, seed),
+        lambda scale, seed, workers=1, journal=None: _ext_lambda(scale, seed),
     ),
 }
 
 
-def _ext_lambda(scale: str, seed: int, workers: int = 1) -> RunnerOutput:
-    # Single λ-by-λ training chain: ``workers`` ignored.
+def _ext_lambda(scale: str, seed: int, workers: int = 1, journal=None) -> RunnerOutput:
+    # Single λ-by-λ training chain: ``workers``/``journal`` ignored.
     from repro.experiments.figures import render_lambda_sweep
     from repro.experiments.preference import run_lambda_sweep
 

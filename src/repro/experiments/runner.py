@@ -201,6 +201,10 @@ def train_mechanism(
     log_every: Optional[int] = None,
     num_envs: int = 1,
     workers: int = 1,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = True,
+    guard=None,
 ) -> TrainingHistory:
     """Train a mechanism for ``episodes`` budget-bounded episodes.
 
@@ -214,6 +218,19 @@ def train_mechanism(
     level up — :func:`repro.parallel.run_sweep` runs many independent
     train+evaluate cells at once — and the explicit error points there
     rather than silently ignoring the flag.
+
+    ``checkpoint_every=N`` (with ``checkpoint_dir``) makes the run
+    *crash-safe*: every N completed episodes the mechanism's
+    full-fidelity checkpoint plus the environment's cross-episode RNG
+    state and the history so far are written atomically (see
+    :mod:`repro.resilience.training`).  With ``resume`` (the default), a
+    rerun pointing at the same directory restores the newest checkpoint
+    and continues *bitwise-identically* to the run that was never killed
+    — requires the sequential path (``num_envs == 1``) and a mechanism
+    exposing ``save``/``load``.  ``guard`` (a
+    :class:`~repro.resilience.signals.ShutdownGuard`) stops at the next
+    episode boundary on SIGTERM/SIGINT, writing a final checkpoint when
+    checkpointing is configured; the returned history is then partial.
     """
     check_positive("episodes", episodes)
     check_positive("num_envs", num_envs)
@@ -224,6 +241,24 @@ def train_mechanism(
             "repro.parallel.run_sweep to parallelize across independent "
             "(mechanism, budget, seed) runs instead"
         )
+    checkpointing = checkpoint_every is not None or checkpoint_dir is not None
+    if checkpointing:
+        if checkpoint_every is None or checkpoint_dir is None:
+            raise ValueError(
+                "checkpoint_every and checkpoint_dir must be set together"
+            )
+        check_positive("checkpoint_every", checkpoint_every)
+        if num_envs > 1 or isinstance(env, VectorizedEdgeLearningEnv):
+            raise ValueError(
+                "checkpointing requires the sequential path (num_envs=1): "
+                "vectorized replicas finish out of phase, so there is no "
+                "consistent episode boundary to checkpoint at"
+            )
+        if not (hasattr(mechanism, "save") and hasattr(mechanism, "load")):
+            raise TypeError(
+                f"mechanism {mechanism.name!r} has no save/load and cannot "
+                "be checkpointed"
+            )
     if hasattr(mechanism, "train_mode"):
         mechanism.train_mode()
     history = TrainingHistory(mechanism=mechanism.name)
@@ -244,9 +279,32 @@ def train_mechanism(
                     result.mean_time_efficiency,
                 )
         return history
-    for episode_idx in range(episodes):
+
+    start_episode = 0
+    if checkpointing:
+        from repro.resilience.training import (
+            latest_checkpoint,
+            load_training_checkpoint,
+            save_training_checkpoint,
+        )
+
+        if resume:
+            newest = latest_checkpoint(checkpoint_dir)
+            if newest is not None:
+                start_episode, history = load_training_checkpoint(
+                    newest, mechanism, env
+                )
+                if start_episode >= episodes:
+                    return history
+    for episode_idx in range(start_episode, episodes):
+        if guard is not None and guard.draining:
+            break
         result, diag = run_episode(env, mechanism)
         history.append(result, diag)
+        if checkpointing and (episode_idx + 1) % checkpoint_every == 0:
+            save_training_checkpoint(
+                checkpoint_dir, mechanism, env, history, episode_idx + 1
+            )
         if log_every and (episode_idx + 1) % log_every == 0:
             _log.info(
                 "%s episode %d/%d: reward=%.1f acc=%.3f rounds=%d eff=%.2f",
@@ -258,6 +316,14 @@ def train_mechanism(
                 result.rounds,
                 result.mean_time_efficiency,
             )
+    else:
+        return history
+    # Drained by the guard: persist the boundary we stopped at so the
+    # rerun continues exactly here instead of replaying episodes.
+    if checkpointing and len(history) > start_episode:
+        save_training_checkpoint(
+            checkpoint_dir, mechanism, env, history, len(history)
+        )
     return history
 
 

@@ -257,12 +257,26 @@ class JsonlEventSink:
         return False
 
 
-def read_jsonl(path: PathLike) -> list:
-    """Read back a JSONL event stream as a list of dicts."""
+def read_jsonl(path: PathLike, strict: bool = False) -> list:
+    """Read back a JSONL event stream as a list of dicts.
+
+    A process killed mid-``emit`` can leave exactly one torn line at the
+    end of the file; by default that trailing fragment is skipped so a
+    crashed run's stream stays readable.  Damage anywhere *before* the
+    final line is never forgiven, and ``strict=True`` restores the old
+    raise-on-anything behaviour.
+    """
     records = []
-    with Path(path).open("r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if line:
-                records.append(json.loads(line))
+    lines = [
+        line
+        for line in Path(path).read_text(encoding="utf-8").splitlines()
+        if line.strip()
+    ]
+    for lineno, line in enumerate(lines):
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            if strict or lineno != len(lines) - 1:
+                raise
+            break
     return records

@@ -26,6 +26,17 @@ index and returned in submission order.
 Workers pickle their result *before* enqueueing it; an unpicklable
 result therefore surfaces as an ordinary item error instead of crashing
 the queue's feeder thread with no diagnostics.
+
+Results travel over a *per-worker pipe*, never a shared queue: a
+``multiprocessing.Queue`` shared by several writers serializes them
+through a cross-process write lock, and a worker killed mid-send (crash
+item, hang terminate, OOM) dies *holding* that lock — every surviving
+worker's results then silently stop flowing and the pool wedges.  With
+one single-writer pipe per worker there is no lock to strand, and a
+dying worker's torn final frame poisons only its own pipe, which is
+discarded at respawn.  The parent reads the pipes non-blockingly and
+reassembles length-prefixed frames itself, so a torn tail merely waits
+in the buffer instead of blocking the scheduling loop.
 """
 
 from __future__ import annotations
@@ -33,13 +44,14 @@ from __future__ import annotations
 import importlib
 import os
 import pickle
-import queue as queue_mod
+import struct
 import time
 import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import multiprocessing as mp
+from multiprocessing import connection as mp_connection
 
 __all__ = [
     "PoolConfig",
@@ -71,6 +83,7 @@ class PoolConfig:
     backoff_cap: float = 2.0
     max_respawns: int = 4
     item_timeout: Optional[float] = None
+    startup_grace: float = 30.0
     mp_context: str = "spawn"
 
     def __post_init__(self) -> None:
@@ -83,6 +96,10 @@ class PoolConfig:
         if self.item_timeout is not None and self.item_timeout <= 0:
             raise ValueError(
                 f"item_timeout must be positive, got {self.item_timeout}"
+            )
+        if self.startup_grace < 0:
+            raise ValueError(
+                f"startup_grace must be >= 0, got {self.startup_grace}"
             )
 
 
@@ -100,7 +117,9 @@ class PoolReport:
     """Outcome of one :func:`run_items` call.
 
     ``results[i]`` is item ``i``'s return value, or ``None`` if the item
-    was quarantined (look it up in ``quarantined`` by index).
+    was quarantined (look it up in ``quarantined`` by index) — or, when
+    ``interrupted`` is True, never ran because a graceful drain
+    (``should_stop``) stopped dispatch first.
     """
 
     results: List[Any]
@@ -109,10 +128,11 @@ class PoolReport:
     respawns: int = 0
     worker_health: Dict[int, float] = field(default_factory=dict)
     elapsed: float = 0.0
+    interrupted: bool = False
 
     @property
     def ok(self) -> bool:
-        return not self.quarantined
+        return not self.quarantined and not self.interrupted
 
 
 def resolve_callable(path: str) -> Callable[[Any], Any]:
@@ -134,16 +154,23 @@ def resolve_callable(path: str) -> Callable[[Any], Any]:
     return fn
 
 
-def _worker_main(slot: int, fn_path: str, task_q, result_q) -> None:
+def _worker_main(slot: int, fn_path: str, task_q, result_conn) -> None:
     """Worker loop: claim one payload at a time, execute, report.
+
+    A ``("start", ...)`` ack is sent the moment an item is claimed so the
+    parent's ``item_timeout`` clock measures *execution*, not the cold
+    interpreter start a freshly spawned worker pays first — without the
+    ack, a loaded host makes the pool kill healthy items as hangs.
 
     The result is pickled here (inside the try) so both execution errors
     and serialization errors come back as ``("error", ...)`` messages.
+    ``result_conn`` is this worker's private pipe — see the module
+    docstring for why results must not share a locked queue.
     """
     try:
         fn = resolve_callable(fn_path)
     except BaseException as exc:  # pragma: no cover - import failure path
-        result_q.put(("fatal", slot, -1, f"{type(exc).__name__}: {exc}"))
+        result_conn.send(("fatal", slot, -1, f"{type(exc).__name__}: {exc}"))
         return
     while True:
         msg = task_q.get()
@@ -151,15 +178,50 @@ def _worker_main(slot: int, fn_path: str, task_q, result_q) -> None:
             break
         index, payload = msg
         try:
+            result_conn.send(("start", slot, index, None))
+        except OSError:  # pragma: no cover - parent is gone
+            return
+        try:
             value = fn(payload)
             blob = pickle.dumps(value)
         except BaseException as exc:
             detail = "".join(
                 traceback.format_exception_only(type(exc), exc)
             ).strip()
-            result_q.put(("error", slot, index, detail))
+            reply = ("error", slot, index, detail)
         else:
-            result_q.put(("ok", slot, index, blob))
+            reply = ("ok", slot, index, blob)
+        try:
+            result_conn.send(reply)
+        except OSError:  # pragma: no cover - parent is gone
+            return
+
+
+def _parse_frames(buf: bytearray) -> List[tuple]:
+    """Split complete ``Connection`` frames off ``buf``, unpickled.
+
+    Frames are the 4-byte big-endian length prefix ``Connection.send``
+    writes (``-1`` + 8-byte length for oversized payloads).  A torn tail
+    — a killed writer's final, partial frame — simply stays in the
+    buffer; it can never block the reader.
+    """
+    msgs: List[tuple] = []
+    while True:
+        if len(buf) < 4:
+            break
+        (n,) = struct.unpack_from("!i", buf, 0)
+        offset = 4
+        if n == -1:
+            if len(buf) < 12:
+                break
+            (n,) = struct.unpack_from("!Q", buf, 4)
+            offset = 12
+        if len(buf) < offset + n:
+            break
+        payload = bytes(buf[offset:offset + n])
+        del buf[: offset + n]
+        msgs.append(pickle.loads(payload))
+    return msgs
 
 
 class _Slot:
@@ -169,8 +231,16 @@ class _Slot:
         self.slot_id = slot_id
         self.proc: Optional[mp.process.BaseProcess] = None
         self.task_q = None
+        # Parent's read end of this worker's private result pipe, plus
+        # the partial-frame reassembly buffer for it.
+        self.result_conn = None
+        self.recv_buf = bytearray()
+        self.conn_eof = False
         self.busy_index: Optional[int] = None
         self.dispatched_at: float = 0.0
+        # Set by the worker's ("start", ...) ack; None while the item is
+        # still queued behind worker startup.
+        self.started_at: Optional[float] = None
         self.health: float = 1.0
         self.completed: int = 0
 
@@ -190,7 +260,12 @@ class _Slot:
 
 
 def _run_inprocess(
-    payloads: Sequence[Any], fn_path: str, config: PoolConfig
+    payloads: Sequence[Any],
+    fn_path: str,
+    config: PoolConfig,
+    on_result: Optional[Callable[[int, Any], None]] = None,
+    on_quarantine: Optional[Callable[[ItemFailure], None]] = None,
+    should_stop: Optional[Callable[[], bool]] = None,
 ) -> PoolReport:
     """Sequential execution with the same retry/quarantine semantics."""
     fn = resolve_callable(fn_path)
@@ -198,7 +273,11 @@ def _run_inprocess(
     results: List[Any] = [None] * len(payloads)
     quarantined: List[ItemFailure] = []
     retries = 0
+    interrupted = False
     for index, payload in enumerate(payloads):
+        if should_stop is not None and should_stop():
+            interrupted = True
+            break
         errors: List[str] = []
         for attempt in range(config.max_retries + 1):
             try:
@@ -217,13 +296,16 @@ def _run_inprocess(
                         )
                     )
             else:
+                if on_result is not None:
+                    on_result(index, results[index])
                 break
         else:
-            quarantined.append(
-                ItemFailure(
-                    index=index, attempts=len(errors), errors=errors
-                )
+            failure = ItemFailure(
+                index=index, attempts=len(errors), errors=errors
             )
+            quarantined.append(failure)
+            if on_quarantine is not None:
+                on_quarantine(failure)
     return PoolReport(
         results=results,
         quarantined=quarantined,
@@ -231,6 +313,7 @@ def _run_inprocess(
         respawns=0,
         worker_health={0: 1.0 if not quarantined else 0.0},
         elapsed=time.monotonic() - started,
+        interrupted=interrupted,
     )
 
 
@@ -238,6 +321,9 @@ def run_items(
     payloads: Sequence[Any],
     fn_path: str = "repro.parallel.items:execute",
     config: Optional[PoolConfig] = None,
+    on_result: Optional[Callable[[int, Any], None]] = None,
+    on_quarantine: Optional[Callable[[ItemFailure], None]] = None,
+    should_stop: Optional[Callable[[], bool]] = None,
 ) -> PoolReport:
     """Execute ``fn(payload)`` for every payload, surviving worker crashes.
 
@@ -245,15 +331,42 @@ def run_items(
     (``"module:attr"``).  Results come back in submission order.  Items
     that keep failing past the retry budget are quarantined, not raised —
     inspect :attr:`PoolReport.quarantined`.
+
+    ``on_result(index, value)`` / ``on_quarantine(failure)`` fire in the
+    *parent* the moment an item settles — the journaling hook of the
+    resilience layer, called before the pool moves on so a parent death
+    right after the call has already persisted the item.  ``should_stop``
+    is polled between dispatches; returning True stops new dispatch,
+    drains in-flight work and returns a report with ``interrupted=True``
+    (undispatched items stay ``None`` without quarantine records).
     """
     config = config or PoolConfig()
     if config.workers <= 1:
-        return _run_inprocess(payloads, fn_path, config)
-    return _run_pool(payloads, fn_path, config)
+        return _run_inprocess(
+            payloads,
+            fn_path,
+            config,
+            on_result=on_result,
+            on_quarantine=on_quarantine,
+            should_stop=should_stop,
+        )
+    return _run_pool(
+        payloads,
+        fn_path,
+        config,
+        on_result=on_result,
+        on_quarantine=on_quarantine,
+        should_stop=should_stop,
+    )
 
 
 def _run_pool(
-    payloads: Sequence[Any], fn_path: str, config: PoolConfig
+    payloads: Sequence[Any],
+    fn_path: str,
+    config: PoolConfig,
+    on_result: Optional[Callable[[int, Any], None]] = None,
+    on_quarantine: Optional[Callable[[ItemFailure], None]] = None,
+    should_stop: Optional[Callable[[], bool]] = None,
 ) -> PoolReport:
     ctx = mp.get_context(config.mp_context)
     started = time.monotonic()
@@ -269,17 +382,30 @@ def _run_pool(
     respawns = 0
     respawn_budget = config.max_respawns
 
-    result_q = ctx.Queue()
     slots = [_Slot(i) for i in range(min(config.workers, max(n, 1)))]
 
     def spawn(slot: _Slot) -> None:
+        # A dead incarnation's pipe (and any torn final frame in its
+        # buffer) is discarded wholesale — new worker, new pipe.
+        if slot.result_conn is not None:
+            try:
+                slot.result_conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
         slot.task_q = ctx.Queue()
+        recv_conn, send_conn = ctx.Pipe(duplex=False)
         slot.proc = ctx.Process(
             target=_worker_main,
-            args=(slot.slot_id, fn_path, slot.task_q, result_q),
+            args=(slot.slot_id, fn_path, slot.task_q, send_conn),
             daemon=True,
         )
         slot.proc.start()
+        # Close the parent's copy of the write end so worker death shows
+        # up as EOF on the read end.
+        send_conn.close()
+        slot.result_conn = recv_conn
+        slot.recv_buf = bytearray()
+        slot.conn_eof = False
         slot.busy_index = None
 
     def fail_item(index: int, detail: str, slot: Optional[_Slot]) -> None:
@@ -297,71 +423,124 @@ def _run_pool(
             deferred.append((time.monotonic() + delay, index))
         else:
             pending.discard(index)
-            quarantined.append(
-                ItemFailure(
-                    index=index,
-                    attempts=attempts[index],
-                    errors=list(errors[index]),
-                )
+            failure = ItemFailure(
+                index=index,
+                attempts=attempts[index],
+                errors=list(errors[index]),
             )
+            quarantined.append(failure)
+            if on_quarantine is not None:
+                on_quarantine(failure)
+
+    def handle_message(msg: tuple) -> None:
+        kind, slot_id, index, payload = msg
+        slot = slots[slot_id]
+        if kind == "start":
+            # Guard against a stale ack from a killed worker's
+            # incarnation: only the item this slot currently holds may
+            # arm the execution clock.
+            if slot.busy_index == index:
+                slot.started_at = time.monotonic()
+        elif kind == "ok":
+            results[index] = pickle.loads(payload)
+            pending.discard(index)
+            slot.record(True)
+            slot.busy_index = None
+            if on_result is not None:
+                on_result(index, results[index])
+        elif kind == "error":
+            slot.busy_index = None
+            fail_item(index, payload, slot)
+        elif kind == "fatal":
+            # Worker could not even import the target callable: retrying
+            # on another worker cannot help.
+            raise RuntimeError(
+                f"worker failed to initialise {fn_path!r}: {payload}"
+            )
+
+    def drain_slot(slot: _Slot) -> bool:
+        """Read whatever this worker's pipe holds; True if anything came."""
+        if slot.result_conn is None or slot.conn_eof:
+            return False
+        got = False
+        while True:
+            try:
+                if not slot.result_conn.poll(0):
+                    break
+                chunk = os.read(slot.result_conn.fileno(), 1 << 16)
+            except (OSError, EOFError, BrokenPipeError):
+                slot.conn_eof = True
+                break
+            if not chunk:
+                slot.conn_eof = True
+                break
+            got = True
+            slot.recv_buf += chunk
+            for msg in _parse_frames(slot.recv_buf):
+                handle_message(msg)
+        return got
 
     for slot in slots:
         spawn(slot)
 
+    stopping = False
     try:
         while pending:
             now = time.monotonic()
+            if not stopping and should_stop is not None and should_stop():
+                stopping = True
 
             # Re-arm deferred retries whose backoff has elapsed.
-            if deferred:
+            if deferred and not stopping:
                 due = [d for d in deferred if d[0] <= now]
                 if due:
                     deferred[:] = [d for d in deferred if d[0] > now]
                     ready.extend(index for _, index in due)
 
             # Dispatch: one item per idle worker, parent keeps the map.
+            # A drain (should_stop) freezes dispatch; in-flight items
+            # still complete and are collected below.
             for slot in slots:
-                if not ready:
+                if not ready or stopping:
                     break
                 if slot.idle:
                     index = ready.pop(0)
                     slot.busy_index = index
                     slot.dispatched_at = now
+                    slot.started_at = None
                     slot.task_q.put((index, payloads[index]))
 
-            # Drain every queued result before judging worker liveness so
-            # a worker that finished its item and *then* died is credited.
-            drained_any = False
-            try:
-                msg = result_q.get(timeout=_DRAIN_TIMEOUT)
-            except queue_mod.Empty:
-                msg = None
-            while msg is not None:
-                drained_any = True
-                kind, slot_id, index, payload = msg
-                slot = slots[slot_id]
-                if kind == "ok":
-                    results[index] = pickle.loads(payload)
-                    pending.discard(index)
-                    slot.record(True)
-                    slot.busy_index = None
-                elif kind == "error":
-                    slot.busy_index = None
-                    fail_item(index, payload, slot)
-                elif kind == "fatal":
-                    # Worker could not even import the target callable:
-                    # retrying on another worker cannot help.
-                    raise RuntimeError(
-                        f"worker failed to initialise {fn_path!r}: {payload}"
+            # Drain every worker pipe before judging liveness so a
+            # worker that finished its item and *then* died is credited.
+            conns = [
+                s.result_conn
+                for s in slots
+                if s.result_conn is not None and not s.conn_eof
+            ]
+            if conns:
+                ready_conns = set(
+                    id(c)
+                    for c in mp_connection.wait(
+                        conns, timeout=_DRAIN_TIMEOUT
                     )
-                try:
-                    msg = result_q.get_nowait()
-                except queue_mod.Empty:
-                    msg = None
+                )
+            else:
+                time.sleep(_DRAIN_TIMEOUT)
+                ready_conns = set()
+            drained_any = False
+            for slot in slots:
+                if (
+                    slot.result_conn is not None
+                    and id(slot.result_conn) in ready_conns
+                ):
+                    drained_any = drain_slot(slot) or drained_any
 
             # Liveness: a dead worker holding an item = crash on that item.
             for slot in slots:
                 if slot.proc is not None and not slot.proc.is_alive():
+                    # Final read: results sent just before death still
+                    # count (the pipe outlives the process).
+                    drain_slot(slot)
                     if slot.busy_index is not None:
                         code = slot.proc.exitcode
                         index = slot.busy_index
@@ -380,14 +559,23 @@ def _run_pool(
                         slot.proc = None
 
             # Timeouts: a wedged worker is terminated and treated as dead
-            # on the next liveness pass.
+            # on the next liveness pass.  The clock runs from the
+            # worker's start ack so interpreter cold start is never
+            # charged to the item; until the ack arrives, only the much
+            # larger ``startup_grace`` bounds a wedged spawn.
             if config.item_timeout is not None:
                 for slot in slots:
-                    if (
-                        slot.alive
-                        and slot.busy_index is not None
-                        and now - slot.dispatched_at > config.item_timeout
-                    ):
+                    if not (slot.alive and slot.busy_index is not None):
+                        continue
+                    if slot.started_at is not None:
+                        timed_out = (
+                            now - slot.started_at > config.item_timeout
+                        )
+                    else:
+                        timed_out = now - slot.dispatched_at > (
+                            config.item_timeout + config.startup_grace
+                        )
+                    if timed_out:
                         slot.proc.terminate()
 
             if not any(slot.alive for slot in slots):
@@ -398,15 +586,21 @@ def _run_pool(
                             "pool exhausted: all workers dead and "
                             "respawn budget spent"
                         ]
-                        quarantined.append(
-                            ItemFailure(
-                                index=index,
-                                attempts=attempts[index],
-                                errors=pending_errors,
-                            )
+                        failure = ItemFailure(
+                            index=index,
+                            attempts=attempts[index],
+                            errors=pending_errors,
                         )
+                        quarantined.append(failure)
+                        if on_quarantine is not None:
+                            on_quarantine(failure)
                     pending.clear()
                     break
+
+            # Drain complete: every dispatched item has settled and no new
+            # dispatch will happen — leave the rest for a resumed run.
+            if stopping and all(s.busy_index is None for s in slots):
+                break
 
             if not drained_any and not pending:
                 break
@@ -421,8 +615,12 @@ def _run_pool(
                 if slot.proc.is_alive():
                     slot.proc.terminate()
                     slot.proc.join(timeout=1.0)
-        result_q.close()
-        result_q.cancel_join_thread()
+        for slot in slots:
+            if slot.result_conn is not None:
+                try:
+                    slot.result_conn.close()
+                except OSError:  # pragma: no cover - already closed
+                    pass
 
     quarantined.sort(key=lambda f: f.index)
     return PoolReport(
@@ -432,4 +630,5 @@ def _run_pool(
         respawns=respawns,
         worker_health={s.slot_id: s.health for s in slots},
         elapsed=time.monotonic() - started,
+        interrupted=bool(pending),
     )

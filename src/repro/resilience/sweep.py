@@ -1,0 +1,251 @@
+"""Checkpoint/resume for ``run_sweep``: the journaled sweep driver.
+
+:func:`journaled_sweep` wraps the :mod:`repro.parallel` pool with a
+:class:`~repro.resilience.journal.RunJournal`:
+
+* every completed item's result (and every quarantine verdict) is
+  appended to the journal *as it is drained from the pool* — killing the
+  process loses at most the in-flight items, never a finished one;
+* on restart with the same journal path, journaled items are *replayed*
+  instead of re-executed and only the remainder runs, after the journal
+  header's item-manifest digest is checked against the new item list (a
+  journal from a different grid refuses to resume rather than silently
+  splicing results);
+* the assembled :class:`~repro.parallel.engine.SweepResult` is, by
+  construction, bit-identical to the uninterrupted run —
+  ``fingerprint()`` is a pure function of the per-item result data in
+  submission order, and the JSON round-trip through the journal is
+  loss-free for the JSON-safe payloads work items produce.
+
+A :class:`~repro.resilience.signals.ShutdownGuard` may be supplied:
+SIGTERM/SIGINT then stop dispatch, drain in-flight workers, flush the
+journal and write a ``sweep_manifest`` record describing exactly what
+remains — the resumable-by-design exit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro import obs as _obs
+from repro.parallel.pool import ItemFailure, PoolConfig, PoolReport, run_items
+from repro.resilience.journal import JournalRecord, RunJournal, read_journal
+from repro.resilience.signals import ShutdownGuard
+from repro.utils.logging import get_logger
+
+__all__ = [
+    "journaled_sweep",
+    "manifest_digest",
+    "sweep_progress",
+]
+
+_log = get_logger("resilience.sweep")
+
+#: Journal record kinds written by the sweep driver.
+KIND_HEADER = "sweep_header"
+KIND_ITEM_OK = "item_ok"
+KIND_ITEM_QUARANTINED = "item_quarantined"
+KIND_MANIFEST = "sweep_manifest"
+
+
+def _canonical_default(value: Any) -> Any:
+    """Digest-stable stand-ins for the non-JSON values items may carry."""
+    if isinstance(value, (bytes, bytearray)):
+        return {"__bytes_sha256__": hashlib.sha256(bytes(value)).hexdigest()}
+    raise TypeError(f"{type(value).__name__} is not JSON serializable")
+
+
+def manifest_digest(items: Sequence[Dict[str, Any]]) -> str:
+    """sha256 identifying an item list (order-sensitive).
+
+    Byte payloads (e.g. ``eval_item`` bundles) are folded in by their own
+    digest, so the manifest stays JSON-computable for every item kind.
+    """
+    blob = json.dumps(
+        list(items), sort_keys=True, default=_canonical_default
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def sweep_progress(journal_path) -> Dict[str, Any]:
+    """Summarize a sweep journal: counts by kind + completion flag."""
+    replay = read_journal(journal_path)
+    done = {r.data["index"] for r in replay.of_kind(KIND_ITEM_OK)}
+    quarantined = {
+        r.data["index"] for r in replay.of_kind(KIND_ITEM_QUARANTINED)
+    }
+    headers = replay.of_kind(KIND_HEADER)
+    manifests = replay.of_kind(KIND_MANIFEST)
+    n_items = headers[0].data["n_items"] if headers else None
+    return {
+        "n_items": n_items,
+        "completed": len(done),
+        "quarantined": len(quarantined),
+        "torn_tail": not replay.clean,
+        "complete": bool(manifests and manifests[-1].data.get("complete")),
+    }
+
+
+def _replay_records(
+    replay_records: List[JournalRecord],
+    n_items: int,
+) -> Tuple[Dict[int, Any], Dict[int, ItemFailure]]:
+    """Split verified journal records into result / quarantine maps."""
+    done: Dict[int, Any] = {}
+    quarantined: Dict[int, ItemFailure] = {}
+    for record in replay_records:
+        if record.kind == KIND_ITEM_OK:
+            index = int(record.data["index"])
+            if not 0 <= index < n_items:
+                raise ValueError(
+                    f"journal names item {index} outside the {n_items}-item "
+                    "grid; refusing to resume"
+                )
+            done[index] = record.data["result"]
+        elif record.kind == KIND_ITEM_QUARANTINED:
+            failure = record.data["failure"]
+            index = int(failure["index"])
+            quarantined[index] = ItemFailure(
+                index=index,
+                attempts=int(failure["attempts"]),
+                errors=list(failure["errors"]),
+            )
+    return done, quarantined
+
+
+def journaled_sweep(
+    items: Sequence[Dict[str, Any]],
+    config: PoolConfig,
+    journal: RunJournal,
+    fn_path: str = "repro.parallel.items:execute",
+    guard: Optional[ShutdownGuard] = None,
+) -> PoolReport:
+    """Run ``items`` through the pool, journaling every completed unit.
+
+    Returns a :class:`PoolReport` covering the *full* item list:
+    journaled items are replayed into their submission-order slots and
+    only the remainder executes.  ``report.interrupted`` is True when a
+    shutdown drain (or an exhausted pool) left items neither completed
+    nor quarantined — re-running with the same journal finishes them.
+    """
+    items = list(items)
+    n = len(items)
+    digest = manifest_digest(items)
+
+    replay = read_journal(journal.path)
+    headers = replay.of_kind(KIND_HEADER)
+    if headers:
+        recorded = headers[0].data
+        if recorded.get("manifest") != digest:
+            raise ValueError(
+                f"journal {journal.path} was written for a different item "
+                f"list (manifest {recorded.get('manifest')!r} != {digest!r}); "
+                "resuming would splice unrelated results"
+            )
+        if int(recorded.get("n_items", -1)) != n:
+            raise ValueError(
+                f"journal {journal.path} covers {recorded.get('n_items')} "
+                f"items but {n} were submitted"
+            )
+    else:
+        journal.append(
+            KIND_HEADER,
+            {"version": 1, "manifest": digest, "n_items": n},
+        )
+        journal.sync()
+
+    done, quarantined_map = _replay_records(replay.records, n)
+    replayed = len(done) + len(quarantined_map)
+    if replayed and _obs.enabled():
+        _obs.counter("resilience.resume.replayed").inc(replayed)
+    if replayed:
+        _log.info(
+            "resuming sweep from %s: %d/%d items replayed from journal",
+            journal.path,
+            replayed,
+            n,
+        )
+
+    pending_indices = [
+        i for i in range(n) if i not in done and i not in quarantined_map
+    ]
+
+    results: List[Any] = [None] * n
+    for index, value in done.items():
+        results[index] = value
+    quarantined: List[ItemFailure] = list(quarantined_map.values())
+
+    report = PoolReport(results=results, quarantined=quarantined)
+    if pending_indices:
+
+        def on_result(local_index: int, value: Any) -> None:
+            index = pending_indices[local_index]
+            journal.append(KIND_ITEM_OK, {"index": index, "result": value})
+
+        def on_quarantine(failure: ItemFailure) -> None:
+            index = pending_indices[failure.index]
+            journal.append(
+                KIND_ITEM_QUARANTINED,
+                {
+                    "failure": {
+                        "index": index,
+                        "attempts": failure.attempts,
+                        "errors": list(failure.errors),
+                    }
+                },
+            )
+
+        fresh = run_items(
+            [items[i] for i in pending_indices],
+            fn_path=fn_path,
+            config=config,
+            on_result=on_result,
+            on_quarantine=on_quarantine,
+            should_stop=(lambda: guard.draining) if guard is not None else None,
+        )
+        for local_index, value in enumerate(fresh.results):
+            results[pending_indices[local_index]] = value
+        for failure in fresh.quarantined:
+            quarantined.append(
+                ItemFailure(
+                    index=pending_indices[failure.index],
+                    attempts=failure.attempts,
+                    errors=list(failure.errors),
+                )
+            )
+        report = PoolReport(
+            results=results,
+            quarantined=quarantined,
+            retries=fresh.retries,
+            respawns=fresh.respawns,
+            worker_health=fresh.worker_health,
+            elapsed=fresh.elapsed,
+            interrupted=fresh.interrupted,
+        )
+
+    report.quarantined.sort(key=lambda f: f.index)
+    settled = {f.index for f in report.quarantined} | {
+        i for i in range(n) if report.results[i] is not None
+    }
+    remaining = sorted(set(range(n)) - settled)
+    report.interrupted = bool(remaining)
+    journal.append(
+        KIND_MANIFEST,
+        {
+            "complete": not remaining,
+            "completed": len(settled) - len(report.quarantined),
+            "quarantined": sorted(f.index for f in report.quarantined),
+            "pending": remaining,
+        },
+    )
+    journal.sync()
+    if remaining:
+        _log.warning(
+            "sweep drained with %d item(s) pending; re-run with the same "
+            "journal to finish (%s)",
+            len(remaining),
+            journal.path,
+        )
+    return report

@@ -1,0 +1,207 @@
+"""Auto-checkpoint / resume for ``train_mechanism``.
+
+A training checkpoint is a *directory* (``ep00000040/`` for "40 episodes
+done") holding:
+
+* ``agent.npz`` — the mechanism's full-fidelity PR 4 checkpoint
+  (parameters, Adam moments, scheduler ticks, policy/shuffle RNG
+  streams, pending rollout-buffer transitions);
+* ``state.json`` — the environment's cross-episode RNG state
+  (:meth:`~repro.core.env.EdgeLearningEnv.rng_checkpoint`), the episode
+  counter, and the :class:`~repro.experiments.results.TrainingHistory`
+  accumulated so far.
+
+Writes are atomic: everything lands in a ``.tmp-`` sibling first, every
+file is fsynced, and the directory is renamed into place before the
+``LATEST`` pointer (itself written via tmp-file + ``os.replace``) moves.
+A ``kill -9`` at any instant therefore leaves either the previous
+checkpoint or the new one — never a half-written hybrid — which is what
+lets :func:`repro.experiments.runner.train_mechanism` resume
+bitwise-identically (pinned by ``tests/resilience/test_training_resume``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import shutil
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro import obs as _obs
+from repro.experiments.results import EpisodeResult, TrainingHistory
+from repro.utils.logging import get_logger
+
+PathLike = Union[str, Path]
+
+__all__ = [
+    "TRAIN_CKPT_VERSION",
+    "save_training_checkpoint",
+    "load_training_checkpoint",
+    "latest_checkpoint",
+    "list_checkpoints",
+    "prune_checkpoints",
+]
+
+_log = get_logger("resilience.training")
+
+TRAIN_CKPT_VERSION = 1
+
+_LATEST = "LATEST"
+_AGENT = "agent.npz"
+_STATE = "state.json"
+
+
+def _fsync_file(path: Path) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _history_payload(history: TrainingHistory) -> dict:
+    return {
+        "mechanism": history.mechanism,
+        "episodes": [dataclasses.asdict(e) for e in history.episodes],
+        "diagnostics": [dict(d) for d in history.diagnostics],
+    }
+
+
+def _history_from_payload(payload: dict) -> TrainingHistory:
+    history = TrainingHistory(mechanism=payload["mechanism"])
+    for row, diag in zip(payload["episodes"], payload["diagnostics"]):
+        history.append(EpisodeResult(**row), diag)
+    return history
+
+
+def save_training_checkpoint(
+    directory: PathLike,
+    mechanism,
+    env,
+    history: TrainingHistory,
+    episodes_done: int,
+) -> Path:
+    """Atomically write checkpoint ``ep{episodes_done}`` under ``directory``.
+
+    ``mechanism`` must expose ``save(path)`` (ChironAgent and every
+    PPO-backed mechanism do); ``env`` must expose ``rng_checkpoint()``.
+    Returns the final checkpoint directory.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    name = f"ep{episodes_done:08d}"
+    final = directory / name
+    if not final.exists():
+        tmp = directory / f".tmp-{name}"
+        if tmp.exists():
+            shutil.rmtree(tmp)
+        tmp.mkdir()
+        mechanism.save(tmp / _AGENT)
+        state = {
+            "version": TRAIN_CKPT_VERSION,
+            "episodes_done": int(episodes_done),
+            "mechanism": getattr(mechanism, "name", type(mechanism).__name__),
+            "env": env.rng_checkpoint(),
+            "history": _history_payload(history),
+        }
+        state_path = tmp / _STATE
+        state_path.write_text(
+            json.dumps(state, sort_keys=True), encoding="utf-8"
+        )
+        for child in tmp.iterdir():
+            _fsync_file(child)
+        os.replace(tmp, final)
+    _point_latest(directory, name)
+    if _obs.enabled():
+        _obs.counter("resilience.checkpoint.saves").inc()
+    _log.debug("checkpoint %s written", final)
+    return final
+
+
+def _point_latest(directory: Path, name: str) -> None:
+    tmp = directory / f".{_LATEST}.tmp"
+    tmp.write_text(name + "\n", encoding="utf-8")
+    _fsync_file(tmp)
+    os.replace(tmp, directory / _LATEST)
+
+
+def list_checkpoints(directory: PathLike) -> List[Path]:
+    """Completed checkpoints under ``directory``, oldest first."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return sorted(
+        p
+        for p in directory.iterdir()
+        if p.is_dir()
+        and p.name.startswith("ep")
+        and (p / _STATE).exists()
+    )
+
+
+def latest_checkpoint(directory: PathLike) -> Optional[Path]:
+    """The newest complete checkpoint, or ``None``.
+
+    Prefers the ``LATEST`` pointer; falls back to the highest-numbered
+    complete directory (covers a crash after the rename but before the
+    pointer moved — the rename is the commit point, so that checkpoint
+    is valid).
+    """
+    directory = Path(directory)
+    pointer = directory / _LATEST
+    if pointer.exists():
+        name = pointer.read_text(encoding="utf-8").strip()
+        candidate = directory / name
+        if (candidate / _STATE).exists():
+            return candidate
+    found = list_checkpoints(directory)
+    return found[-1] if found else None
+
+
+def load_training_checkpoint(
+    checkpoint: PathLike, mechanism, env
+) -> Tuple[int, TrainingHistory]:
+    """Restore a checkpoint; returns ``(episodes_done, history)``.
+
+    ``mechanism`` and ``env`` must match the architecture/fleet the
+    checkpoint was written from (same guarantees as
+    :func:`repro.rl.checkpoint.load_ppo`).
+    """
+    checkpoint = Path(checkpoint)
+    state = json.loads((checkpoint / _STATE).read_text(encoding="utf-8"))
+    if state.get("version") != TRAIN_CKPT_VERSION:
+        raise ValueError(
+            f"checkpoint {checkpoint} has version {state.get('version')}, "
+            f"this build reads version {TRAIN_CKPT_VERSION}"
+        )
+    expected = getattr(mechanism, "name", type(mechanism).__name__)
+    if state.get("mechanism") != expected:
+        raise ValueError(
+            f"checkpoint {checkpoint} was written by mechanism "
+            f"{state.get('mechanism')!r}, not {expected!r}"
+        )
+    mechanism.load(checkpoint / _AGENT)
+    env.restore_rng_checkpoint(state["env"])
+    history = _history_from_payload(state["history"])
+    if _obs.enabled():
+        _obs.counter("resilience.resume.training").inc()
+    _log.info(
+        "resumed %s from %s (%d episodes done)",
+        expected,
+        checkpoint,
+        state["episodes_done"],
+    )
+    return int(state["episodes_done"]), history
+
+
+def prune_checkpoints(directory: PathLike, keep: int = 2) -> List[Path]:
+    """Delete all but the newest ``keep`` checkpoints; returns removals."""
+    if keep < 1:
+        raise ValueError(f"keep must be >= 1, got {keep}")
+    checkpoints = list_checkpoints(Path(directory))
+    doomed = checkpoints[:-keep] if len(checkpoints) > keep else []
+    for path in doomed:
+        shutil.rmtree(path)
+    return doomed

@@ -78,6 +78,52 @@ class RolloutBuffer:
     def clear(self) -> None:
         self._transitions.clear()
 
+    def flat_state(self) -> dict:
+        """Stored transitions as named arrays (checkpoint form).
+
+        With ``min_update_batch`` set, transitions legitimately straddle
+        episode (and therefore checkpoint) boundaries — a full-fidelity
+        checkpoint must carry them or the first post-resume update would
+        see a shorter batch than the uninterrupted run's.
+        """
+        if not self._transitions:
+            return {
+                "obs": np.zeros((0, 0)),
+                "actions": np.zeros((0, 0)),
+                "rewards": np.zeros(0),
+                "values": np.zeros(0),
+                "log_probs": np.zeros(0),
+                "dones": np.zeros(0, dtype=np.uint8),
+            }
+        return {
+            "obs": np.stack([t.obs for t in self._transitions]),
+            "actions": np.stack([t.action for t in self._transitions]),
+            "rewards": np.array([t.reward for t in self._transitions]),
+            "values": np.array([t.value for t in self._transitions]),
+            "log_probs": np.array([t.log_prob for t in self._transitions]),
+            "dones": np.array(
+                [t.done for t in self._transitions], dtype=np.uint8
+            ),
+        }
+
+    def load_flat_state(self, state: dict) -> None:
+        """Inverse of :meth:`flat_state` (replaces current contents)."""
+        self._transitions.clear()
+        rewards = np.asarray(state["rewards"], dtype=np.float64)
+        for i in range(rewards.shape[0]):
+            self._transitions.append(
+                Transition(
+                    obs=np.asarray(state["obs"][i], dtype=np.float64).copy(),
+                    action=np.asarray(
+                        state["actions"][i], dtype=np.float64
+                    ).copy(),
+                    reward=float(rewards[i]),
+                    value=float(state["values"][i]),
+                    log_prob=float(state["log_probs"][i]),
+                    done=bool(state["dones"][i]),
+                )
+            )
+
     def compute(self, last_value: float = 0.0) -> Batch:
         """Assemble arrays with GAE advantages and discounted returns.
 

@@ -3,9 +3,11 @@
 A PPO agent's learnable state is its policy and value parameters, the
 observation normalizer, optimizer learning rates and the episode counter —
 plus, for *bitwise* training resumption, the Adam first/second moments and
-step counts, the LR-scheduler tick counters, and the exact positions of
+step counts, the LR-scheduler tick counters, the exact positions of
 the policy-sampling and minibatch-shuffle random streams (serialized as
-JSON bytes, see :func:`repro.utils.rng.pack_generator_state`).  With all
+JSON bytes, see :func:`repro.utils.rng.pack_generator_state`), and any
+rollout transitions still pending in the buffer (``min_update_batch``
+lets them straddle episode boundaries).  With all
 of that restored, an agent loaded mid-training produces ``act`` samples
 and ``update`` parameter deltas identical to the run that was never
 interrupted (pinned by ``tests/rl/test_checkpoint.py``).
@@ -52,6 +54,12 @@ def ppo_state_dict(agent: PPOAgent, prefix: str = "") -> Dict[str, np.ndarray]:
     )
     state[f"{prefix}policy_rng"] = pack_generator_state(agent.policy._sample_rng)
     state[f"{prefix}shuffle_rng"] = pack_generator_state(agent._shuffle_rng)
+    # Pending rollout transitions: with ``min_update_batch`` set they
+    # straddle episode boundaries, so a mid-training checkpoint that
+    # dropped them would diverge from the uninterrupted run at the next
+    # update (see tests/rl/test_checkpoint.py::TestBufferRoundTrip).
+    for key, value in agent.buffer.flat_state().items():
+        state[f"{prefix}buffer_{key}"] = value
     if agent.obs_stat is not None:
         state[f"{prefix}obs_mean"] = agent.obs_stat.mean
         state[f"{prefix}obs_var"] = agent.obs_stat.var
@@ -94,6 +102,20 @@ def load_ppo_state(
         )
     if f"{prefix}shuffle_rng" in state:
         restore_generator_state(agent._shuffle_rng, state[f"{prefix}shuffle_rng"])
+    if f"{prefix}buffer_rewards" in state:
+        agent.buffer.load_flat_state(
+            {
+                key: state[f"{prefix}buffer_{key}"]
+                for key in (
+                    "obs",
+                    "actions",
+                    "rewards",
+                    "values",
+                    "log_probs",
+                    "dones",
+                )
+            }
+        )
     if agent.obs_stat is not None:
         if f"{prefix}obs_mean" not in state:
             raise KeyError(

@@ -23,6 +23,10 @@ Variants (each compared bit-exactly against its reference):
                     processes via :mod:`repro.parallel` — every worker's
                     trace must be bit-identical to the in-process one
                     (process boundaries change nothing)
+``journal_replay``  the capture run once through a journaled sweep
+                    (:mod:`repro.resilience`), then *replayed* from the
+                    journal without executing — the round-tripped trace
+                    must be bit-identical (crash/resume changes nothing)
 ==================  ====================================================
 
 Faults on/off is the *scenario* axis: running the matrix over both the
@@ -61,6 +65,7 @@ VARIANTS = (
     "vector_m1",
     "vector_m4",
     "parallel_w4",
+    "journal_replay",
 )
 
 
@@ -182,6 +187,35 @@ def _capture_parallel(
     ]
 
 
+def _capture_journal_replay(scenario: Scenario) -> EpisodeTrace:
+    """The scenario journaled in-process, then replayed from the journal.
+
+    The first ``run_sweep`` executes the capture and journals the settled
+    result; the second runs over the *same* journal and must execute
+    nothing — its trace comes purely from the JSON round-trip through the
+    write-ahead log, which is exactly what a crash/resume would read.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.parallel.engine import run_sweep
+    from repro.parallel.items import capture_item
+
+    get_scenario(scenario.name)  # fail fast on unregistered scenarios
+    journal = Path(tempfile.mkdtemp(prefix="diff-journal-")) / "j.jsonl"
+    items = [capture_item(scenario.name)]
+    live = run_sweep(items, workers=1, journal=journal).raise_on_quarantine()
+    replayed = run_sweep(
+        items, workers=1, journal=journal
+    ).raise_on_quarantine()
+    if replayed.fingerprint() != live.fingerprint():
+        raise RuntimeError(
+            f"journal replay of {scenario.name!r} changed the sweep "
+            f"fingerprint"
+        )
+    return EpisodeTrace.from_payload(replayed.items[0]["trace"])
+
+
 def run_variant(
     scenario: Scenario,
     variant: str,
@@ -208,6 +242,15 @@ def run_variant(
             variant=variant,
             rounds=rounds,
             divergence=divergence,
+        )
+    if variant == "journal_replay":
+        expected = capture(scenario)
+        actual = _capture_journal_replay(scenario)
+        return DifferentialOutcome(
+            scenario=scenario.name,
+            variant=variant,
+            rounds=actual.num_rounds,
+            divergence=first_divergence(expected, actual),
         )
     if variant == "vector_m4":
         expected = _capture_singles(scenario, 4)

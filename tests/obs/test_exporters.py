@@ -187,3 +187,38 @@ class TestHostileLabels:
         for line in second.splitlines():
             if line.startswith("c "):
                 assert "le=" not in line
+
+
+class TestReadJsonlTornTail:
+    """A crash mid-emit tears at most the final line; the reader forgives
+    exactly that and nothing else."""
+
+    def _stream_with_tear(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonlEventSink(path) as sink:
+            sink.emit("round", {"n": 0})
+            sink.emit("round", {"n": 1})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"event": "round", "n"')  # torn write
+        return path
+
+    def test_truncated_final_line_is_skipped(self, tmp_path):
+        path = self._stream_with_tear(tmp_path)
+        records = read_jsonl(path)
+        assert [r["n"] for r in records] == [0, 1]
+
+    def test_strict_mode_still_raises(self, tmp_path):
+        path = self._stream_with_tear(tmp_path)
+        with pytest.raises(json.JSONDecodeError):
+            read_jsonl(path, strict=True)
+
+    def test_mid_file_damage_always_raises(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonlEventSink(path) as sink:
+            for n in range(3):
+                sink.emit("round", {"n": n})
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][:-2]  # corrupt a non-final record
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(json.JSONDecodeError):
+            read_jsonl(path)

@@ -1,0 +1,139 @@
+"""Durable run journal: digests, torn tails, corruption, reopen semantics."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.resilience.journal import (
+    JournalCorrupt,
+    RunJournal,
+    read_journal,
+    record_digest,
+)
+
+pytestmark = pytest.mark.resilience
+
+
+class TestAppendRead:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with RunJournal(path) as journal:
+            journal.append("header", {"n": 3})
+            journal.append("item", {"index": 0, "result": [1.0, 2.0]})
+            journal.append("item", {"index": 1, "result": None})
+        report = read_journal(path)
+        assert report.clean
+        assert [r.kind for r in report.records] == ["header", "item", "item"]
+        assert [r.seq for r in report.records] == [0, 1, 2]
+        assert report.records[1].data == {"index": 0, "result": [1.0, 2.0]}
+
+    def test_of_kind_filters(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with RunJournal(path) as journal:
+            journal.append("a", {})
+            journal.append("b", {"x": 1})
+            journal.append("a", {})
+        report = read_journal(path)
+        assert len(report.of_kind("a")) == 2
+        assert report.of_kind("b")[0].data == {"x": 1}
+
+    def test_json_round_trip_preserves_floats_exactly(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        value = 0.1 + 0.2  # not representable; repr round-trips bit-exactly
+        with RunJournal(path) as journal:
+            journal.append("item", {"v": value})
+        back = read_journal(path).records[0].data["v"]
+        assert back == value
+
+    def test_each_line_carries_verified_digest(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with RunJournal(path) as journal:
+            journal.append("item", {"k": "v"})
+        row = json.loads(path.read_text().splitlines()[0])
+        digest = row.pop("sha256")
+        assert digest == record_digest(row)
+
+    def test_reads_missing_file_as_empty(self, tmp_path):
+        report = read_journal(tmp_path / "absent.jsonl")
+        assert report.clean
+        assert report.records == []
+
+
+class TestCrashTolerance:
+    def _write_three(self, path):
+        with RunJournal(path) as journal:
+            for i in range(3):
+                journal.append("item", {"index": i})
+
+    def test_torn_trailing_line_is_tolerated(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        self._write_three(path)
+        with open(path, "ab") as handle:
+            handle.write(b'{"seq": 3, "kind": "item", "da')
+        report = read_journal(path)
+        assert not report.clean
+        assert report.torn_tail
+        assert len(report.records) == 3
+
+    def test_reopen_truncates_torn_tail_and_continues_seq(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        self._write_three(path)
+        with open(path, "ab") as handle:
+            handle.write(b'{"torn')
+        with RunJournal(path) as journal:
+            assert journal.next_seq == 3
+            journal.append("item", {"index": 3})
+        report = read_journal(path)
+        assert report.clean
+        assert [r.seq for r in report.records] == [0, 1, 2, 3]
+
+    def test_mid_file_damage_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        self._write_three(path)
+        lines = path.read_bytes().splitlines(keepends=True)
+        lines[1] = lines[1].replace(b'"index"', b'"inXex"', 1)
+        path.write_bytes(b"".join(lines))
+        with pytest.raises(JournalCorrupt):
+            read_journal(path)
+
+    def test_tampered_payload_fails_digest_check(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        self._write_three(path)
+        lines = path.read_text().splitlines()
+        row = json.loads(lines[1])
+        row["data"]["index"] = 99  # edit without recomputing the digest
+        lines[1] = json.dumps(row, sort_keys=True)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalCorrupt):
+            read_journal(path)
+
+    def test_seq_gap_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with RunJournal(path) as journal:
+            for i in range(4):
+                journal.append("item", {"index": i})
+        lines = path.read_text().splitlines()
+        # Drop record 1: the gap lands mid-file (record 3 is still last).
+        path.write_text("\n".join([lines[0], lines[2], lines[3]]) + "\n")
+        with pytest.raises(JournalCorrupt):
+            read_journal(path)
+
+
+class TestFsyncBatching:
+    def test_sync_and_batched_fsync_both_land_on_disk(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = RunJournal(path, fsync_every=2)
+        journal.append("item", {"i": 0})
+        journal.append("item", {"i": 1})  # hits the fsync boundary
+        journal.append("item", {"i": 2})
+        journal.sync()
+        assert len(read_journal(path).records) == 3
+        journal.close()
+
+    def test_append_after_close_rejected(self, tmp_path):
+        journal = RunJournal(tmp_path / "j.jsonl")
+        journal.close()
+        with pytest.raises(ValueError):
+            journal.append("item", {})

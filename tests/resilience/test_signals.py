@@ -1,0 +1,73 @@
+"""ShutdownGuard: flag semantics, handler install/restore, escalation."""
+
+from __future__ import annotations
+
+import signal
+import threading
+
+import pytest
+
+from repro.resilience.signals import ShutdownGuard, ShutdownRequested
+
+pytestmark = pytest.mark.resilience
+
+
+class TestFlag:
+    def test_fresh_guard_is_not_draining(self):
+        assert not ShutdownGuard().draining
+
+    def test_request_arms_flag_and_records_signal(self):
+        guard = ShutdownGuard()
+        guard.request(signal.SIGINT)
+        assert guard.draining
+        assert guard.signum == signal.SIGINT
+
+    def test_second_request_keeps_first_signum(self):
+        guard = ShutdownGuard()
+        guard.request(signal.SIGTERM)
+        guard.request(signal.SIGINT)
+        assert guard.signum == signal.SIGTERM
+
+    def test_raise_if_draining(self):
+        guard = ShutdownGuard()
+        guard.raise_if_draining()  # no-op while idle
+        guard.request(signal.SIGTERM)
+        with pytest.raises(ShutdownRequested) as excinfo:
+            guard.raise_if_draining()
+        assert excinfo.value.signum == signal.SIGTERM
+
+
+class TestHandlerLifecycle:
+    def test_handlers_installed_and_restored(self):
+        before = signal.getsignal(signal.SIGTERM)
+        with ShutdownGuard() as guard:
+            assert signal.getsignal(signal.SIGTERM) == guard._handle
+            assert signal.getsignal(signal.SIGINT) == guard._handle
+        assert signal.getsignal(signal.SIGTERM) == before
+
+    def test_real_sigterm_arms_flag_without_killing_process(self):
+        with ShutdownGuard() as guard:
+            signal.raise_signal(signal.SIGTERM)
+            assert guard.draining
+            assert guard.signum == signal.SIGTERM
+
+    def test_nested_guards_restore_in_order(self):
+        before = signal.getsignal(signal.SIGTERM)
+        with ShutdownGuard() as outer:
+            with ShutdownGuard() as inner:
+                assert signal.getsignal(signal.SIGTERM) == inner._handle
+            assert signal.getsignal(signal.SIGTERM) == outer._handle
+        assert signal.getsignal(signal.SIGTERM) == before
+
+    def test_non_main_thread_degrades_to_plain_flag(self):
+        captured = {}
+
+        def body():
+            with ShutdownGuard() as guard:
+                captured["installed"] = guard._installed
+                captured["draining"] = guard.draining
+
+        thread = threading.Thread(target=body)
+        thread.start()
+        thread.join()
+        assert captured == {"installed": False, "draining": False}

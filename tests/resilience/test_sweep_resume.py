@@ -1,0 +1,178 @@
+"""Journaled sweeps: resume identity, drain semantics, manifest refusal."""
+
+from __future__ import annotations
+
+import signal
+
+import pytest
+
+from repro.parallel.engine import run_sweep
+from repro.parallel.pool import PoolConfig
+from repro.resilience.journal import RunJournal, read_journal
+from repro.resilience.signals import ShutdownGuard
+from repro.resilience.sweep import (
+    KIND_HEADER,
+    KIND_ITEM_OK,
+    KIND_ITEM_QUARANTINED,
+    KIND_MANIFEST,
+    manifest_digest,
+    sweep_progress,
+)
+
+pytestmark = pytest.mark.resilience
+
+FAST = PoolConfig(workers=1, max_retries=1, backoff_base=0.001)
+
+
+def echo_items(n=5):
+    return [{"kind": "echo", "value": i} for i in range(n)]
+
+
+class TestFingerprintIdentity:
+    def test_journaled_run_matches_plain_run(self, tmp_path):
+        items = echo_items()
+        golden = run_sweep(items, workers=1)
+        live = run_sweep(items, workers=1, journal=tmp_path / "j.jsonl")
+        assert live.fingerprint() == golden.fingerprint()
+        assert live.integrity() == golden.integrity()
+
+    def test_full_replay_executes_nothing_and_matches(self, tmp_path):
+        items = echo_items()
+        journal = tmp_path / "j.jsonl"
+        first = run_sweep(items, workers=1, journal=journal)
+        records_after_first = len(read_journal(journal).records)
+        second = run_sweep(items, workers=1, journal=journal)
+        assert second.fingerprint() == first.fingerprint()
+        assert second.integrity() == first.integrity()
+        # The replay appends only a fresh manifest record, never item records.
+        replay = read_journal(journal)
+        assert len(replay.of_kind(KIND_ITEM_OK)) == len(items)
+        assert len(replay.records) == records_after_first + 1
+
+    def test_partial_journal_resumes_remainder_only(self, tmp_path):
+        items = echo_items(6)
+        journal_path = tmp_path / "j.jsonl"
+        golden = run_sweep(items, workers=1)
+        run_sweep(items, workers=1, journal=journal_path)
+        # Amputate the journal after the header + 2 item records,
+        # simulating a crash mid-sweep (tail truncation is exactly what a
+        # torn write leaves after cleanup).
+        lines = journal_path.read_text().splitlines()
+        journal_path.write_text("\n".join(lines[:3]) + "\n")
+        resumed = run_sweep(items, workers=1, journal=journal_path)
+        assert resumed.fingerprint() == golden.fingerprint()
+        replay = read_journal(journal_path)
+        # 2 replayed + 4 executed: every item journaled exactly once.
+        assert len(replay.of_kind(KIND_ITEM_OK)) == len(items)
+
+
+class TestQuarantineReplay:
+    def test_quarantine_round_trips_through_journal(self, tmp_path):
+        items = echo_items(3) + [{"kind": "fail", "message": "injected"}]
+        journal = tmp_path / "j.jsonl"
+        first = run_sweep(items, pool_config=FAST, journal=journal)
+        assert [f.index for f in first.quarantined] == [3]
+        replayed = run_sweep(items, pool_config=FAST, journal=journal)
+        assert [f.index for f in replayed.quarantined] == [3]
+        failure = replayed.quarantined[0]
+        assert failure.attempts == first.quarantined[0].attempts
+        assert failure.errors == first.quarantined[0].errors
+        assert any("injected" in e for e in failure.errors)
+        assert replayed.integrity() == first.integrity()
+        assert len(read_journal(journal).of_kind(KIND_ITEM_QUARANTINED)) == 1
+
+
+class TestManifestRefusal:
+    def test_different_item_list_refused(self, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        run_sweep(echo_items(4), workers=1, journal=journal)
+        with pytest.raises(ValueError, match="different item list"):
+            run_sweep(echo_items(5), workers=1, journal=journal)
+
+    def test_manifest_digest_is_order_sensitive(self):
+        items = echo_items(3)
+        assert manifest_digest(items) != manifest_digest(items[::-1])
+
+    def test_manifest_digest_handles_bytes_payloads(self):
+        a = [{"kind": "blob", "payload": b"\x00\x01"}]
+        b = [{"kind": "blob", "payload": b"\x00\x02"}]
+        assert manifest_digest(a) != manifest_digest(b)
+        assert manifest_digest(a) == manifest_digest(a)
+
+
+class TestIntegrityDigest:
+    """Satellite: the failure manifest is part of the integrity digest."""
+
+    def test_degraded_run_cannot_impersonate_clean_one(self, tmp_path):
+        clean_items = echo_items(3)
+        golden = run_sweep(clean_items, workers=1)
+        degraded = run_sweep(
+            clean_items + [{"kind": "fail", "message": "x"}],
+            pool_config=FAST,
+        )
+        assert golden.integrity() != degraded.integrity()
+
+    def test_integrity_excludes_error_strings(self, tmp_path):
+        # Two runs quarantining the same index with different error text
+        # (different pids in real crashes) must agree on integrity.
+        items = echo_items(2) + [{"kind": "fail", "message": "alpha"}]
+        other = echo_items(2) + [{"kind": "fail", "message": "beta"}]
+        first = run_sweep(items, pool_config=FAST)
+        second = run_sweep(other, pool_config=FAST)
+        assert first.quarantined[0].errors != second.quarantined[0].errors
+        assert first.integrity() == second.integrity()
+
+    def test_interrupted_flag_changes_integrity(self):
+        complete = run_sweep(echo_items(2), workers=1)
+        fingerprint_only = complete.fingerprint()
+        complete.interrupted = True
+        assert complete.fingerprint() == fingerprint_only
+        interrupted_digest = complete.integrity()
+        complete.interrupted = False
+        assert complete.integrity() != interrupted_digest
+
+
+class TestGracefulDrain:
+    def test_draining_guard_stops_before_dispatch(self, tmp_path):
+        guard = ShutdownGuard()
+        guard.request(signal.SIGTERM)
+        journal = tmp_path / "j.jsonl"
+        result = run_sweep(
+            echo_items(4), workers=1, journal=journal, guard=guard
+        )
+        assert result.interrupted
+        assert not result.ok
+        with pytest.raises(RuntimeError, match="interrupted"):
+            result.raise_on_quarantine()
+        progress = sweep_progress(journal)
+        assert progress["complete"] is False
+        assert progress["completed"] == 0
+
+    def test_drained_sweep_resumes_to_golden_fingerprint(self, tmp_path):
+        items = echo_items(4)
+        golden = run_sweep(items, workers=1)
+        guard = ShutdownGuard()
+        guard.request(signal.SIGTERM)
+        journal = tmp_path / "j.jsonl"
+        run_sweep(items, workers=1, journal=journal, guard=guard)
+        resumed = run_sweep(items, workers=1, journal=journal)
+        assert not resumed.interrupted
+        assert resumed.fingerprint() == golden.fingerprint()
+        assert sweep_progress(journal)["complete"] is True
+
+
+class TestJournalAnatomy:
+    def test_record_kinds_in_expected_order(self, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        run_sweep(echo_items(2), workers=1, journal=journal)
+        kinds = [r.kind for r in read_journal(journal).records]
+        assert kinds[0] == KIND_HEADER
+        assert kinds[-1] == KIND_MANIFEST
+        assert kinds[1:-1] == [KIND_ITEM_OK, KIND_ITEM_OK]
+
+    def test_open_journal_instance_accepted(self, tmp_path):
+        items = echo_items(3)
+        golden = run_sweep(items, workers=1)
+        with RunJournal(tmp_path / "j.jsonl") as journal:
+            live = run_sweep(items, workers=1, journal=journal)
+        assert live.fingerprint() == golden.fingerprint()

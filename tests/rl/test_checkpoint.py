@@ -226,3 +226,53 @@ class TestChironCheckpoint:
         for a, b in zip(original_eval, restored_eval):
             assert a.final_accuracy == pytest.approx(b.final_accuracy, abs=0.02)
             assert a.rounds == b.rounds
+
+
+class TestBufferRoundTrip:
+    """Pending rollout transitions survive a checkpoint (PR 6).
+
+    With ``min_update_batch`` larger than one episode, transitions carry
+    across episode boundaries — dropping them on resume would silently
+    change the next update.
+    """
+
+    def test_flat_state_round_trips_pending_transitions(self):
+        agent = trained_agent(2)
+        rng = np.random.default_rng(7)
+        for i in range(5):  # leave un-consumed transitions in the buffer
+            obs = rng.normal(size=6)
+            a, lp, v = agent.act(obs)
+            agent.store(obs, a, rng.normal(), v, lp, done=(i == 4))
+        state = agent.buffer.flat_state()
+
+        clone = trained_agent(2)
+        clone.buffer.clear()
+        clone.buffer.load_flat_state(state)
+        assert len(clone.buffer) == len(agent.buffer)
+        mine, theirs = agent.buffer.flat_state(), clone.buffer.flat_state()
+        for key in mine:
+            np.testing.assert_array_equal(mine[key], theirs[key])
+
+    def test_empty_buffer_round_trips(self):
+        agent = trained_agent(3)
+        assert len(agent.buffer) == 0  # update() consumed it
+        state = agent.buffer.flat_state()
+        clone = trained_agent(3)
+        clone.buffer.load_flat_state(state)
+        assert len(clone.buffer) == 0
+
+    def test_save_ppo_preserves_buffer_through_archive(self, tmp_path):
+        agent = trained_agent(4)
+        rng = np.random.default_rng(11)
+        for i in range(3):
+            obs = rng.normal(size=6)
+            a, lp, v = agent.act(obs)
+            agent.store(obs, a, rng.normal(), v, lp, done=False)
+        path = save_ppo(agent, tmp_path / "agent.npz")
+        clone = PPOAgent(6, 2, config=agent.config, rng=99)
+        load_ppo(clone, path)
+        assert len(clone.buffer) == 3
+        batch_a = agent.buffer.compute(last_value=0.5)
+        batch_b = clone.buffer.compute(last_value=0.5)
+        np.testing.assert_array_equal(batch_a.obs, batch_b.obs)
+        np.testing.assert_array_equal(batch_a.advantages, batch_b.advantages)
