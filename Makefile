@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test faults bench bench-smoke bench-rollout bench-sweep sweep-smoke parallel resilience chaos-smoke resume-test obs-demo golden-verify golden-update diff-matrix fuzz repro repro-paper report clean
+.PHONY: install test faults bench bench-smoke bench-rollout bench-sweep bench-population population-smoke sweep-smoke parallel population resilience chaos-smoke resume-test obs-demo golden-verify golden-update diff-matrix fuzz repro repro-paper report clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -57,6 +57,23 @@ bench-sweep:
 # Just the process-parallel engine suite (also part of `test`).
 parallel:
 	$(PYTHON) -m pytest -m parallel tests/
+
+# Just the population-engine suite: SoA vs object backend identity,
+# clusters, protocol surface (also part of `test`).
+population:
+	$(PYTHON) -m pytest -m population tests/
+
+# Regenerate the committed object-vs-SoA population throughput report
+# (N=5 up to 50k nodes; reruns the backend identity proof at every
+# measured size).
+bench-population:
+	$(PYTHON) -m repro.bench population --out BENCH_population.json
+
+# Seconds-scale population benchmark gate: exits non-zero if the backend
+# identity or the SoA speedup floor fails (the CI hook).
+population-smoke:
+	$(PYTHON) -m repro.bench population --smoke \
+		--out /tmp/bench_population_smoke.json
 
 # Just the crash-safety suite (journal, resume, chaos; also part of `test`).
 resilience:

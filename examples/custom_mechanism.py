@@ -44,19 +44,19 @@ class BudgetPacer(IncentiveMechanism):
         for _ in range(40):
             mid = 0.5 * (low + high)
             prices = equal_time_prices(
-                self.env.profiles, mid, self.env.config.local_epochs
+                self.env.population.profiles(), mid, self.env.config.local_epochs
             )
             payment = sum(
                 node.kappa(self.env.config.local_epochs)
                 * min(p / node.kappa(self.env.config.local_epochs), node.zeta_max) ** 2
-                for node, p in zip(self.env.profiles, prices)
+                for node, p in zip(self.env.population.profiles(), prices)
             )
             if payment > spend_target:
                 high = mid
             else:
                 low = mid
         prices = equal_time_prices(
-            self.env.profiles, high, self.env.config.local_epochs
+            self.env.population.profiles(), high, self.env.config.local_epochs
         )
         # Guarantee participation: never price below a node's floor.
         return np.maximum(prices, self.env.price_floors * 1.0001)

@@ -36,7 +36,9 @@ def main() -> None:
     print("price-speed frontier (equal-time allocation):")
     totals = np.geomspace(env.min_total_price, env.max_total_price, 6)
     print(f"{'total price':>12} {'payment':>8} {'T_k':>6} {'nodes':>5} {'eff':>5}")
-    for quote in quote_curve(env.profiles, totals, env.config.local_epochs):
+    for quote in quote_curve(
+        env.population.profiles(), totals, env.config.local_epochs
+    ):
         print(
             f"{quote.total_price:12.3e} {quote.payment:8.2f} "
             f"{quote.makespan:6.1f} {quote.participants:5d} "
@@ -54,7 +56,7 @@ def main() -> None:
     # ---- 3. the inner allocation vs the Lemma-1 oracle ------------------- #
     plan = implied_round_plan(agent)
     oracle = equal_time_prices(
-        env.profiles, plan["total_price"], env.config.local_epochs
+        env.population.profiles(), plan["total_price"], env.config.local_epochs
     )
     oracle_props = oracle / oracle.sum()
     print("\ninner allocation at the learned total price:")

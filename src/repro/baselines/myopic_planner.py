@@ -24,7 +24,7 @@ import numpy as np
 from repro.core.env import EdgeLearningEnv
 from repro.core.mechanism import Observation, StaticMechanism
 from repro.core.rewards import exterior_reward
-from repro.economics.pricing import equal_time_prices, node_response
+from repro.economics.pricing import equal_time_prices
 from repro.fl.accuracy import SurrogateAccuracy
 from repro.utils.validation import check_positive
 
@@ -47,23 +47,23 @@ class MyopicPlannerOracle(StaticMechanism):
         self._totals = np.geomspace(
             env.min_total_price, env.max_total_price, self.grid
         )
+        # Lemma-1 equal-time allocation needs the per-node profile objects;
+        # materialize them once from the population columns.
+        self._profiles = env.population.profiles()
 
     def _round_reward(self, total_price: float) -> Optional[float]:
         """True expected reward of pricing this round at ``total_price``."""
         env = self.env
         sigma = env.config.local_epochs
         prices = np.maximum(
-            equal_time_prices(env.profiles, total_price, sigma),
+            equal_time_prices(self._profiles, total_price, sigma),
             0.0,
         )
-        responses = [
-            node_response(p, float(pr), sigma)
-            for p, pr in zip(env.profiles, prices)
-        ]
-        participants = [i for i, r in enumerate(responses) if r.participates]
+        batch = env.population.respond(prices, sigma)
+        participants = batch.participant_ids()
         if not participants:
             return None
-        times = np.array([responses[i].time for i in participants])
+        times = batch.time[participants]
         weights = env.learning.data_weights
         effective = env.learning.effective_rounds
         curve = env.learning.curve
@@ -87,7 +87,7 @@ class MyopicPlannerOracle(StaticMechanism):
             if reward is not None and reward > best_reward:
                 best_reward = reward
                 best_total = float(total)
-        prices = equal_time_prices(env.profiles, best_total, sigma)
+        prices = equal_time_prices(self._profiles, best_total, sigma)
         # Never starve a node below its floor: the equal-time split plus a
         # hair of slack keeps the full fleet in the round.
         return np.maximum(prices, env.price_floors * 1.0001)

@@ -34,7 +34,7 @@ class EqualTimeOracle(StaticMechanism):
         high = env.max_total_price
         total = low + self.spend_fraction * (high - low)
         prices = equal_time_prices(
-            env.profiles, total, env.config.local_epochs
+            env.population.profiles(), total, env.config.local_epochs
         )
         # Lift any node that would decline up to its floor; the tiny extra
         # spend preserves the equal-time structure in practice.

@@ -8,6 +8,9 @@ Examples::
     python -m repro.bench sweep --workers 1,4
     python -m repro.bench sweep --workers 1,2 --train-episodes 1 \\
         --eval-episodes 1 --out /tmp/sweep_smoke.json   # quick smoke run
+    python -m repro.bench population                    # object vs SoA
+    python -m repro.bench population --smoke \\
+        --out /tmp/bench_pop_smoke.json     # CI gate (nonzero on failure)
 """
 
 from __future__ import annotations
@@ -90,10 +93,40 @@ def main(argv=None) -> int:
     sweep.add_argument("--max-rounds", type=int, default=60)
     sweep.add_argument("--seed", type=int, default=0)
     sweep.add_argument("--out", default="BENCH_sweep.json")
+    population = subparsers.add_parser(
+        "population",
+        help="Population.respond throughput: object backend vs SoA "
+        "columns, with the identity proof rerun at every measured size",
+    )
+    population.add_argument(
+        "--sizes",
+        type=_parse_int_list("--sizes"),
+        default=None,
+        help="comma-separated fleet sizes (default 5,50,500,5000,50000)",
+    )
+    population.add_argument("--rounds", type=int, default=50)
+    population.add_argument(
+        "--object-max-nodes",
+        type=int,
+        default=None,
+        help="largest fleet the object backend is timed at "
+        "(larger sizes extrapolate linearly)",
+    )
+    population.add_argument("--local-epochs", type=int, default=5)
+    population.add_argument("--seed", type=int, default=0)
+    population.add_argument("--out", default="BENCH_population.json")
+    population.add_argument(
+        "--smoke",
+        action="store_true",
+        help="seconds-scale subset; exit nonzero if identity or speedup "
+        "claims fail (the CI gate)",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "sweep":
         return _run_sweep_command(args)
+    if args.command == "population":
+        return _run_population_command(args)
 
     report = run_rollout_benchmark(
         num_envs=args.num_envs,
@@ -152,6 +185,55 @@ def _run_sweep_command(args) -> int:
     if not report["fingerprints_identical"]:
         return 1
     return 0
+
+
+def _run_population_command(args) -> int:
+    from repro.bench.population import (
+        DEFAULT_OBJECT_MAX,
+        DEFAULT_SIZES,
+        check_report,
+        run_population_benchmark,
+    )
+
+    if args.smoke:
+        sizes = args.sizes or [5, 100, 2_000]
+        object_max = args.object_max_nodes or 2_000
+        rounds = min(args.rounds, 20)
+        min_speedup = 5.0  # smaller fleets amortize less; full run asks 20x
+    else:
+        sizes = args.sizes or list(DEFAULT_SIZES)
+        object_max = args.object_max_nodes or DEFAULT_OBJECT_MAX
+        rounds = args.rounds
+        min_speedup = 20.0
+    report = run_population_benchmark(
+        sizes=sizes,
+        rounds=rounds,
+        object_max_nodes=object_max,
+        local_epochs=args.local_epochs,
+        seed=args.seed,
+    )
+    write_report(report, args.out)
+    for entry in report["results"]:
+        mode = entry.get("object_mode", "-")
+        gap = entry.get("identity_max_abs_gap")
+        gap_txt = f"  gap={gap:.1e}" if gap is not None else ""
+        print(
+            f"n={entry['n_nodes']:>6}  soa "
+            f"{entry['soa_node_responses_per_sec']:>12.0f} node-resp/s  "
+            f"object[{mode}] {entry['object_seconds']:.4f}s  "
+            f"speedup {entry['speedup_soa_vs_object']:>7.1f}x{gap_txt}"
+        )
+    scaling = report["scaling"]
+    print(
+        f"scaling: {scaling['size_ratio']:.0f}x more nodes -> "
+        f"{scaling['soa_time_ratio']:.1f}x SoA time "
+        f"(sublinear={scaling['sublinear']})"
+    )
+    print(f"report written to {args.out}")
+    failures = check_report(report, min_speedup=min_speedup)
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

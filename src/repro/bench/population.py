@@ -1,0 +1,225 @@
+"""Population-engine throughput benchmark: object loop vs SoA columns.
+
+Measures :meth:`Population.respond` — the best-response economics of
+Eqns 6-12 for a whole fleet at once — on both backends across fleet
+sizes, and re-proves the identity claim on every run: at every size
+where both backends are measured, their
+:class:`~repro.population.api.NodeResponseBatch` fields are compared
+element-wise and the maximum absolute deviation is recorded (the
+contract is bit-identity, so the expected number is ``0.0``).
+
+The object backend is only *measured* up to ``object_max_nodes`` (its
+per-node Python loop makes 50 000-node timings pointless); above that
+its cost is extrapolated linearly from the largest measured size, which
+is conservative — interpreter loops do not get faster per node as N
+grows.
+
+Run as ``python -m repro.bench population``; results land in
+``BENCH_population.json``.  ``--smoke`` runs a seconds-scale subset and
+exits non-zero if the identity or speedup claims fail, so CI can gate
+on it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.economics.hardware import HardwareSpec
+from repro.population import ObjectPopulation, SoAPopulation
+
+#: Fleet sizes for the full benchmark (the paper's N=5 up to 50 000).
+DEFAULT_SIZES = (5, 50, 500, 5_000, 50_000)
+
+#: Largest fleet the object backend is actually timed at.
+DEFAULT_OBJECT_MAX = 5_000
+
+#: Identity tolerance between backends (contractually bit-exact).
+IDENTITY_ATOL = 1e-12
+
+
+def _price_schedule(
+    pop: SoAPopulation, rounds: int, local_epochs: int, seed: int
+) -> np.ndarray:
+    """Deterministic ``(rounds, N)`` prices spanning the economic regimes.
+
+    Uniform draws between 40 % of the per-node floor and 120 % of the
+    per-node cap, so every round mixes decliners, interior responders,
+    and ζ_max-saturated nodes — the three branches of the best response.
+    """
+    rng = np.random.default_rng(seed)
+    lo = 0.4 * pop.price_floors(local_epochs)
+    hi = 1.2 * pop.price_caps(local_epochs)
+    return rng.uniform(lo, hi, size=(rounds, pop.n_nodes))
+
+
+def _time_respond(pop, schedule: np.ndarray, local_epochs: int) -> float:
+    """Wall-clock seconds for one pass over ``schedule``."""
+    start = time.perf_counter()
+    for prices in schedule:
+        pop.respond(prices, local_epochs)
+    return time.perf_counter() - start
+
+
+def _identity_gap(pop_obj, pop_soa, schedule, local_epochs: int) -> float:
+    """Max absolute element-wise deviation between the two backends."""
+    worst = 0.0
+    for prices in schedule:
+        a = pop_obj.respond(prices, local_epochs)
+        b = pop_soa.respond(prices, local_epochs)
+        if not np.array_equal(a.participates, b.participates):
+            return float("inf")
+        for field in ("zeta", "utility", "payment", "energy"):
+            gap = np.abs(getattr(a, field) - getattr(b, field)).max()
+            worst = max(worst, float(gap))
+        # time has inf for decliners: compare participants only.
+        mask = a.participates
+        if mask.any():
+            gap = np.abs(a.time[mask] - b.time[mask]).max()
+            worst = max(worst, float(gap))
+    return worst
+
+
+def run_population_benchmark(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    rounds: int = 50,
+    warmup_rounds: int = 5,
+    object_max_nodes: int = DEFAULT_OBJECT_MAX,
+    local_epochs: int = 5,
+    seed: int = 0,
+) -> dict:
+    """Time ``respond`` on both backends across ``sizes``.
+
+    Both backends are sampled from the same generator state, so they
+    describe the *same fleet* at each size; identity is asserted with
+    :data:`IDENTITY_ATOL` wherever both run.
+    """
+    spec = HardwareSpec()
+    results: List[Dict] = []
+    for n in sizes:
+        pop_soa = SoAPopulation.sample(
+            n, spec=spec, rng=np.random.default_rng(seed + n)
+        )
+        schedule = _price_schedule(
+            pop_soa, rounds, local_epochs, seed=seed + 1
+        )
+        warmup = schedule[:warmup_rounds]
+
+        _time_respond(pop_soa, warmup, local_epochs)
+        soa_seconds = _time_respond(pop_soa, schedule, local_epochs)
+
+        entry: Dict = {
+            "n_nodes": n,
+            "rounds": rounds,
+            "soa_seconds": soa_seconds,
+            "soa_node_responses_per_sec": n * rounds / soa_seconds,
+        }
+        if n <= object_max_nodes:
+            pop_obj = ObjectPopulation.sample(
+                n, spec=spec, rng=np.random.default_rng(seed + n)
+            )
+            gap = _identity_gap(pop_obj, pop_soa, warmup, local_epochs)
+            if gap > IDENTITY_ATOL:
+                raise RuntimeError(
+                    f"backend identity broken at n={n}: max deviation "
+                    f"{gap:.3e} exceeds {IDENTITY_ATOL:.0e}"
+                )
+            _time_respond(pop_obj, warmup, local_epochs)
+            object_seconds = _time_respond(pop_obj, schedule, local_epochs)
+            entry.update(
+                object_seconds=object_seconds,
+                object_mode="measured",
+                identity_max_abs_gap=gap,
+            )
+        else:
+            # Linear extrapolation from the largest measured object size
+            # (a lower bound on the real cost of a Python per-node loop).
+            base = next(
+                e for e in reversed(results) if "object_seconds" in e
+            )
+            object_seconds = base["object_seconds"] * n / base["n_nodes"]
+            entry.update(
+                object_seconds=object_seconds,
+                object_mode="extrapolated",
+            )
+        entry["speedup_soa_vs_object"] = object_seconds / soa_seconds
+        results.append(entry)
+
+    largest, smallest = results[-1], results[0]
+    # Sublinear scaling: SoA cost must grow strictly slower than fleet
+    # size (per-call overhead amortizes across the columns).
+    size_ratio = largest["n_nodes"] / smallest["n_nodes"]
+    time_ratio = largest["soa_seconds"] / smallest["soa_seconds"]
+    return {
+        "benchmark": "population",
+        "config": {
+            "sizes": [int(n) for n in sizes],
+            "rounds": rounds,
+            "warmup_rounds": warmup_rounds,
+            "object_max_nodes": object_max_nodes,
+            "local_epochs": local_epochs,
+            "seed": seed,
+            "identity_atol": IDENTITY_ATOL,
+        },
+        "results": results,
+        "scaling": {
+            "size_ratio": size_ratio,
+            "soa_time_ratio": time_ratio,
+            "sublinear": time_ratio < size_ratio,
+        },
+        "identity_ok": all(
+            e.get("identity_max_abs_gap", 0.0) <= IDENTITY_ATOL
+            for e in results
+        ),
+    }
+
+
+def check_report(
+    report: dict,
+    min_speedup: float = 20.0,
+    at_n_nodes: Optional[int] = None,
+) -> List[str]:
+    """Acceptance checks on a benchmark report; returns failure messages.
+
+    ``min_speedup`` applies at ``at_n_nodes`` (default: the largest size
+    where the object backend was actually measured).
+    """
+    failures: List[str] = []
+    if not report["identity_ok"]:
+        failures.append("backend identity check failed")
+    if not report["scaling"]["sublinear"]:
+        failures.append(
+            f"SoA scaling not sublinear: time grew "
+            f"{report['scaling']['soa_time_ratio']:.1f}x over a "
+            f"{report['scaling']['size_ratio']:.0f}x size range"
+        )
+    measured = [
+        e for e in report["results"] if e.get("object_mode") == "measured"
+    ]
+    if at_n_nodes is None:
+        target = measured[-1] if measured else None
+    else:
+        target = next(
+            (e for e in report["results"] if e["n_nodes"] == at_n_nodes),
+            None,
+        )
+    if target is None:
+        failures.append("no measured object-backend entry to compare")
+    elif target["speedup_soa_vs_object"] < min_speedup:
+        failures.append(
+            f"speedup at n={target['n_nodes']} is "
+            f"{target['speedup_soa_vs_object']:.1f}x, below the "
+            f"{min_speedup:.0f}x floor"
+        )
+    return failures
+
+
+__all__ = [
+    "DEFAULT_SIZES",
+    "DEFAULT_OBJECT_MAX",
+    "IDENTITY_ATOL",
+    "run_population_benchmark",
+    "check_report",
+]

@@ -70,6 +70,9 @@ class BuildConfig:
     faults: Optional[FaultConfig] = None
     fault_defenses: bool = True
     round_deadline_factor: Optional[float] = 4.0
+    population_backend: str = "soa"  # node engine: "soa" (vectorized
+    # columns) or "object" (per-node reference loop); both compute
+    # identical numbers (see docs/population.md)
 
     def to_dict(self) -> dict:
         """Plain-dict form (see :mod:`repro.utils.config`)."""
@@ -128,6 +131,7 @@ def build_environment(
     faults: Optional[FaultConfig] = None,
     fault_defenses: bool = True,
     round_deadline_factor: Optional[float] = 4.0,
+    population_backend: str = "soa",
     config: Optional[BuildConfig] = None,
 ) -> BuildResult:
     """Construct an :class:`EdgeLearningEnv` for a named task.
@@ -169,6 +173,7 @@ def build_environment(
         faults=faults,
         fault_defenses=fault_defenses,
         round_deadline_factor=round_deadline_factor,
+        population_backend=population_backend,
     )
     if config is None:
         config = BuildConfig(**legacy_kwargs)
@@ -200,6 +205,7 @@ def build_environment(
     faults = config.faults
     fault_defenses = config.fault_defenses
     round_deadline_factor = config.round_deadline_factor
+    population_backend = config.population_backend
 
     if task_name not in TASK_SPECS:
         raise ValueError(
@@ -296,7 +302,9 @@ def build_environment(
         fault_defenses=fault_defenses,
         round_deadline_factor=round_deadline_factor,
     )
-    env = EdgeLearningEnv(profiles, learning, mdp_config)
+    env = EdgeLearningEnv(
+        profiles, learning, mdp_config, backend=population_backend
+    )
     if mdp_config.faults is not None and session is not None:
         # Realize faults physically: wrap every node around the env's
         # injector (outcomes are pure functions of (episode, round, node),
@@ -305,8 +313,9 @@ def build_environment(
         # so the session runs without its own deadline/quarantine, and its
         # validation mirrors the defenses switch.
         assert env.injector is not None
-        wrapped = [FaultyEdgeNode(session.nodes[i], env.injector) for i in session.node_ids]
-        session.nodes = {n.node_id: n for n in wrapped}
+        session.replace_nodes(
+            [FaultyEdgeNode(session.node(i), env.injector) for i in session.node_ids]
+        )
         session.validate_updates = bool(mdp_config.fault_defenses)
     return BuildResult(
         env=env,

@@ -40,11 +40,11 @@ from repro.core.rewards import RewardConfig, exterior_reward, inner_reward
 from repro.core.state import ExteriorStateEncoder
 from repro.economics.budget import BudgetLedger
 from repro.economics.hardware import HardwareProfile
-from repro.economics.pricing import min_participation_price, node_response
 from repro.economics.timing import time_efficiency
 from repro.faults.injector import FaultConfig, FaultInjector
 from repro.faults.reliability import ReliabilityTracker
 from repro.fl.accuracy import LearningProcess
+from repro.population import Population, as_population, warn_raw_node_access
 from repro.utils.logging import get_logger
 from repro.utils.validation import check_positive
 
@@ -156,46 +156,37 @@ class EdgeLearningEnv:
 
     def __init__(
         self,
-        profiles: Sequence[HardwareProfile],
+        profiles,
         learning: LearningProcess,
         config: EnvConfig,
+        backend: str = "soa",
     ):
-        profiles = list(profiles)
-        if not profiles:
-            raise ValueError("need at least one hardware profile")
-        if learning.num_nodes != len(profiles):
+        #: The node engine.  ``profiles`` may be a profile sequence (coerced
+        #: into the requested backend) or an existing Population, which is
+        #: used as-is — both backends compute identical numbers (the
+        #: differential matrix proves it), so the default is the vectorized
+        #: one.
+        self.population: Population = as_population(profiles, backend=backend)
+        if learning.num_nodes != self.population.n_nodes:
             raise ValueError(
                 f"learning process covers {learning.num_nodes} nodes but "
-                f"{len(profiles)} profiles were given"
+                f"{self.population.n_nodes} profiles were given"
             )
-        self.profiles = profiles
         self.learning = learning
         self.config = config
-        self.n_nodes = len(profiles)
+        self.n_nodes = self.population.n_nodes
 
         sigma = config.local_epochs
         #: price at which node i runs flat out (ζ* = ζ_max); prices above
         #: this are pure overpayment.
-        self.price_caps = np.array(
-            [p.kappa(sigma) * p.zeta_max for p in profiles]
-        )
+        self.price_caps = self.population.price_caps(sigma)
         #: smallest price at which node i participates at all.
-        self.price_floors = np.array(
-            [min_participation_price(p, sigma) for p in profiles]
-        )
+        self.price_floors = self.population.price_floors(sigma)
         #: characteristic scales used for state normalization and by agents
         #: to size their action ranges.
         self.max_total_price = float(self.price_caps.sum())
         self.min_total_price = float(self.price_floors.sum())
-        time_scale = float(
-            np.mean([p.comm_time for p in profiles])
-            + np.mean(
-                [
-                    sigma * p.cycles_per_bit * p.bits_per_epoch / p.zeta_max
-                    for p in profiles
-                ]
-            )
-        )
+        time_scale = self.population.characteristic_time(sigma)
         if config.rewards.time_scale is None:
             # Resolve the reward normalization to this fleet's natural
             # round-time scale (see RewardConfig.time_scale).
@@ -246,6 +237,21 @@ class EdgeLearningEnv:
     @property
     def state_dim(self) -> int:
         return self.encoder.dim
+
+    @property
+    def profiles(self) -> List[HardwareProfile]:
+        """Deprecated raw node list; program against :attr:`population`.
+
+        Materializes per-node :class:`HardwareProfile` objects from the
+        population columns (exact float round-trip).  Warns once per
+        process — see the migration table in ``docs/api.md``.
+        """
+        warn_raw_node_access(
+            "EdgeLearningEnv.profiles",
+            "EdgeLearningEnv.population (column accessors / "
+            "population.profiles())",
+        )
+        return self.population.profiles()
 
     @property
     def accuracy(self) -> float:
@@ -364,26 +370,21 @@ class EdgeLearningEnv:
             for i in quarantined_now:
                 recruitable[i] = False
 
-        # Single pass over the fleet: responses and the per-node round
-        # vectors together (this loop runs every environment step).  The
-        # span wraps the whole loop — never the per-node body — so the
-        # disabled-mode hook cost is independent of fleet size.
-        participants: List[int] = []
-        payments = np.zeros(self.n_nodes)
-        zetas = np.zeros(self.n_nodes)
-        times = np.zeros(self.n_nodes)
-        utilities = np.zeros(self.n_nodes)
-        total_payment = 0.0
+        # One population-level response per round (this is the hot path).
+        # The span wraps the whole batch — never a per-node body — so the
+        # disabled-mode hook cost is independent of fleet size.  Nodes that
+        # respond but are not recruitable this round (churned out or
+        # quarantined) are zeroed exactly as the old per-node loop skipped
+        # them.
         with _obs.span("env.respond"):
-            for i, (prof, p) in enumerate(zip(self.profiles, prices)):
-                r = node_response(prof, float(p), cfg.local_epochs)
-                if r.participates and recruitable[i]:
-                    participants.append(i)
-                    payments[i] = r.payment
-                    zetas[i] = r.zeta
-                    times[i] = r.time
-                    utilities[i] = r.utility
-                    total_payment += r.payment
+            batch = self.population.respond(prices, cfg.local_epochs)
+            active = batch.participates & recruitable
+            payments = np.where(active, batch.payment, 0.0)
+            zetas = np.where(active, batch.zeta, 0.0)
+            times = np.where(active, batch.time, 0.0)
+            utilities = np.where(active, batch.utility, 0.0)
+            participants: List[int] = [int(i) for i in np.flatnonzero(active)]
+            total_payment = float(payments.sum())
 
         reliability_scores = (
             self.reliability.scores() if self.reliability is not None else None
@@ -698,7 +699,10 @@ class EdgeLearningEnv:
             self.config, availability_seed=seed, faults=faults
         )
         learning = clone(rng=np.random.default_rng(children[0]))
-        return EdgeLearningEnv(self.profiles, learning, config)
+        # The replica shares the population object itself — hardware is
+        # immutable, and passing it through keeps the replica on the same
+        # backend (and the same derived-coefficient cache).
+        return EdgeLearningEnv(self.population, learning, config)
 
     def legacy(self) -> "LegacyEnvAdapter":
         """Pre-redesign view: ``reset() -> obs``, ``step() -> StepResult``."""
@@ -714,10 +718,10 @@ def _warn_legacy_api() -> None:
         _LEGACY_API_WARNED = True
         warnings.warn(
             "EdgeLearningEnv's legacy signatures (reset() -> obs, "
-            "step() -> StepResult) are deprecated; use the Gymnasium-style "
-            "reset(seed=None) -> (obs, info) and step(prices) -> "
-            "(obs, reward, terminated, truncated, info) — the StepResult "
-            "is available as info['step_result'].",
+            "step() -> StepResult) are deprecated and will be removed in "
+            "v2.0; use the Gymnasium-style reset(seed=None) -> (obs, info) "
+            "and step(prices) -> (obs, reward, terminated, truncated, info) "
+            "— the StepResult is available as info['step_result'].",
             DeprecationWarning,
             stacklevel=3,
         )

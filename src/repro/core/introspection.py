@@ -94,17 +94,14 @@ def implied_round_plan(agent: ChironAgent, round_index: int = 0) -> dict:
     allocation = inner_allocation_map(agent, total_prices=(total,))
     proportions = allocation.proportions[0]
     prices = total * proportions
-    from repro.economics.pricing import node_response
-
-    responses = [
-        node_response(p, float(pr), agent.env.config.local_epochs)
-        for p, pr in zip(agent.env.profiles, prices)
-    ]
-    payment = sum(r.payment for r in responses if r.participates)
+    batch = agent.env.population.respond(
+        prices, agent.env.config.local_epochs
+    )
+    payment = batch.total_payment()
     return {
         "total_price": total,
         "proportions": proportions,
-        "participants": sum(r.participates for r in responses),
+        "participants": int(batch.participates.sum()),
         "round_payment": payment,
         "expected_rounds": (
             int(agent.env.config.budget // payment) if payment > 0 else 0

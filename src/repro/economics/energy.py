@@ -1,15 +1,38 @@
-"""Energy model of §III: computing plus communication energy."""
+"""Energy model of §III: computing plus communication energy.
+
+Every function here takes either a scalar frequency (the historical
+surface) or a numpy array of frequencies — the profile-parameterized
+coefficients broadcast, so one call prices a whole frequency sweep.  The
+fleet-level equivalents (one value per *node*, columns instead of a
+profile object) live on :class:`repro.population.PopulationBase`.
+
+ζ² is always computed as ``ζ·ζ``: CPython's float ``**`` dispatches to
+libm ``pow()``, which can round one ulp away from the single IEEE-754
+multiply numpy performs — writing the multiply keeps scalar and column
+math bit-identical.
+"""
 
 from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
 
 from repro.economics.hardware import HardwareProfile
 from repro.utils.validation import check_positive
 
+FrequencyLike = Union[float, np.ndarray]
+
 
 def computing_energy(
-    profile: HardwareProfile, zeta: float, local_epochs: int
-) -> float:
-    """``E_cmp = σ α_i c_i d_i ζ²`` (equivalently ``(κ_i/2) ζ²``)."""
+    profile: HardwareProfile, zeta: FrequencyLike, local_epochs: int
+) -> FrequencyLike:
+    """``E_cmp = σ α_i c_i d_i ζ²`` (equivalently ``(κ_i/2) ζ²``).
+
+    ``zeta`` may be a scalar or an array of candidate frequencies; the
+    validation is vectorized either way (see
+    :func:`repro.utils.validation.check_positive`).
+    """
     check_positive("zeta", zeta)
     check_positive("local_epochs", local_epochs)
     return (
@@ -17,7 +40,7 @@ def computing_energy(
         * profile.capacitance
         * profile.cycles_per_bit
         * profile.bits_per_epoch
-        * zeta**2
+        * (zeta * zeta)
     )
 
 
@@ -26,8 +49,10 @@ def communication_energy(profile: HardwareProfile) -> float:
     return profile.comm_power * profile.comm_time
 
 
-def total_energy(profile: HardwareProfile, zeta: float, local_epochs: int) -> float:
-    """``E_i = E_cmp + E_com``."""
+def total_energy(
+    profile: HardwareProfile, zeta: FrequencyLike, local_epochs: int
+) -> FrequencyLike:
+    """``E_i = E_cmp + E_com`` (scalar or array over ``zeta``)."""
     return computing_energy(profile, zeta, local_epochs) + communication_energy(
         profile
     )

@@ -86,12 +86,15 @@ def node_response(
         else:
             zeta = float(unconstrained)
     # E_cmp = σ α c d ζ²; E_com = ε T_com (same op order as total_energy).
+    # ζ² is written as ζ·ζ, not ζ**2: CPython's float ** goes through libm
+    # pow(), which is not guaranteed to round like the single IEEE multiply
+    # numpy uses — ζ·ζ keeps this bit-identical to the SoA column math.
     energy = (
         local_epochs
         * profile.capacitance
         * profile.cycles_per_bit
         * profile.bits_per_epoch
-        * zeta**2
+        * (zeta * zeta)
         + profile.comm_power * profile.comm_time
     )
     utility = price * zeta - energy
@@ -130,12 +133,18 @@ def min_participation_price(profile: HardwareProfile, local_epochs: int) -> floa
     e_com = communication_energy(profile)
     mu = profile.reserve_utility
 
+    # ζ² as ζ·ζ (not **2): see node_response — keeps the clipped branches
+    # bit-identical to the vectorized population price floors.
     interior = sqrt(2.0 * kappa * (mu + e_com))
     if kappa * profile.zeta_min <= interior <= kappa * profile.zeta_max:
         return interior
     if interior < kappa * profile.zeta_min:
-        return (mu + e_com + 0.5 * kappa * profile.zeta_min**2) / profile.zeta_min
-    return (mu + e_com + 0.5 * kappa * profile.zeta_max**2) / profile.zeta_max
+        return (
+            mu + e_com + 0.5 * kappa * (profile.zeta_min * profile.zeta_min)
+        ) / profile.zeta_min
+    return (
+        mu + e_com + 0.5 * kappa * (profile.zeta_max * profile.zeta_max)
+    ) / profile.zeta_max
 
 
 def price_for_frequency(

@@ -1,19 +1,28 @@
-"""Round timing: Eqns (6), (7), the round makespan and time efficiency (16)."""
+"""Round timing: Eqns (6), (7), the round makespan and time efficiency (16).
+
+``computation_time`` (and therefore ``total_times``) accepts a scalar
+frequency or an array of candidate frequencies — the profile coefficients
+broadcast, and validation is vectorized through
+:func:`repro.utils.validation.check_positive`.  Fleet-level timing over
+per-node columns lives on :class:`repro.population.PopulationBase`.
+"""
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Sequence, Union
 
 import numpy as np
 
 from repro.economics.hardware import HardwareProfile
 from repro.utils.validation import check_positive
 
+FrequencyLike = Union[float, np.ndarray]
+
 
 def computation_time(
-    profile: HardwareProfile, zeta: float, local_epochs: int
-) -> float:
-    """Eqn (6): ``T_cmp = σ c_i d_i / ζ``."""
+    profile: HardwareProfile, zeta: FrequencyLike, local_epochs: int
+) -> FrequencyLike:
+    """Eqn (6): ``T_cmp = σ c_i d_i / ζ`` (scalar or array over ``zeta``)."""
     check_positive("zeta", zeta)
     check_positive("local_epochs", local_epochs)
     return (
@@ -36,6 +45,9 @@ def total_times(
         raise ValueError(
             f"{len(profiles)} profiles but {len(zetas)} frequencies"
         )
+    # Per-node scalar evaluation (not one big array op): each node has its
+    # own profile object here, so the columns would have to be gathered
+    # first anyway — callers with a Population should use its batch math.
     return np.array(
         [
             computation_time(p, z, local_epochs) + communication_time(p)

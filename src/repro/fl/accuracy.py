@@ -198,15 +198,13 @@ class RealTrainingAccuracy:
 
     def __init__(self, session: FederatedSession):
         self.session = session
-        sizes = np.array(
-            [session.nodes[i].data_size for i in session.node_ids], dtype=float
-        )
+        sizes = session.data_sizes().astype(float)
         self._weights = sizes / sizes.sum()
         self._initial_accuracy: Optional[float] = None
 
     @property
     def num_nodes(self) -> int:
-        return len(self.session.nodes)
+        return self.session.n_nodes
 
     @property
     def data_weights(self) -> np.ndarray:

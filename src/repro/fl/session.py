@@ -31,6 +31,7 @@ from repro.fl.metrics import EvalResult
 from repro.fl.node import EdgeNode
 from repro.fl.server import ParameterServer
 from repro.nn.module import Module
+from repro.population.api import warn_raw_node_access
 
 
 @dataclass(frozen=True)
@@ -88,7 +89,7 @@ class FederatedSession:
         if deadline is not None and deadline <= 0:
             raise ValueError(f"deadline must be positive, got {deadline}")
         self.server = server
-        self.nodes = {n.node_id: n for n in nodes}
+        self._nodes = {n.node_id: n for n in nodes}
         self.deadline = deadline
         self.validate_updates = bool(validate_updates)
         self.reliability = reliability
@@ -96,9 +97,56 @@ class FederatedSession:
         self._worker: Module = server.make_worker_model()
         self.history: List[RoundResult] = []
 
+    # ------------------------------------------------------------------ #
+    # fleet surface (the raw node dict is deprecated — see docs/api.md)
+    # ------------------------------------------------------------------ #
     @property
     def node_ids(self) -> List[int]:
-        return sorted(self.nodes)
+        return sorted(self._nodes)
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._nodes)
+
+    def node(self, node_id: int) -> EdgeNode:
+        """One registered node by id (raises ``KeyError`` when unknown)."""
+        return self._nodes[node_id]
+
+    def data_sizes(self) -> np.ndarray:
+        """Per-node sample counts ``D_i``, aligned with :attr:`node_ids`."""
+        return np.array(
+            [self._nodes[i].data_size for i in self.node_ids], dtype=np.int64
+        )
+
+    def replace_nodes(self, nodes: Sequence[EdgeNode]) -> None:
+        """Swap the fleet for equivalently-identified nodes (e.g. fault
+        wrappers).  The replacement must cover exactly the current ids."""
+        replacement = {n.node_id: n for n in nodes}
+        if set(replacement) != set(self._nodes):
+            raise ValueError(
+                f"replacement ids {sorted(replacement)} do not match the "
+                f"session's ids {self.node_ids}"
+            )
+        self._nodes = replacement
+
+    @property
+    def nodes(self):
+        """Deprecated raw id→node dict; use :attr:`node_ids` /
+        :meth:`node` / :meth:`replace_nodes` instead."""
+        warn_raw_node_access(
+            "FederatedSession.nodes",
+            "FederatedSession.node_ids / node() / data_sizes() / "
+            "replace_nodes()",
+        )
+        return self._nodes
+
+    @nodes.setter
+    def nodes(self, mapping) -> None:
+        warn_raw_node_access(
+            "FederatedSession.nodes",
+            "FederatedSession.replace_nodes()",
+        )
+        self.replace_nodes(list(mapping.values()))
 
     def run_round(self, participant_ids: Optional[Sequence[int]] = None) -> RoundResult:
         """Execute one round with the given participants (default: all).
@@ -114,7 +162,7 @@ class FederatedSession:
         participant_ids = sorted(set(participant_ids))
         if not participant_ids:
             raise ValueError("run_round needs at least one participant")
-        unknown = [i for i in participant_ids if i not in self.nodes]
+        unknown = [i for i in participant_ids if i not in self._nodes]
         if unknown:
             raise KeyError(f"unknown node ids: {unknown}")
 
@@ -139,7 +187,7 @@ class FederatedSession:
         late: List[int] = []
         invalid: List[int] = []
         for node_id in participant_ids:
-            node = self.nodes[node_id]
+            node = self._nodes[node_id]
             state = node.local_update(self._worker, global_state)
             if state is None:
                 crashed.append(node_id)

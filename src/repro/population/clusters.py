@@ -1,0 +1,177 @@
+"""Clustered/tiered populations: fixed-size control over unbounded N.
+
+The agent's action is a per-target price vector.  Posting one price per
+node makes the action space (and the exterior state) grow with N, which
+caps fleet size at whatever the DRL agent can digest.  Following the
+collaborative-edge-learning literature (Lim et al., PAPERS.md), a
+:class:`ClusterView` partitions the fleet into K quantile tiers of
+similar hardware and exposes:
+
+* **fixed-size summaries** — a (K, F) feature matrix describing each
+  tier (size, price floor/cap mass, timing scales) that can serve as
+  exterior state regardless of N;
+* **hierarchical pricing** — the agent posts K cluster prices, and
+  :meth:`ClusterView.expand_prices` broadcasts them to the N member
+  nodes (``prices = cluster_prices[assignments]``), so the inner
+  allocation simplex stays K-dimensional while the population scales.
+
+Tiers are quantile ranks of a per-node key (price cap by default, i.e.
+how expensive a node is to run flat-out), so cluster sizes stay balanced
+even under skewed hardware distributions.  Assignment is deterministic
+given the population — no RNG is consumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.population.api import NodeResponseBatch, Population
+
+#: Per-cluster summary features, in column order of
+#: :meth:`ClusterView.summaries`.
+SUMMARY_FEATURES = (
+    "size_fraction",
+    "mean_price_floor",
+    "mean_price_cap",
+    "mean_comm_time",
+    "mean_zeta_max",
+    "mean_workload",
+)
+
+#: Keys a population can be tiered by.  ``price_cap`` ranks by κ_i·ζ_max
+#: (σ-independent ordering, since κ scales linearly in σ for every node).
+CLUSTER_KEYS = ("price_cap", "zeta_max", "comm_time", "workload")
+
+
+def _cluster_key(population: "Population", by: str) -> np.ndarray:
+    if by == "price_cap":
+        return population.kappa(1) * population.column("zeta_max")
+    if by == "zeta_max":
+        return population.column("zeta_max")
+    if by == "comm_time":
+        return population.column("comm_time")
+    if by == "workload":
+        return population.column("cycles_per_bit") * population.column(
+            "bits_per_epoch"
+        )
+    raise ValueError(f"unknown cluster key {by!r}; available: {CLUSTER_KEYS}")
+
+
+@dataclass(frozen=True)
+class ClusterView:
+    """K-tier view over a population (assignments + aggregation helpers)."""
+
+    population: "Population"
+    assignments: np.ndarray  # (n,) int in [0, K)
+    n_clusters: int
+    by: str
+
+    # ---- shape ------------------------------------------------------- #
+    @property
+    def n_nodes(self) -> int:
+        return int(self.assignments.shape[0])
+
+    def sizes(self) -> np.ndarray:
+        """(K,) member count per cluster."""
+        return np.bincount(self.assignments, minlength=self.n_clusters)
+
+    def members(self, cluster: int) -> np.ndarray:
+        """Node indices belonging to ``cluster``."""
+        if not 0 <= cluster < self.n_clusters:
+            raise IndexError(
+                f"cluster {cluster} outside [0, {self.n_clusters})"
+            )
+        return np.flatnonzero(self.assignments == cluster)
+
+    # ---- aggregation -------------------------------------------------- #
+    def aggregate(self, values: np.ndarray, how: str = "mean") -> np.ndarray:
+        """(K,) per-cluster reduction of a per-node column."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (self.n_nodes,):
+            raise ValueError(
+                f"values must have shape ({self.n_nodes},), got {values.shape}"
+            )
+        totals = np.bincount(
+            self.assignments, weights=values, minlength=self.n_clusters
+        )
+        if how == "sum":
+            return totals
+        if how == "mean":
+            sizes = np.maximum(self.sizes(), 1)  # empty cluster -> 0 mean
+            return totals / sizes
+        raise ValueError(f"unknown aggregation {how!r}; use 'mean' or 'sum'")
+
+    def summaries(self, local_epochs: int) -> np.ndarray:
+        """(K, F) fixed-size tier features (see :data:`SUMMARY_FEATURES`).
+
+        Suitable as exterior state: the shape depends on K alone, never
+        on the fleet size N.
+        """
+        pop = self.population
+        floors = pop.price_floors(local_epochs)
+        caps = pop.price_caps(local_epochs)
+        workload = pop.column("cycles_per_bit") * pop.column("bits_per_epoch")
+        features = np.column_stack(
+            [
+                self.sizes() / max(self.n_nodes, 1),
+                self.aggregate(floors),
+                self.aggregate(caps),
+                self.aggregate(pop.column("comm_time")),
+                self.aggregate(pop.column("zeta_max")),
+                self.aggregate(workload),
+            ]
+        )
+        return features
+
+    # ---- hierarchical pricing ----------------------------------------- #
+    def expand_prices(self, cluster_prices: np.ndarray) -> np.ndarray:
+        """Broadcast K cluster prices to the N member nodes."""
+        cluster_prices = np.asarray(cluster_prices, dtype=np.float64)
+        if cluster_prices.shape != (self.n_clusters,):
+            raise ValueError(
+                f"cluster_prices must have shape ({self.n_clusters},), "
+                f"got {cluster_prices.shape}"
+            )
+        return cluster_prices[self.assignments]
+
+    def respond(
+        self, cluster_prices: np.ndarray, local_epochs: int
+    ) -> "NodeResponseBatch":
+        """Fleet best response under hierarchical per-cluster pricing."""
+        return self.population.respond(
+            self.expand_prices(cluster_prices), local_epochs
+        )
+
+    def cluster_payments(self, batch: "NodeResponseBatch") -> np.ndarray:
+        """(K,) payment mass per cluster for a response batch."""
+        paid = np.where(batch.participates, batch.payment, 0.0)
+        return self.aggregate(paid, how="sum")
+
+
+def cluster_population(
+    population: "Population", n_clusters: int, by: str = "price_cap"
+) -> ClusterView:
+    """Assign quantile tiers of ``by`` over ``population``.
+
+    Nodes are ranked by the key and split into K contiguous rank bands
+    (sizes differ by at most one).  K is clamped to N so tiny fleets
+    still get a valid view.
+    """
+    check_positive("n_clusters", n_clusters)
+    n = population.n_nodes
+    k = min(int(n_clusters), n)
+    key = _cluster_key(population, by)
+    # argsort of argsort = dense ranks; stable kind keeps ties deterministic.
+    ranks = np.argsort(np.argsort(key, kind="stable"), kind="stable")
+    assignments = (ranks * k) // n
+    assignments = np.minimum(assignments, k - 1).astype(np.int64)
+    assignments.setflags(write=False)
+    return ClusterView(
+        population=population, assignments=assignments, n_clusters=k, by=by
+    )

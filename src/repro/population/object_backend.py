@@ -1,0 +1,104 @@
+"""The object-node reference backend of the :class:`Population` protocol.
+
+Wraps a plain list of :class:`~repro.economics.hardware.HardwareProfile`
+objects and answers ``respond`` by calling the scalar
+:func:`repro.economics.pricing.node_response` once per node — exactly the
+arithmetic (and the per-node loop) the environment ran before the
+population API existed.  It is the semantic reference the SoA backend is
+differentially tested against, and the compatibility path for code that
+still thinks in node objects.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+import numpy as np
+
+from repro.economics.pricing import node_response
+from repro.population.api import (
+    NodeResponseBatch,
+    PopulationBase,
+    columns_from_profiles,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.economics.hardware import HardwareProfile, HardwareSpec
+
+
+class ObjectPopulation(PopulationBase):
+    """Per-object node engine: one ``node_response`` call per node.
+
+    ``spec`` is optional; populations built via :meth:`sample` carry it so
+    :meth:`spawn` can redraw an independent fleet of the same shape.
+    """
+
+    backend = "object"
+
+    def __init__(
+        self,
+        profiles: Sequence["HardwareProfile"],
+        spec: Optional["HardwareSpec"] = None,
+    ):
+        profiles = list(profiles)
+        self._columns = columns_from_profiles(profiles)
+        self._materialized = profiles  # profiles() returns the originals
+        self._spec = spec
+
+    @classmethod
+    def sample(
+        cls,
+        n_nodes: int,
+        spec: Optional["HardwareSpec"] = None,
+        rng=None,
+        bits_per_epoch: Optional[np.ndarray] = None,
+    ) -> "ObjectPopulation":
+        """Draw a fleet from ``spec`` (same stream as ``sample_profiles``)."""
+        from repro.economics.hardware import HardwareSpec, sample_profiles
+
+        spec = spec or HardwareSpec()
+        profiles = sample_profiles(
+            n_nodes, spec=spec, rng=rng, bits_per_epoch=bits_per_epoch
+        )
+        return cls(profiles, spec=spec)
+
+    def respond(self, prices, local_epochs: int) -> NodeResponseBatch:
+        prices = self.validate_prices(prices)
+        n = self.n_nodes
+        participates = np.zeros(n, dtype=bool)
+        zeta = np.empty(n)
+        utility = np.empty(n)
+        payment = np.empty(n)
+        time = np.empty(n)
+        energy = np.empty(n)
+        for i, profile in enumerate(self.profiles()):
+            r = node_response(profile, float(prices[i]), local_epochs)
+            participates[i] = r.participates
+            zeta[i] = r.zeta
+            utility[i] = r.utility
+            payment[i] = r.payment
+            time[i] = r.time
+            energy[i] = r.energy
+        return NodeResponseBatch(
+            participates=participates,
+            zeta=zeta,
+            utility=utility,
+            payment=payment,
+            time=time,
+            energy=energy,
+        )
+
+    def spawn(self, seed: int) -> "ObjectPopulation":
+        """Independently drawn fleet of the same shape (needs a spec)."""
+        if self._spec is None:
+            raise TypeError(
+                "this ObjectPopulation was built from explicit profiles and "
+                "carries no HardwareSpec; build it via ObjectPopulation."
+                "sample(...) to make spawn() available"
+            )
+        return type(self).sample(
+            self.n_nodes,
+            spec=self._spec,
+            rng=np.random.default_rng(int(seed)),
+            bits_per_epoch=self._columns["bits_per_epoch"].copy(),
+        )

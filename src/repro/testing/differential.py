@@ -16,6 +16,9 @@ Variants (each compared bit-exactly against its reference):
 ``obs_on``          same episode with :mod:`repro.obs` enabled
 ``audited``         same episode through an enabled
                     :class:`~repro.testing.invariants.InvariantAuditor`
+``population_object``  the same episode on the object-node population
+                    backend (per-node ``node_response`` loop) instead of
+                    the SoA default — the API-redesign identity proof
 ``vector_m1``       the M=1 vectorized wrapper (replica 0 is the env)
 ``vector_m4``       M=4 lockstep vs the same four replicas stepped
                     individually (full multi-replica comparison)
@@ -62,6 +65,7 @@ VARIANTS = (
     "rerun",
     "obs_on",
     "audited",
+    "population_object",
     "vector_m1",
     "vector_m4",
     "parallel_w4",
@@ -122,6 +126,20 @@ def _capture_audited(scenario: Scenario) -> EpisodeTrace:
             f"auditor saw no rounds for scenario {scenario.name!r}"
         )
     return trace
+
+
+def _capture_population_object(scenario: Scenario) -> EpisodeTrace:
+    """The scenario replayed on the object-node population backend.
+
+    Rebuilds the identical fleet with ``population_backend="object"`` —
+    the per-node ``node_response`` reference loop — and captures the same
+    schedule.  Bit-identity against the SoA reference is the population
+    API's central claim (docs/population.md).
+    """
+    import dataclasses
+
+    build = dataclasses.replace(scenario.build, population_backend="object")
+    return _sequential_trace(dataclasses.replace(scenario, build=build))
 
 
 def _capture_vector(scenario: Scenario, num_envs: int) -> EpisodeTrace:
@@ -263,6 +281,8 @@ def run_variant(
             actual = _capture_obs_on(scenario)
         elif variant == "audited":
             actual = _capture_audited(scenario)
+        elif variant == "population_object":
+            actual = _capture_population_object(scenario)
         elif variant == "vector_m1":
             actual = _capture_vector(scenario, 1)
         else:

@@ -179,24 +179,40 @@ def check_step_result(
         _require(bool(np.all(vec >= 0.0)), "N1", f"negative {name}: {vec!r}", k)
 
     # --- N2/N3: best-response contracts (Eqns 8, 11) ------------------ #
-    for i in result.participants:
-        profile = env.profiles[i]
-        zeta = float(result.zetas[i])
-        # Failed participants have their round vectors zeroed by the fault
-        # pipeline; the Eqn-11 bounds apply to nodes whose work stood.
-        if i in result.delivered or env.injector is None:
+    # Failed participants have their round vectors zeroed by the fault
+    # pipeline; the Eqn-11 bounds apply to nodes whose work stood.  The
+    # checks run as column comparisons against the population (one numpy
+    # pass instead of a per-participant Python loop, which is what makes
+    # auditing a 1000-node fleet affordable).
+    if env.injector is None:
+        checked = np.asarray(result.participants, dtype=np.int64)
+    else:
+        checked = np.asarray(sorted(result.delivered), dtype=np.int64)
+    if checked.size:
+        zeta_min = env.population.column("zeta_min")[checked]
+        zeta_max = env.population.column("zeta_max")[checked]
+        reserve = env.population.column("reserve_utility")[checked]
+        zetas = np.asarray(result.zetas, dtype=np.float64)[checked]
+        utils = np.asarray(result.utilities, dtype=np.float64)[checked]
+        in_range = (zeta_min - 1e-9 <= zetas) & (zetas <= zeta_max + 1e-9)
+        if not bool(np.all(in_range)):
+            i = int(checked[np.argmin(in_range)])
             _require(
-                profile.zeta_min - 1e-9 <= zeta <= profile.zeta_max + 1e-9,
+                False,
                 "N2",
-                f"node {i} frequency {zeta!r} outside "
-                f"[{profile.zeta_min}, {profile.zeta_max}]",
+                f"node {i} frequency {float(result.zetas[i])!r} outside "
+                f"[{env.population.column('zeta_min')[i]}, "
+                f"{env.population.column('zeta_max')[i]}]",
                 k,
             )
+        rational = utils >= reserve - 1e-9
+        if not bool(np.all(rational)):
+            i = int(checked[np.argmin(rational)])
             _require(
-                result.utilities[i] >= profile.reserve_utility - 1e-9,
+                False,
                 "N3",
                 f"participant {i} utility {result.utilities[i]!r} below "
-                f"reserve {profile.reserve_utility!r}",
+                f"reserve {env.population.column('reserve_utility')[i]!r}",
                 k,
             )
 
@@ -204,16 +220,22 @@ def check_step_result(
     # (Eqn 10's linear contract).  Failed nodes are excluded — defenses
     # claw their payment back, and with defenses off their ζ is zeroed
     # while the payment stands.
-    for i in result.delivered:
-        expected_pay = float(prices[i]) * float(result.zetas[i])
-        _require(
-            np.isclose(result.payments[i], expected_pay,
-                       rtol=ACCOUNTING_RTOL, atol=ACCOUNTING_ATOL),
-            "N1",
-            f"node {i} payment {result.payments[i]!r} != p·ζ "
-            f"{expected_pay!r}",
-            k,
+    if result.delivered:
+        idx = np.asarray(result.delivered, dtype=np.int64)
+        expected_pay = prices[idx] * np.asarray(result.zetas)[idx]
+        actual_pay = np.asarray(result.payments)[idx]
+        ok = np.isclose(
+            actual_pay, expected_pay, rtol=ACCOUNTING_RTOL, atol=ACCOUNTING_ATOL
         )
+        if not bool(np.all(ok)):
+            i = int(idx[np.argmin(ok)])
+            _require(
+                False,
+                "N1",
+                f"node {i} payment {result.payments[i]!r} != p·ζ "
+                f"{float(prices[i]) * float(result.zetas[i])!r}",
+                k,
+            )
 
     # --- N4: delivery partition --------------------------------------- #
     participants = set(result.participants)

@@ -10,14 +10,16 @@ action sequence can be replayed against every execution path — the
 property the differential runner (:mod:`repro.testing.differential`)
 builds on.
 
-The three committed golden scenarios cover the paper's regimes:
+The committed golden scenarios cover the paper's regimes:
 
 * ``baseline`` — fault-free model, the paper's Algorithm 1 exactly;
 * ``faulted`` — churn + mixed crash/straggler/corrupt faults with the
   escrow/clawback defenses on (Eqn 9 accounting under failure);
 * ``vectorized_m4`` — four replicas in lockstep, proving the masked
   vector path and :meth:`~repro.core.env.EdgeLearningEnv.spawn`
-  decorrelation.
+  decorrelation;
+* ``population_n5`` — the paper's N=5 fleet under churn + faults, the
+  anchor for the object-vs-SoA population-backend identity proof.
 """
 
 from __future__ import annotations
@@ -183,6 +185,25 @@ SCENARIOS: Dict[str, Scenario] = {
             episode_seed=99,
             schedule_seed=2026,
             num_envs=4,
+        ),
+        Scenario(
+            name="population_n5",
+            description=(
+                "The paper's N=5 fleet under churn and mixed faults — the "
+                "population-engine proof scenario: the differential "
+                "matrix's population_object variant replays it on the "
+                "object-node backend and requires bit-identity with the "
+                "SoA default."
+            ),
+            build=BuildConfig(
+                n_nodes=5,
+                budget=18.0,
+                seed=321,
+                availability=0.9,
+                faults=FaultConfig.mixed(0.25, seed=11),
+            ),
+            episode_seed=77,
+            schedule_seed=2027,
         ),
     )
 }

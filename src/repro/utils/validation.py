@@ -14,11 +14,38 @@ Number = Union[int, float, np.integer, np.floating]
 
 
 def check_positive(name: str, value: Number, strict: bool = True) -> None:
-    """Raise ``ValueError`` unless ``value`` is positive (or >= 0 if not strict)."""
+    """Raise ``ValueError`` unless ``value`` is positive (or >= 0 if not strict).
+
+    Accepts numpy arrays as well as scalars: an array passes when *every*
+    element does, checked in one vectorized comparison rather than a
+    per-element Python loop (the error message names the worst offender).
+    """
+    if isinstance(value, np.ndarray):
+        check_positive_array(name, value, strict=strict)
+        return
     if strict and not value > 0:
         raise ValueError(f"{name} must be > 0, got {value}")
     if not strict and not value >= 0:
         raise ValueError(f"{name} must be >= 0, got {value}")
+
+
+def check_positive_array(
+    name: str, values: np.ndarray, strict: bool = True
+) -> None:
+    """Vectorized :func:`check_positive` over a whole array at once."""
+    arr = np.asarray(values)
+    if arr.size == 0:
+        return
+    # A single reduction instead of N Python-level comparisons; NaN fails
+    # both predicates, so non-finite garbage is rejected too.
+    if strict and not bool(np.all(arr > 0)):
+        raise ValueError(
+            f"{name} must be > 0 elementwise, got min {arr.min()}"
+        )
+    if not strict and not bool(np.all(arr >= 0)):
+        raise ValueError(
+            f"{name} must be >= 0 elementwise, got min {arr.min()}"
+        )
 
 
 def check_in_range(

@@ -70,7 +70,7 @@ class TestRealMode:
         )
         assert isinstance(build.learning, RealTrainingAccuracy)
         assert build.session is not None
-        assert len(build.session.nodes) == 3
+        assert build.session.n_nodes == 3
 
     def test_real_step_runs(self):
         build = build_environment(

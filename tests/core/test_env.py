@@ -166,7 +166,8 @@ class TestStepResultConsistency:
         env.reset()
         result = step_result(env, mid_prices(env))
         for i in result.participants:
-            assert result.utilities[i] >= env.profiles[i].reserve_utility - 1e-12
+            reserve = env.population.column("reserve_utility")[i]
+            assert result.utilities[i] >= reserve - 1e-12
 
     def test_decliner_fields_zero(self, env):
         env.reset()

@@ -1,0 +1,76 @@
+"""Population benchmark smoke: tiny sizes, real identity + report checks."""
+
+import json
+
+import pytest
+
+from repro.bench.population import (
+    IDENTITY_ATOL,
+    check_report,
+    run_population_benchmark,
+)
+
+pytestmark = [pytest.mark.population, pytest.mark.bench]
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_population_benchmark(
+        sizes=(5, 200), rounds=5, warmup_rounds=1, object_max_nodes=200
+    )
+
+
+class TestSmokeRun:
+    def test_identity_holds_at_every_measured_size(self, report):
+        assert report["identity_ok"]
+        for entry in report["results"]:
+            assert entry["identity_max_abs_gap"] <= IDENTITY_ATOL
+
+    def test_all_sizes_present(self, report):
+        assert [e["n_nodes"] for e in report["results"]] == [5, 200]
+        for entry in report["results"]:
+            assert entry["object_mode"] == "measured"
+            assert entry["soa_seconds"] > 0
+            assert entry["speedup_soa_vs_object"] > 0
+
+    def test_report_is_json_serializable(self, report):
+        parsed = json.loads(json.dumps(report))
+        assert parsed["benchmark"] == "population"
+
+    def test_extrapolation_above_object_max(self):
+        report = run_population_benchmark(
+            sizes=(5, 50, 400), rounds=3, warmup_rounds=1, object_max_nodes=50
+        )
+        modes = {
+            e["n_nodes"]: e["object_mode"] for e in report["results"]
+        }
+        assert modes == {5: "measured", 50: "measured", 400: "extrapolated"}
+        last = report["results"][-1]
+        base = report["results"][-2]
+        assert last["object_seconds"] == pytest.approx(
+            base["object_seconds"] * 400 / 50
+        )
+
+
+class TestCheckReport:
+    def test_clean_report_with_lenient_floor(self, report):
+        assert check_report(report, min_speedup=0.0) == []
+
+    def test_speedup_floor_enforced(self, report):
+        failures = check_report(report, min_speedup=1e9)
+        assert any("below the" in f for f in failures)
+
+    def test_identity_failure_reported(self, report):
+        broken = dict(report, identity_ok=False)
+        assert any("identity" in f for f in check_report(broken, 0.0))
+
+    def test_sublinear_failure_reported(self, report):
+        broken = dict(
+            report,
+            scaling={
+                "size_ratio": 10.0,
+                "soa_time_ratio": 20.0,
+                "sublinear": False,
+            },
+        )
+        assert any("sublinear" in f for f in check_report(broken, 0.0))

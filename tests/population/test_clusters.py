@@ -1,0 +1,143 @@
+"""Clustered/tiered populations: fixed-K summaries + hierarchical pricing."""
+
+import numpy as np
+import pytest
+
+from repro.population import (
+    CLUSTER_KEYS,
+    SUMMARY_FEATURES,
+    SoAPopulation,
+    cluster_population,
+)
+
+pytestmark = pytest.mark.population
+
+SIGMA = 5
+
+
+@pytest.fixture
+def population():
+    return SoAPopulation.sample(20, rng=np.random.default_rng(8))
+
+
+class TestAssignment:
+    def test_partition_is_complete_and_balanced(self, population):
+        view = cluster_population(population, 4)
+        sizes = view.sizes()
+        assert sizes.sum() == population.n_nodes
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_assignment_is_deterministic(self, population):
+        a = cluster_population(population, 4).assignments
+        b = cluster_population(population, 4).assignments
+        assert np.array_equal(a, b)
+
+    def test_tiers_are_ordered_by_key(self, population):
+        view = cluster_population(population, 4, by="zeta_max")
+        key = population.column("zeta_max")
+        tier_maxes = [key[view.members(c)].max() for c in range(4)]
+        tier_mins = [key[view.members(c)].min() for c in range(4)]
+        for c in range(3):
+            assert tier_maxes[c] <= tier_mins[c + 1]
+
+    def test_k_clamped_to_fleet_size(self):
+        pop = SoAPopulation.sample(3, rng=np.random.default_rng(1))
+        view = cluster_population(pop, 10)
+        assert view.n_clusters == 3
+        assert np.array_equal(np.sort(np.unique(view.assignments)), [0, 1, 2])
+
+    def test_every_key_supported(self, population):
+        for key in CLUSTER_KEYS:
+            view = cluster_population(population, 3, by=key)
+            assert view.sizes().sum() == population.n_nodes
+
+    def test_unknown_key_rejected(self, population):
+        with pytest.raises(ValueError, match="unknown cluster key"):
+            cluster_population(population, 3, by="karma")
+
+    def test_members_out_of_range(self, population):
+        view = cluster_population(population, 4)
+        with pytest.raises(IndexError):
+            view.members(4)
+
+    def test_assignments_read_only(self, population):
+        view = cluster_population(population, 4)
+        with pytest.raises(ValueError):
+            view.assignments[0] = 0
+
+    def test_population_method_equivalent(self, population):
+        via_method = population.cluster_view(4, by="comm_time")
+        via_function = cluster_population(population, 4, by="comm_time")
+        assert np.array_equal(via_method.assignments, via_function.assignments)
+
+
+class TestAggregation:
+    def test_aggregate_mean_matches_numpy(self, population):
+        view = cluster_population(population, 4)
+        values = population.column("comm_time")
+        means = view.aggregate(values)
+        for c in range(4):
+            assert means[c] == pytest.approx(values[view.members(c)].mean())
+
+    def test_aggregate_sum(self, population):
+        view = cluster_population(population, 4)
+        values = population.column("bits_per_epoch")
+        assert view.aggregate(values, how="sum").sum() == pytest.approx(
+            values.sum()
+        )
+
+    def test_aggregate_shape_checked(self, population):
+        view = cluster_population(population, 4)
+        with pytest.raises(ValueError, match="shape"):
+            view.aggregate(np.ones(7))
+
+    def test_summaries_shape_fixed_by_k(self, population):
+        view = cluster_population(population, 4)
+        summary = view.summaries(SIGMA)
+        assert summary.shape == (4, len(SUMMARY_FEATURES))
+        # size fractions are a simplex over clusters
+        assert summary[:, 0].sum() == pytest.approx(1.0)
+
+    def test_summaries_shape_independent_of_n(self):
+        small = SoAPopulation.sample(10, rng=np.random.default_rng(2))
+        large = SoAPopulation.sample(500, rng=np.random.default_rng(3))
+        shape_small = cluster_population(small, 5).summaries(SIGMA).shape
+        shape_large = cluster_population(large, 5).summaries(SIGMA).shape
+        assert shape_small == shape_large == (5, len(SUMMARY_FEATURES))
+
+
+class TestHierarchicalPricing:
+    def test_expand_prices_broadcasts_assignment(self, population):
+        view = cluster_population(population, 4)
+        cluster_prices = np.array([1.0, 2.0, 3.0, 4.0])
+        expanded = view.expand_prices(cluster_prices)
+        assert expanded.shape == (population.n_nodes,)
+        assert np.array_equal(
+            expanded, cluster_prices[view.assignments]
+        )
+
+    def test_expand_prices_shape_checked(self, population):
+        view = cluster_population(population, 4)
+        with pytest.raises(ValueError, match="shape"):
+            view.expand_prices(np.ones(3))
+
+    def test_respond_equals_expanded_flat_respond(self, population):
+        view = cluster_population(population, 4)
+        caps = population.price_caps(SIGMA)
+        cluster_prices = np.array(
+            [caps[view.members(c)].mean() for c in range(4)]
+        )
+        via_view = view.respond(cluster_prices, SIGMA)
+        via_flat = population.respond(
+            view.expand_prices(cluster_prices), SIGMA
+        )
+        assert np.array_equal(via_view.payment, via_flat.payment)
+        assert np.array_equal(via_view.zeta, via_flat.zeta)
+
+    def test_cluster_payments_sum_to_total(self, population):
+        view = cluster_population(population, 4)
+        cluster_prices = np.full(4, population.price_caps(SIGMA).mean())
+        batch = view.respond(cluster_prices, SIGMA)
+        per_cluster = view.cluster_payments(batch)
+        assert per_cluster.shape == (4,)
+        assert per_cluster.sum() == pytest.approx(batch.total_payment())

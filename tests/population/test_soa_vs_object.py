@@ -1,0 +1,173 @@
+"""Backend identity: SoA column math == per-node object loop, bit for bit.
+
+The API redesign's central claim (docs/population.md): both
+:class:`~repro.population.Population` backends compute the same
+:class:`~repro.population.NodeResponseBatch` on any price vector —
+including the ζ-clamping edges, declined nodes, zero prices, and fleets
+under the fault pipeline.  The differential matrix proves it for whole
+committed episodes; these tests prove it property-style over random
+fleets and prices, and at N=1000 under the invariant auditor.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.builder import BuildConfig
+from repro.economics import node_response, sample_profiles
+from repro.faults import FaultConfig
+from repro.population import ObjectPopulation, SoAPopulation
+from repro.testing import InvariantAuditor, auditing
+from repro.testing.scenarios import price_schedule
+
+pytestmark = pytest.mark.population
+
+SIGMA = 5
+
+
+def _pair(n, seed):
+    """The same fleet on both backends (same generator state)."""
+    obj = ObjectPopulation.sample(n, rng=np.random.default_rng(seed))
+    soa = SoAPopulation.sample(n, rng=np.random.default_rng(seed))
+    return obj, soa
+
+
+def assert_batches_identical(a, b):
+    assert np.array_equal(a.participates, b.participates)
+    for field in ("zeta", "utility", "payment", "time", "energy"):
+        lhs, rhs = getattr(a, field), getattr(b, field)
+        assert np.array_equal(lhs, rhs), (
+            f"{field} diverged: max|Δ|="
+            f"{np.max(np.abs(np.nan_to_num(lhs - rhs)))}"
+        )
+
+
+class TestSampledFleetsAgree:
+    def test_same_stream_same_fleet(self):
+        obj, soa = _pair(12, seed=3)
+        for name in ("zeta_min", "zeta_max", "comm_time", "bits_per_epoch"):
+            assert np.array_equal(obj.column(name), soa.column(name))
+
+    @given(
+        seed=st.integers(0, 200),
+        price_scale=st.floats(0.0, 3.0),
+        sigma=st.integers(1, 10),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_respond_identical_random_prices(self, seed, price_scale, sigma):
+        """Element-wise identical batches across regimes (0 → 3× cap)."""
+        obj, soa = _pair(8, seed)
+        rng = np.random.default_rng(seed + 1)
+        prices = price_scale * soa.price_caps(sigma) * rng.uniform(0, 1, 8)
+        assert_batches_identical(
+            obj.respond(prices, sigma), soa.respond(prices, sigma)
+        )
+
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_clamp_edges_identical(self, seed):
+        """Prices exactly at κζ_min / κζ_max — the clip boundaries."""
+        obj, soa = _pair(6, seed)
+        kappa = soa.kappa(SIGMA)
+        for prices in (
+            kappa * soa.column("zeta_min"),
+            kappa * soa.column("zeta_max"),
+            np.zeros(6),
+            soa.price_floors(SIGMA),
+        ):
+            a = obj.respond(prices, SIGMA)
+            b = soa.respond(prices, SIGMA)
+            assert_batches_identical(a, b)
+
+    def test_zeta_stays_clamped_on_both(self):
+        obj, soa = _pair(10, seed=17)
+        prices = 10.0 * soa.price_caps(SIGMA)  # deep saturation
+        for batch in (obj.respond(prices, SIGMA), soa.respond(prices, SIGMA)):
+            assert np.array_equal(batch.zeta, soa.column("zeta_max"))
+        prices = np.zeros(10)  # deep decline / floor regime
+        for batch in (obj.respond(prices, SIGMA), soa.respond(prices, SIGMA)):
+            assert np.all(batch.zeta == soa.column("zeta_min"))
+
+    def test_matches_scalar_node_response(self):
+        """Both backends reproduce the scalar reference per node."""
+        profiles = sample_profiles(7, rng=np.random.default_rng(5))
+        obj = ObjectPopulation(profiles)
+        soa = SoAPopulation.from_profiles(profiles)
+        rng = np.random.default_rng(6)
+        prices = rng.uniform(0, 2, 7) * soa.price_caps(SIGMA)
+        batch_obj = obj.respond(prices, SIGMA)
+        batch_soa = soa.respond(prices, SIGMA)
+        for i, p in enumerate(profiles):
+            ref = node_response(p, float(prices[i]), SIGMA)
+            for batch in (batch_obj, batch_soa):
+                assert batch.participates[i] == ref.participates
+                assert batch.zeta[i] == ref.zeta
+                assert batch.utility[i] == ref.utility
+                assert batch.payment[i] == ref.payment
+                assert batch.energy[i] == ref.energy
+                assert batch.time[i] == ref.time
+
+
+class TestEnvironmentsAgree:
+    def _run(self, backend, faults):
+        config = BuildConfig(
+            n_nodes=5,
+            budget=18.0,
+            seed=321,
+            availability=0.9,
+            faults=FaultConfig.mixed(0.25, seed=11) if faults else None,
+            population_backend=backend,
+        )
+        env = config.build().env
+        schedule = price_schedule(env, 12, seed=13)
+        env.reset(seed=77)
+        rows = []
+        for prices in schedule:
+            obs, reward, terminated, truncated, info = env.step(prices)
+            result = info["step_result"]
+            rows.append(
+                (
+                    obs.copy(),
+                    reward,
+                    float(result.payments.sum()),
+                    result.remaining_budget,
+                    tuple(result.participants),
+                    tuple(result.delivered),
+                )
+            )
+            if terminated or truncated:
+                break
+        return rows
+
+    @pytest.mark.parametrize("faults", [False, True], ids=["clean", "faulted"])
+    def test_env_identical_across_backends(self, faults):
+        soa_rows = self._run("soa", faults)
+        obj_rows = self._run("object", faults)
+        assert len(soa_rows) == len(obj_rows)
+        for row_a, row_b in zip(soa_rows, obj_rows):
+            assert np.array_equal(row_a[0], row_b[0])  # observations
+            assert row_a[1:] == row_b[1:]  # reward, payments, budget, ids
+
+
+class TestLargeFleetAudited:
+    def test_auditor_clean_at_n1000(self):
+        """N=1000 SoA episode passes every paper invariant (N1-N3, B, Eqn 9)."""
+        env = BuildConfig(n_nodes=1000, budget=500.0, seed=9).build().env
+        auditor = InvariantAuditor(env)
+        prices = price_schedule(env, 5, seed=21)
+        with auditing():
+            auditor.reset(seed=4)
+            for row in prices:
+                _, _, terminated, truncated, _ = auditor.step(row)
+                if terminated or truncated:
+                    break
+        assert auditor.rounds_audited > 0
+
+    def test_backends_agree_at_n1000(self):
+        obj, soa = _pair(1000, seed=31)
+        rng = np.random.default_rng(32)
+        prices = rng.uniform(0, 1.5, 1000) * soa.price_caps(SIGMA)
+        assert_batches_identical(
+            obj.respond(prices, SIGMA), soa.respond(prices, SIGMA)
+        )
