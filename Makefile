@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test faults bench bench-smoke bench-rollout bench-sweep bench-population population-smoke sweep-smoke parallel population resilience chaos-smoke resume-test obs-demo golden-verify golden-update diff-matrix fuzz repro repro-paper report clean
+.PHONY: install test faults bench bench-smoke bench-rollout bench-sweep bench-population population-smoke sweep-smoke parallel population resilience chaos-smoke resume-test obs-demo golden-verify golden-update diff-matrix fuzz repro repro-paper report clean zoo tournament tournament-test tournament-smoke bench-tournament
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -96,6 +96,32 @@ sweep-smoke:
 	$(PYTHON) -m repro.bench sweep --workers 1,2 --mechanisms greedy,random \
 		--train-episodes 2 --eval-episodes 1 --max-rounds 20 \
 		--out /tmp/sweep_smoke.json
+
+# Just the mechanism-zoo suite (Stackelberg/FMore/BARA/Ding; part of `test`).
+zoo:
+	$(PYTHON) -m pytest -m zoo tests/
+
+# Just the tournament-harness suite (also part of `test`).
+tournament-test:
+	$(PYTHON) -m pytest -m tournament tests/
+
+# Cross-evaluate every registered mechanism over the full grid and write
+# the ranked leaderboard under results/ (same run as `chiron-repro run
+# tournament`).
+tournament:
+	$(PYTHON) -m repro.experiments run tournament --out results/
+
+# Tiny 2-mechanism tournament with the worker-count fingerprint gate:
+# exits non-zero on a determinism break (the CI hook).
+tournament-smoke:
+	$(PYTHON) -m repro.bench tournament --smoke \
+		--out /tmp/bench_tournament_smoke.json \
+		--leaderboard-dir /tmp/tournament_smoke_leaderboard
+
+# Regenerate the committed tournament report + leaderboard artifacts
+# (BENCH_tournament.json, results/tournament_leaderboard.{json,md}).
+bench-tournament:
+	$(PYTHON) -m repro.bench tournament --out BENCH_tournament.json
 
 # Regenerate every paper figure/table at quick scale and rebuild the report.
 repro:

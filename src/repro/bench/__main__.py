@@ -11,6 +11,9 @@ Examples::
     python -m repro.bench population                    # object vs SoA
     python -m repro.bench population --smoke \\
         --out /tmp/bench_pop_smoke.json     # CI gate (nonzero on failure)
+    python -m repro.bench tournament                    # full leaderboard run
+    python -m repro.bench tournament --smoke \\
+        --out /tmp/bench_tournament.json    # CI gate (nonzero on failure)
 """
 
 from __future__ import annotations
@@ -121,12 +124,44 @@ def main(argv=None) -> int:
         help="seconds-scale subset; exit nonzero if identity or speedup "
         "claims fail (the CI gate)",
     )
+    tournament = subparsers.add_parser(
+        "tournament",
+        help="mechanism-zoo tournament: every registered mechanism over "
+        "the declarative grid, with the worker-count fingerprint gate",
+    )
+    tournament.add_argument(
+        "--workers",
+        type=_parse_int_list("--workers"),
+        default=[1, 2],
+        help="comma-separated pool sizes the grid is re-run at "
+        "(fingerprints must match across all of them)",
+    )
+    tournament.add_argument("--seed", type=int, default=0)
+    tournament.add_argument("--out", default="BENCH_tournament.json")
+    tournament.add_argument(
+        "--journal",
+        default=None,
+        help="journal path for crash-safe resume (first worker count only)",
+    )
+    tournament.add_argument(
+        "--leaderboard-dir",
+        default="results",
+        help="directory the leaderboard JSON + markdown artifacts land in",
+    )
+    tournament.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny 2-mechanism grid; exit nonzero if the worker-count "
+        "fingerprint gate fails (the CI gate)",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "sweep":
         return _run_sweep_command(args)
     if args.command == "population":
         return _run_population_command(args)
+    if args.command == "tournament":
+        return _run_tournament_command(args)
 
     report = run_rollout_benchmark(
         num_envs=args.num_envs,
@@ -182,6 +217,47 @@ def _run_sweep_command(args) -> int:
     print(f"report written to {args.out}")
     # A fingerprint mismatch means the determinism contract broke: fail
     # the command so CI catches it even if nobody reads the JSON.
+    if not report["fingerprints_identical"]:
+        return 1
+    return 0
+
+
+def _run_tournament_command(args) -> int:
+    from repro.bench.tournament import (
+        run_tournament_benchmark,
+        write_leaderboard_artifacts,
+    )
+
+    report, result = run_tournament_benchmark(
+        worker_counts=args.workers,
+        smoke=args.smoke,
+        seed=args.seed,
+        journal=args.journal,
+    )
+    write_report(report, args.out)
+    json_path, md_path = write_leaderboard_artifacts(
+        result, args.leaderboard_dir
+    )
+    for entry in report["results"]:
+        print(
+            f"workers={entry['workers']:>2} {entry['cells']} cells in "
+            f"{entry['seconds']:.2f}s = {entry['cells_per_sec']:.2f} "
+            f"cells/s  fp={entry['fingerprint'][:12]}"
+        )
+    for row in result.leaderboard.rows:
+        print(
+            f"  #{row.rank} {row.mechanism:<18} acc={row.mean_accuracy:.4f} "
+            f"±{row.accuracy_ci95:.4f}  eff={row.budget_efficiency:.3f}  "
+            f"regret={row.fault_regret:+.4f}"
+        )
+    print(
+        f"cpu_count={report['cpu_count']}  fingerprints_identical="
+        f"{report['fingerprints_identical']}"
+    )
+    print(f"report written to {args.out}")
+    print(f"leaderboard written to {json_path} and {md_path}")
+    # A fingerprint mismatch breaks the determinism contract: fail the
+    # command so CI catches it even if nobody reads the JSON.
     if not report["fingerprints_identical"]:
         return 1
     return 0

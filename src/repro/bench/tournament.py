@@ -1,0 +1,95 @@
+"""Tournament benchmark: the committed ``BENCH_tournament.json`` run.
+
+Runs a tournament grid at every requested worker count, records wall
+clock and the sweep fingerprint per count, and asserts the fingerprints
+are identical — the machine-checkable form of the determinism contract
+the tournament inherits from :mod:`repro.parallel`.  The full grid
+(:func:`~repro.tournament.grid.default_grid`) produces the committed
+``BENCH_tournament.json`` plus the ranked leaderboard artifacts
+(``results/tournament_leaderboard.{json,md}``); ``--smoke`` runs the tiny
+CI grid and exits nonzero when the fingerprint gate fails.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import List, Optional, Sequence, Tuple
+
+from repro.tournament.grid import TournamentGrid, default_grid, smoke_grid
+from repro.tournament.runner import (
+    TournamentResult,
+    render_tournament,
+    run_tournament,
+)
+
+
+def run_tournament_benchmark(
+    worker_counts: Sequence[int] = (1, 2),
+    smoke: bool = False,
+    seed: int = 0,
+    grid: Optional[TournamentGrid] = None,
+    journal=None,
+) -> Tuple[dict, TournamentResult]:
+    """Run the grid at each worker count; returns (report, last result).
+
+    ``journal`` (a path) only applies to the *first* worker count — a
+    journal replays settled items instead of executing them, which would
+    turn the later counts into no-op timing measurements.
+    """
+    if not worker_counts:
+        raise ValueError("need at least one worker count")
+    grid = grid or (smoke_grid(seed=seed) if smoke else default_grid(seed=seed))
+    results: List[dict] = []
+    final: Optional[TournamentResult] = None
+    for index, workers in enumerate(worker_counts):
+        start = time.perf_counter()
+        result = run_tournament(
+            grid, workers=workers, journal=journal if index == 0 else None
+        )
+        seconds = time.perf_counter() - start
+        cells = len(result.sweep.items)
+        results.append(
+            {
+                "workers": int(workers),
+                "cells": cells,
+                "seconds": seconds,
+                "cells_per_sec": cells / seconds if seconds > 0 else 0.0,
+                "fingerprint": result.fingerprint(),
+            }
+        )
+        final = result
+    fingerprints = {entry["fingerprint"] for entry in results}
+    report = {
+        "benchmark": "tournament",
+        "smoke": bool(smoke),
+        "seed": int(seed),
+        "cpu_count": os.cpu_count(),
+        "grid": grid.to_dict(),
+        "results": results,
+        "fingerprints_identical": len(fingerprints) == 1,
+        "fingerprint": results[0]["fingerprint"],
+        "integrity": final.integrity(),
+        "leaderboard": final.leaderboard.to_payload(),
+    }
+    return report, final
+
+
+def write_leaderboard_artifacts(
+    result: TournamentResult, directory: str
+) -> Tuple[str, str]:
+    """Write the ranked leaderboard as JSON + markdown; returns the paths."""
+    import json
+
+    os.makedirs(directory, exist_ok=True)
+    json_path = os.path.join(directory, "tournament_leaderboard.json")
+    md_path = os.path.join(directory, "tournament_leaderboard.md")
+    payload = result.leaderboard.to_payload()
+    payload["fingerprint"] = result.fingerprint()
+    payload["grid"] = result.grid.to_dict()
+    with open(json_path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    with open(md_path, "w") as handle:
+        handle.write(render_tournament(result))
+    return json_path, md_path

@@ -1,4 +1,4 @@
-"""Mechanism factory used by every experiment and benchmark.
+"""Mechanism registry and factory used by every experiment and benchmark.
 
 Centralizes hyper-parameter choices so Chiron and the baselines are tuned
 once and compared everywhere under identical settings.  Two speed tiers:
@@ -7,22 +7,26 @@ once and compared everywhere under identical settings.  Two speed tiers:
   20 episodes, 500 episodes); slow but faithful.
 * ``quick`` — larger learning rates sized for the scaled-down benchmark
   runs (tens of episodes), preserving all structural choices.
+
+Mechanisms live in a name → factory registry.  The built-in baselines and
+the :mod:`repro.zoo` families register themselves; third-party code adds
+its own with :func:`register_mechanism` and the tournament / sweep /
+differential machinery picks the name up everywhere::
+
+    from repro.experiments.mechanisms import register_mechanism
+
+    register_mechanism("my_mech", lambda env, rng, tier: MyMechanism(env))
+
+Factories take ``(env, rng, tier)`` and must return a fresh
+:class:`~repro.core.mechanism.IncentiveMechanism` bound to ``env``; they
+run inside hermetic sweep workers, so they must not capture process-global
+state (determinism is part of the contract — see docs/mechanisms.md).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Tuple
 
-from repro.baselines import (
-    DRLSingleAgent,
-    DRLSingleConfig,
-    EqualTimeOracle,
-    FixedPriceMechanism,
-    GreedyMechanism,
-    MyopicPlannerOracle,
-    RandomMechanism,
-)
-from repro.core.chiron import ChironAgent, ChironConfig
 from repro.core.env import EdgeLearningEnv
 from repro.core.mechanism import IncentiveMechanism
 from repro.rl.ppo import PPOConfig
@@ -67,6 +71,104 @@ def _ppo_for(tier: str) -> PPOConfig:
     raise ValueError(f"unknown tier {tier!r}; expected 'paper' or 'quick'")
 
 
+#: A mechanism factory: ``(env, rng, tier) -> IncentiveMechanism``.
+MechanismFactory = Callable[
+    [EdgeLearningEnv, RNGLike, str], IncentiveMechanism
+]
+
+_REGISTRY: Dict[str, MechanismFactory] = {}
+
+
+def register_mechanism(
+    name: str, factory: MechanismFactory, overwrite: bool = False
+) -> None:
+    """Register a mechanism factory under ``name``.
+
+    Registered names become valid everywhere a mechanism name is accepted:
+    :func:`make_mechanism`, sweep items (:mod:`repro.parallel`), the
+    tournament grid (:mod:`repro.tournament`), and the experiments CLI.
+    Re-registering an existing name raises unless ``overwrite=True`` —
+    silent shadowing of a built-in would corrupt comparisons.
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError(f"mechanism name must be a non-empty string, got {name!r}")
+    if name in _REGISTRY and not overwrite:
+        raise ValueError(
+            f"mechanism {name!r} is already registered; pass overwrite=True "
+            "to replace it"
+        )
+    if not callable(factory):
+        raise TypeError(f"factory for {name!r} must be callable")
+    _REGISTRY[name] = factory
+
+
+def _make_chiron(env: EdgeLearningEnv, rng: RNGLike, tier: str):
+    from dataclasses import replace
+
+    from repro.core.chiron import ChironAgent, ChironConfig
+
+    ppo = _ppo_for(tier)
+    # The inner agent's idle-time reward is an immediate consequence of
+    # its own allocation (Lemma 1 is a per-round statement), so its
+    # credit assignment is myopic: γ = 0 turns it into a contextual
+    # bandit and sharply speeds up time-consistency learning.
+    inner = replace(ppo, gamma=0.0, gae_lambda=0.0, critic_lr=ppo.critic_lr)
+    return ChironAgent(env, ChironConfig(exterior=ppo, inner=inner), rng=rng)
+
+
+def _make_drl_single(env: EdgeLearningEnv, rng: RNGLike, tier: str):
+    from repro.baselines import DRLSingleAgent, DRLSingleConfig
+
+    return DRLSingleAgent(
+        env, DRLSingleConfig(ppo=_ppo_for(tier), myopic=True), rng=rng
+    )
+
+
+def _make_greedy(env: EdgeLearningEnv, rng: RNGLike, tier: str):
+    from repro.baselines import GreedyMechanism
+
+    return GreedyMechanism(env, rng=rng)
+
+
+def _make_fixed_price(env: EdgeLearningEnv, rng: RNGLike, tier: str):
+    from repro.baselines import FixedPriceMechanism
+
+    return FixedPriceMechanism(env)
+
+
+def _make_random(env: EdgeLearningEnv, rng: RNGLike, tier: str):
+    from repro.baselines import RandomMechanism
+
+    return RandomMechanism(env, rng=rng)
+
+
+def _make_oracle_equal_time(env: EdgeLearningEnv, rng: RNGLike, tier: str):
+    from repro.baselines import EqualTimeOracle
+
+    return EqualTimeOracle(env)
+
+
+def _make_oracle_myopic(env: EdgeLearningEnv, rng: RNGLike, tier: str):
+    from repro.baselines import MyopicPlannerOracle
+
+    return MyopicPlannerOracle(env)
+
+
+for _name, _factory in (
+    ("chiron", _make_chiron),
+    ("drl_single", _make_drl_single),
+    ("greedy", _make_greedy),
+    ("fixed_price", _make_fixed_price),
+    ("random", _make_random),
+    ("oracle_equal_time", _make_oracle_equal_time),
+    ("oracle_myopic", _make_oracle_myopic),
+):
+    register_mechanism(_name, _factory)
+del _name, _factory
+
+#: The original seven mechanisms (kept for backward compatibility; the
+#: full live list — including :mod:`repro.zoo` and third-party entries —
+#: is :func:`available_mechanisms`).
 MECHANISM_NAMES = (
     "chiron",
     "drl_single",
@@ -78,6 +180,24 @@ MECHANISM_NAMES = (
 )
 
 
+def _ensure_zoo_loaded() -> None:
+    """Import :mod:`repro.zoo` so its mechanisms self-register.
+
+    Lazy (not a module-level import) because zoo modules import
+    :func:`register_mechanism` from here; resolving names on demand keeps
+    the import graph acyclic while making zoo names work out of the box —
+    including inside hermetic sweep worker processes, which only ever
+    import this module.
+    """
+    import repro.zoo  # noqa: F401  (import-for-side-effect: registration)
+
+
+def available_mechanisms() -> Tuple[str, ...]:
+    """Sorted names of every registered mechanism (built-ins + zoo + 3rd-party)."""
+    _ensure_zoo_loaded()
+    return tuple(sorted(_REGISTRY))
+
+
 def make_mechanism(
     name: str,
     env: EdgeLearningEnv,
@@ -85,32 +205,12 @@ def make_mechanism(
     tier: str = "quick",
 ) -> IncentiveMechanism:
     """Build a named mechanism bound to ``env``."""
-    if name == "chiron":
-        from dataclasses import replace
-
-        ppo = _ppo_for(tier)
-        # The inner agent's idle-time reward is an immediate consequence of
-        # its own allocation (Lemma 1 is a per-round statement), so its
-        # credit assignment is myopic: γ = 0 turns it into a contextual
-        # bandit and sharply speeds up time-consistency learning.
-        inner = replace(ppo, gamma=0.0, gae_lambda=0.0, critic_lr=ppo.critic_lr)
-        return ChironAgent(
-            env, ChironConfig(exterior=ppo, inner=inner), rng=rng
+    factory = _REGISTRY.get(name)
+    if factory is None:
+        _ensure_zoo_loaded()
+        factory = _REGISTRY.get(name)
+    if factory is None:
+        raise ValueError(
+            f"unknown mechanism {name!r}; available: {available_mechanisms()}"
         )
-    if name == "drl_single":
-        return DRLSingleAgent(
-            env, DRLSingleConfig(ppo=_ppo_for(tier), myopic=True), rng=rng
-        )
-    if name == "greedy":
-        return GreedyMechanism(env, rng=rng)
-    if name == "fixed_price":
-        return FixedPriceMechanism(env)
-    if name == "random":
-        return RandomMechanism(env, rng=rng)
-    if name == "oracle_equal_time":
-        return EqualTimeOracle(env)
-    if name == "oracle_myopic":
-        return MyopicPlannerOracle(env)
-    raise ValueError(
-        f"unknown mechanism {name!r}; available: {MECHANISM_NAMES}"
-    )
+    return factory(env, rng, tier)

@@ -118,6 +118,22 @@ def _fig7b(scale: str, seed: int, workers: int = 1, journal=None) -> RunnerOutpu
     return result.to_payload(), render_convergence(result)
 
 
+def _tournament(
+    scale: str, seed: int, workers: int = 1, journal=None
+) -> RunnerOutput:
+    import dataclasses
+
+    from repro.tournament import default_grid, render_tournament, run_tournament
+
+    grid = default_grid(seed=seed)
+    if scale == "quick":
+        grid = dataclasses.replace(grid, train_episodes=1, eval_episodes=2)
+    elif scale != "paper":
+        raise ValueError(f"unknown scale {scale!r}; expected 'quick' or 'paper'")
+    result = run_tournament(grid, workers=workers, journal=journal)
+    return result.to_payload(), render_tournament(result)
+
+
 def _table1(scale: str, seed: int, workers: int = 1, journal=None) -> RunnerOutput:
     params = _scale_params(
         scale,
@@ -157,6 +173,12 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
     ),
     "table1": ExperimentSpec(
         "table1", "Chiron at 100 nodes: accuracy/rounds/efficiency vs budget", _table1
+    ),
+    "tournament": ExperimentSpec(
+        "tournament",
+        "[extension] Mechanism-zoo tournament: ranked leaderboard over "
+        "populations × budgets × fault profiles",
+        _tournament,
     ),
     "ext-lambda": ExperimentSpec(
         "ext-lambda",

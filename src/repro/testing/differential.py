@@ -72,6 +72,22 @@ VARIANTS = (
     "journal_replay",
 )
 
+#: The subset that applies to mechanism-driven scenarios — the vectorized
+#: wrapper replays pinned schedules, which a live mechanism doesn't have.
+MECHANISM_VARIANTS = (
+    "rerun",
+    "obs_on",
+    "audited",
+    "population_object",
+    "parallel_w4",
+    "journal_replay",
+)
+
+
+def supported_variants(scenario: Scenario) -> Sequence[str]:
+    """The variant set a scenario can run (mechanism-driven skip vector)."""
+    return MECHANISM_VARIANTS if scenario.mechanism is not None else VARIANTS
+
 
 @dataclass(frozen=True)
 class DifferentialOutcome:
@@ -99,6 +115,17 @@ class DifferentialOutcome:
 
 
 def _sequential_trace(scenario: Scenario) -> EpisodeTrace:
+    if scenario.mechanism is not None:
+        from repro.testing.trace import capture_mechanism
+
+        env = scenario.build_env()
+        return capture_mechanism(
+            env,
+            scenario.build_mechanism(env),
+            episode_seed=scenario.episode_seed,
+            scenario=scenario.name,
+            max_rounds=scenario.rounds,
+        )
     env = scenario.build_env()
     schedule = price_schedule(env, scenario.rounds, scenario.schedule_seed)
     return capture_sequential(
@@ -116,11 +143,28 @@ def _capture_obs_on(scenario: Scenario) -> EpisodeTrace:
 
 def _capture_audited(scenario: Scenario) -> EpisodeTrace:
     env = invariants.InvariantAuditor(scenario.build_env())
-    schedule = price_schedule(env.env, scenario.rounds, scenario.schedule_seed)
-    with invariants.auditing():
-        trace = capture_sequential(
-            env, schedule, scenario.episode_seed, scenario=scenario.name
+    if scenario.mechanism is not None:
+        from repro.testing.trace import capture_mechanism
+
+        # The mechanism drives the audited wrapper directly — its
+        # ``__getattr__`` proxies the fleet/config reads the mechanism
+        # factory needs, and auditing never touches an RNG.
+        with invariants.auditing():
+            trace = capture_mechanism(
+                env,
+                scenario.build_mechanism(env),
+                episode_seed=scenario.episode_seed,
+                scenario=scenario.name,
+                max_rounds=scenario.rounds,
+            )
+    else:
+        schedule = price_schedule(
+            env.env, scenario.rounds, scenario.schedule_seed
         )
+        with invariants.auditing():
+            trace = capture_sequential(
+                env, schedule, scenario.episode_seed, scenario=scenario.name
+            )
     if env.rounds_audited == 0:
         raise RuntimeError(
             f"auditor saw no rounds for scenario {scenario.name!r}"
@@ -270,6 +314,12 @@ def run_variant(
             rounds=actual.num_rounds,
             divergence=first_divergence(expected, actual),
         )
+    if variant in ("vector_m1", "vector_m4") and scenario.mechanism is not None:
+        raise ValueError(
+            f"variant {variant!r} needs a pinned price schedule; "
+            f"mechanism-driven scenario {scenario.name!r} supports "
+            f"{MECHANISM_VARIANTS}"
+        )
     if variant == "vector_m4":
         expected = _capture_singles(scenario, 4)
         actual = _capture_vector(scenario, 4)
@@ -304,9 +354,11 @@ def run_matrix(
     """Run every variant of one scenario against the sequential reference."""
     scenario = get_scenario(scenario_name)
     reference = _sequential_trace(scenario)
+    supported = set(supported_variants(scenario))
     return [
         run_variant(scenario, variant, reference=reference)
-        for variant in (variants or VARIANTS)
+        for variant in (variants or supported_variants(scenario))
+        if variant in supported  # matrix runs skip unsupported quietly
     ]
 
 

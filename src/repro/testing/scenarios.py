@@ -19,7 +19,11 @@ The committed golden scenarios cover the paper's regimes:
   vector path and :meth:`~repro.core.env.EdgeLearningEnv.spawn`
   decorrelation;
 * ``population_n5`` — the paper's N=5 fleet under churn + faults, the
-  anchor for the object-vs-SoA population-backend identity proof.
+  anchor for the object-vs-SoA population-backend identity proof;
+* ``stackelberg_n5`` — the mechanism-zoo Stackelberg leader pricing its
+  per-round best response on the paper's N=5 fleet: a *mechanism-driven*
+  scenario (the action stream comes from the live mechanism, not a
+  pinned schedule), pinning the zoo's closed-form solver output.
 """
 
 from __future__ import annotations
@@ -42,7 +46,19 @@ from repro.testing.trace import (
 
 @dataclass(frozen=True)
 class Scenario:
-    """A fully pinned, replayable episode recipe."""
+    """A fully pinned, replayable episode recipe.
+
+    Two flavors share the class: *schedule-driven* scenarios (the
+    default) replay a pinned price schedule, so the action stream is
+    independent of what executes it; *mechanism-driven* scenarios
+    (``mechanism`` set to a registered mechanism name) put the live
+    mechanism in the loop — the action stream is the mechanism's own
+    deterministic output under ``mechanism_seed``, which is exactly what
+    a zoo golden trace needs to pin.  Mechanism-driven scenarios are
+    sequential-only (``num_envs`` must stay 1) and skip the vectorized
+    differential variants (see
+    :func:`repro.testing.differential.supported_variants`).
+    """
 
     name: str
     description: str
@@ -51,10 +67,29 @@ class Scenario:
     schedule_seed: int
     rounds: int = 80  # schedule horizon (capture stops early at env.done)
     num_envs: int = 1  # > 1 captures through the vectorized path
+    mechanism: Optional[str] = None  # registered mechanism name, or None
+    mechanism_seed: int = 0  # RNG seed handed to the mechanism factory
+
+    def __post_init__(self):
+        if self.mechanism is not None and self.num_envs != 1:
+            raise ValueError(
+                "mechanism-driven scenarios are sequential-only "
+                f"(got num_envs={self.num_envs} for {self.name!r})"
+            )
 
     def build_env(self) -> EdgeLearningEnv:
         """A fresh, deterministic environment for this scenario."""
         return self.build.build().env
+
+    def build_mechanism(self, env) -> "object":
+        """A fresh, seeded mechanism instance bound to ``env``."""
+        if self.mechanism is None:
+            raise ValueError(f"scenario {self.name!r} is schedule-driven")
+        from repro.experiments.mechanisms import make_mechanism
+
+        return make_mechanism(
+            self.mechanism, env, rng=self.mechanism_seed, tier="quick"
+        )
 
 
 def price_schedule(
@@ -126,6 +161,19 @@ def capture(scenario: Scenario) -> EpisodeTrace:
         "rounds": scenario.rounds,
         "num_envs": scenario.num_envs,
     }
+    if scenario.mechanism is not None:
+        from repro.testing.trace import capture_mechanism
+
+        meta["mechanism"] = scenario.mechanism
+        meta["mechanism_seed"] = scenario.mechanism_seed
+        return capture_mechanism(
+            env,
+            scenario.build_mechanism(env),
+            episode_seed=scenario.episode_seed,
+            scenario=scenario.name,
+            max_rounds=scenario.rounds,
+            meta=meta,
+        )
     if scenario.num_envs == 1:
         schedule = price_schedule(env, scenario.rounds, scenario.schedule_seed)
         return capture_sequential(
@@ -204,6 +252,21 @@ SCENARIOS: Dict[str, Scenario] = {
             ),
             episode_seed=77,
             schedule_seed=2027,
+        ),
+        Scenario(
+            name="stackelberg_n5",
+            description=(
+                "Mechanism-zoo Stackelberg leader on the paper's N=5 "
+                "fleet, fault-free: the closed-form per-round "
+                "best-response prices drive the episode, pinning the "
+                "zoo solver's exact output (recruit-cheapest-prefix + "
+                "deadline bisection)."
+            ),
+            build=BuildConfig(n_nodes=5, budget=18.0, seed=321),
+            episode_seed=77,
+            schedule_seed=2028,  # unused (mechanism-driven), kept pinned
+            rounds=40,
+            mechanism="stackelberg",
         ),
     )
 }

@@ -1,0 +1,97 @@
+"""``repro.zoo`` — the incentive-mechanism zoo.
+
+Four mechanism families from the literature (see PAPERS.md and
+docs/mechanisms.md), each implementing the standard
+:class:`~repro.core.mechanism.IncentiveMechanism` interface so they plug
+into every experiment, sweep, golden trace and the tournament unchanged:
+
+* :class:`~repro.zoo.stackelberg.StackelbergMechanism` — the leader's
+  closed-form per-round best response against the known ζ* follower game
+  (Sarikaya & Ercetin, arXiv:1908.03092);
+* :class:`~repro.zoo.fmore.FMoreAuctionMechanism` — multi-dimensional
+  score-bid auction, top-K winners, critical-ask (second-score) payments
+  (Zeng et al., arXiv:2002.09699);
+* :class:`~repro.zoo.bara.BARAMechanism` — online Bayesian budget
+  allocation across rounds via Thompson sampling over budget fractions
+  (Yang et al., arXiv:2305.05221);
+* :class:`~repro.zoo.ding.DingJointPricingMechanism` — joint
+  participation + network pricing under a smoothed
+  participation-probability response (Ding, Gao & Huang,
+  arXiv:2309.16712).
+
+Importing this package registers all four in the experiments mechanism
+registry (:func:`repro.experiments.mechanisms.register_mechanism`);
+:func:`repro.experiments.mechanisms.make_mechanism` triggers the import
+lazily, so zoo names resolve everywhere — including inside hermetic sweep
+worker processes — without explicit imports.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.mechanisms import register_mechanism
+from repro.zoo.bara import BARAConfig, BARAMechanism, NormalPosterior
+from repro.zoo.ding import (
+    DingConfig,
+    DingJointPricingMechanism,
+    participation_probability,
+)
+from repro.zoo.fmore import (
+    FMoreAuctionMechanism,
+    FMoreConfig,
+    auction_scores,
+    critical_payments,
+    select_winners,
+)
+from repro.zoo.pacing import per_round_slice
+from repro.zoo.stackelberg import (
+    StackelbergConfig,
+    StackelbergMechanism,
+    solve_round_prices,
+)
+
+__all__ = [
+    "ZOO_MECHANISM_NAMES",
+    "StackelbergConfig",
+    "StackelbergMechanism",
+    "solve_round_prices",
+    "FMoreConfig",
+    "FMoreAuctionMechanism",
+    "auction_scores",
+    "select_winners",
+    "critical_payments",
+    "BARAConfig",
+    "BARAMechanism",
+    "NormalPosterior",
+    "DingConfig",
+    "DingJointPricingMechanism",
+    "participation_probability",
+    "per_round_slice",
+]
+
+#: The zoo's registered mechanism names.
+ZOO_MECHANISM_NAMES = ("stackelberg", "fmore", "bara", "ding")
+
+
+def _register() -> None:
+    from repro.experiments import mechanisms as _registry
+
+    registered = set(_registry._REGISTRY)
+    if "stackelberg" not in registered:
+        register_mechanism(
+            "stackelberg", lambda env, rng, tier: StackelbergMechanism(env)
+        )
+    if "fmore" not in registered:
+        register_mechanism(
+            "fmore", lambda env, rng, tier: FMoreAuctionMechanism(env, rng=rng)
+        )
+    if "bara" not in registered:
+        register_mechanism(
+            "bara", lambda env, rng, tier: BARAMechanism(env, rng=rng)
+        )
+    if "ding" not in registered:
+        register_mechanism(
+            "ding", lambda env, rng, tier: DingJointPricingMechanism(env)
+        )
+
+
+_register()

@@ -1,0 +1,226 @@
+"""FMore-style multi-dimensional procurement auction.
+
+Nodes *score-bid* along three dimensions — ask price, data quality, and
+expected round time — and each round the server selects the top-K bids by
+score and pays each winner its *critical* ask: the highest ask at which it
+would still have won (a second-score payment).  Modeled after Zeng et al.,
+"FMore: An Incentive Scheme of Multi-dimensional Auction for Federated
+Learning in MEC" (arXiv:2002.09699; see PAPERS.md).
+
+Bids are derived from the economic model rather than free-typed: a node's
+ask is its participation floor plus a private margin (drawn once per node
+from the mechanism's seeded RNG — the sealed-bid analogue), its quality is
+its normalized data volume, and its time is the round time its ζ* response
+implies at the ask.  The scoring rule is linear::
+
+    S_i = w_q · q_i / q̄  −  w_t · t_i / t̄  −  w_p · ask_i / a̅
+
+Because S_i is linear in the ask, the critical payment is independent of
+the winner's own ask — the strategyproofness hook of a second-score
+auction — which ``tests/zoo/test_fmore.py`` asserts, together with
+individual rationality (payment ≥ ask) and winner/score monotonicity.
+The pure auction maths (:func:`auction_scores`, :func:`select_winners`,
+:func:`critical_payments`) is kept free of mechanism state so the tests
+can drive it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro import obs as _obs
+from repro.core.env import EdgeLearningEnv
+from repro.core.mechanism import Observation, StaticMechanism
+from repro.utils.rng import RNGLike, as_generator
+from repro.zoo.pacing import per_round_slice
+
+#: See :data:`repro.zoo.stackelberg.FLOOR_LIFT`.
+FLOOR_LIFT = 1.0 + 1e-9
+
+
+def auction_scores(
+    asks: np.ndarray,
+    qualities: np.ndarray,
+    times: np.ndarray,
+    weights: Tuple[float, float, float] = (1.0, 1.0, 1.0),
+    scales: Optional[Tuple[float, float, float]] = None,
+) -> np.ndarray:
+    """Linear multi-dimensional score ``w_q·q̂ − w_t·t̂ − w_p·âsk``.
+
+    ``scales`` normalizes each dimension (defaults to the arrays' means),
+    so the weights compare like with like regardless of units.
+    """
+    asks = np.asarray(asks, dtype=np.float64)
+    qualities = np.asarray(qualities, dtype=np.float64)
+    times = np.asarray(times, dtype=np.float64)
+    w_quality, w_time, w_price = weights
+    if scales is None:
+        scales = (
+            float(np.mean(qualities)),
+            float(np.mean(times)),
+            float(np.mean(asks)),
+        )
+    q_scale, t_scale, a_scale = scales
+    for label, scale in (("quality", q_scale), ("time", t_scale), ("ask", a_scale)):
+        if scale <= 0.0:
+            raise ValueError(f"{label} scale must be positive, got {scale}")
+    return (
+        w_quality * qualities / q_scale
+        - w_time * times / t_scale
+        - w_price * asks / a_scale
+    )
+
+
+def select_winners(scores: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the top-``k`` scores, highest first (index tie-break)."""
+    scores = np.asarray(scores, dtype=np.float64)
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    order = np.lexsort((np.arange(scores.shape[0]), -scores))
+    return order[: min(k, scores.shape[0])]
+
+
+def critical_payments(
+    scores: np.ndarray,
+    asks: np.ndarray,
+    winners: np.ndarray,
+    runner_up_score: Optional[float],
+    weight_price: float,
+    ask_scale: float,
+) -> np.ndarray:
+    """Second-score payments: the ask at which each winner would tie the
+    best losing bid.
+
+    The score is linear in the ask with slope ``−w_p/a̅``, so the critical
+    ask is ``ask_i + (S_i − S_runner_up)·a̅/w_p`` — always ≥ the winner's
+    own ask (individual rationality) and independent of it (the two
+    ``ask_i`` terms cancel).  With no runner-up (every bidder won) there is
+    no competitive bound and the winners' own asks are paid.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    asks = np.asarray(asks, dtype=np.float64)
+    winners = np.asarray(winners, dtype=np.int64)
+    if weight_price <= 0.0 or ask_scale <= 0.0:
+        raise ValueError("weight_price and ask_scale must be positive")
+    if runner_up_score is None:
+        return asks[winners].copy()
+    margin = scores[winners] - float(runner_up_score)
+    return asks[winners] + margin * ask_scale / weight_price
+
+
+@dataclass(frozen=True)
+class FMoreConfig:
+    """Auction knobs."""
+
+    winner_fraction: float = 0.6  # K = ceil(fraction · eligible bidders)
+    ask_margin_low: float = 0.02  # private per-node markup over the floor,
+    ask_margin_high: float = 0.10  # drawn once from the seeded RNG
+    weight_quality: float = 1.0
+    weight_time: float = 1.0
+    weight_price: float = 1.0
+    horizon: int = 24  # budget pacing horizon (rounds)
+
+
+class FMoreAuctionMechanism(StaticMechanism):
+    """Top-K multi-dimensional auction with critical-ask payments."""
+
+    name = "fmore"
+
+    def __init__(
+        self,
+        env: EdgeLearningEnv,
+        config: Optional[FMoreConfig] = None,
+        rng: RNGLike = None,
+    ):
+        super().__init__(env)
+        self.config = config or FMoreConfig()
+        if not 0.0 < self.config.winner_fraction <= 1.0:
+            raise ValueError(
+                f"winner_fraction must be in (0, 1], got "
+                f"{self.config.winner_fraction}"
+            )
+        rng = as_generator(rng)
+        population = env.population
+        sigma = env.config.local_epochs
+        n = population.n_nodes
+        floors = population.price_floors(sigma) * FLOOR_LIFT
+        caps = population.price_caps(sigma)
+        kappa = population.kappa(sigma)
+        work = population.work(sigma)
+        margins = rng.uniform(
+            self.config.ask_margin_low, self.config.ask_margin_high, size=n
+        )
+        self._asks = floors * (1.0 + margins)
+        # Nodes whose ask exceeds their saturation cap can never be paid
+        # an individually-rational price worth the spend; they sit out.
+        self._eligible = self._asks <= np.maximum(caps, floors)
+        self._caps = np.maximum(caps, self._asks)
+        self._kappa = kappa
+        self._zeta_min = population.zeta_min
+        self._zeta_max = population.zeta_max
+        # Static bid dimensions: quality = normalized data volume; time =
+        # the round time the ζ* response implies at the ask.
+        bits = population.bits_per_epoch
+        self._qualities = bits / float(np.mean(bits))
+        zeta_at_ask = np.clip(self._asks / kappa, self._zeta_min, self._zeta_max)
+        self._times = work / zeta_at_ask + population.comm_time
+        self._weights = (
+            self.config.weight_quality,
+            self.config.weight_time,
+            self.config.weight_price,
+        )
+        self._scales = (
+            float(np.mean(self._qualities)),
+            float(np.mean(self._times)),
+            float(np.mean(self._asks)),
+        )
+        self._scores = auction_scores(
+            self._asks, self._qualities, self._times, self._weights, self._scales
+        )
+
+    def _expected_spend(self, prices: np.ndarray) -> float:
+        zeta = np.clip(prices / self._kappa, self._zeta_min, self._zeta_max)
+        return float(np.where(prices > 0.0, prices * zeta, 0.0).sum())
+
+    def propose_prices(self, obs: Observation) -> np.ndarray:
+        budget_slice = per_round_slice(
+            obs.remaining_budget, obs.round_index, self.config.horizon
+        )
+        eligible_idx = np.flatnonzero(self._eligible)
+        n_prices = np.zeros(self.env.n_nodes, dtype=np.float64)
+        if eligible_idx.size == 0:
+            return n_prices
+        scores = self._scores[eligible_idx]
+        asks = self._asks[eligible_idx]
+        k = int(np.ceil(self.config.winner_fraction * eligible_idx.size))
+        # Shrink K until the winners' critical payments fit the slice.
+        while k > 0:
+            winners_local = select_winners(scores, k)
+            runner_up = (
+                float(np.sort(scores)[::-1][k]) if k < scores.shape[0] else None
+            )
+            payments = critical_payments(
+                scores,
+                asks,
+                winners_local,
+                runner_up,
+                self.config.weight_price,
+                self._scales[2],
+            )
+            winners = eligible_idx[winners_local]
+            payments = np.clip(payments, asks[winners_local], self._caps[winners])
+            prices = np.zeros(self.env.n_nodes, dtype=np.float64)
+            prices[winners] = payments
+            if self._expected_spend(prices) <= budget_slice:
+                if _obs.enabled():
+                    _obs.counter("zoo.fmore.auctions").inc()
+                    _obs.histogram("zoo.fmore.winners").observe(k)
+                return prices
+            k -= 1
+        if _obs.enabled():
+            _obs.counter("zoo.fmore.auctions").inc()
+            _obs.histogram("zoo.fmore.winners").observe(0)
+        return n_prices

@@ -1,0 +1,25 @@
+"""Budget pacing shared by the zoo mechanisms.
+
+The zoo's non-learning mechanisms all face the same long-horizon problem
+the paper's exterior agent solves with RL: the episode budget η must be
+spread over an unknown number of rounds.  They pace it deterministically —
+each round gets an equal share of what *remains* over a fixed planning
+horizon, so early overspending self-corrects and the final planned round
+spends the remainder exactly.
+"""
+
+from __future__ import annotations
+
+
+def per_round_slice(
+    remaining_budget: float, round_index: int, horizon: int
+) -> float:
+    """Equal-share slice of the remaining budget over the rounds left.
+
+    ``horizon`` is the planning horizon in rounds; past it (the episode ran
+    longer than planned) every round may spend the whole remainder.
+    """
+    if horizon < 1:
+        raise ValueError(f"horizon must be >= 1, got {horizon}")
+    rounds_left = max(1, horizon - round_index)
+    return max(0.0, float(remaining_budget)) / rounds_left

@@ -1,0 +1,156 @@
+"""Stackelberg best-response pricing (leader–follower game).
+
+The server is the Stackelberg *leader*: it knows the followers' rational
+response ``ζ*(p) = clip(p/κ_i, ζ_min, ζ_max)`` (Eqn 11) and solves its own
+per-round pricing problem against it in closed form, instead of learning
+it like Chiron's exterior agent.  Modeled after Sarikaya & Ercetin,
+"Motivating Workers in Federated Learning: A Stackelberg Game Perspective"
+(arXiv:1908.03092; see PAPERS.md).
+
+Per round the leader
+
+1. paces the episode budget η into an equal-share slice
+   (:func:`repro.zoo.pacing.per_round_slice`);
+2. recruits the cheapest subset of nodes whose participation-floor cost
+   fits the slice (every recruit must clear its reserve μ_i);
+3. spends the rest of the slice buying *speed*: prices are parameterized
+   by a common finish time ``T`` — each recruit is paid exactly
+   ``κ_i ζ_i(T)``, the price whose best response finishes at ``T`` —
+   and the smallest affordable ``T`` is found by bisection (the leader's
+   cost is monotone non-increasing in ``T``).
+
+Step 3 is Lemma 1's equal-finish-time structure derived from the
+follower game rather than learned: all recruits finish together, so no
+payment buys idle time.  :func:`solve_round_prices` is a pure function of
+the population columns and is validated against a brute-force grid in
+``tests/zoo/test_stackelberg.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro import obs as _obs
+from repro.core.env import EdgeLearningEnv
+from repro.core.mechanism import Observation, StaticMechanism
+from repro.zoo.pacing import per_round_slice
+
+#: Relative lift applied to participation floors: at the exact floor a
+#: node's utility equals its reserve and float rounding could tip the
+#: participation check either way; a hair above makes it unambiguous.
+FLOOR_LIFT = 1.0 + 1e-9
+
+
+def solve_round_prices(
+    population,
+    local_epochs: int,
+    budget_slice: float,
+    tolerance: float = 1e-9,
+    max_iterations: int = 200,
+) -> Tuple[np.ndarray, np.ndarray, float]:
+    """Leader's optimal per-round prices against the known ζ* response.
+
+    Returns ``(prices, recruited, finish_time)``: the posted price vector
+    (zero for non-recruits), the recruit mask, and the common finish time
+    the recruits are paid to hit.  Pure function of the population columns
+    — no mechanism state — so tests can brute-force it.
+    """
+    budget_slice = float(budget_slice)
+    kappa = population.kappa(local_epochs)
+    work = population.work(local_epochs)
+    comm = population.comm_time
+    zeta_min = population.zeta_min
+    zeta_max = population.zeta_max
+    floors = population.price_floors(local_epochs) * FLOOR_LIFT
+    n = population.n_nodes
+
+    # The cheapest price that still recruits node i: its (lifted)
+    # participation floor, or the ζ_min saturation price if that is higher
+    # (below κζ_min the response pins at ζ_min anyway).
+    base_price = np.maximum(floors, kappa * zeta_min)
+
+    def response(prices: np.ndarray) -> np.ndarray:
+        return np.clip(prices / kappa, zeta_min, zeta_max)
+
+    def cost(prices: np.ndarray, mask: np.ndarray) -> float:
+        return float(np.where(mask, prices * response(prices), 0.0).sum())
+
+    # Recruit cheapest-first (deterministic node-id tie-break) until the
+    # slice can no longer cover another node's floor cost.
+    base_cost = base_price * response(base_price)
+    order = np.lexsort((np.arange(n), base_cost))
+    cumulative = np.cumsum(base_cost[order])
+    n_recruited = int(np.searchsorted(cumulative, budget_slice, side="right"))
+    recruited = np.zeros(n, dtype=bool)
+    recruited[order[:n_recruited]] = True
+
+    prices = np.zeros(n, dtype=np.float64)
+    if n_recruited == 0:
+        return prices, recruited, float("inf")
+
+    def prices_at(finish_time: float) -> np.ndarray:
+        zeta = np.clip(
+            work / np.maximum(finish_time - comm, 1e-12), zeta_min, zeta_max
+        )
+        return np.where(recruited, np.maximum(kappa * zeta, base_price), 0.0)
+
+    # Bracket on the recruits' reachable finish times.  At t_high every
+    # recruit is at its base price, so cost(t_high) fits the slice by the
+    # recruiting step's construction; cost is monotone non-increasing in T.
+    t_low = float(np.min((work / zeta_max + comm)[recruited]))
+    t_high = float(np.max((work / zeta_min + comm)[recruited]))
+    if cost(prices_at(t_low), recruited) <= budget_slice:
+        # The slice buys everyone flat out; faster is not possible.
+        return prices_at(t_low), recruited, t_low
+    lo, hi = t_low, t_high
+    for _ in range(max_iterations):
+        mid = 0.5 * (lo + hi)
+        if cost(prices_at(mid), recruited) > budget_slice:
+            lo = mid  # too expensive -> allow more time
+        else:
+            hi = mid
+        if hi - lo < tolerance * max(1.0, t_high):
+            break
+    return prices_at(hi), recruited, hi
+
+
+@dataclass(frozen=True)
+class StackelbergConfig:
+    """Leader-side knobs (all deterministic)."""
+
+    horizon: int = 24  # rounds the budget is paced over
+    tolerance: float = 1e-9
+    max_iterations: int = 200
+
+
+class StackelbergMechanism(StaticMechanism):
+    """Per-round leader best response against the known follower game."""
+
+    name = "stackelberg"
+
+    def __init__(
+        self, env: EdgeLearningEnv, config: Optional[StackelbergConfig] = None
+    ):
+        super().__init__(env)
+        self.config = config or StackelbergConfig()
+
+    def propose_prices(self, obs: Observation) -> np.ndarray:
+        budget_slice = per_round_slice(
+            obs.remaining_budget, obs.round_index, self.config.horizon
+        )
+        prices, recruited, finish_time = solve_round_prices(
+            self.env.population,
+            self.env.config.local_epochs,
+            budget_slice,
+            tolerance=self.config.tolerance,
+            max_iterations=self.config.max_iterations,
+        )
+        if _obs.enabled():
+            _obs.counter("zoo.stackelberg.rounds").inc()
+            _obs.gauge("zoo.stackelberg.recruited").set(int(recruited.sum()))
+            if np.isfinite(finish_time):
+                _obs.gauge("zoo.stackelberg.finish_time").set(finish_time)
+        return prices

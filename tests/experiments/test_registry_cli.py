@@ -21,7 +21,6 @@ class TestRegistry:
         paper_ids = {"fig3", "fig4", "fig5", "fig6", "fig7a", "fig7b", "table1"}
         assert paper_ids <= set(EXPERIMENTS)
         for extra in set(EXPERIMENTS) - paper_ids:
-            assert extra.startswith("ext-")
             assert "[extension]" in EXPERIMENTS[extra].description
 
     def test_get_experiment(self):

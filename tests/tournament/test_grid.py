@@ -1,0 +1,102 @@
+"""Tournament grid lowering: cell counts, ordering, hermetic items."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tournament.grid import (
+    FaultProfile,
+    PopulationSpec,
+    TournamentGrid,
+    default_grid,
+    smoke_grid,
+)
+
+pytestmark = pytest.mark.tournament
+
+
+class TestFaultProfile:
+    def test_clean_profile_has_no_fault_config(self):
+        clean = FaultProfile(name="clean")
+        assert not clean.faulted
+        assert clean.fault_config() is None
+
+    def test_faulted_profile_builds_mixed_config(self):
+        faulted = FaultProfile(name="mixed", rate=0.3, fault_seed=4)
+        assert faulted.faulted
+        config = faulted.fault_config()
+        assert config is not None
+
+
+class TestGrid:
+    def test_smoke_grid_cell_count(self):
+        # 2 mechanisms × 1 population × 1 budget × 2 fault profiles × 1 seed
+        assert len(smoke_grid().items()) == 4
+
+    def test_default_grid_cell_count(self):
+        # paper_n5 runs all 9 mechanisms; clustered_n1000 only the 6
+        # static ones: (9 + 6) × 2 budgets × 2 faults × 2 seeds = 120.
+        assert len(default_grid().items()) == 120
+
+    def test_population_filter_skips_mechanisms(self):
+        grid = TournamentGrid(
+            mechanisms=("greedy", "random"),
+            populations=(
+                PopulationSpec(name="small", n_nodes=4),
+                PopulationSpec(
+                    name="greedy_only", n_nodes=4, mechanisms=("greedy",)
+                ),
+            ),
+            budgets=(10.0,),
+            fault_profiles=(FaultProfile(name="clean"),),
+            n_seeds=1,
+        )
+        items = grid.items()
+        assert len(items) == 3
+        pairs = {(i["key"]["mechanism"], i["key"]["population"]) for i in items}
+        assert ("random", "greedy_only") not in pairs
+
+    def test_items_are_hermetic_and_unique(self):
+        items = default_grid(seed=3).items()
+        streams = [item["rng_stream"] for item in items]
+        assert len(set(streams)) == len(streams)
+        for item in items:
+            assert item["kind"] == "sweep"
+            assert item["rng_root"] == 3
+            # Nothing but JSON-able primitives crosses the pool boundary.
+            assert isinstance(item["build"], dict)
+
+    def test_budget_scale_applied(self):
+        items = default_grid().items()
+        big = [i for i in items if i["key"]["population"] == "clustered_n1000"]
+        assert all(
+            i["key"]["budget"] == i["key"]["base_budget"] * 200.0 for i in big
+        )
+        assert all(i["build"]["budget"] == i["key"]["budget"] for i in big)
+
+    def test_deterministic_item_order(self):
+        a = [i["rng_stream"] for i in default_grid().items()]
+        b = [i["rng_stream"] for i in default_grid().items()]
+        assert a == b
+
+    def test_to_dict_is_jsonable(self):
+        import json
+
+        json.dumps(default_grid().to_dict())
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one mechanism"):
+            TournamentGrid(
+                mechanisms=(),
+                populations=(PopulationSpec(name="p", n_nodes=4),),
+                budgets=(1.0,),
+                fault_profiles=(FaultProfile(name="clean"),),
+            )
+        with pytest.raises(ValueError, match="n_seeds"):
+            TournamentGrid(
+                mechanisms=("greedy",),
+                populations=(PopulationSpec(name="p", n_nodes=4),),
+                budgets=(1.0,),
+                fault_profiles=(FaultProfile(name="clean"),),
+                n_seeds=0,
+            )

@@ -1,0 +1,15 @@
+"""Shared fixtures for the mechanism-zoo suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import BuildConfig
+
+
+@pytest.fixture
+def zoo_env():
+    """The paper's N=5 fleet, fault-free, surrogate accuracy."""
+    return BuildConfig(
+        n_nodes=5, budget=18.0, seed=321, max_rounds=40
+    ).build().env

@@ -1,0 +1,106 @@
+"""BARA: conjugate-posterior sanity, Thompson arms, budget bisection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.mechanism import Observation
+from repro.zoo.bara import BARAConfig, BARAMechanism, NormalPosterior
+
+pytestmark = pytest.mark.zoo
+
+
+class TestNormalPosterior:
+    def test_variance_strictly_decreases(self):
+        post = NormalPosterior(0.0, 1.0, 0.01)
+        previous = post.variance
+        for _ in range(10):
+            post.update(0.05)
+            assert post.variance < previous
+            previous = post.variance
+
+    def test_mean_between_prior_and_sample_mean(self):
+        post = NormalPosterior(prior_mean=0.0, prior_variance=1.0,
+                               observation_variance=0.01)
+        for _ in range(5):
+            post.update(0.2)
+        assert 0.0 < post.mean < 0.2
+
+    def test_converges_to_sample_mean(self):
+        post = NormalPosterior(prior_mean=-1.0, prior_variance=1.0,
+                               observation_variance=0.01)
+        for _ in range(10_000):
+            post.update(0.3)
+        assert post.mean == pytest.approx(0.3, abs=1e-3)
+        assert post.variance < 1e-5
+
+    def test_untouched_posterior_is_the_prior(self):
+        post = NormalPosterior(prior_mean=0.7, prior_variance=2.0)
+        assert post.mean == pytest.approx(0.7)
+        assert post.variance == pytest.approx(2.0)
+
+    def test_rejects_nonpositive_variances(self):
+        with pytest.raises(ValueError, match="variances must be positive"):
+            NormalPosterior(prior_variance=0.0)
+        with pytest.raises(ValueError, match="variances must be positive"):
+            NormalPosterior(observation_variance=-1.0)
+
+    def test_sample_is_seed_deterministic(self):
+        post = NormalPosterior()
+        a = post.sample(np.random.default_rng(3))
+        b = post.sample(np.random.default_rng(3))
+        assert a == b
+
+
+class TestMechanism:
+    def test_observe_updates_only_chosen_arm(self, zoo_env):
+        mechanism = BARAMechanism(zoo_env, rng=0)
+        state, _ = zoo_env.reset(seed=7)
+        obs = Observation(state, zoo_env.ledger.remaining, zoo_env.round_index)
+        mechanism.begin_episode(obs)
+        prices = mechanism.propose_prices(obs)
+        arm = mechanism._arm
+        assert arm is not None
+        _, _, _, _, info = zoo_env.step(prices)
+        mechanism.observe(prices, info["step_result"])
+        for index, post in enumerate(mechanism.posteriors):
+            assert post.count == (1 if index == arm else 0)
+
+    def test_eval_mode_freezes_posteriors_and_rng(self, zoo_env):
+        mechanism = BARAMechanism(zoo_env, rng=0)
+        mechanism.eval_mode()
+        state, _ = zoo_env.reset(seed=7)
+        obs = Observation(state, zoo_env.ledger.remaining, zoo_env.round_index)
+        mechanism.begin_episode(obs)
+        prices = mechanism.propose_prices(obs)
+        _, _, _, _, info = zoo_env.step(prices)
+        mechanism.observe(prices, info["step_result"])
+        assert all(post.count == 0 for post in mechanism.posteriors)
+        # Eval pricing uses posterior means, not Thompson draws: two
+        # identical mechanisms stay in lockstep without sharing an RNG.
+        other = BARAMechanism(zoo_env, rng=99)
+        other.eval_mode()
+        assert np.array_equal(prices, other.propose_prices(obs))
+
+    def test_budget_bisection_respects_budget(self, zoo_env):
+        mechanism = BARAMechanism(zoo_env, rng=0)
+        for budget in (0.0, 0.3, 1.0, 5.0, 1e6):
+            prices = mechanism._prices_for_budget(budget)
+            assert mechanism._expected_spend(prices) <= budget * (1 + 1e-9)
+
+    def test_end_episode_reports_posterior_state(self, zoo_env):
+        mechanism = BARAMechanism(zoo_env, rng=0)
+        summary = mechanism.end_episode()
+        n_arms = len(mechanism.config.fractions)
+        assert set(summary) == {
+            f"bara_arm{i}_{field}"
+            for i in range(n_arms)
+            for field in ("mean", "var")
+        }
+
+    def test_rejects_bad_fractions(self, zoo_env):
+        with pytest.raises(ValueError, match="fractions"):
+            BARAMechanism(zoo_env, BARAConfig(fractions=(0.0, 0.5)), rng=0)
+        with pytest.raises(ValueError, match="fractions"):
+            BARAMechanism(zoo_env, BARAConfig(fractions=()), rng=0)

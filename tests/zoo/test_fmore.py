@@ -1,0 +1,137 @@
+"""FMore auction: IR payments, monotone selection, strategyproofness hook."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.mechanism import Observation
+from repro.zoo.fmore import (
+    FMoreAuctionMechanism,
+    FMoreConfig,
+    auction_scores,
+    critical_payments,
+    select_winners,
+)
+
+pytestmark = pytest.mark.zoo
+
+ASKS = np.array([1.0, 1.2, 0.8, 1.5, 1.1])
+QUALITIES = np.array([1.0, 2.0, 0.5, 1.5, 1.0])
+TIMES = np.array([10.0, 8.0, 12.0, 9.0, 11.0])
+
+
+class TestScores:
+    def test_quality_monotone(self):
+        base = auction_scores(ASKS, QUALITIES, TIMES)
+        better = QUALITIES.copy()
+        better[2] *= 2.0
+        # Hold scales fixed so only bidder 2's own dimension moves.
+        scales = (
+            float(np.mean(QUALITIES)),
+            float(np.mean(TIMES)),
+            float(np.mean(ASKS)),
+        )
+        bumped = auction_scores(ASKS, better, TIMES, scales=scales)
+        rebased = auction_scores(ASKS, QUALITIES, TIMES, scales=scales)
+        assert bumped[2] > rebased[2]
+
+    def test_higher_ask_lowers_score(self):
+        scales = (1.0, 1.0, 1.0)
+        low = auction_scores(ASKS, QUALITIES, TIMES, scales=scales)
+        raised = ASKS.copy()
+        raised[0] += 0.5
+        high = auction_scores(raised, QUALITIES, TIMES, scales=scales)
+        assert high[0] < low[0]
+        assert np.allclose(high[1:], low[1:])
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ValueError, match="scale must be positive"):
+            auction_scores(ASKS, QUALITIES, TIMES, scales=(1.0, 0.0, 1.0))
+
+
+class TestSelection:
+    def test_top_k_highest_first(self):
+        scores = np.array([0.1, 0.9, 0.5, 0.9, -1.0])
+        winners = select_winners(scores, 3)
+        # Ties break by index: both 0.9s, lower index first.
+        assert winners.tolist() == [1, 3, 2]
+
+    def test_k_larger_than_fleet(self):
+        assert select_winners(np.array([1.0, 2.0]), 10).tolist() == [1, 0]
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError, match="k must be >= 0"):
+            select_winners(np.array([1.0]), -1)
+
+
+class TestPayments:
+    def test_individually_rational(self):
+        scores = auction_scores(ASKS, QUALITIES, TIMES)
+        k = 3
+        winners = select_winners(scores, k)
+        runner_up = float(np.sort(scores)[::-1][k])
+        payments = critical_payments(
+            scores, ASKS, winners, runner_up, 1.0, float(np.mean(ASKS))
+        )
+        assert np.all(payments >= ASKS[winners] - 1e-12)
+
+    def test_payment_independent_of_own_ask(self):
+        """Second-score hook: a winner's payment ignores its own ask."""
+        scales = (
+            float(np.mean(QUALITIES)),
+            float(np.mean(TIMES)),
+            float(np.mean(ASKS)),
+        )
+        k = 2
+        bidder = 1  # highest quality; wins at either ask below
+
+        def payment(asks):
+            scores = auction_scores(asks, QUALITIES, TIMES, scales=scales)
+            winners = select_winners(scores, k)
+            assert bidder in winners.tolist()
+            runner_up = float(np.sort(scores)[::-1][k])
+            payments = critical_payments(
+                scores, asks, winners, runner_up, 1.0, scales[2]
+            )
+            return float(payments[winners.tolist().index(bidder)])
+
+        shaded = ASKS.copy()
+        shaded[bidder] = 0.9  # bid below true cost
+        assert payment(ASKS) == pytest.approx(payment(shaded), abs=1e-12)
+
+    def test_no_runner_up_pays_own_asks(self):
+        scores = np.array([2.0, 1.0])
+        winners = select_winners(scores, 2)
+        payments = critical_payments(
+            scores, np.array([1.0, 1.5]), winners, None, 1.0, 1.0
+        )
+        assert payments.tolist() == [1.0, 1.5]
+
+
+class TestMechanism:
+    def test_spend_fits_slice_and_seeded_asks(self, zoo_env):
+        mechanism = FMoreAuctionMechanism(zoo_env, rng=5)
+        again = FMoreAuctionMechanism(zoo_env, rng=5)
+        assert np.array_equal(mechanism._asks, again._asks)
+        other = FMoreAuctionMechanism(zoo_env, rng=6)
+        assert not np.array_equal(mechanism._asks, other._asks)
+
+        state, _ = zoo_env.reset(seed=7)
+        obs = Observation(state, zoo_env.ledger.remaining, zoo_env.round_index)
+        mechanism.begin_episode(obs)
+        prices = mechanism.propose_prices(obs)
+        horizon = mechanism.config.horizon
+        assert mechanism._expected_spend(prices) <= (
+            obs.remaining_budget / horizon
+        ) * (1 + 1e-9)
+        # Every posted price is one of the (clipped) critical payments —
+        # never below the winner's ask.
+        posted = prices > 0.0
+        assert np.all(prices[posted] >= mechanism._asks[posted] - 1e-12)
+
+    def test_invalid_winner_fraction(self, zoo_env):
+        with pytest.raises(ValueError, match="winner_fraction"):
+            FMoreAuctionMechanism(
+                zoo_env, FMoreConfig(winner_fraction=0.0), rng=0
+            )

@@ -1,0 +1,137 @@
+"""Stackelberg leader: closed-form solver vs brute force, budget safety."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.mechanism import Observation
+from repro.zoo.pacing import per_round_slice
+from repro.zoo.stackelberg import (
+    FLOOR_LIFT,
+    StackelbergConfig,
+    StackelbergMechanism,
+    solve_round_prices,
+)
+
+pytestmark = pytest.mark.zoo
+
+
+def _leader_cost(population, prices, sigma):
+    kappa = population.kappa(sigma)
+    zeta = np.clip(prices / kappa, population.zeta_min, population.zeta_max)
+    return float(np.where(prices > 0.0, prices * zeta, 0.0).sum())
+
+
+class TestSolver:
+    def test_respects_budget_slice(self, zoo_env):
+        population = zoo_env.population
+        sigma = zoo_env.config.local_epochs
+        for budget_slice in (0.05, 0.2, 0.5, 1.0, 3.0, 10.0):
+            prices, recruited, _ = solve_round_prices(
+                population, sigma, budget_slice
+            )
+            cost = _leader_cost(population, prices, sigma)
+            assert cost <= budget_slice * (1 + 1e-9)
+            # Non-recruits are posted exactly zero.
+            assert np.all(prices[~recruited] == 0.0)
+
+    def test_recruits_actually_participate(self, zoo_env):
+        population = zoo_env.population
+        sigma = zoo_env.config.local_epochs
+        prices, recruited, _ = solve_round_prices(population, sigma, 1.5)
+        assert recruited.any()
+        batch = population.respond(prices, sigma)
+        assert np.array_equal(batch.participates, recruited)
+
+    def test_zero_slice_recruits_nobody(self, zoo_env):
+        population = zoo_env.population
+        sigma = zoo_env.config.local_epochs
+        prices, recruited, finish = solve_round_prices(population, sigma, 0.0)
+        assert not recruited.any()
+        assert np.all(prices == 0.0)
+        assert finish == float("inf")
+
+    def test_matches_brute_force_finish_time(self, zoo_env):
+        """The bisected finish time matches a dense grid search over T.
+
+        The leader's cost is monotone non-increasing in the common finish
+        time T, so the optimum is the smallest feasible T; a 20k-point
+        grid over the recruits' reachable times brackets it tightly.
+        """
+        population = zoo_env.population
+        sigma = zoo_env.config.local_epochs
+        kappa = population.kappa(sigma)
+        work = population.work(sigma)
+        comm = population.comm_time
+        zeta_min, zeta_max = population.zeta_min, population.zeta_max
+        floors = population.price_floors(sigma) * FLOOR_LIFT
+        base_price = np.maximum(floors, kappa * zeta_min)
+
+        for budget_slice in (0.4, 0.75, 1.5):
+            prices, recruited, finish = solve_round_prices(
+                population, sigma, budget_slice
+            )
+            if not recruited.any():
+                continue
+
+            def cost_at(t):
+                zeta = np.clip(
+                    work / np.maximum(t - comm, 1e-12), zeta_min, zeta_max
+                )
+                p = np.where(
+                    recruited, np.maximum(kappa * zeta, base_price), 0.0
+                )
+                return _leader_cost(population, p, sigma)
+
+            t_low = float(np.min((work / zeta_max + comm)[recruited]))
+            t_high = float(np.max((work / zeta_min + comm)[recruited]))
+            grid = np.linspace(t_low, t_high, 20_000)
+            feasible = [t for t in grid if cost_at(t) <= budget_slice]
+            assert feasible, "slice must afford at least the base prices"
+            brute = min(feasible)
+            spacing = (t_high - t_low) / 20_000
+            assert finish <= brute + spacing
+            assert cost_at(finish) <= budget_slice * (1 + 1e-9)
+
+    def test_larger_slice_never_slower(self, zoo_env):
+        """More budget buys a (weakly) earlier common finish time."""
+        population = zoo_env.population
+        sigma = zoo_env.config.local_epochs
+        finishes = []
+        for budget_slice in (0.5, 1.0, 2.0, 4.0):
+            _, recruited, finish = solve_round_prices(
+                population, sigma, budget_slice
+            )
+            if recruited.sum() == population.n_nodes:
+                finishes.append(finish)
+        assert finishes == sorted(finishes, reverse=True)
+
+
+class TestMechanism:
+    def test_episode_stays_within_budget(self, zoo_env):
+        mechanism = StackelbergMechanism(zoo_env)
+        state, _ = zoo_env.reset(seed=7)
+        obs = Observation(state, zoo_env.ledger.remaining, zoo_env.round_index)
+        mechanism.begin_episode(obs)
+        while not zoo_env.done:
+            prices = mechanism.propose_prices(obs)
+            _, _, _, _, info = zoo_env.step(prices)
+            result = info["step_result"]
+            mechanism.observe(prices, result)
+            obs = Observation(
+                result.state, result.remaining_budget, result.round_index
+            )
+        assert zoo_env.ledger.spent <= zoo_env.ledger.total + 1e-9
+
+    def test_pacing_uses_config_horizon(self, zoo_env):
+        mechanism = StackelbergMechanism(
+            zoo_env, StackelbergConfig(horizon=10)
+        )
+        state, _ = zoo_env.reset(seed=7)
+        obs = Observation(state, zoo_env.ledger.remaining, zoo_env.round_index)
+        prices = mechanism.propose_prices(obs)
+        budget_slice = per_round_slice(obs.remaining_budget, 0, 10)
+        assert _leader_cost(
+            zoo_env.population, prices, zoo_env.config.local_epochs
+        ) <= budget_slice * (1 + 1e-9)

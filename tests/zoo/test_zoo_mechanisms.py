@@ -1,0 +1,114 @@
+"""Cross-cutting zoo contract: registry, determinism, auditor, obs.
+
+Every zoo mechanism must (1) resolve through the experiments registry the
+way hermetic sweep workers resolve it, (2) reproduce an episode bit for
+bit under a fixed seed, (3) run clean under the invariant auditor, and
+(4) emit its per-mechanism metrics only when observability is enabled —
+with the obs-on trace identical to the obs-off one (zero-cost contract).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.builder import BuildConfig
+from repro.experiments.mechanisms import (
+    available_mechanisms,
+    make_mechanism,
+    register_mechanism,
+)
+from repro.testing import invariants
+from repro.testing.trace import capture_mechanism, first_divergence
+from repro.zoo import ZOO_MECHANISM_NAMES
+
+pytestmark = pytest.mark.zoo
+
+EXPECTED_METRIC = {
+    "stackelberg": "zoo.stackelberg.rounds",
+    "fmore": "zoo.fmore.auctions",
+    "bara": "zoo.bara.rounds",
+    "ding": "zoo.ding.rounds",
+}
+
+
+def _fresh_env():
+    return BuildConfig(
+        n_nodes=5, budget=18.0, seed=321, max_rounds=25
+    ).build().env
+
+
+def _capture(name: str, env=None):
+    env = env or _fresh_env()
+    mechanism = make_mechanism(name, env, rng=11, tier="quick")
+    return capture_mechanism(
+        env, mechanism, episode_seed=77, scenario=name, max_rounds=25
+    )
+
+
+class TestRegistry:
+    def test_zoo_names_registered(self):
+        names = available_mechanisms()
+        for name in ZOO_MECHANISM_NAMES:
+            assert name in names
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(ValueError, match="stackelberg"):
+            make_mechanism("no_such_mechanism", _fresh_env())
+
+    def test_duplicate_registration_rejected(self):
+        from repro.experiments import mechanisms as registry_mod
+
+        def factory(env, rng, tier):
+            return make_mechanism("greedy", env, rng=rng, tier=tier)
+
+        register_mechanism("zoo_test_dup", factory)
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                register_mechanism("zoo_test_dup", factory)
+            register_mechanism("zoo_test_dup", factory, overwrite=True)
+        finally:
+            registry_mod._REGISTRY.pop("zoo_test_dup", None)
+
+    def test_factory_must_be_callable(self):
+        with pytest.raises(TypeError, match="callable"):
+            register_mechanism("zoo_test_bad", "not-a-factory")
+
+
+@pytest.mark.parametrize("name", ZOO_MECHANISM_NAMES)
+class TestPerMechanismContract:
+    def test_deterministic_under_fixed_seed(self, name):
+        assert first_divergence(_capture(name), _capture(name)) is None
+
+    def test_auditor_clean(self, name):
+        env = invariants.InvariantAuditor(_fresh_env())
+        mechanism = make_mechanism(name, env, rng=11, tier="quick")
+        with invariants.auditing():
+            capture_mechanism(
+                env, mechanism, episode_seed=77, scenario=name, max_rounds=25
+            )
+        assert env.rounds_audited > 0
+
+    def test_obs_metrics_emitted_only_when_enabled(self, name):
+        baseline = _capture(name)
+        registry = obs.enable()
+        try:
+            with_obs = _capture(name)
+            metric_names = {
+                m["name"] for m in registry.snapshot()["metrics"]
+            }
+        finally:
+            obs.disable()
+        assert EXPECTED_METRIC[name] in metric_names
+        # Zero-cost contract: observability never changes the numbers.
+        assert first_divergence(baseline, with_obs) is None
+        # And with obs disabled nothing is recorded at all.
+        assert not obs.enabled()
+
+    def test_prices_are_finite_nonnegative(self, name):
+        trace = _capture(name)
+        for round_row in trace.replicas[0]:
+            prices = np.asarray(round_row["prices"])
+            assert np.all(np.isfinite(prices))
+            assert np.all(prices >= 0.0)
