@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test faults bench bench-smoke bench-rollout bench-sweep bench-population population-smoke sweep-smoke parallel population resilience chaos-smoke resume-test obs-demo golden-verify golden-update diff-matrix fuzz repro repro-paper report clean zoo tournament tournament-test tournament-smoke bench-tournament
+.PHONY: install test faults bench bench-smoke bench-rollout bench-sweep bench-train bench-population population-smoke sweep-smoke train-smoke train-resume-test parallel population resilience chaos-smoke resume-test obs-demo golden-verify golden-update diff-matrix fuzz repro repro-paper report clean zoo tournament tournament-test tournament-smoke bench-tournament
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -54,6 +54,12 @@ bench-rollout:
 bench-sweep:
 	$(PYTHON) -m repro.bench sweep --workers 1,2,4 --out BENCH_sweep.json
 
+# Regenerate the committed parallel-training report (episodes/sec at
+# each worker count + learning-curve fingerprints; exits non-zero on a
+# fingerprint mismatch).
+bench-train:
+	$(PYTHON) -m repro.bench train --workers 1,2,4 --out BENCH_train.json
+
 # Just the process-parallel engine suite (also part of `test`).
 parallel:
 	$(PYTHON) -m pytest -m parallel tests/
@@ -96,6 +102,19 @@ sweep-smoke:
 	$(PYTHON) -m repro.bench sweep --workers 1,2 --mechanisms greedy,random \
 		--train-episodes 2 --eval-episodes 1 --max-rounds 20 \
 		--out /tmp/sweep_smoke.json
+
+# Quick end-to-end proof that 2-worker parallel training matches the
+# in-process learning curve bit for bit, plus the spawn-heavy training
+# tests (exits non-zero on any fingerprint mismatch).
+train-smoke:
+	$(PYTHON) -m repro.bench train --smoke --out /tmp/train_smoke.json
+	$(PYTHON) -m pytest -m train tests/
+
+# SIGKILL drill for training: kill a journaled 2-worker training run
+# mid-flight, resume from the checkpoints, require the golden learning
+# curve AND the golden checkpoint digest bit for bit.
+train-resume-test:
+	$(PYTHON) -m repro.resilience train-resume-test
 
 # Just the mechanism-zoo suite (Stackelberg/FMore/BARA/Ding; part of `test`).
 zoo:

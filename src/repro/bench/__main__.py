@@ -8,6 +8,9 @@ Examples::
     python -m repro.bench sweep --workers 1,4
     python -m repro.bench sweep --workers 1,2 --train-episodes 1 \\
         --eval-episodes 1 --out /tmp/sweep_smoke.json   # quick smoke run
+    python -m repro.bench train --workers 1,2,4         # parallel training
+    python -m repro.bench train --smoke \\
+        --out /tmp/bench_train.json         # CI fingerprint gate
     python -m repro.bench population                    # object vs SoA
     python -m repro.bench population --smoke \\
         --out /tmp/bench_pop_smoke.json     # CI gate (nonzero on failure)
@@ -24,6 +27,7 @@ import sys
 from repro.bench import (
     run_rollout_benchmark,
     run_sweep_benchmark,
+    run_train_benchmark,
     write_report,
 )
 
@@ -96,6 +100,36 @@ def main(argv=None) -> int:
     sweep.add_argument("--max-rounds", type=int, default=60)
     sweep.add_argument("--seed", type=int, default=0)
     sweep.add_argument("--out", default="BENCH_sweep.json")
+    train = subparsers.add_parser(
+        "train",
+        help="parallel-training benchmark: trajectory collection fanned "
+        "over N workers (wall-clock + worker-invariance fingerprints)",
+    )
+    train.add_argument(
+        "--workers",
+        type=_parse_int_list("--workers"),
+        default=[1, 2, 4],
+        help="comma-separated collection pool sizes (1 = in-process)",
+    )
+    train.add_argument("--episodes", type=int, default=12)
+    train.add_argument(
+        "--sync-every",
+        type=int,
+        default=None,
+        help="episodes per policy snapshot (default: engine default)",
+    )
+    train.add_argument("--n-nodes", type=int, default=5)
+    train.add_argument("--budget", type=float, default=18.0)
+    train.add_argument("--max-rounds", type=int, default=40)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--train-seed", type=int, default=7)
+    train.add_argument("--out", default="BENCH_train.json")
+    train.add_argument(
+        "--smoke",
+        action="store_true",
+        help="seconds-scale run (6 episodes, workers 1,2); exit nonzero "
+        "if the worker-invariance fingerprints differ (the CI gate)",
+    )
     population = subparsers.add_parser(
         "population",
         help="Population.respond throughput: object backend vs SoA "
@@ -158,6 +192,8 @@ def main(argv=None) -> int:
 
     if args.command == "sweep":
         return _run_sweep_command(args)
+    if args.command == "train":
+        return _run_train_command(args)
     if args.command == "population":
         return _run_population_command(args)
     if args.command == "tournament":
@@ -216,6 +252,46 @@ def _run_sweep_command(args) -> int:
     )
     print(f"report written to {args.out}")
     # A fingerprint mismatch means the determinism contract broke: fail
+    # the command so CI catches it even if nobody reads the JSON.
+    if not report["fingerprints_identical"]:
+        return 1
+    return 0
+
+
+def _run_train_command(args) -> int:
+    if args.smoke:
+        workers = [1, 2]
+        episodes = min(args.episodes, 6)
+        sync_every = args.sync_every or 2
+    else:
+        workers = args.workers
+        episodes = args.episodes
+        sync_every = args.sync_every
+    report = run_train_benchmark(
+        worker_counts=workers,
+        episodes=episodes,
+        sync_every=sync_every,
+        n_nodes=args.n_nodes,
+        budget=args.budget,
+        max_rounds=args.max_rounds,
+        seed=args.seed,
+        train_seed=args.train_seed,
+    )
+    write_report(report, args.out)
+    for entry in report["results"]:
+        speedup = report["speedup_vs_workers1"].get(str(entry["workers"]))
+        suffix = f"  ({speedup:.2f}x vs workers=1)" if speedup else ""
+        print(
+            f"workers={entry['workers']:>2} {entry['episodes']} episodes in "
+            f"{entry['seconds']:.2f}s = {entry['episodes_per_sec']:.2f} "
+            f"eps/s{suffix}  fp={entry['fingerprint'][:12]}"
+        )
+    print(
+        f"cpu_count={report['cpu_count']}  fingerprints_identical="
+        f"{report['fingerprints_identical']}"
+    )
+    print(f"report written to {args.out}")
+    # A fingerprint mismatch means worker-count invariance broke: fail
     # the command so CI catches it even if nobody reads the JSON.
     if not report["fingerprints_identical"]:
         return 1

@@ -32,7 +32,7 @@ from repro.core.mechanism import IncentiveMechanism, Observation
 from repro.rl.ppo import PPOAgent, PPOConfig
 from repro.utils.numerics import sigmoid as _sigmoid
 from repro.utils.numerics import softmax as _softmax
-from repro.utils.rng import RNGLike, as_generator, spawn_generators
+from repro.utils.rng import RNGLike, as_generator, spawn_generators, spawn_seeds
 
 
 @dataclass(frozen=True)
@@ -114,6 +114,10 @@ class ChironAgent(IncentiveMechanism):
         self._pending: Optional[dict] = None
         self._episode_ext_reward = 0.0
         self._episode_inn_reward = 0.0
+        # Collect-only mode (parallel training workers): transitions are
+        # buffered but end_episode() must not consume them with an update —
+        # the parent applies updates after merging (see apply_update()).
+        self._defer_updates = False
 
     # ------------------------------------------------------------------ #
     # acting
@@ -212,16 +216,67 @@ class ChironAgent(IncentiveMechanism):
             "episode_reward_exterior": self._episode_ext_reward,
             "episode_reward_inner": self._episode_inn_reward,
         }
-        if (
+        if not self._defer_updates:
+            diagnostics.update(self.apply_update())
+        return diagnostics
+
+    def ready_to_update(self) -> bool:
+        """Whether the buffered transitions warrant a PPO update now."""
+        return (
             self.training
             and len(self.exterior.buffer) > 0
             and self.exterior.ready_to_update()
-        ):
+        )
+
+    def apply_update(self) -> Dict[str, float]:
+        """Run both sub-agents' PPO updates if the buffers are ready.
+
+        Factored out of :meth:`end_episode` so the parallel training
+        engine can merge worker trajectories first and then update *in
+        the parent process* — agent state never crosses a pickle
+        boundary.  Returns the prefixed update statistics (empty when
+        the buffers are not ready).
+        """
+        diagnostics: Dict[str, float] = {}
+        if self.ready_to_update():
             ext_stats = self.exterior.update()
             inn_stats = self.inner.update()
             diagnostics.update({f"exterior_{k}": v for k, v in ext_stats.items()})
             diagnostics.update({f"inner_{k}": v for k, v in inn_stats.items()})
         return diagnostics
+
+    # ------------------------------------------------------------------ #
+    # parallel trajectory collection (see repro.parallel.training)
+    # ------------------------------------------------------------------ #
+    supports_parallel_training = True
+
+    def begin_collect(self, sample_seed: int) -> None:
+        """Enter collect-only mode for one seeded episode (worker side).
+
+        ``sample_seed`` deterministically reseeds both sub-agents'
+        exploration noise (split via :func:`spawn_seeds` so the two
+        layers stay decorrelated) and clears any transitions a pickled
+        parent left pending.  Episode ends stop triggering updates until
+        :meth:`take_collected` disarms the mode.
+        """
+        ext_seed, inn_seed = spawn_seeds(int(sample_seed), 2)
+        self.exterior.begin_collect(int(ext_seed))
+        self.inner.begin_collect(int(inn_seed))
+        self._defer_updates = True
+
+    def take_collected(self) -> Dict[str, dict]:
+        """Both sub-agents' collected trajectories, leaving collect mode."""
+        collected = {
+            "exterior": self.exterior.take_collected(),
+            "inner": self.inner.take_collected(),
+        }
+        self._defer_updates = False
+        return collected
+
+    def absorb_collected(self, collected: Dict[str, dict]) -> None:
+        """Fold one worker episode into the parent's buffers/normalizers."""
+        self.exterior.absorb_collected(collected["exterior"])
+        self.inner.absorb_collected(collected["inner"])
 
     # ------------------------------------------------------------------ #
     # vectorized protocol (see IncentiveMechanism.supports_vectorized)
@@ -346,16 +401,8 @@ class ChironAgent(IncentiveMechanism):
         if self.training:
             self.exterior.flush_staged(replica)
             self.inner.flush_staged(replica)
-            if (
-                len(self.exterior.buffer) > 0
-                and self.exterior.ready_to_update()
-            ):
-                ext_stats = self.exterior.update()
-                inn_stats = self.inner.update()
-                diagnostics.update(
-                    {f"exterior_{k}": v for k, v in ext_stats.items()}
-                )
-                diagnostics.update({f"inner_{k}": v for k, v in inn_stats.items()})
+            if not self._defer_updates:
+                diagnostics.update(self.apply_update())
         return diagnostics
 
     # ------------------------------------------------------------------ #

@@ -19,6 +19,9 @@ Layout:
   registry snapshots, ``RunningMeanStd`` Chan merge).
 * :mod:`repro.parallel.engine` — ``run_sweep`` + the standard experiment
   grid builder, with result fingerprints proving worker-count invariance.
+* :mod:`repro.parallel.training` — ``train_parallel``: A3C-style
+  trajectory collection *within* one training run, with worker-count
+  invariant deterministic mode and opt-in async mode.
 """
 
 from repro.parallel.engine import SweepResult, grid_items, run_sweep
@@ -28,19 +31,28 @@ from repro.parallel.items import (
     eval_item,
     execute,
     sweep_item,
+    train_item,
 )
 from repro.parallel.merge import (
     merge_profiles,
     merge_running_stats,
     merge_snapshots,
+    merge_trajectories,
 )
 from repro.parallel.pool import (
     ItemFailure,
     PoolConfig,
     PoolReport,
+    WorkerPool,
     run_items,
 )
 from repro.parallel.seeds import episode_seeds, item_sequence, sweep_item_seeds
+from repro.parallel.training import (
+    DEFAULT_SYNC_EVERY,
+    train_parallel,
+    training_fingerprint,
+    training_rows,
+)
 
 __all__ = [
     "SweepResult",
@@ -49,16 +61,23 @@ __all__ = [
     "sweep_item",
     "eval_item",
     "capture_item",
+    "train_item",
     "episodes_from_dicts",
     "execute",
     "merge_snapshots",
     "merge_profiles",
     "merge_running_stats",
+    "merge_trajectories",
     "PoolConfig",
     "PoolReport",
     "ItemFailure",
+    "WorkerPool",
     "run_items",
     "episode_seeds",
     "sweep_item_seeds",
     "item_sequence",
+    "DEFAULT_SYNC_EVERY",
+    "train_parallel",
+    "training_fingerprint",
+    "training_rows",
 ]

@@ -57,6 +57,7 @@ __all__ = [
     "PoolConfig",
     "ItemFailure",
     "PoolReport",
+    "WorkerPool",
     "run_items",
     "resolve_callable",
 ]
@@ -350,41 +351,54 @@ def run_items(
             on_quarantine=on_quarantine,
             should_stop=should_stop,
         )
-    return _run_pool(
-        payloads,
-        fn_path,
-        config,
-        on_result=on_result,
-        on_quarantine=on_quarantine,
-        should_stop=should_stop,
-    )
+    with WorkerPool(fn_path=fn_path, config=config) as pool:
+        return pool.run(
+            payloads,
+            on_result=on_result,
+            on_quarantine=on_quarantine,
+            should_stop=should_stop,
+        )
 
 
-def _run_pool(
-    payloads: Sequence[Any],
-    fn_path: str,
-    config: PoolConfig,
-    on_result: Optional[Callable[[int, Any], None]] = None,
-    on_quarantine: Optional[Callable[[ItemFailure], None]] = None,
-    should_stop: Optional[Callable[[], bool]] = None,
-) -> PoolReport:
-    ctx = mp.get_context(config.mp_context)
-    started = time.monotonic()
-    n = len(payloads)
-    results: List[Any] = [None] * n
-    pending = set(range(n))
-    ready: List[int] = list(range(n))
-    deferred: List[tuple] = []  # (ready_time, index) — small, linear scan
-    attempts: Dict[int, int] = {i: 0 for i in range(n)}
-    errors: Dict[int, List[str]] = {i: [] for i in range(n)}
-    quarantined: List[ItemFailure] = []
-    retries = 0
-    respawns = 0
-    respawn_budget = config.max_respawns
+class WorkerPool:
+    """A persistent, reusable incarnation of the crash-contained pool.
 
-    slots = [_Slot(i) for i in range(min(config.workers, max(n, 1)))]
+    :func:`run_items` spawns workers, runs one batch, and tears the pool
+    down — the right shape for a one-shot sweep, but a round-based
+    training loop dispatches a small batch every round and would pay the
+    interpreter+numpy spawn cost (seconds) each time.  ``WorkerPool``
+    spawns once and lets :meth:`run` be called many times; workers stay
+    alive (idle) between batches.  Failure semantics per batch are
+    identical to :func:`run_items` — retries, quarantine, per-run respawn
+    budget — and dead workers are revived for free at the next batch
+    (the budget only bounds respawns *within* one batch).
 
-    def spawn(slot: _Slot) -> None:
+    With ``config.workers <= 1`` every batch executes in-process, which
+    keeps callers free of special cases.  Use as a context manager or
+    call :meth:`shutdown` explicitly; an exception escaping :meth:`run`
+    shuts the pool down before propagating.
+    """
+
+    def __init__(
+        self,
+        fn_path: str = "repro.parallel.items:execute",
+        config: Optional[PoolConfig] = None,
+    ):
+        self.config = config or PoolConfig()
+        self.fn_path = fn_path
+        self._ctx = mp.get_context(self.config.mp_context)
+        self._slots: List[_Slot] = []
+        self._closed = False
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def _spawn(self, slot: _Slot) -> None:
         # A dead incarnation's pipe (and any torn final frame in its
         # buffer) is discarded wholesale — new worker, new pipe.
         if slot.result_conn is not None:
@@ -392,11 +406,11 @@ def _run_pool(
                 slot.result_conn.close()
             except OSError:  # pragma: no cover - already closed
                 pass
-        slot.task_q = ctx.Queue()
-        recv_conn, send_conn = ctx.Pipe(duplex=False)
-        slot.proc = ctx.Process(
+        slot.task_q = self._ctx.Queue()
+        recv_conn, send_conn = self._ctx.Pipe(duplex=False)
+        slot.proc = self._ctx.Process(
             target=_worker_main,
-            args=(slot.slot_id, fn_path, slot.task_q, send_conn),
+            args=(slot.slot_id, self.fn_path, slot.task_q, send_conn),
             daemon=True,
         )
         slot.proc.start()
@@ -408,83 +422,198 @@ def _run_pool(
         slot.conn_eof = False
         slot.busy_index = None
 
-    def fail_item(index: int, detail: str, slot: Optional[_Slot]) -> None:
-        nonlocal retries
-        attempts[index] += 1
-        errors[index].append(detail)
-        if slot is not None:
-            slot.record(False)
-        if attempts[index] <= config.max_retries:
-            retries += 1
-            delay = min(
-                config.backoff_base * 2 ** (attempts[index] - 1),
-                config.backoff_cap,
-            )
-            deferred.append((time.monotonic() + delay, index))
-        else:
-            pending.discard(index)
-            failure = ItemFailure(
-                index=index,
-                attempts=attempts[index],
-                errors=list(errors[index]),
-            )
-            quarantined.append(failure)
-            if on_quarantine is not None:
-                on_quarantine(failure)
+    def _ensure_slots(self, n_items: int) -> None:
+        """Grow to the batch's slot count and revive dead workers."""
+        needed = min(self.config.workers, max(n_items, 1))
+        while len(self._slots) < needed:
+            self._slots.append(_Slot(len(self._slots)))
+        for slot in self._slots:
+            if not slot.alive:
+                self._spawn(slot)
 
-    def handle_message(msg: tuple) -> None:
-        kind, slot_id, index, payload = msg
-        slot = slots[slot_id]
-        if kind == "start":
-            # Guard against a stale ack from a killed worker's
-            # incarnation: only the item this slot currently holds may
-            # arm the execution clock.
-            if slot.busy_index == index:
-                slot.started_at = time.monotonic()
-        elif kind == "ok":
-            results[index] = pickle.loads(payload)
-            pending.discard(index)
-            slot.record(True)
-            slot.busy_index = None
-            if on_result is not None:
-                on_result(index, results[index])
-        elif kind == "error":
-            slot.busy_index = None
-            fail_item(index, payload, slot)
-        elif kind == "fatal":
-            # Worker could not even import the target callable: retrying
-            # on another worker cannot help.
-            raise RuntimeError(
-                f"worker failed to initialise {fn_path!r}: {payload}"
-            )
+    def _discard_stale(self) -> None:
+        """Drop frames left over from a previous (interrupted) batch.
 
-    def drain_slot(slot: _Slot) -> bool:
-        """Read whatever this worker's pipe holds; True if anything came."""
-        if slot.result_conn is None or slot.conn_eof:
-            return False
-        got = False
-        while True:
-            try:
-                if not slot.result_conn.poll(0):
+        A batch that exits abnormally can leave settled-but-unread
+        messages in a pipe; their item indices belong to the *old*
+        batch, so replaying them into a new one would corrupt results.
+        """
+        for slot in self._slots:
+            if slot.result_conn is None or slot.conn_eof:
+                continue
+            while True:
+                try:
+                    if not slot.result_conn.poll(0):
+                        break
+                    chunk = os.read(slot.result_conn.fileno(), 1 << 16)
+                except (OSError, EOFError, BrokenPipeError):
+                    slot.conn_eof = True
                     break
-                chunk = os.read(slot.result_conn.fileno(), 1 << 16)
-            except (OSError, EOFError, BrokenPipeError):
-                slot.conn_eof = True
-                break
-            if not chunk:
-                slot.conn_eof = True
-                break
-            got = True
-            slot.recv_buf += chunk
-            for msg in _parse_frames(slot.recv_buf):
-                handle_message(msg)
-        return got
+                if not chunk:
+                    slot.conn_eof = True
+                    break
+                slot.recv_buf += chunk
+            _parse_frames(slot.recv_buf)
 
-    for slot in slots:
-        spawn(slot)
+    def shutdown(self) -> None:
+        """Send sentinels, join, terminate stragglers, close pipes."""
+        if self._closed:
+            return
+        self._closed = True
+        for slot in self._slots:
+            if slot.alive:
+                slot.task_q.put(None)
+        deadline = time.monotonic() + 2.0
+        for slot in self._slots:
+            if slot.proc is not None:
+                slot.proc.join(
+                    timeout=max(0.0, deadline - time.monotonic())
+                )
+                if slot.proc.is_alive():
+                    slot.proc.terminate()
+                    slot.proc.join(timeout=1.0)
+                slot.proc = None
+        for slot in self._slots:
+            if slot.result_conn is not None:
+                try:
+                    slot.result_conn.close()
+                except OSError:  # pragma: no cover - already closed
+                    pass
+                slot.result_conn = None
 
-    stopping = False
-    try:
+    # -- execution -----------------------------------------------------
+
+    def run(
+        self,
+        payloads: Sequence[Any],
+        on_result: Optional[Callable[[int, Any], None]] = None,
+        on_quarantine: Optional[Callable[[ItemFailure], None]] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
+    ) -> PoolReport:
+        """Execute one batch; semantics match :func:`run_items`."""
+        if self._closed:
+            raise RuntimeError("WorkerPool has been shut down")
+        if self.config.workers <= 1:
+            return _run_inprocess(
+                payloads,
+                self.fn_path,
+                self.config,
+                on_result=on_result,
+                on_quarantine=on_quarantine,
+                should_stop=should_stop,
+            )
+        try:
+            return self._run_batch(
+                payloads,
+                on_result=on_result,
+                on_quarantine=on_quarantine,
+                should_stop=should_stop,
+            )
+        except BaseException:
+            self.shutdown()
+            raise
+
+    def _run_batch(
+        self,
+        payloads: Sequence[Any],
+        on_result: Optional[Callable[[int, Any], None]],
+        on_quarantine: Optional[Callable[[ItemFailure], None]],
+        should_stop: Optional[Callable[[], bool]],
+    ) -> PoolReport:
+        config = self.config
+        started = time.monotonic()
+        n = len(payloads)
+        results: List[Any] = [None] * n
+        pending = set(range(n))
+        ready: List[int] = list(range(n))
+        deferred: List[tuple] = []  # (ready_time, index) — linear scan
+        attempts: Dict[int, int] = {i: 0 for i in range(n)}
+        errors: Dict[int, List[str]] = {i: [] for i in range(n)}
+        quarantined: List[ItemFailure] = []
+        retries = 0
+        respawns = 0
+        respawn_budget = config.max_respawns
+
+        self._ensure_slots(n)
+        self._discard_stale()
+        slots = self._slots
+
+        def fail_item(
+            index: int, detail: str, slot: Optional[_Slot]
+        ) -> None:
+            nonlocal retries
+            attempts[index] += 1
+            errors[index].append(detail)
+            if slot is not None:
+                slot.record(False)
+            if attempts[index] <= config.max_retries:
+                retries += 1
+                delay = min(
+                    config.backoff_base * 2 ** (attempts[index] - 1),
+                    config.backoff_cap,
+                )
+                deferred.append((time.monotonic() + delay, index))
+            else:
+                pending.discard(index)
+                failure = ItemFailure(
+                    index=index,
+                    attempts=attempts[index],
+                    errors=list(errors[index]),
+                )
+                quarantined.append(failure)
+                if on_quarantine is not None:
+                    on_quarantine(failure)
+
+        def handle_message(msg: tuple) -> None:
+            kind, slot_id, index, payload = msg
+            slot = slots[slot_id]
+            if kind == "start":
+                # Guard against a stale ack from a killed worker's
+                # incarnation: only the item this slot currently holds
+                # may arm the execution clock.
+                if slot.busy_index == index:
+                    slot.started_at = time.monotonic()
+            elif kind == "ok":
+                results[index] = pickle.loads(payload)
+                pending.discard(index)
+                slot.record(True)
+                slot.busy_index = None
+                if on_result is not None:
+                    on_result(index, results[index])
+            elif kind == "error":
+                slot.busy_index = None
+                fail_item(index, payload, slot)
+            elif kind == "fatal":
+                # Worker could not even import the target callable:
+                # retrying on another worker cannot help.
+                raise RuntimeError(
+                    f"worker failed to initialise {self.fn_path!r}: "
+                    f"{payload}"
+                )
+
+        def drain_slot(slot: _Slot) -> bool:
+            """Read whatever the worker's pipe holds; True if anything."""
+            if slot.result_conn is None or slot.conn_eof:
+                return False
+            got = False
+            while True:
+                try:
+                    if not slot.result_conn.poll(0):
+                        break
+                    chunk = os.read(slot.result_conn.fileno(), 1 << 16)
+                except (OSError, EOFError, BrokenPipeError):
+                    slot.conn_eof = True
+                    break
+                if not chunk:
+                    slot.conn_eof = True
+                    break
+                got = True
+                slot.recv_buf += chunk
+                for msg in _parse_frames(slot.recv_buf):
+                    handle_message(msg)
+            return got
+
+        stopping = False
         while pending:
             now = time.monotonic()
             if not stopping and should_stop is not None and should_stop():
@@ -535,7 +664,8 @@ def _run_pool(
                 ):
                     drained_any = drain_slot(slot) or drained_any
 
-            # Liveness: a dead worker holding an item = crash on that item.
+            # Liveness: a dead worker holding an item = crash on that
+            # item.
             for slot in slots:
                 if slot.proc is not None and not slot.proc.is_alive():
                     # Final read: results sent just before death still
@@ -548,18 +678,19 @@ def _run_pool(
                         fail_item(
                             index,
                             f"worker {slot.slot_id} died "
-                            f"(exitcode={code}) while running item {index}",
+                            f"(exitcode={code}) while running item "
+                            f"{index}",
                             slot,
                         )
                     if pending and respawn_budget > 0:
                         respawn_budget -= 1
                         respawns += 1
-                        spawn(slot)
+                        self._spawn(slot)
                     else:
                         slot.proc = None
 
-            # Timeouts: a wedged worker is terminated and treated as dead
-            # on the next liveness pass.  The clock runs from the
+            # Timeouts: a wedged worker is terminated and treated as
+            # dead on the next liveness pass.  The clock runs from the
             # worker's start ack so interpreter cold start is never
             # charged to the item; until the ack arrives, only the much
             # larger ``startup_grace`` bounds a wedged spawn.
@@ -580,7 +711,7 @@ def _run_pool(
 
             if not any(slot.alive for slot in slots):
                 if respawn_budget <= 0 or not pending:
-                    # Nothing can make progress: quarantine the remainder.
+                    # Nothing can make progress: quarantine the rest.
                     for index in sorted(pending):
                         pending_errors = errors[index] + [
                             "pool exhausted: all workers dead and "
@@ -597,38 +728,22 @@ def _run_pool(
                     pending.clear()
                     break
 
-            # Drain complete: every dispatched item has settled and no new
-            # dispatch will happen — leave the rest for a resumed run.
+            # Drain complete: every dispatched item has settled and no
+            # new dispatch will happen — leave the rest for a resumed
+            # run.
             if stopping and all(s.busy_index is None for s in slots):
                 break
 
             if not drained_any and not pending:
                 break
-    finally:
-        for slot in slots:
-            if slot.alive:
-                slot.task_q.put(None)
-        deadline = time.monotonic() + 2.0
-        for slot in slots:
-            if slot.proc is not None:
-                slot.proc.join(timeout=max(0.0, deadline - time.monotonic()))
-                if slot.proc.is_alive():
-                    slot.proc.terminate()
-                    slot.proc.join(timeout=1.0)
-        for slot in slots:
-            if slot.result_conn is not None:
-                try:
-                    slot.result_conn.close()
-                except OSError:  # pragma: no cover - already closed
-                    pass
 
-    quarantined.sort(key=lambda f: f.index)
-    return PoolReport(
-        results=results,
-        quarantined=quarantined,
-        retries=retries,
-        respawns=respawns,
-        worker_health={s.slot_id: s.health for s in slots},
-        elapsed=time.monotonic() - started,
-        interrupted=bool(pending),
-    )
+        quarantined.sort(key=lambda f: f.index)
+        return PoolReport(
+            results=results,
+            quarantined=quarantined,
+            retries=retries,
+            respawns=respawns,
+            worker_health={s.slot_id: s.health for s in slots},
+            elapsed=time.monotonic() - started,
+            interrupted=bool(pending),
+        )

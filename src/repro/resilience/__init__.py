@@ -23,8 +23,9 @@ determinism contract:
   journal flushes, and a resumable manifest is written.
 * :mod:`repro.resilience.chaos` — deterministic fault injection (worker
   kills, hangs, unpicklable results, parent-process SIGKILL) proving
-  the retry/quarantine/resume paths end-to-end; also the CLI
-  ``python -m repro.resilience chaos|resume-test|inspect``.
+  the retry/quarantine/resume paths end-to-end for sweeps *and* for
+  parallel training (``run_kill_resume_training``); also the CLI
+  ``python -m repro.resilience chaos|resume-test|train-resume-test|inspect``.
 
 Everything surfaces through :mod:`repro.obs` counters
 (``resilience.journal.*``, ``resilience.resume.*``,
@@ -38,6 +39,7 @@ from repro.resilience.chaos import (
     chaos_items,
     run_chaos,
     run_kill_resume,
+    run_kill_resume_training,
 )
 from repro.resilience.journal import (
     JournalCorrupt,
@@ -54,6 +56,7 @@ from repro.resilience.sweep import (
     sweep_progress,
 )
 from repro.resilience.training import (
+    checkpoint_digest,
     latest_checkpoint,
     list_checkpoints,
     load_training_checkpoint,
@@ -78,9 +81,11 @@ __all__ = [
     "latest_checkpoint",
     "list_checkpoints",
     "prune_checkpoints",
+    "checkpoint_digest",
     "ChaosConfig",
     "ChaosReport",
     "chaos_items",
     "run_chaos",
     "run_kill_resume",
+    "run_kill_resume_training",
 ]

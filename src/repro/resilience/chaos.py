@@ -15,6 +15,15 @@ Two proofs, both runnable from CI (``python -m repro.resilience``):
   journal, and require the resumed
   :meth:`~repro.parallel.engine.SweepResult.fingerprint` to be
   bit-identical to an uninterrupted run's.
+* :func:`run_kill_resume_training` — the same drill for *training*:
+  launch a checkpointed, journaled
+  :func:`~repro.parallel.training.train_parallel` run in a subprocess,
+  ``SIGKILL`` it once the journal shows at least one settled training
+  round, resume from the checkpoint directory with workers, and require
+  both the resumed run's
+  :func:`~repro.parallel.training.training_fingerprint` and its final
+  checkpoint's :func:`~repro.resilience.training.checkpoint_digest` to
+  equal an uninterrupted run's.
 
 Chaos is *deterministic*: the item mixture is a pure function of the
 seed, so a failing run reproduces exactly.  (Which worker a crash lands
@@ -50,6 +59,9 @@ __all__ = [
     "run_chaos",
     "run_kill_resume",
     "kill_resume_grid",
+    "run_kill_resume_training",
+    "kill_resume_training_setup",
+    "TRAIN_DRILL",
 ]
 
 _log = get_logger("resilience.chaos")
@@ -358,5 +370,165 @@ def run_kill_resume(
         "journaled_before_resume": journaled_before_resume,
         "golden_fingerprint": golden.fingerprint(),
         "resumed_fingerprint": resumed.fingerprint(),
+        "journal": journal_path,
+    }
+
+
+# --------------------------------------------------------------------- #
+# kill-mid-training drill
+# --------------------------------------------------------------------- #
+#: Training-run shape the drill uses (shared by the golden run, the
+#: killed child, and the resume).  Checkpoints land at every round
+#: boundary so a kill after any settled round leaves a resume point.
+TRAIN_DRILL: Dict[str, int] = {
+    "episodes": 8,
+    "sync_every": 2,
+    "checkpoint_every": 2,
+}
+
+
+def kill_resume_training_setup(seed: int = 0):
+    """The seeded ``(env, mechanism)`` pair the training drill trains.
+
+    A small quick-tier Chiron run on the 4-node surrogate fleet —
+    rebuilt identically by the golden run, the child process, and the
+    resume (everything is a pure function of ``seed``).
+    """
+    from repro.core.builder import build_environment
+    from repro.experiments.mechanisms import make_mechanism
+
+    build = build_environment(
+        task_name="mnist",
+        n_nodes=4,
+        budget=15.0,
+        accuracy_mode="surrogate",
+        seed=123,
+        max_rounds=25,
+    )
+    mechanism = make_mechanism("chiron", build.env, rng=seed, tier="quick")
+    return build.env, mechanism
+
+
+def _train_rounds_journaled(journal_path: str) -> int:
+    from repro.parallel.training import KIND_TRAIN_ROUND
+
+    if not Path(journal_path).exists():
+        return 0
+    return sum(
+        1
+        for record in read_journal(journal_path).records
+        if record.kind == KIND_TRAIN_ROUND
+    )
+
+
+def run_kill_resume_training(
+    workers: int = 2,
+    seed: int = 0,
+    scratch_dir: Optional[str] = None,
+    kill_after_rounds: int = 1,
+    timeout: float = 300.0,
+) -> Dict[str, object]:
+    """SIGKILL a live checkpointed training run mid-curve, resume, compare.
+
+    1. Run the drill recipe uninterrupted (``workers=1``) → golden
+       training fingerprint + golden final-checkpoint digest.
+    2. Launch ``python -m repro.resilience _child-train`` (a real
+       journaled, checkpointed ``train_parallel`` with ``workers``) and
+       SIGKILL it once the journal holds ``kill_after_rounds`` settled
+       ``train_round`` records.
+    3. Resume in this process from the child's checkpoint directory,
+       again with ``workers``.
+    4. Require resumed fingerprint == golden fingerprint AND resumed
+       final-checkpoint digest == golden final-checkpoint digest.
+
+    Returns a report dict with both pairs and ``ok``.
+    """
+    from repro.parallel.training import train_parallel, training_fingerprint
+    from repro.resilience.journal import RunJournal
+    from repro.resilience.training import checkpoint_digest, latest_checkpoint
+
+    scratch = Path(scratch_dir or tempfile.mkdtemp(prefix="kill-train-"))
+    golden_dir = scratch / "golden-ckpt"
+    drill_dir = scratch / "drill-ckpt"
+    journal_path = str(scratch / "train.journal.jsonl")
+
+    env, mechanism = kill_resume_training_setup(seed)
+    golden_history = train_parallel(
+        env,
+        mechanism,
+        TRAIN_DRILL["episodes"],
+        seed=seed,
+        workers=1,
+        sync_every=TRAIN_DRILL["sync_every"],
+        checkpoint_every=TRAIN_DRILL["checkpoint_every"],
+        checkpoint_dir=str(golden_dir),
+    )
+    golden_fp = training_fingerprint(golden_history)
+    golden_ckpt = checkpoint_digest(latest_checkpoint(golden_dir))
+
+    child = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.resilience",
+            "_child-train",
+            "--journal",
+            journal_path,
+            "--dir",
+            str(drill_dir),
+            "--workers",
+            str(workers),
+            "--seed",
+            str(seed),
+        ],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    killed_mid_flight = False
+    deadline = time.monotonic() + timeout
+    try:
+        while time.monotonic() < deadline:
+            if child.poll() is not None:
+                break  # finished before we could kill it — still valid
+            if _train_rounds_journaled(journal_path) >= kill_after_rounds:
+                os.kill(child.pid, signal.SIGKILL)
+                killed_mid_flight = True
+                break
+            time.sleep(0.05)
+        child.wait(timeout=30)
+    finally:
+        if child.poll() is None:
+            child.kill()
+            child.wait(timeout=30)
+
+    rounds_before_resume = _train_rounds_journaled(journal_path)
+    env, mechanism = kill_resume_training_setup(seed)
+    with RunJournal(journal_path) as journal:
+        resumed_history = train_parallel(
+            env,
+            mechanism,
+            TRAIN_DRILL["episodes"],
+            seed=seed,
+            workers=workers,
+            sync_every=TRAIN_DRILL["sync_every"],
+            checkpoint_every=TRAIN_DRILL["checkpoint_every"],
+            checkpoint_dir=str(drill_dir),
+            journal=journal,
+        )
+    resumed_fp = training_fingerprint(resumed_history)
+    resumed_ckpt = checkpoint_digest(latest_checkpoint(drill_dir))
+
+    ok = resumed_fp == golden_fp and resumed_ckpt == golden_ckpt
+    if _obs.enabled():
+        _obs.counter("resilience.chaos.parent_kills").inc()
+    return {
+        "ok": ok,
+        "killed_mid_flight": killed_mid_flight,
+        "episodes": TRAIN_DRILL["episodes"],
+        "rounds_journaled_before_resume": rounds_before_resume,
+        "golden_fingerprint": golden_fp,
+        "resumed_fingerprint": resumed_fp,
+        "golden_checkpoint_digest": golden_ckpt,
+        "resumed_checkpoint_digest": resumed_ckpt,
         "journal": journal_path,
     }

@@ -42,6 +42,7 @@ __all__ = [
     "latest_checkpoint",
     "list_checkpoints",
     "prune_checkpoints",
+    "checkpoint_digest",
 ]
 
 _log = get_logger("resilience.training")
@@ -194,6 +195,35 @@ def load_training_checkpoint(
         state["episodes_done"],
     )
     return int(state["episodes_done"]), history
+
+
+def checkpoint_digest(checkpoint: PathLike) -> str:
+    """Content digest of one checkpoint directory.
+
+    Hashes the *loaded* agent arrays (sorted by key, with dtype and
+    shape) plus the canonical JSON re-dump of ``state.json`` — not the
+    raw ``agent.npz`` bytes, whose zip member timestamps differ between
+    otherwise identical saves.  Equal digests mean the checkpoint
+    restores identical training state; the kill-mid-training chaos
+    drill compares an interrupted-then-resumed run's final checkpoint
+    against an uninterrupted one's this way.
+    """
+    import hashlib
+
+    import numpy as np
+
+    checkpoint = Path(checkpoint)
+    digest = hashlib.sha256()
+    with np.load(checkpoint / _AGENT, allow_pickle=False) as data:
+        for key in sorted(data.files):
+            array = np.ascontiguousarray(data[key])
+            digest.update(key.encode())
+            digest.update(str(array.dtype).encode())
+            digest.update(repr(array.shape).encode())
+            digest.update(array.tobytes())
+    state = json.loads((checkpoint / _STATE).read_text(encoding="utf-8"))
+    digest.update(json.dumps(state, sort_keys=True).encode())
+    return digest.hexdigest()
 
 
 def prune_checkpoints(directory: PathLike, keep: int = 2) -> List[Path]:

@@ -92,6 +92,16 @@ class GaussianPolicy(Module):
             obs = obs.reshape(1, -1)
         return self.mean_net(obs)
 
+    def reseed_sampler(self, seed: int) -> None:
+        """Rebase the exploration-noise stream on ``seed``.
+
+        Parallel trajectory collection pins each worker's action noise
+        to a per-episode seed so a collected episode is a pure function
+        of ``(policy weights, episode seed)`` — independent of how many
+        episodes this policy object sampled before.
+        """
+        self._sample_rng = np.random.default_rng(int(seed))
+
     def _clamped_log_std(self) -> Tensor:
         return self.log_std.clip(_LOG_STD_MIN, _LOG_STD_MAX)
 

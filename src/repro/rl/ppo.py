@@ -134,6 +134,10 @@ class PPOAgent:
         # accumulate here and flush whole trajectories into the buffer at
         # their episode ends, so GAE never sees interleaved episodes.
         self._staged: list = []
+        # Armed by begin_collect(): raw (pre-normalization) observations
+        # captured alongside the buffered transitions so the parent of a
+        # parallel collection can replay them through its own normalizer.
+        self._collect_raw: Optional[list] = None
 
     # ------------------------------------------------------------------ #
     # acting
@@ -186,7 +190,71 @@ class PPOAgent:
         done: bool,
     ) -> None:
         """Record a transition (observation stored *normalized*)."""
+        if self._collect_raw is not None:
+            self._collect_raw.append(
+                np.array(obs, dtype=np.float64, copy=True)
+            )
         self.buffer.push(self._normalize(obs), action, reward, value, log_prob, done)
+
+    # ------------------------------------------------------------------ #
+    # parallel trajectory collection
+    # ------------------------------------------------------------------ #
+    def begin_collect(self, sample_seed: int) -> None:
+        """Enter collect-only mode for one seeded episode (worker side).
+
+        Rebases the exploration-noise stream on ``sample_seed`` and
+        empties the rollout buffer, so the trajectory this agent collects
+        is a pure function of ``(weights, obs-normalizer state,
+        sample_seed, env seed)`` — any transitions a pickled parent left
+        pending stay with the parent, never duplicated through a worker.
+        """
+        self.policy.reseed_sampler(sample_seed)
+        self.buffer.clear()
+        self._collect_raw = []
+
+    def take_collected(self) -> dict:
+        """Flat arrays of the collected episode, leaving collect mode.
+
+        The payload is :meth:`RolloutBuffer.flat_state` plus a
+        ``raw_obs`` matrix of the pre-normalization observations in step
+        order — everything the parent needs to fold the episode into its
+        own buffer and normalizer via :meth:`absorb_collected`.
+        """
+        if self._collect_raw is None:
+            raise RuntimeError("take_collected() outside begin_collect()")
+        state = self.buffer.flat_state()
+        if self._collect_raw:
+            state["raw_obs"] = np.stack(self._collect_raw)
+        else:
+            state["raw_obs"] = np.zeros((0, self.policy.obs_dim))
+        self.buffer.clear()
+        self._collect_raw = None
+        return state
+
+    def absorb_collected(self, traj: dict) -> None:
+        """Fold one collected episode into this (parent) agent.
+
+        Raw observations are replayed *row by row* through the live
+        normalizer — bit-identical to the per-step updates :meth:`act`
+        would have performed had the episode run here — and the buffered
+        transitions are appended in step order.  Callers feed episodes in
+        seed order, which is what makes parallel collection worker-count
+        invariant.
+        """
+        raw = traj.get("raw_obs")
+        if self.obs_stat is not None and raw is not None:
+            for row in raw:
+                self.obs_stat.update(row)
+        rewards = np.asarray(traj["rewards"], dtype=np.float64)
+        for i in range(rewards.shape[0]):
+            self.buffer.push(
+                np.asarray(traj["obs"][i], dtype=np.float64),
+                np.asarray(traj["actions"][i], dtype=np.float64),
+                float(rewards[i]),
+                float(traj["values"][i]),
+                float(traj["log_probs"][i]),
+                bool(traj["dones"][i]),
+            )
 
     # ------------------------------------------------------------------ #
     # vectorized staging

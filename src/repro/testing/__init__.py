@@ -14,6 +14,7 @@ The four sub-systems (see ``docs/testing.md`` for the workflow):
 """
 
 from repro.testing.differential import (
+    TRAIN_VARIANTS,
     VARIANTS,
     DifferentialOutcome,
     matrix_report,
@@ -85,6 +86,7 @@ __all__ = [
     "enable",
     "enabled",
     "VARIANTS",
+    "TRAIN_VARIANTS",
     "DifferentialOutcome",
     "matrix_report",
     "run_matrix",

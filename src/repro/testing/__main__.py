@@ -20,26 +20,53 @@ import sys
 from pathlib import Path
 
 from repro.testing import differential, fuzz, golden
+from repro.testing import training as training_golden
 from repro.testing.scenarios import SCENARIOS
 
 
+def _split_names(names):
+    """Split requested names into (scenario names, run-training-golden)."""
+    if not names:
+        return None, True
+    scenario_names = [
+        n for n in names if n != training_golden.GOLDEN_TRAINING_NAME
+    ]
+    return scenario_names, training_golden.GOLDEN_TRAINING_NAME in names
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
-    reports = golden.verify_all(
-        names=args.names or None,
-        directory=Path(args.dir) if args.dir else None,
-        rtol=args.rtol,
-        atol=args.atol,
-    )
+    scenario_names, with_training = _split_names(args.names)
+    directory = Path(args.dir) if args.dir else None
+    reports = []
+    if scenario_names is None or scenario_names:
+        reports = golden.verify_all(
+            names=scenario_names,
+            directory=directory,
+            rtol=args.rtol,
+            atol=args.atol,
+        )
+    if with_training:
+        reports = list(reports) + [
+            training_golden.verify_training_golden(
+                directory, workers=args.train_workers
+            )
+        ]
     for report in reports:
         print(report.describe())
     return 0 if all(r.ok for r in reports) else 1
 
 
 def _cmd_update(args: argparse.Namespace) -> int:
-    written = golden.update_all(
-        names=args.names or None,
-        directory=Path(args.dir) if args.dir else None,
-    )
+    scenario_names, with_training = _split_names(args.names)
+    directory = Path(args.dir) if args.dir else None
+    written = {}
+    if scenario_names is None or scenario_names:
+        written = golden.update_all(names=scenario_names, directory=directory)
+    if with_training:
+        written = dict(written)
+        written[training_golden.GOLDEN_TRAINING_NAME] = (
+            training_golden.update_training_golden(directory)
+        )
     for name, path in written.items():
         print(f"[UPDATED] {name} -> {path}")
     print(
@@ -81,6 +108,15 @@ def _cmd_list(args: argparse.Namespace) -> int:
         status = "committed" if path.exists() else "MISSING"
         print(f"{name:<16} replicas={scenario.num_envs}  golden={status}")
         print(f"    {scenario.description}")
+    train_path = training_golden.training_golden_path(directory)
+    status = "committed" if train_path.exists() else "MISSING"
+    name = training_golden.GOLDEN_TRAINING_NAME
+    print(f"{name:<16} (training trace)  golden={status}")
+    print(
+        "    Pinned parallel-training curve: "
+        f"{training_golden.RECIPE['episodes']} episodes of quick-tier "
+        "Chiron on the population_n5 fleet (worker-count invariant)."
+    )
     return 0
 
 
@@ -96,6 +132,15 @@ def main(argv=None) -> int:
     p_verify.add_argument("--dir", default=None, help="golden directory override")
     p_verify.add_argument("--rtol", type=float, default=0.0)
     p_verify.add_argument("--atol", type=float, default=0.0)
+    p_verify.add_argument(
+        "--train-workers",
+        type=int,
+        default=1,
+        help=(
+            "worker count for the golden training-trace verification "
+            "run (any value must reproduce the same fingerprint)"
+        ),
+    )
     p_verify.add_argument(
         "--update",
         action="store_true",

@@ -1,0 +1,178 @@
+"""Golden *training* trace: a pinned parallel-training curve.
+
+The episode golden traces (:mod:`repro.testing.golden`) pin what one
+seeded episode computes; this module pins what a short seeded *training
+run* computes — the per-episode results and diagnostics emitted by
+:func:`repro.parallel.train_parallel` on the paper's N=5 fleet
+(the ``population_n5`` scenario's build) with a quick-tier Chiron
+mechanism.  Because deterministic-mode training is worker-count
+invariant, one committed file anchors every worker count: the
+differential ``train_w2``/``train_w4`` variants prove invariance
+*between* worker counts, and this golden pins the absolute numbers
+across commits.
+
+``verify`` re-runs the recipe from scratch and compares:
+
+1. the stored fingerprint against one recomputed from the stored rows
+   (detects a corrupted or hand-edited golden file);
+2. the fresh run's fingerprint against the stored one — bit-exact; on
+   mismatch the first diverging episode/field is reported.
+
+``update`` re-runs and rewrites the file.  Both are exposed through
+``python -m repro.testing`` alongside the episode goldens.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Optional
+
+from repro.testing.golden import VerifyReport, golden_path
+
+#: Stem of the committed golden training-trace file.
+GOLDEN_TRAINING_NAME = "training_chiron_n5"
+
+#: Payload schema tag (bump when the row format changes).
+SCHEMA = "repro.testing.training/v1"
+
+#: The pinned run recipe.  The build and seeds come from the
+#: ``population_n5`` scenario so the fleet is the same one the episode
+#: golden and the population-backend identity proof use; the run is long
+#: enough (four sync rounds) to cross PPO update boundaries.
+RECIPE = {
+    "scenario": "population_n5",
+    "mechanism": "chiron",
+    "tier": "quick",
+    "episodes": 8,
+    "sync_every": 2,
+}
+
+
+def capture_training(workers: int = 1) -> List[dict]:
+    """Run the pinned recipe and return its canonical training rows."""
+    from repro.experiments.mechanisms import make_mechanism
+    from repro.parallel.training import train_parallel, training_rows
+    from repro.testing.scenarios import get_scenario
+
+    scenario = get_scenario(RECIPE["scenario"])
+    env = scenario.build_env()
+    mechanism = make_mechanism(
+        RECIPE["mechanism"],
+        env,
+        rng=scenario.mechanism_seed,
+        tier=RECIPE["tier"],
+    )
+    history = train_parallel(
+        env,
+        mechanism,
+        RECIPE["episodes"],
+        seed=scenario.episode_seed,
+        workers=workers,
+        sync_every=RECIPE["sync_every"],
+    )
+    return training_rows(history)
+
+
+def training_payload(rows: List[dict]) -> dict:
+    """The JSON payload committed as the golden training trace."""
+    from repro.parallel.training import rows_fingerprint
+
+    return {
+        "schema": SCHEMA,
+        "name": GOLDEN_TRAINING_NAME,
+        "recipe": dict(RECIPE),
+        "rows": rows,
+        "fingerprint": rows_fingerprint(rows),
+    }
+
+
+def training_golden_path(directory: Optional[Path] = None) -> Path:
+    return golden_path(GOLDEN_TRAINING_NAME, directory)
+
+
+def update_training_golden(directory: Optional[Path] = None) -> Path:
+    """Re-run the recipe and rewrite the committed golden file."""
+    path = training_golden_path(directory)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = training_payload(capture_training())
+    with path.open("w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def verify_training_golden(
+    directory: Optional[Path] = None, workers: int = 1
+) -> VerifyReport:
+    """Re-run the pinned recipe and compare against the committed file.
+
+    ``workers`` picks the worker count of the verification run — any
+    value must reproduce the same fingerprint (the determinism
+    contract), so CI can verify the golden *and* exercise the parallel
+    path in one step.
+    """
+    from repro.parallel.training import rows_fingerprint
+    from repro.testing.differential import _training_divergence
+
+    name = GOLDEN_TRAINING_NAME
+    path = training_golden_path(directory)
+    if not path.exists():
+        return VerifyReport(
+            name=name,
+            ok=False,
+            message=(
+                f"no golden training trace {path}; generate it with "
+                f"`python -m repro.testing update {name}`"
+            ),
+        )
+    with path.open("r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if payload.get("schema") != SCHEMA:
+        return VerifyReport(
+            name=name,
+            ok=False,
+            message=(
+                f"schema {payload.get('schema')!r} != {SCHEMA!r} — "
+                f"regenerate the golden file"
+            ),
+        )
+    if payload.get("recipe") != RECIPE:
+        return VerifyReport(
+            name=name,
+            ok=False,
+            message=(
+                f"stored recipe {payload.get('recipe')!r} does not match "
+                f"the pinned recipe {RECIPE!r} — regenerate the golden file"
+            ),
+        )
+    stored = payload.get("fingerprint")
+    recomputed = rows_fingerprint(payload.get("rows", []))
+    if stored != recomputed:
+        return VerifyReport(
+            name=name,
+            ok=False,
+            message=(
+                f"golden file fingerprint {stored!r} does not match its "
+                f"own rows ({recomputed!r}) — corrupted or hand-edited file"
+            ),
+        )
+    fresh = capture_training(workers=workers)
+    if rows_fingerprint(fresh) == stored:
+        return VerifyReport(
+            name=name,
+            ok=True,
+            message=(
+                f"fingerprint {stored} reproduced over "
+                f"{len(fresh)} episodes (workers={workers})"
+            ),
+        )
+    return VerifyReport(
+        name=name,
+        ok=False,
+        message=(
+            f"fresh training run (workers={workers}) diverges from the "
+            f"committed golden trace"
+        ),
+        divergence=_training_divergence(payload["rows"], fresh),
+    )

@@ -118,10 +118,34 @@ class TestGuards:
         results = evaluate_mechanism(env, mechanism, episodes=2)
         assert len(results) == 2
 
-    def test_train_mechanism_rejects_workers(self):
-        env, mechanism = _env_and_mechanism()
-        with pytest.raises(ValueError, match="run_sweep"):
+    def test_unseeded_parallel_train_rejected(self):
+        # workers > 1 now routes into repro.parallel.train_parallel,
+        # which needs explicit per-episode seeds to stay deterministic.
+        env, mechanism = _env_and_mechanism(name="chiron")
+        with pytest.raises(ValueError, match="seed"):
             train_mechanism(env, mechanism, episodes=1, workers=2)
+
+    def test_collect_incapable_mechanism_points_to_run_sweep(self):
+        # Mechanisms without the begin_collect/take_collected protocol
+        # can't fan trajectory collection; the error routes callers to
+        # the across-runs parallelism that does apply.
+        env, mechanism = _env_and_mechanism(name="greedy")
+        with pytest.raises(TypeError, match="run_sweep"):
+            train_mechanism(env, mechanism, episodes=1, workers=2, seed=0)
+
+    def test_seeded_train_matches_train_parallel(self):
+        # train_mechanism(seed=...) is a thin wrapper over the parallel
+        # engine: same args, same curve.
+        from repro.parallel.training import (
+            train_parallel,
+            training_fingerprint,
+        )
+
+        env, mechanism = _env_and_mechanism(name="chiron")
+        wrapped = train_mechanism(env, mechanism, episodes=4, seed=17)
+        env, mechanism = _env_and_mechanism(name="chiron")
+        direct = train_parallel(env, mechanism, 4, seed=17, workers=1)
+        assert training_fingerprint(wrapped) == training_fingerprint(direct)
 
     def test_invalid_workers_rejected(self):
         env, mechanism = _env_and_mechanism()

@@ -1,0 +1,128 @@
+"""Rollout-trajectory merge: a seed-ordered K-way split == one stream.
+
+The parallel training engine's merge step is only sound if concatenating
+K workers' partial rollout buffers in seed order reproduces, element for
+element, the buffer a single sequential run would have filled.  These
+property tests split a synthetic single-stream flat state at arbitrary
+cut points (including empty chunks — a worker whose episodes all landed
+elsewhere — and truncated episodes whose final transition is not
+terminal) and require :func:`repro.parallel.merge.merge_trajectories`
+to restore the original bit for bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.merge import merge_trajectories
+
+pytestmark = pytest.mark.parallel
+
+_OBS_DIM = 3
+_ACT_DIM = 2
+
+
+def _single_stream(n: int, seed: int) -> dict:
+    """A synthetic flat rollout state of ``n`` transitions."""
+    rng = np.random.default_rng(seed)
+    return {
+        "obs": rng.normal(size=(n, _OBS_DIM)),
+        "actions": rng.normal(size=(n, _ACT_DIM)),
+        "rewards": rng.normal(size=(n,)),
+        "values": rng.normal(size=(n,)),
+        "log_probs": rng.normal(size=(n,)),
+        "dones": (rng.random(size=(n,)) < 0.3).astype(np.uint8),
+    }
+
+
+def _split(state: dict, bounds: list) -> list:
+    """Cut the stream at ``bounds`` (sorted, may repeat → empty chunks)."""
+    n = state["rewards"].shape[0]
+    edges = [0] + list(bounds) + [n]
+    return [
+        {key: value[lo:hi] for key, value in state.items()}
+        for lo, hi in zip(edges, edges[1:])
+    ]
+
+
+@st.composite
+def _stream_and_cuts(draw):
+    n = draw(st.integers(min_value=0, max_value=48))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    k = draw(st.integers(min_value=0, max_value=6))
+    cuts = sorted(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n),
+                min_size=k,
+                max_size=k,
+            )
+        )
+    )
+    return n, seed, cuts
+
+
+class TestSplitMergeIdentity:
+    @settings(max_examples=60, deadline=None)
+    @given(_stream_and_cuts())
+    def test_any_split_merges_back_elementwise(self, case):
+        n, seed, cuts = case
+        single = _single_stream(n, seed)
+        merged = merge_trajectories(_split(single, cuts))
+        assert set(merged) == set(single)
+        if n == 0:
+            # All-empty input collapses to the canonical empty state
+            # (shape-(0, 0) columns) by contract.
+            assert merged["rewards"].shape == (0,)
+            return
+        for key in single:
+            np.testing.assert_array_equal(merged[key], single[key])
+
+    def test_empty_worker_chunks_are_transparent(self):
+        single = _single_stream(7, seed=3)
+        # Chunk layout: [0:0], [0:4], [4:4], [4:7], [7:7] — two workers
+        # contributed nothing at all.
+        merged = merge_trajectories(_split(single, [0, 4, 4, 7]))
+        for key in single:
+            np.testing.assert_array_equal(merged[key], single[key])
+
+    def test_truncated_episode_tail_preserved(self):
+        # The last chunk ends mid-episode (no terminal flag): the merge
+        # must keep the truncated tail in place, not drop or reorder it.
+        single = _single_stream(10, seed=5)
+        single["dones"][:] = 0
+        single["dones"][4] = 1  # one completed episode, then a truncation
+        merged = merge_trajectories(_split(single, [5]))
+        np.testing.assert_array_equal(merged["dones"], single["dones"])
+        np.testing.assert_array_equal(merged["obs"], single["obs"])
+
+    def test_order_matters(self):
+        # Sanity: the merge is order-sensitive (seed order is the
+        # contract); swapping parts must not reproduce the stream.
+        single = _single_stream(8, seed=9)
+        parts = _split(single, [4])
+        swapped = merge_trajectories(parts[::-1])
+        assert not np.array_equal(swapped["rewards"], single["rewards"])
+
+
+class TestEdges:
+    def test_all_empty_parts_yield_canonical_empty(self):
+        single = _single_stream(0, seed=1)
+        merged = merge_trajectories([single, dict(single)])
+        assert merged["rewards"].shape == (0,)
+        assert merged["obs"].shape[0] == 0
+        assert merged["dones"].dtype == np.uint8
+
+    def test_key_mismatch_rejected(self):
+        good = _single_stream(3, seed=2)
+        bad = {k: v for k, v in _single_stream(3, seed=2).items() if k != "values"}
+        with pytest.raises(ValueError):
+            merge_trajectories([good, bad])
+
+    def test_no_parts_yield_canonical_empty(self):
+        merged = merge_trajectories([])
+        assert merged["rewards"].shape == (0,)
+        assert merged["dones"].dtype == np.uint8
