@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test faults bench bench-smoke bench-rollout bench-sweep bench-train bench-population population-smoke sweep-smoke train-smoke train-resume-test parallel population resilience chaos-smoke resume-test obs-demo golden-verify golden-update diff-matrix fuzz repro repro-paper report clean zoo tournament tournament-test tournament-smoke bench-tournament
+.PHONY: install test faults bench bench-smoke bench-rollout rollout-smoke bench-sweep bench-train bench-population population-smoke sweep-smoke train-smoke train-resume-test parallel population resilience chaos-smoke resume-test obs-demo golden-verify golden-update diff-matrix fuzz repro repro-paper report clean zoo tournament tournament-test tournament-smoke bench-tournament
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -47,6 +47,14 @@ fuzz:
 bench-rollout:
 	$(PYTHON) -m repro.bench rollout --num-envs 1,4,8 \
 		--episodes-per-env 6 --warmup-episodes 2 --out BENCH_rollout.json
+
+# Seconds-scale inference hot-path gate: replay one seeded rollout through
+# the fused fast path, a rerun, the per-replica population response, and
+# the generic autograd forward; exits non-zero unless all four fingerprint
+# identically.
+rollout-smoke:
+	$(PYTHON) -m repro.bench rollout --smoke --num-envs 1,4 \
+		--out /tmp/bench_rollout_smoke.json
 
 # Regenerate the committed process-parallel sweep report (wall-clock at
 # each worker count + determinism fingerprints; exits non-zero on a

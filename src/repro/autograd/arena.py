@@ -1,0 +1,90 @@
+"""Opt-in buffer-reuse arena for autograd forward/backward passes.
+
+A :class:`BufferArena` is a shape-keyed pool of preallocated ``float64``
+arrays.  While an arena is active (:func:`use_arena`), tensor ops route
+their output allocations through :meth:`BufferArena.take` via ufunc
+``out=`` arguments instead of allocating fresh arrays, and the first
+gradient accumulation of :meth:`Tensor._accumulate` copies into a pooled
+buffer.  Because the same ufuncs run with the same operand order, results
+are bit-identical to the default allocator (the ``arena_on`` differential
+variant pins this).
+
+Contract
+--------
+* :meth:`BufferArena.reset` rewinds the pool cursors; every array handed
+  out since the previous reset may be overwritten by later ``take`` calls.
+  Callers therefore reset only at a boundary where no arena-backed array
+  is still live — e.g. the top of a PPO minibatch update, after the
+  previous minibatch's gradients were consumed and zeroed.
+* Arrays that must outlive the reset boundary (parameter data, returned
+  diagnostics) are never arena-backed: parameters own their storage, and
+  scalar diagnostics are extracted with ``float()`` before the scope ends.
+* Arenas are not thread-safe; activate one arena per thread (the active
+  arena itself is tracked thread-locally).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.autograd.tensor import _grad_state
+
+
+class BufferArena:
+    """Shape-keyed pool of reusable ``float64`` scratch arrays."""
+
+    __slots__ = ("_pools", "_cursors", "hits", "misses")
+
+    def __init__(self):
+        self._pools: Dict[Tuple[int, ...], List[np.ndarray]] = {}
+        self._cursors: Dict[Tuple[int, ...], int] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def take(self, shape: Tuple[int, ...]) -> np.ndarray:
+        """An uninitialized ``float64`` array of ``shape``, pool-backed.
+
+        Each buffer is handed out at most once per reset cycle, so arrays
+        taken within one cycle never alias each other.
+        """
+        pool = self._pools.get(shape)
+        if pool is None:
+            pool = self._pools[shape] = []
+            self._cursors[shape] = 0
+        cursor = self._cursors[shape]
+        self._cursors[shape] = cursor + 1
+        if cursor < len(pool):
+            self.hits += 1
+            return pool[cursor]
+        self.misses += 1
+        buf = np.empty(shape, dtype=np.float64)
+        pool.append(buf)
+        return buf
+
+    def reset(self) -> None:
+        """Rewind all cursors; previously taken buffers become reusable."""
+        for shape in self._cursors:
+            self._cursors[shape] = 0
+
+    def num_buffers(self) -> int:
+        """Total arrays currently pooled (diagnostic)."""
+        return sum(len(pool) for pool in self._pools.values())
+
+
+def active_arena() -> "BufferArena | None":
+    """The arena active on this thread, or ``None``."""
+    return getattr(_grad_state, "arena", None)
+
+
+@contextlib.contextmanager
+def use_arena(arena: BufferArena):
+    """Route tensor-op output allocations through ``arena`` in this block."""
+    previous = getattr(_grad_state, "arena", None)
+    _grad_state.arena = arena
+    try:
+        yield arena
+    finally:
+        _grad_state.arena = previous

@@ -161,7 +161,9 @@ def im2col(
             grad_x = grad_padded[:, :, ph : ph + h, pw : pw + w]
         else:
             grad_x = grad_padded
-        x._accumulate(grad_x)
+        # grad_padded is freshly allocated here, so the (view of the)
+        # scattered gradient can be adopted without a defensive copy.
+        x._accumulate(grad_x, owned=True)
 
     return Tensor._make(cols, (x,), "im2col", backward)
 
@@ -243,7 +245,7 @@ def max_pool2d(x: Tensor, kernel: IntPair, stride: Optional[IntPair] = None) -> 
             rows = oh_i * sh + di
             cols_ = ow_i * sw + dj
             np.add.at(grad_x, (n_i, c_i, rows, cols_), grad[mask])
-        x._accumulate(grad_x)
+        x._accumulate(grad_x, owned=True)
 
     return Tensor._make(out_data, (x,), "max_pool2d", backward)
 

@@ -44,6 +44,22 @@ def no_grad():
         _grad_state.enabled = previous
 
 
+def _binary_out(a: np.ndarray, b: np.ndarray, ufunc) -> np.ndarray:
+    """Apply a binary ufunc, routing the output through the active arena."""
+    arena = getattr(_grad_state, "arena", None)
+    if arena is None:
+        return ufunc(a, b)
+    return ufunc(a, b, out=arena.take(np.broadcast_shapes(a.shape, b.shape)))
+
+
+def _unary_out(a: np.ndarray, ufunc) -> np.ndarray:
+    """Apply a unary ufunc, routing the output through the active arena."""
+    arena = getattr(_grad_state, "arena", None)
+    if arena is None:
+        return ufunc(a)
+    return ufunc(a, out=arena.take(a.shape))
+
+
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     """Reduce ``grad`` so it has ``shape`` by summing broadcast dimensions."""
     if grad.shape == shape:
@@ -150,10 +166,33 @@ class Tensor:
             out._backward = backward
         return out
 
-    def _accumulate(self, grad: np.ndarray) -> None:
-        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.shape)
+    def _accumulate(self, grad: np.ndarray, owned: bool = False) -> None:
+        """Fold ``grad`` into ``self.grad``.
+
+        ``owned=True`` asserts the caller hands over a freshly computed
+        array nobody else references (the common case for backward-closure
+        products), letting the first accumulation adopt it without a
+        defensive copy.  Pass-through gradients (identity ops, views of a
+        child's gradient, user-supplied seeds) must stay ``owned=False``.
+        """
+        grad = np.asarray(grad)
+        if grad.dtype != np.float64:
+            grad = grad.astype(np.float64)  # fresh conversion -> ours
+            owned = True
+        if grad.shape != self.shape:
+            grad = _unbroadcast(grad, self.shape)  # summed -> fresh
+            owned = True
         if self.grad is None:
-            self.grad = grad.copy()
+            if owned:
+                self.grad = grad
+            else:
+                arena = getattr(_grad_state, "arena", None)
+                if arena is None:
+                    self.grad = grad.copy()
+                else:
+                    buf = arena.take(grad.shape)
+                    np.copyto(buf, grad)
+                    self.grad = buf
         else:
             self.grad += grad
 
@@ -215,7 +254,7 @@ class Tensor:
 
     def __add__(self, other: ArrayLike) -> "Tensor":
         other = self._coerce(other)
-        out_data = self.data + other.data
+        out_data = _binary_out(self.data, other.data, np.add)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -230,9 +269,11 @@ class Tensor:
     def __neg__(self) -> "Tensor":
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(-grad)
+                self._accumulate(-grad, owned=True)
 
-        return Tensor._make(-self.data, (self,), "neg", backward)
+        return Tensor._make(
+            _unary_out(self.data, np.negative), (self,), "neg", backward
+        )
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
         return self + (-self._coerce(other))
@@ -242,13 +283,13 @@ class Tensor:
 
     def __mul__(self, other: ArrayLike) -> "Tensor":
         other = self._coerce(other)
-        out_data = self.data * other.data
+        out_data = _binary_out(self.data, other.data, np.multiply)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * other.data)
+                self._accumulate(grad * other.data, owned=True)
             if other.requires_grad:
-                other._accumulate(grad * self.data)
+                other._accumulate(grad * self.data, owned=True)
 
         return Tensor._make(out_data, (self, other), "mul", backward)
 
@@ -256,13 +297,13 @@ class Tensor:
 
     def __truediv__(self, other: ArrayLike) -> "Tensor":
         other = self._coerce(other)
-        out_data = self.data / other.data
+        out_data = _binary_out(self.data, other.data, np.divide)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad / other.data)
+                self._accumulate(grad / other.data, owned=True)
             if other.requires_grad:
-                other._accumulate(-grad * self.data / (other.data**2))
+                other._accumulate(-grad * self.data / (other.data**2), owned=True)
 
         return Tensor._make(out_data, (self, other), "div", backward)
 
@@ -272,42 +313,59 @@ class Tensor:
     def __pow__(self, exponent: Union[int, float]) -> "Tensor":
         if not isinstance(exponent, (int, float)):
             raise TypeError("only scalar exponents are supported")
-        out_data = self.data**exponent
+        arena = getattr(_grad_state, "arena", None)
+        if arena is None:
+            out_data = self.data**exponent
+        else:
+            out_data = np.power(
+                self.data, exponent, out=arena.take(self.data.shape)
+            )
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * exponent * self.data ** (exponent - 1))
+                self._accumulate(
+                    grad * exponent * self.data ** (exponent - 1), owned=True
+                )
 
         return Tensor._make(out_data, (self,), f"pow{exponent}", backward)
 
     def __matmul__(self, other: ArrayLike) -> "Tensor":
         other = self._coerce(other)
-        out_data = self.data @ other.data
+        arena = getattr(_grad_state, "arena", None)
+        if arena is not None and self.data.ndim == 2 and other.data.ndim == 2:
+            out_data = np.matmul(
+                self.data,
+                other.data,
+                out=arena.take((self.data.shape[0], other.data.shape[1])),
+            )
+        else:
+            out_data = self.data @ other.data
 
         def backward(grad: np.ndarray) -> None:
             a, b = self.data, other.data
             if self.requires_grad:
                 if b.ndim == 1 and a.ndim >= 2:
-                    self._accumulate(np.expand_dims(grad, -1) * b)
+                    self._accumulate(np.expand_dims(grad, -1) * b, owned=True)
                 elif a.ndim == 1 and b.ndim >= 2:
-                    self._accumulate(grad @ np.swapaxes(b, -1, -2))
+                    self._accumulate(grad @ np.swapaxes(b, -1, -2), owned=True)
                 elif a.ndim == 1 and b.ndim == 1:
-                    self._accumulate(grad * b)
+                    self._accumulate(grad * b, owned=True)
                 else:
-                    self._accumulate(grad @ np.swapaxes(b, -1, -2))
+                    self._accumulate(grad @ np.swapaxes(b, -1, -2), owned=True)
             if other.requires_grad:
                 if a.ndim == 1 and b.ndim >= 2:
-                    other._accumulate(np.outer(a, grad))
+                    other._accumulate(np.outer(a, grad), owned=True)
                 elif b.ndim == 1 and a.ndim >= 2:
                     other._accumulate(
                         np.tensordot(a, grad, axes=(tuple(range(a.ndim - 1)),) * 2)
                         if a.ndim > 2
-                        else a.T @ grad
+                        else a.T @ grad,
+                        owned=True,
                     )
                 elif a.ndim == 1 and b.ndim == 1:
-                    other._accumulate(grad * a)
+                    other._accumulate(grad * a, owned=True)
                 else:
-                    other._accumulate(np.swapaxes(a, -1, -2) @ grad)
+                    other._accumulate(np.swapaxes(a, -1, -2) @ grad, owned=True)
 
         return Tensor._make(out_data, (self, other), "matmul", backward)
 
@@ -315,20 +373,20 @@ class Tensor:
     # elementwise functions
     # ------------------------------------------------------------------ #
     def exp(self) -> "Tensor":
-        out_data = np.exp(self.data)
+        out_data = _unary_out(self.data, np.exp)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * out_data)
+                self._accumulate(grad * out_data, owned=True)
 
         return Tensor._make(out_data, (self,), "exp", backward)
 
     def log(self) -> "Tensor":
-        out_data = np.log(self.data)
+        out_data = _unary_out(self.data, np.log)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad / self.data)
+                self._accumulate(grad / self.data, owned=True)
 
         return Tensor._make(out_data, (self,), "log", backward)
 
@@ -336,20 +394,29 @@ class Tensor:
         return self**0.5
 
     def tanh(self) -> "Tensor":
-        out_data = np.tanh(self.data)
+        out_data = _unary_out(self.data, np.tanh)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * (1.0 - out_data**2))
+                self._accumulate(grad * (1.0 - out_data**2), owned=True)
 
         return Tensor._make(out_data, (self,), "tanh", backward)
 
     def sigmoid(self) -> "Tensor":
-        out_data = 1.0 / (1.0 + np.exp(-self.data))
+        arena = getattr(_grad_state, "arena", None)
+        if arena is None:
+            out_data = 1.0 / (1.0 + np.exp(-self.data))
+        else:
+            # Same IEEE ops in the same order, fused into one buffer.
+            out_data = arena.take(self.data.shape)
+            np.negative(self.data, out=out_data)
+            np.exp(out_data, out=out_data)
+            np.add(out_data, 1.0, out=out_data)
+            np.divide(1.0, out_data, out=out_data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * out_data * (1.0 - out_data))
+                self._accumulate(grad * out_data * (1.0 - out_data), owned=True)
 
         return Tensor._make(out_data, (self,), "sigmoid", backward)
 
@@ -359,7 +426,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * mask)
+                self._accumulate(grad * mask, owned=True)
 
         return Tensor._make(out_data, (self,), "relu", backward)
 
@@ -369,18 +436,22 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * sign)
+                self._accumulate(grad * sign, owned=True)
 
         return Tensor._make(out_data, (self,), "abs", backward)
 
     def clip(self, low: float, high: float) -> "Tensor":
         """Clamp values; gradient flows only through the unclipped region."""
         mask = (self.data >= low) & (self.data <= high)
-        out_data = np.clip(self.data, low, high)
+        arena = getattr(_grad_state, "arena", None)
+        if arena is None:
+            out_data = np.clip(self.data, low, high)
+        else:
+            out_data = np.clip(self.data, low, high, out=arena.take(self.data.shape))
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * mask)
+                self._accumulate(grad * mask, owned=True)
 
         return Tensor._make(out_data, (self,), "clip", backward)
 
@@ -392,9 +463,9 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * take_self)
+                self._accumulate(grad * take_self, owned=True)
             if other.requires_grad:
-                other._accumulate(grad * ~take_self)
+                other._accumulate(grad * ~take_self, owned=True)
 
         return Tensor._make(out_data, (self, other), "maximum", backward)
 
@@ -406,9 +477,9 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * take_self)
+                self._accumulate(grad * take_self, owned=True)
             if other.requires_grad:
-                other._accumulate(grad * ~take_self)
+                other._accumulate(grad * ~take_self, owned=True)
 
         return Tensor._make(out_data, (self, other), "minimum", backward)
 
@@ -466,7 +537,7 @@ class Tensor:
             mask = self.data == expanded
             # Split gradient equally among ties to keep backward deterministic.
             counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
-            self._accumulate(np.where(mask, g / counts, 0.0))
+            self._accumulate(np.where(mask, g / counts, 0.0), owned=True)
 
         return Tensor._make(out_data, (self,), "max", backward)
 
@@ -509,7 +580,7 @@ class Tensor:
             if self.requires_grad:
                 full = np.zeros_like(self.data)
                 np.add.at(full, index, grad)
-                self._accumulate(full)
+                self._accumulate(full, owned=True)
 
         return Tensor._make(out_data, (self,), "getitem", backward)
 

@@ -14,7 +14,9 @@ per-step inference + environment work that vectorization targets.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import pickle
 import time
 from typing import Dict, List, Optional
 
@@ -37,9 +39,9 @@ class _StepCounter:
     def instrument(self, env) -> None:
         original = env.step
 
-        def counted(prices):
+        def counted(prices, *args, **kwargs):
             self.count += 1
-            return original(prices)
+            return original(prices, *args, **kwargs)
 
         env.step = counted
 
@@ -194,6 +196,109 @@ def run_rollout_benchmark(
     if include_profile:
         report["profile"] = _collect_profile(seed, agent_seed, **build_kwargs)
     return report
+
+
+def _smoke_rollout_fingerprint(
+    num_envs: int,
+    episodes: int,
+    fast_inference: bool,
+    batched_respond: bool,
+    n_nodes: int,
+    budget: float,
+    seed: int,
+    agent_seed: int,
+) -> str:
+    """Fingerprint of a seeded vectorized rollout under one engine mode.
+
+    ``fast_inference=False`` reroutes every policy forward through the
+    generic autograd path (:meth:`repro.nn.module.Module.infer`) instead
+    of the fused :meth:`Sequential.infer` kernels; ``batched_respond=False``
+    forces one population call per replica instead of the shared (M, n)
+    batched call.  All modes must fingerprint identically — that IS the
+    hot-path bit-identity contract.
+    """
+    env = build_environment(seed=seed, n_nodes=n_nodes, budget=budget).env
+    agent = _make_agent(env, agent_seed)
+    venv = VectorizedEdgeLearningEnv.from_env(env, num_envs)
+    if not batched_respond:
+        venv._shared_population = None
+    if fast_inference:
+        results = run_episodes_vectorized(venv, agent, episodes, num_envs)
+    else:
+        from repro.nn.module import Module
+        from repro.rl import policy as _policy_mod
+
+        original = _policy_mod._fast_forward
+        _policy_mod._fast_forward = lambda net, x: Module.infer(net, x)
+        try:
+            results = run_episodes_vectorized(venv, agent, episodes, num_envs)
+        finally:
+            _policy_mod._fast_forward = original
+    stats = [
+        (
+            r.rounds,
+            r.final_accuracy,
+            r.mean_time_efficiency,
+            r.total_learning_time,
+            r.budget_spent,
+            r.reward_exterior,
+            r.reward_inner,
+            r.wasted_rounds,
+        )
+        for r, _ in results
+    ]
+    return hashlib.sha256(pickle.dumps(stats)).hexdigest()
+
+
+def run_rollout_smoke(
+    num_envs: int = 4,
+    episodes: int = 8,
+    n_nodes: int = 5,
+    budget: float = 100.0,
+    seed: int = 0,
+    agent_seed: int = 42,
+) -> dict:
+    """Seconds-scale CI gate for the inference hot path.
+
+    Replays the same seeded vectorized rollout four ways — the full fast
+    path, a rerun of it, the per-replica (unbatched) population response,
+    and the generic autograd forward — and demands one identical
+    fingerprint across all of them.  A mismatch means a fused kernel, the
+    batched best response, or the fast-forward dispatch silently diverged
+    from the reference semantics.
+    """
+    modes = {
+        "fast_path": (True, True),
+        "fast_path_rerun": (True, True),
+        "per_replica_respond": (True, False),
+        "autograd_forward": (False, True),
+    }
+    fingerprints = {
+        name: _smoke_rollout_fingerprint(
+            num_envs,
+            episodes,
+            fast_inference=fast,
+            batched_respond=batched,
+            n_nodes=n_nodes,
+            budget=budget,
+            seed=seed,
+            agent_seed=agent_seed,
+        )
+        for name, (fast, batched) in modes.items()
+    }
+    return {
+        "benchmark": "rollout_smoke",
+        "config": {
+            "num_envs": num_envs,
+            "episodes": episodes,
+            "n_nodes": n_nodes,
+            "budget": budget,
+            "seed": seed,
+            "agent_seed": agent_seed,
+        },
+        "fingerprints": fingerprints,
+        "fingerprints_identical": len(set(fingerprints.values())) == 1,
+    }
 
 
 def run_sweep_benchmark(

@@ -5,6 +5,8 @@ Examples::
     python -m repro.bench rollout --num-envs 1,4,8
     python -m repro.bench rollout --num-envs 1,2 --episodes-per-env 1 \\
         --out /tmp/bench_smoke.json        # quick smoke run
+    python -m repro.bench rollout --smoke \\
+        --out /tmp/rollout_smoke.json       # CI hot-path fingerprint gate
     python -m repro.bench sweep --workers 1,4
     python -m repro.bench sweep --workers 1,2 --train-episodes 1 \\
         --eval-episodes 1 --out /tmp/sweep_smoke.json   # quick smoke run
@@ -26,6 +28,7 @@ import sys
 
 from repro.bench import (
     run_rollout_benchmark,
+    run_rollout_smoke,
     run_sweep_benchmark,
     run_train_benchmark,
     write_report,
@@ -76,6 +79,14 @@ def main(argv=None) -> int:
         "--no-profile",
         action="store_true",
         help="skip the instrumented span-profile episode",
+    )
+    rollout.add_argument(
+        "--smoke",
+        action="store_true",
+        help="seconds-scale fingerprint gate instead of the timing run: "
+        "replay one seeded rollout through the fused fast path, a rerun, "
+        "the per-replica population response, and the generic autograd "
+        "forward; exit nonzero if any fingerprint differs (the CI gate)",
     )
     sweep = subparsers.add_parser(
         "sweep",
@@ -198,6 +209,24 @@ def main(argv=None) -> int:
         return _run_population_command(args)
     if args.command == "tournament":
         return _run_tournament_command(args)
+
+    if args.smoke:
+        report = run_rollout_smoke(
+            num_envs=max(args.num_envs),
+            n_nodes=args.n_nodes,
+            budget=args.budget,
+            seed=args.seed,
+        )
+        out = args.out if args.out != "BENCH_rollout.json" else "BENCH_rollout_smoke.json"
+        write_report(report, out)
+        for name, fp in report["fingerprints"].items():
+            print(f"{name:>20}  fp={fp[:16]}")
+        print(f"fingerprints_identical={report['fingerprints_identical']}")
+        print(f"report written to {out}")
+        # A mismatch means the fused inference kernels, the batched best
+        # response, or the fast-forward dispatch diverged from the
+        # autograd reference: fail the command so CI catches it.
+        return 0 if report["fingerprints_identical"] else 1
 
     report = run_rollout_benchmark(
         num_envs=args.num_envs,

@@ -109,6 +109,7 @@ class ChironAgent(IncentiveMechanism):
         span = self.config.price_span
         self._price_low = low
         self._price_high = low + span * (high - low)
+        self._price_ratio = self._price_high / self._price_low
         self.training = True
         # pending transition halves, completed by observe()
         self._pending: Optional[dict] = None
@@ -130,7 +131,11 @@ class ChironAgent(IncentiveMechanism):
         cheap budget-stretching region (near the participation floor) is as
         explorable as the expensive region near the price caps.
         """
-        ratio = self._price_high / self._price_low
+        # getattr: instances restored from old checkpoints predate the
+        # precomputed ratio.
+        ratio = getattr(self, "_price_ratio", None)
+        if ratio is None:
+            ratio = self._price_high / self._price_low
         return float(self._price_low * ratio ** _sigmoid(raw))
 
     def _inner_obs(
@@ -146,15 +151,18 @@ class ChironAgent(IncentiveMechanism):
 
     def propose_prices(self, obs: Observation) -> np.ndarray:
         deterministic = not self.training and self.config.deterministic_eval
+        # Values feed GAE during training only; evaluation rollouts skip
+        # both critic forwards (the sample streams are untouched).
+        want_values = self.training
         with _obs.span("chiron.act"):
             ext_action, ext_logp, ext_value = self.exterior.act(
-                obs.state, deterministic=deterministic
+                obs.state, deterministic=deterministic, compute_values=want_values
             )
             total_price = self._total_price_from_raw(float(ext_action[0]))
 
             inner_obs = self._inner_obs(total_price)
             inn_action, inn_logp, inn_value = self.inner.act(
-                inner_obs, deterministic=deterministic
+                inner_obs, deterministic=deterministic, compute_values=want_values
             )
         proportions = _softmax(inn_action)
         prices = total_price * proportions
@@ -194,6 +202,11 @@ class ChironAgent(IncentiveMechanism):
         # never leak GAE credit across episodes; max_rounds truncation is a
         # degenerate-policy guard, so the small bootstrap bias is acceptable.
         terminal = result.done
+        if pend["ext_value"] is None:
+            raise RuntimeError(
+                "transition was proposed in eval mode (no critic values); "
+                "call train_mode() before propose_prices(), not after"
+            )
         self.exterior.store(
             pend["ext_obs"],
             pend["ext_action"],
@@ -292,7 +305,7 @@ class ChironAgent(IncentiveMechanism):
         """
         self.exterior.begin_staging(num_replicas)
         self.inner.begin_staging(num_replicas)
-        self._vec_pending: List[Optional[dict]] = [None] * num_replicas
+        self._vec_pending: List[Optional[tuple]] = [None] * num_replicas
         self._vec_last_times = np.zeros((num_replicas, self.env.n_nodes))
         self._vec_ep_ext = np.zeros(num_replicas)
         self._vec_ep_inn = np.zeros(num_replicas)
@@ -315,36 +328,59 @@ class ChironAgent(IncentiveMechanism):
         :meth:`propose_prices` bit for bit.
         """
         deterministic = not self.training and self.config.deterministic_eval
+        # Values feed GAE during training only; evaluation rollouts skip
+        # both critic forwards (the sample streams are untouched).
+        want_values = self.training
         obs_batch = np.asarray(obs_batch, dtype=np.float64)
         with _obs.span("chiron.act_batch"):
             ext_actions, ext_logps, ext_values, ext_norm = self.exterior.act_batch(
-                obs_batch, deterministic=deterministic
+                obs_batch, deterministic=deterministic, compute_values=want_values
             )
-            total_prices = [
-                self._total_price_from_raw(float(a[0])) for a in ext_actions
-            ]
-            inner_obs = np.stack(
-                [
-                    self._inner_obs(tp, self._vec_last_times[r])
-                    for tp, r in zip(total_prices, replicas)
-                ]
+            # The log-interval squash stays a scalar per-element loop:
+            # vectorizing it through np.power is NOT bit-identical to the
+            # scalar ``float ** float`` used by the sequential path.
+            squash = self._total_price_from_raw
+            total_prices = np.array(
+                [squash(raw) for raw in ext_actions[:, 0].tolist()]
             )
+            if self.config.inner_observes_times:
+                inner_obs = np.stack(
+                    [
+                        self._inner_obs(tp, self._vec_last_times[r])
+                        for tp, r in zip(total_prices, replicas)
+                    ]
+                )
+            else:
+                # Vectorized _inner_obs: one scaled-price column
+                # (elementwise division is bit-identical to the per-row
+                # scalar division).
+                inner_obs = total_prices[:, None] / self.env.max_total_price
             inn_actions, inn_logps, inn_values, inn_norm = self.inner.act_batch(
-                inner_obs, deterministic=deterministic
+                inner_obs, deterministic=deterministic, compute_values=want_values
             )
-        prices = np.empty((len(replicas), self.env.n_nodes))
+        # Batched softmax normalizes each row independently and reproduces
+        # the per-row call bit for bit.
+        prices = total_prices[:, None] * _softmax(inn_actions, axis=-1)
+        ext_logps_l = ext_logps.tolist()
+        inn_logps_l = inn_logps.tolist()
+        if want_values:
+            ext_values_l = ext_values.tolist()
+            inn_values_l = inn_values.tolist()
+        else:
+            # Eval rollout: the critics were skipped; observe_batch never
+            # reads the value slots when not training.
+            ext_values_l = inn_values_l = [None] * len(replicas)
         for j, replica in enumerate(replicas):
-            prices[j] = total_prices[j] * _softmax(inn_actions[j])
-            self._vec_pending[replica] = {
-                "ext_norm": ext_norm[j],
-                "ext_action": ext_actions[j],
-                "ext_logp": float(ext_logps[j]),
-                "ext_value": float(ext_values[j]),
-                "inn_norm": inn_norm[j],
-                "inn_action": inn_actions[j],
-                "inn_logp": float(inn_logps[j]),
-                "inn_value": float(inn_values[j]),
-            }
+            self._vec_pending[replica] = (
+                ext_norm[j],
+                ext_actions[j],
+                ext_logps_l[j],
+                ext_values_l[j],
+                inn_norm[j],
+                inn_actions[j],
+                inn_logps_l[j],
+                inn_values_l[j],
+            )
         return prices
 
     def observe_batch(
@@ -354,6 +390,7 @@ class ChironAgent(IncentiveMechanism):
         results: Sequence[StepResult],
     ) -> None:
         """Per-replica analogue of :meth:`observe` for one batched step."""
+        training = self.training
         for j, replica in enumerate(replicas):
             result = results[j]
             pend = self._vec_pending[replica]
@@ -362,28 +399,44 @@ class ChironAgent(IncentiveMechanism):
                     "observe_batch() without a preceding propose_prices_batch()"
                 )
             self._vec_pending[replica] = None
-            self._vec_last_times[replica] = np.asarray(result.times, dtype=float)
+            self._vec_last_times[replica] = result.times
             self._vec_ep_ext[replica] += result.reward_exterior
             self._vec_ep_inn[replica] += result.reward_inner
-            if not self.training:
+            if not training:
                 continue
+            (
+                ext_norm,
+                ext_action,
+                ext_logp,
+                ext_value,
+                inn_norm,
+                inn_action,
+                inn_logp,
+                inn_value,
+            ) = pend
             terminal = result.done
+            if ext_value is None:
+                raise RuntimeError(
+                    "transition was proposed in eval mode (no critic "
+                    "values); call train_mode() before "
+                    "propose_prices_batch(), not after"
+                )
             self.exterior.stage(
                 replica,
-                pend["ext_norm"],
-                pend["ext_action"],
+                ext_norm,
+                ext_action,
                 result.reward_exterior,
-                pend["ext_value"],
-                pend["ext_logp"],
+                ext_value,
+                ext_logp,
                 terminal,
             )
             self.inner.stage(
                 replica,
-                pend["inn_norm"],
-                pend["inn_action"],
+                inn_norm,
+                inn_action,
                 result.reward_inner,
-                pend["inn_value"],
-                pend["inn_logp"],
+                inn_value,
+                inn_logp,
                 terminal,
             )
 

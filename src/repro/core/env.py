@@ -45,6 +45,7 @@ from repro.faults.injector import FaultConfig, FaultInjector
 from repro.faults.reliability import ReliabilityTracker
 from repro.fl.accuracy import LearningProcess
 from repro.population import Population, as_population, warn_raw_node_access
+from repro.population.api import NodeResponseBatch
 from repro.utils.logging import get_logger
 from repro.utils.validation import check_positive
 
@@ -119,9 +120,14 @@ class EnvConfig:
         return config_from_dict(cls, data)
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class StepResult:
-    """Everything observable after one round."""
+    """Everything observable after one round.
+
+    Treat instances as read-only records: they are constructed once per
+    round on the env hot path (``slots`` keeps that cheap) and may be
+    shared across consumers.
+    """
 
     state: np.ndarray  # next exterior state s_{k+1}^E
     reward_exterior: float  # r_k^E (Eqn 14)
@@ -208,6 +214,7 @@ class EdgeLearningEnv:
         )
         self.ledger = BudgetLedger(config.budget)
         self._all_recruitable = np.ones(self.n_nodes, dtype=bool)
+        self._all_participants = list(range(self.n_nodes))
         self._seed_base = config.availability_seed
         self._churn_rng = np.random.default_rng(config.availability_seed)
         if config.faults is not None:
@@ -310,7 +317,10 @@ class EdgeLearningEnv:
         return obs, info
 
     def step(
-        self, prices: Sequence[float]
+        self,
+        prices: Sequence[float],
+        validate: bool = True,
+        response: "NodeResponseBatch" = None,
     ) -> Tuple[np.ndarray, float, bool, bool, dict]:
         """Run one round; returns ``(obs, reward, terminated, truncated, info)``.
 
@@ -318,9 +328,17 @@ class EdgeLearningEnv:
         full :class:`StepResult` under ``"step_result"`` plus the fields a
         training loop reads every step (``reward_inner``,
         ``remaining_budget``, ``round_index``, ``accuracy``).
+
+        ``validate=False`` skips the price-vector checks for callers that
+        already validated (the vectorized wrapper checks the whole batch
+        at once).  ``response`` optionally supplies the fleet's already
+        computed :class:`~repro.population.api.NodeResponseBatch` for
+        ``prices`` — the vectorized wrapper answers all replicas in one
+        population call and hands each replica its row; it must be exactly
+        what ``self.population.respond(prices, ...)`` would return.
         """
         with _obs.span("env.step"):
-            result = self._advance(prices)
+            result = self._advance(prices, validate=validate, response=response)
         if _obs.enabled():
             self._record_obs(result)
         terminated = result.done and not result.truncated
@@ -333,17 +351,25 @@ class EdgeLearningEnv:
         }
         return result.state, result.reward_exterior, terminated, result.truncated, info
 
-    def _advance(self, prices: Sequence[float]) -> StepResult:
+    def _advance(
+        self,
+        prices: Sequence[float],
+        validate: bool = True,
+        response: "NodeResponseBatch" = None,
+    ) -> StepResult:
         """Run one round under the posted per-node price vector."""
         if self._done:
             raise RuntimeError("step() on a finished episode; call reset()")
         prices = np.asarray(prices, dtype=np.float64)
-        if prices.shape != (self.n_nodes,):
-            raise ValueError(
-                f"prices must have shape ({self.n_nodes},), got {prices.shape}"
-            )
-        if not np.all(np.isfinite(prices)) or prices.min() < 0.0:
-            raise ValueError(f"prices must be finite and non-negative: {prices}")
+        if validate:
+            if prices.shape != (self.n_nodes,):
+                raise ValueError(
+                    f"prices must have shape ({self.n_nodes},), got {prices.shape}"
+                )
+            if not np.isfinite(prices).all() or prices.min() < 0.0:
+                raise ValueError(
+                    f"prices must be finite and non-negative: {prices}"
+                )
 
         cfg = self.config
         if cfg.availability < 1.0:
@@ -377,13 +403,46 @@ class EdgeLearningEnv:
         # quarantined) are zeroed exactly as the old per-node loop skipped
         # them.
         with _obs.span("env.respond"):
-            batch = self.population.respond(prices, cfg.local_epochs)
-            active = batch.participates & recruitable
-            payments = np.where(active, batch.payment, 0.0)
-            zetas = np.where(active, batch.zeta, 0.0)
-            times = np.where(active, batch.time, 0.0)
-            utilities = np.where(active, batch.utility, 0.0)
-            participants: List[int] = [int(i) for i in np.flatnonzero(active)]
+            # Prices were validated above; skip the backend's re-check.
+            # A caller that already holds the fleet's response (the
+            # vectorized wrapper batches all replicas into one population
+            # call) passes it in instead.
+            if response is not None:
+                batch = response
+            else:
+                batch = self.population.respond(
+                    prices, cfg.local_epochs, validate=False
+                )
+            if recruitable is self._all_recruitable:
+                active = batch.participates
+            else:
+                active = batch.participates & recruitable
+            if active.all():
+                # Everyone recruited: the masks are identities, so alias the
+                # response arrays directly (they are freshly allocated per
+                # respond() call and the batch is not used after this block).
+                payments = batch.payment
+                zetas = batch.zeta
+                times = batch.time
+                utilities = batch.utility
+            else:
+                payments = np.where(active, batch.payment, 0.0)
+                zetas = np.where(active, batch.zeta, 0.0)
+                times = np.where(active, batch.time, 0.0)
+                utilities = np.where(active, batch.utility, 0.0)
+            if active is batch.participates and payments is batch.payment:
+                # active.all() held above: every node participates, so the
+                # id list is just range(n) (copied — it escapes into the
+                # StepResult; getattr covers envs unpickled from older
+                # checkpoints).
+                full = getattr(self, "_all_participants", None)
+                if full is None:
+                    full = self._all_participants = list(range(self.n_nodes))
+                participants: List[int] = full.copy()
+            else:
+                # nonzero()[0] is flatnonzero minus a wrapper layer
+                # (active is already 1-D).
+                participants = active.nonzero()[0].tolist()
             total_payment = float(payments.sum())
 
         reliability_scores = (
@@ -458,7 +517,9 @@ class EdgeLearningEnv:
             )
 
         # --- mid-round faults: who actually delivers? -------------------- #
-        delivered = list(participants)
+        # Without an injector nobody fails mid-round, so ``delivered`` can
+        # alias ``participants`` (neither list is ever mutated).
+        delivered = participants if self.injector is None else list(participants)
         crashed: List[int] = []
         late: List[int] = []
         corrupt: List[int] = []
@@ -516,9 +577,12 @@ class EdgeLearningEnv:
                     )
                 else:
                     self._accuracy = float(self.learning.step(delivered))
-            participant_times = times[delivered]
+            if len(delivered) == len(times):
+                participant_times = times  # full fleet: skip the fancy-index copy
+            else:
+                participant_times = times[delivered]
             round_time = float(participant_times.max())
-            efficiency = time_efficiency(participant_times)
+            efficiency = time_efficiency(participant_times, makespan=round_time)
         else:
             # Everyone failed mid-round: the global model is untouched.
             round_time = 0.0
@@ -541,7 +605,18 @@ class EdgeLearningEnv:
         # priced-out decliners and mid-round failures, so they count as
         # fully idle; unavailable/quarantined nodes are excluded — no
         # allocation could have recruited them.
-        r_inn = inner_reward(cfg.rewards, times[recruitable])
+        if recruitable is self._all_recruitable:
+            # Full-recruitment rounds skip the boolean-mask copy
+            # (inner_reward never mutates its argument); when every
+            # recruited node also delivered, round_time above *is*
+            # float(times.max()), so the max reduction is reused.
+            r_inn = inner_reward(
+                cfg.rewards,
+                times,
+                makespan=round_time if len(delivered) == len(times) else None,
+            )
+        else:
+            r_inn = inner_reward(cfg.rewards, times[recruitable])
 
         self._round += 1
         self.encoder.record_round(zetas, prices, times)

@@ -81,7 +81,11 @@ def exterior_reward(
     )
 
 
-def inner_reward(config: RewardConfig, all_times: Sequence[float]) -> float:
+def inner_reward(
+    config: RewardConfig,
+    all_times: Sequence[float],
+    makespan: float = None,
+) -> float:
     """Eqn (15): negative total idle time ``−Σ_{i=1}^N (T_k − T_{i,k})``.
 
     The sum runs over *all* N nodes, per the paper.  A node that declined
@@ -89,11 +93,16 @@ def inner_reward(config: RewardConfig, all_times: Sequence[float]) -> float:
     full makespan ``T_k`` as idle time — without this, the inner agent can
     game the metric by pricing slow nodes out of the round entirely.
     Normalized by the fleet's time scale like the exterior reward.
+
+    ``makespan`` lets callers that already computed ``max(all_times)``
+    (the environment hot path does, for the round time) skip the repeated
+    reduction; it must equal ``float(times.max())`` exactly.
     """
     times = np.asarray(all_times, dtype=float)
     if times.size == 0:
         return 0.0
-    makespan = float(times.max())
+    if makespan is None:
+        makespan = float(times.max())
     idle = makespan - times
     return (
         -config.idle_weight * float(idle.sum()) / config.resolved_time_scale()

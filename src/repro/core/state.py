@@ -51,6 +51,10 @@ class ExteriorStateEncoder:
         #: price unreliable nodes down.
         self.include_reliability = bool(include_reliability)
         self._rows: Deque[np.ndarray] = deque(maxlen=self.history)
+        # Scratch for the two scalar tail entries: np.concatenate copies it
+        # into the fresh observation, so reusing the buffer across encode()
+        # calls never aliases escaping state.
+        self._tail = np.empty(2)
         self.reset()
 
     @property
@@ -76,24 +80,31 @@ class ExteriorStateEncoder:
         ``times`` entries for non-participating nodes should be 0 (they did
         not train); infinities are rejected.
         """
-        zetas = np.asarray(zetas, dtype=np.float64)
-        prices = np.asarray(prices, dtype=np.float64)
-        times = np.asarray(times, dtype=np.float64)
-        for name, arr in (("zetas", zetas), ("prices", prices), ("times", times)):
-            if arr.shape != (self.n_nodes,):
-                raise ValueError(
-                    f"{name} must have shape ({self.n_nodes},), got {arr.shape}"
-                )
-        row = np.concatenate(
-            [
-                zetas / GHZ,
-                prices / self.price_scale,
-                times / self.time_scale,
-            ]
-        )
+        # The env hot path always passes float64 ndarrays; only coerce
+        # when a caller hands in something else.
+        if type(zetas) is not np.ndarray or zetas.dtype != np.float64:
+            zetas = np.asarray(zetas, dtype=np.float64)
+        if type(prices) is not np.ndarray or prices.dtype != np.float64:
+            prices = np.asarray(prices, dtype=np.float64)
+        if type(times) is not np.ndarray or times.dtype != np.float64:
+            times = np.asarray(times, dtype=np.float64)
+        n = self.n_nodes
+        shape = (n,)
+        if zetas.shape != shape or prices.shape != shape or times.shape != shape:
+            for name, arr in (("zetas", zetas), ("prices", prices), ("times", times)):
+                if arr.shape != shape:
+                    raise ValueError(
+                        f"{name} must have shape ({n},), got {arr.shape}"
+                    )
+        # Scale straight into one preallocated row (same divisions as the
+        # previous concatenate-of-quotients form, so bit-identical).
+        row = np.empty(3 * n, dtype=np.float64)
+        np.divide(zetas, GHZ, out=row[:n])
+        np.divide(prices, self.price_scale, out=row[n : 2 * n])
+        np.divide(times, self.time_scale, out=row[2 * n :])
         # One finiteness scan over the assembled row (scaling by finite
         # positive constants preserves finiteness) — this runs every round.
-        if not np.all(np.isfinite(row)):
+        if not np.isfinite(row).all():
             for name, arr in (
                 ("zetas", zetas),
                 ("prices", prices),
@@ -133,12 +144,11 @@ class ExteriorStateEncoder:
                 "reliability given but encoder was built without "
                 "include_reliability"
             )
-        tail = np.array(
-            [
-                remaining_budget / self.budget_scale,
-                round_index / self.max_rounds,
-            ]
-        )
+        tail = getattr(self, "_tail", None)
+        if tail is None:  # encoder unpickled from an older checkpoint
+            tail = self._tail = np.empty(2)
+        tail[0] = remaining_budget / self.budget_scale
+        tail[1] = round_index / self.max_rounds
         parts.append(tail)
         return np.concatenate(parts)
 

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro import obs as _obs
 from repro.core.env import EdgeLearningEnv
+from repro.population.api import NodeResponseBatch
 
 
 class VectorizedEdgeLearningEnv:
@@ -48,6 +49,24 @@ class VectorizedEdgeLearningEnv:
         self.n_nodes = first.n_nodes
         self.state_dim = first.state_dim
         self._last_obs = np.zeros((self.num_envs, self.state_dim))
+        # Replicas spawned from one environment share the (immutable)
+        # population object, and the SoA best response is pure elementwise
+        # math — so all M replicas can be answered with ONE population
+        # call on the (M, n) price matrix, row-for-row bit-identical to M
+        # separate calls.  Only engaged when every replica shares the same
+        # population and local_epochs (spawn() guarantees both).
+        pop = first.population
+        self._shared_population = (
+            pop
+            if self.num_envs > 1
+            and getattr(pop, "supports_batched_prices", False)
+            and all(e.population is pop for e in envs)
+            and all(
+                e.config.local_epochs == first.config.local_epochs for e in envs
+            )
+            else None
+        )
+        self._local_epochs = first.config.local_epochs
 
     @classmethod
     def from_env(
@@ -113,12 +132,18 @@ class VectorizedEdgeLearningEnv:
         self,
         prices: np.ndarray,
         active: Optional[Sequence[bool]] = None,
+        copy_obs: bool = True,
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, List[Optional[dict]]]:
         """Step the active replicas under a ``(M, n_nodes)`` price batch.
 
         Returns stacked ``(obs, rewards, terminated, truncated, infos)``.
         Rows of inactive replicas carry their last observation, zero
         reward, ``False`` flags, and ``None`` info.
+
+        ``copy_obs=False`` returns the internal observation buffer instead
+        of a fresh copy — for callers that read per-replica state from
+        ``infos`` (or consume the rows before the next ``step``/``reset``
+        call) and don't want to pay an ``(M, D)`` copy per round.
         """
         prices = np.asarray(prices, dtype=np.float64)
         if prices.shape != (self.num_envs, self.n_nodes):
@@ -126,18 +151,49 @@ class VectorizedEdgeLearningEnv:
                 f"prices must have shape ({self.num_envs}, {self.n_nodes}), "
                 f"got {prices.shape}"
             )
+        # One whole-batch validation here lets each replica skip its
+        # per-row re-check (env.step(..., validate=False)).
+        if not np.isfinite(prices).all() or (prices.size and prices.min() < 0.0):
+            raise ValueError(f"prices must be finite and non-negative: {prices}")
         if active is None:
             active = [True] * self.num_envs
         rewards = np.zeros(self.num_envs)
         terminated = np.zeros(self.num_envs, dtype=bool)
         truncated = np.zeros(self.num_envs, dtype=bool)
         infos: List[Optional[dict]] = [None] * self.num_envs
+        batch = None
+        # getattr: tolerate instances unpickled from older checkpoints.
+        if getattr(self, "_shared_population", None) is not None:
+            # One best-response call for the whole replica batch; each
+            # replica below receives its own row (views into the freshly
+            # allocated (M, n) response — exactly the aliasing contract of
+            # a per-replica respond() call).
+            batch = self._shared_population.respond(
+                prices, self._local_epochs, validate=False
+            )
         with _obs.span("env.step_all"):
             stepped = 0
             for i, env in enumerate(self._envs):
                 if not active[i]:
                     continue
-                obs, reward, term, trunc, info = env.step(prices[i])
+                if batch is not None:
+                    # Bypass the frozen-dataclass __init__ (object.__setattr__
+                    # per field costs ~2x a plain dict fill) — this runs once
+                    # per replica per round.
+                    response = NodeResponseBatch.__new__(NodeResponseBatch)
+                    response.__dict__.update(
+                        participates=batch.participates[i],
+                        zeta=batch.zeta[i],
+                        utility=batch.utility[i],
+                        payment=batch.payment[i],
+                        time=batch.time[i],
+                        energy=batch.energy[i],
+                    )
+                else:
+                    response = None
+                obs, reward, term, trunc, info = env.step(
+                    prices[i], validate=False, response=response
+                )
                 self._last_obs[i] = obs
                 rewards[i] = reward
                 terminated[i] = term
@@ -146,4 +202,5 @@ class VectorizedEdgeLearningEnv:
                 stepped += 1
         if _obs.enabled():
             _obs.counter("env.vector.steps").inc(stepped)
-        return self._last_obs.copy(), rewards, terminated, truncated, infos
+        obs_out = self._last_obs.copy() if copy_obs else self._last_obs
+        return obs_out, rewards, terminated, truncated, infos

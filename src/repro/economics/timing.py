@@ -70,10 +70,16 @@ def idle_times(times: Sequence[float]) -> np.ndarray:
     return round_time(times) - times
 
 
-def time_efficiency(times: Sequence[float]) -> float:
-    """Eqn (16): ``Σ_i T_{i,k} / (N · T_k)`` — 1.0 means zero idle time."""
+def time_efficiency(times: Sequence[float], makespan: float = None) -> float:
+    """Eqn (16): ``Σ_i T_{i,k} / (N · T_k)`` — 1.0 means zero idle time.
+
+    ``makespan`` may be passed when the caller already computed
+    ``round_time(times)`` (the env hot path does), skipping a redundant
+    max reduction.
+    """
     times = np.asarray(times, dtype=float)
-    makespan = round_time(times)
+    if makespan is None:
+        makespan = round_time(times)
     if makespan <= 0:
         raise ValueError(f"round makespan must be positive, got {makespan}")
     return float(times.sum() / (times.size * makespan))

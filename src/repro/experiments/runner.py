@@ -144,12 +144,24 @@ def run_episodes_vectorized(
         start_episode(replica)
 
     prices_full = np.zeros((num_replicas, venv.n_nodes))
+    all_replicas = list(range(num_replicas))
     while any(active):
         with _obs.span("runner.vectorized"):
-            replicas = [i for i in range(num_replicas) if active[i]]
-            prices = mechanism.propose_prices_batch(obs[replicas], replicas)
-            prices_full[replicas] = prices
-            _, _, _, _, infos = venv.step(prices_full, active=active)
+            if all(active):
+                # Every replica live (the steady state): skip the
+                # fancy-index copies — propose/step read their inputs
+                # without mutating them.
+                replicas = all_replicas
+                prices = mechanism.propose_prices_batch(obs, replicas)
+                step_prices = prices
+            else:
+                replicas = [i for i in range(num_replicas) if active[i]]
+                prices = mechanism.propose_prices_batch(obs[replicas], replicas)
+                prices_full[replicas] = prices
+                step_prices = prices_full
+            _, _, _, _, infos = venv.step(
+                step_prices, active=active, copy_obs=False
+            )
             results = [infos[i]["step_result"] for i in replicas]
             mechanism.observe_batch(replicas, prices, results)
         for j, replica in enumerate(replicas):

@@ -75,6 +75,11 @@ class SurrogateCurve:
     def accuracy(self, effective_rounds: float) -> float:
         """Noise-free curve value at ``effective_rounds >= 0``."""
         check_positive("effective_rounds", effective_rounds, strict=False)
+        return self._value(effective_rounds)
+
+    def _value(self, effective_rounds: float) -> float:
+        """:meth:`accuracy` without the argument check (env hot path —
+        callers must guarantee ``effective_rounds >= 0``)."""
         gap = self.a_max - self.a_init
         return self.a_max - gap * (1.0 + effective_rounds / self.tau) ** (-self.beta)
 
@@ -111,6 +116,9 @@ class SurrogateAccuracy:
         check_positive("poison_factor", poison_factor, strict=False)
         self.curve = curve
         self._weights = weights
+        # Full-fleet rounds are the common case; n distinct in-range ids
+        # are exactly range(n), whose fancy-indexed sum equals this.
+        self._full_weight_sum = float(weights.sum())
         self._rng = as_generator(rng)
         #: how strongly one corrupt update that reaches aggregation undoes
         #: progress, in units of its sender's honest contribution (the
@@ -165,17 +173,43 @@ class SurrogateAccuracy:
         ``poison_factor`` times its honest contribution, modelling a
         poisoned FedAvg step dragging the model backwards.
         """
-        ids = sorted(set(participant_ids))
-        if not ids:
+        # Full-fleet fast path: the env hot path passes the sorted
+        # ``[0..n)`` list every all-participate round — one list compare
+        # replaces the set construction and range check entirely.
+        full_list = getattr(self, "_full_fleet_list", None)
+        if full_list is None:
+            full_list = self._full_fleet_list = list(range(self.num_nodes))
+        if (
+            type(participant_ids) is list
+            and participant_ids == full_list
+            and not poisoned_ids
+        ):
+            delta = getattr(self, "_full_weight_sum", None)
+            if delta is None:
+                delta = float(self._weights.sum())
+            self._effective_rounds = max(0.0, self._effective_rounds + delta)
+            clean = self.curve._value(self._effective_rounds)
+            noisy = clean + self._rng.normal(0.0, self.curve.noise_std)
+            self._accuracy = min(max(float(noisy), 0.0), 1.0)
+            return self._accuracy
+        id_set = set(participant_ids)
+        if not id_set:
             raise ValueError("step() needs at least one participant")
-        if min(ids) < 0 or max(ids) >= self.num_nodes:
+        full_fleet = getattr(self, "_full_fleet_set", None)
+        if full_fleet is None:
+            full_fleet = self._full_fleet_set = frozenset(range(self.num_nodes))
+        if id_set != full_fleet and (
+            min(id_set) < 0 or max(id_set) >= self.num_nodes
+        ):
             raise IndexError(
-                f"participant ids {ids} out of range [0, {self.num_nodes})"
+                f"participant ids {sorted(id_set)} out of range "
+                f"[0, {self.num_nodes})"
             )
         poisoned_set = set(poisoned_ids)
         if poisoned_set:
+            ids = sorted(id_set)
             poisoned = sorted(poisoned_set)
-            if not poisoned_set <= set(ids):
+            if not poisoned_set <= id_set:
                 raise ValueError(
                     f"poisoned_ids {poisoned} must be a subset of "
                     f"participants {ids}"
@@ -184,10 +218,17 @@ class SurrogateAccuracy:
             delta = float(self._weights[honest].sum()) - self.poison_factor * float(
                 self._weights[poisoned].sum()
             )
+        elif len(id_set) == self.num_nodes:
+            # n distinct in-range ids are exactly range(n) — use the
+            # precomputed full-fleet sum (getattr: instances unpickled
+            # from pre-cache checkpoints lack it).
+            delta = getattr(self, "_full_weight_sum", None)
+            if delta is None:
+                delta = float(self._weights.sum())
         else:
-            delta = float(self._weights[ids].sum())
+            delta = float(self._weights[sorted(id_set)].sum())
         self._effective_rounds = max(0.0, self._effective_rounds + delta)
-        clean = self.curve.accuracy(self._effective_rounds)
+        clean = self.curve._value(self._effective_rounds)  # clamped >= 0 above
         noisy = clean + self._rng.normal(0.0, self.curve.noise_std)
         self._accuracy = min(max(float(noisy), 0.0), 1.0)
         return self._accuracy

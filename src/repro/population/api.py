@@ -110,8 +110,14 @@ class Population(Protocol):
     def n_nodes(self) -> int:
         """Fleet size N."""
 
-    def respond(self, prices: np.ndarray, local_epochs: int) -> NodeResponseBatch:
-        """Best response of the whole fleet to a posted price vector."""
+    def respond(
+        self, prices: np.ndarray, local_epochs: int, validate: bool = True
+    ) -> NodeResponseBatch:
+        """Best response of the whole fleet to a posted price vector.
+
+        ``validate=False`` lets a caller that already validated the
+        vector (shape, finiteness, non-negativity) skip the re-check.
+        """
 
     def column(self, name: str) -> np.ndarray:
         """A read-only per-node hardware column (see :data:`COLUMNS`)."""

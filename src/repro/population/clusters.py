@@ -141,11 +141,11 @@ class ClusterView:
         return cluster_prices[self.assignments]
 
     def respond(
-        self, cluster_prices: np.ndarray, local_epochs: int
+        self, cluster_prices: np.ndarray, local_epochs: int, validate: bool = True
     ) -> "NodeResponseBatch":
         """Fleet best response under hierarchical per-cluster pricing."""
         return self.population.respond(
-            self.expand_prices(cluster_prices), local_epochs
+            self.expand_prices(cluster_prices), local_epochs, validate=validate
         )
 
     def cluster_payments(self, batch: "NodeResponseBatch") -> np.ndarray:

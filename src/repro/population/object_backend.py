@@ -62,8 +62,13 @@ class ObjectPopulation(PopulationBase):
         )
         return cls(profiles, spec=spec)
 
-    def respond(self, prices, local_epochs: int) -> NodeResponseBatch:
-        prices = self.validate_prices(prices)
+    def respond(
+        self, prices, local_epochs: int, validate: bool = True
+    ) -> NodeResponseBatch:
+        if validate:
+            prices = self.validate_prices(prices)
+        else:
+            prices = np.asarray(prices, dtype=np.float64)
         n = self.n_nodes
         participates = np.zeros(n, dtype=bool)
         zeta = np.empty(n)

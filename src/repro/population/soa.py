@@ -148,27 +148,58 @@ class SoAPopulation(PopulationBase):
             self._coef_cache[local_epochs] = cached
         return cached
 
-    def respond(self, prices, local_epochs: int) -> NodeResponseBatch:
+    #: The best response is pure elementwise column math, so an ``(M, n)``
+    #: price matrix broadcasts row-for-row bit-identically to M separate
+    #: ``(n,)`` calls (no reductions are involved — unlike e.g. BLAS
+    #: matmul, elementwise ufuncs are exact per element).  The vectorized
+    #: environment uses this to answer all M replicas in one call.
+    supports_batched_prices = True
+
+    def respond(
+        self, prices, local_epochs: int, validate: bool = True
+    ) -> NodeResponseBatch:
         """Whole-fleet best response to a posted price vector.
 
         Column-for-column bit-identical to looping ``node_response``:
         ``p = 0`` needs no special case because ``0/κ = 0 < ζ_min`` clips
         to ``ζ_min``, exactly the scalar zero-price branch.
+
+        ``validate=False`` skips the price-vector re-check for callers
+        that already validated (the env hot path); such callers may also
+        pass an ``(M, n)`` price matrix, answered row-for-row (see
+        ``supports_batched_prices``).
         """
-        prices = self.validate_prices(prices)
+        if validate:
+            prices = self.validate_prices(prices)
+        else:
+            prices = np.asarray(prices, dtype=np.float64)
         work, kappa, e_coef, e_com = self._coefficients(local_epochs)
         c = self._columns
-        zeta = np.clip(prices / kappa, c["zeta_min"], c["zeta_max"])
-        energy = e_coef * zeta**2 + e_com
-        utility = prices * zeta - energy
+        zeta = (prices / kappa).clip(c["zeta_min"], c["zeta_max"])
+        # ζ² via multiply (bit-identical to ``zeta**2``, cheaper dispatch);
+        # the gross revenue pζ is shared between utility and payment.
+        energy = e_coef * (zeta * zeta) + e_com
+        gross = prices * zeta
+        utility = gross - energy
         participates = utility >= c["reserve_utility"]
+        if participates.all():
+            # Whole fleet participates (the common benign-pricing case):
+            # each mask select is the identity, so skip the np.where pass.
+            return NodeResponseBatch(
+                participates=participates,
+                zeta=zeta,
+                utility=utility,
+                payment=gross,
+                time=work / zeta + c["comm_time"],
+                energy=energy,
+            )
         # Decliner semantics of NodeResponse: ζ pinned at ζ_min, zero
         # utility/payment/energy, infinitely slow.
         return NodeResponseBatch(
             participates=participates,
             zeta=np.where(participates, zeta, c["zeta_min"]),
             utility=np.where(participates, utility, 0.0),
-            payment=np.where(participates, prices * zeta, 0.0),
+            payment=np.where(participates, gross, 0.0),
             time=np.where(participates, work / zeta + c["comm_time"], np.inf),
             energy=np.where(participates, energy, 0.0),
         )

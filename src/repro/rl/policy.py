@@ -16,7 +16,6 @@ from typing import Sequence, Tuple
 import numpy as np
 
 from repro import obs as _obs
-from repro.autograd import no_grad
 from repro.autograd.tensor import Tensor
 from repro.nn.layers import Linear, Sequential, Tanh
 from repro.nn.module import Module, require_tensor
@@ -41,27 +40,17 @@ def _mlp(sizes: Sequence[int], rng: RNGLike) -> Sequential:
 
 
 def _fast_forward(net: Sequential, x: np.ndarray) -> np.ndarray:
-    """Raw-numpy inference pass through a Linear/Tanh :class:`Sequential`.
+    """Raw-numpy inference pass through any :class:`Sequential`.
 
-    Performs exactly the arithmetic of the autograd path (``x @ W.T + b``,
-    ``np.tanh``) without building a graph — bit-identical outputs at a
-    fraction of the per-call overhead.  Used by the batched rollout
-    methods, where inference dominates and gradients are never needed.
+    Delegates to the net's compiled :meth:`Sequential.infer
+    <repro.nn.layers.container.Sequential.infer>` fast path — fused
+    ``Linear→Tanh`` steps over cached buffers, bit-identical to the
+    autograd forward.  Works for every layer type (anything without a
+    dedicated raw-numpy ``infer`` falls back to a graph-free generic
+    path), so heterogeneous nets no longer raise ``TypeError`` here.
     """
     with _obs.span("nn.fast_forward"):
-        for layer in net:
-            if isinstance(layer, Linear):
-                x = x @ layer.weight.data.T
-                if layer.bias is not None:
-                    x = x + layer.bias.data
-            elif isinstance(layer, Tanh):
-                x = np.tanh(x)
-            else:
-                raise TypeError(
-                    f"fast forward supports Linear/Tanh only, got "
-                    f"{type(layer).__name__}"
-                )
-        return x
+        return net.infer(x)
 
 
 class GaussianPolicy(Module):
@@ -84,6 +73,11 @@ class GaussianPolicy(Module):
         self.mean_net = _mlp([self.obs_dim, *hidden, self.act_dim], gen)
         self.log_std = Parameter(np.full(self.act_dim, float(init_log_std)))
         self._sample_rng = gen
+        # (log_std bytes) -> (clipped log_std, std): σ is fixed between
+        # updates, so rollouts recompute clip+exp once per update instead
+        # of once per act call.  Keyed on content, not identity — the
+        # optimizer mutates ``log_std.data`` in place.
+        self._std_cache = None
 
     def forward(self, obs) -> Tensor:
         """Mean action for a batch of observations ``(n, obs_dim)``."""
@@ -105,13 +99,28 @@ class GaussianPolicy(Module):
     def _clamped_log_std(self) -> Tensor:
         return self.log_std.clip(_LOG_STD_MIN, _LOG_STD_MAX)
 
+    def _std_terms(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Cached ``(clipped log_std, std)`` raw arrays for the act paths.
+
+        Treat both as read-only.  getattr: tolerates policies unpickled
+        from checkpoints that predate the cache.
+        """
+        key = self.log_std.data.tobytes()
+        cache = getattr(self, "_std_cache", None)
+        if cache is not None and cache[0] == key:
+            return cache[1], cache[2]
+        log_std = self.log_std.data.clip(_LOG_STD_MIN, _LOG_STD_MAX)
+        std = np.exp(log_std)
+        self._std_cache = (key, log_std, std)
+        return log_std, std
+
     def act(self, obs: np.ndarray, deterministic: bool = False) -> Tuple[np.ndarray, float]:
         """Sample an action for one observation; returns ``(action, log_prob)``."""
         obs = np.asarray(obs, dtype=np.float64)
-        with no_grad():
-            mean = self.forward(obs).data[0]
-        log_std = np.clip(self.log_std.data, _LOG_STD_MIN, _LOG_STD_MAX)
-        std = np.exp(log_std)
+        if obs.ndim == 1:
+            obs = obs.reshape(1, -1)
+        mean = _fast_forward(self.mean_net, obs)[0]
+        log_std, std = self._std_terms()
         if deterministic:
             action = mean.copy()
         else:
@@ -137,8 +146,7 @@ class GaussianPolicy(Module):
                 f"expected obs of shape (M, {self.obs_dim}), got {obs.shape}"
             )
         mean = _fast_forward(self.mean_net, obs)
-        log_std = np.clip(self.log_std.data, _LOG_STD_MIN, _LOG_STD_MAX)
-        std = np.exp(log_std)
+        log_std, std = self._std_terms()
         if deterministic:
             actions = mean.copy()
         else:
@@ -192,9 +200,15 @@ class ValueNetwork(Module):
         return self.net(obs).reshape(-1)
 
     def value(self, obs: np.ndarray) -> float:
-        """Scalar value of a single observation (no graph)."""
-        with no_grad():
-            return float(self.forward(np.asarray(obs, dtype=np.float64)).data[0])
+        """Scalar value of a single observation (raw-numpy fast path).
+
+        Runs the same :meth:`Sequential.infer` kernel as :meth:`values`,
+        so a single call is bit-identical to row 0 of an ``M = 1`` batch.
+        """
+        obs = np.asarray(obs, dtype=np.float64)
+        if obs.ndim == 1:
+            obs = obs.reshape(1, -1)
+        return float(_fast_forward(self.net, obs)[0, 0])
 
     def values(self, obs: np.ndarray) -> np.ndarray:
         """Values for an ``(M, obs_dim)`` batch (raw-numpy fast path)."""

@@ -14,6 +14,7 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from repro import obs as _obs
+from repro.autograd.arena import BufferArena, use_arena
 from repro.rl.buffer import Batch, RolloutBuffer
 from repro.rl.policy import GaussianPolicy, ValueNetwork
 from repro.rl.running_stat import RunningMeanStd
@@ -48,6 +49,12 @@ class PPOConfig:
     init_log_std: float = -0.5
     normalize_obs: bool = True
     normalize_advantages: bool = True
+    #: opt-in autograd buffer reuse: forward/backward intermediates of the
+    #: PPO update are written into a preallocated :class:`BufferArena`
+    #: reset once per minibatch, eliminating most per-update allocations.
+    #: Numerics are bit-identical (same ufuncs via ``out=``); parameters,
+    #: optimizer state, and returned diagnostics are never arena-backed.
+    reuse_buffers: bool = False
 
     def __post_init__(self):
         check_positive("actor_lr", self.actor_lr)
@@ -127,6 +134,7 @@ class PPOAgent:
             self.critic_opt, cfg.lr_decay, cfg.lr_decay_every
         )
         self.obs_stat = RunningMeanStd((obs_dim,)) if cfg.normalize_obs else None
+        self._arena = BufferArena() if cfg.reuse_buffers else None
         self._shuffle_rng = shuffle_rng
         self._mse = MSELoss()
         self.episodes_seen = 0
@@ -147,8 +155,19 @@ class PPOAgent:
             return np.asarray(obs, dtype=np.float64)
         return self.obs_stat.normalize(obs)
 
-    def act(self, obs: np.ndarray, deterministic: bool = False):
-        """Sample ``(action, log_prob, value)`` for one raw observation."""
+    def act(
+        self,
+        obs: np.ndarray,
+        deterministic: bool = False,
+        compute_values: bool = True,
+    ):
+        """Sample ``(action, log_prob, value)`` for one raw observation.
+
+        ``compute_values=False`` skips the critic forward and returns
+        ``value = None`` — for evaluation rollouts, where the value is
+        never consumed (it only feeds GAE during training).  The policy
+        sample stream is unaffected.
+        """
         with _obs.span("ppo.act"):
             obs = np.asarray(obs, dtype=np.float64)
             if self.obs_stat is not None and not deterministic:
@@ -157,10 +176,15 @@ class PPOAgent:
                 self.obs_stat.update(obs)
             norm = self._normalize(obs)
             action, log_prob = self.policy.act(norm, deterministic=deterministic)
-            value = self.value_net.value(norm)
+            value = self.value_net.value(norm) if compute_values else None
             return action, log_prob, value
 
-    def act_batch(self, obs: np.ndarray, deterministic: bool = False):
+    def act_batch(
+        self,
+        obs: np.ndarray,
+        deterministic: bool = False,
+        compute_values: bool = True,
+    ):
         """Batched :meth:`act` over ``(M, obs_dim)`` observations.
 
         Returns ``(actions (M, act_dim), log_probs (M,), values (M,),
@@ -168,6 +192,9 @@ class PPOAgent:
         back so callers can stage them directly (see :meth:`stage`),
         skipping the redundant re-normalization :meth:`store` performs.
         An ``M = 1`` batch reproduces :meth:`act` bit for bit.
+
+        ``compute_values=False`` skips the critic forward (``values`` is
+        ``None``); see :meth:`act`.
         """
         with _obs.span("ppo.act_batch"):
             obs = np.asarray(obs, dtype=np.float64)
@@ -177,7 +204,7 @@ class PPOAgent:
             actions, log_probs = self.policy.act_batch(
                 norm, deterministic=deterministic
             )
-            values = self.value_net.values(norm)
+            values = self.value_net.values(norm) if compute_values else None
             return actions, log_probs, values, norm
 
     def store(
@@ -291,6 +318,19 @@ class PPOAgent:
     # ------------------------------------------------------------------ #
     # learning
     # ------------------------------------------------------------------ #
+    def enable_buffer_reuse(self, enabled: bool = True) -> None:
+        """Toggle arena-backed buffer reuse for subsequent updates.
+
+        Runtime counterpart of :attr:`PPOConfig.reuse_buffers` for agents
+        constructed without it.  Disabling drops the arena (and its
+        buffers) immediately.
+        """
+        if enabled:
+            if self._arena is None:
+                self._arena = BufferArena()
+        else:
+            self._arena = None
+
     def ready_to_update(self) -> bool:
         """Whether the buffer holds enough transitions for a stable update."""
         threshold = self.config.min_update_batch or 1
@@ -341,6 +381,13 @@ class PPOAgent:
                         stats[key] += stats_mb[key]
                     updates += 1
 
+            if self._arena is not None:
+                # Parameter .grad attributes still point at arena memory
+                # after the last minibatch; drop them so nothing outside
+                # the update observes buffers a future reset will recycle.
+                self.policy.zero_grad()
+                self.value_net.zero_grad()
+
             self.episodes_seen += 1
             self._actor_sched.step()
             self._critic_sched.step()
@@ -365,6 +412,16 @@ class PPOAgent:
             return self.value_net(obs).data.copy()
 
     def _update_minibatch(self, mb: Batch) -> Dict[str, float]:
+        arena = self._arena
+        if arena is None:
+            return self._update_minibatch_impl(mb)
+        # One reset per minibatch: every intermediate of the forward and
+        # backward passes below reuses the same preallocated buffers.
+        arena.reset()
+        with use_arena(arena):
+            return self._update_minibatch_impl(mb)
+
+    def _update_minibatch_impl(self, mb: Batch) -> Dict[str, float]:
         cfg = self.config
         adv = Tensor(mb.advantages)
         old_logp = Tensor(mb.log_probs)

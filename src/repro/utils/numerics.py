@@ -27,7 +27,9 @@ def sigmoid(x: Union[float, np.ndarray]) -> Union[float, np.ndarray]:
     The two-branch form never exponentiates a positive argument, so very
     large raw actions cannot overflow.
     """
-    if np.ndim(x) == 0:
+    # type-check first: the fromnumeric np.ndim wrapper costs ~2µs and this
+    # runs once per round on the pricing hot path.
+    if isinstance(x, (float, int)) or np.ndim(x) == 0:
         x = float(x)
         if x >= 0:
             z = np.exp(-x)

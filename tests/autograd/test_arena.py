@@ -1,0 +1,183 @@
+"""Buffer-reuse arena and gradient-accumulation ownership contracts.
+
+The arena lets PPO updates recycle forward/backward scratch arrays
+instead of allocating fresh ones each minibatch.  That is only sound
+under two invariants pinned here:
+
+* :meth:`Tensor._accumulate`'s ``owned`` fast path never adopts an array
+  someone else still references (aliasing regressions), and
+* an update run under :func:`use_arena` is bit-identical to the default
+  allocator — same losses, same resulting weights, gradcheck-exact.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd.arena import BufferArena, active_arena, use_arena
+from repro.autograd.gradcheck import gradcheck
+from repro.autograd.tensor import Tensor
+from repro.rl import PPOAgent, PPOConfig
+
+
+class TestBufferArena:
+    def test_take_is_unique_within_cycle(self):
+        arena = BufferArena()
+        a = arena.take((3, 4))
+        b = arena.take((3, 4))
+        assert a is not b
+        assert not np.shares_memory(a, b)
+
+    def test_reset_recycles_buffers(self):
+        arena = BufferArena()
+        first = arena.take((2, 2))
+        arena.reset()
+        assert arena.take((2, 2)) is first
+        assert arena.hits == 1 and arena.misses == 1
+        assert arena.num_buffers() == 1
+
+    def test_use_arena_scopes_activation(self):
+        arena = BufferArena()
+        assert active_arena() is None
+        with use_arena(arena):
+            assert active_arena() is arena
+            inner = BufferArena()
+            with use_arena(inner):
+                assert active_arena() is inner
+            assert active_arena() is arena
+        assert active_arena() is None
+
+
+class TestAccumulateOwnership:
+    def test_shared_upstream_grad_is_not_adopted(self):
+        # c = a + b passes the SAME incoming gradient array through to
+        # both parents.  If either adopted it as owned, the other's
+        # accumulation (or a later in-place add) would corrupt it.
+        a = Tensor(np.ones((3, 2)), requires_grad=True)
+        b = Tensor(np.ones((3, 2)), requires_grad=True)
+        (a + b).backward(np.full((3, 2), 5.0))
+        assert not np.shares_memory(a.grad, b.grad)
+        a.grad += 1.0
+        np.testing.assert_array_equal(b.grad, np.full((3, 2), 5.0))
+
+    def test_seed_gradient_is_copied(self):
+        x = Tensor(np.zeros(4), requires_grad=True)
+        seed = np.ones(4)
+        (x * 1.0 + x).backward(seed)
+        seed[:] = -7.0  # caller mutates their seed afterwards
+        np.testing.assert_array_equal(x.grad, np.full(4, 2.0))
+
+    def test_diamond_accumulation_under_arena(self):
+        # d = a*a + a exercises both accumulate branches (first-touch
+        # adoption/copy, then +=) with the arena supplying the first
+        # buffer; values must match the arena-less run exactly.
+        def grad_of(arena):
+            a = Tensor(np.linspace(-1.0, 2.0, 6).reshape(2, 3), requires_grad=True)
+            if arena is None:
+                ((a * a + a).sum()).backward()
+            else:
+                arena.reset()
+                with use_arena(arena):
+                    ((a * a + a).sum()).backward()
+            return a.grad
+
+        expected = grad_of(None)
+        arena = BufferArena()
+        first = grad_of(arena)
+        np.testing.assert_array_equal(first, expected)
+        # Second pass reuses the pooled buffers (hits > 0) — still exact.
+        second = grad_of(arena)
+        np.testing.assert_array_equal(second, expected)
+        assert arena.hits > 0
+
+
+def fast_config(**kw):
+    kw.setdefault("update_epochs", 2)
+    kw.setdefault("minibatch_size", 4)
+    return PPOConfig(**kw)
+
+
+def run_updates(reuse_buffers, updates=2, steps=8):
+    """A seeded act/store/update loop; returns (stats list, agent)."""
+    agent = PPOAgent(4, 2, config=fast_config(reuse_buffers=reuse_buffers), rng=0)
+    rng = np.random.default_rng(17)
+    stats = []
+    for _ in range(updates):
+        for i in range(steps):
+            obs = rng.normal(size=4)
+            a, lp, v = agent.act(obs)
+            agent.store(obs, a, float(rng.normal()), v, lp, done=(i == steps - 1))
+        stats.append(agent.update())
+    return stats, agent
+
+
+class TestArenaUpdateIdentity:
+    def test_update_bit_identical_to_default_allocator(self):
+        stats_off, agent_off = run_updates(reuse_buffers=False)
+        stats_on, agent_on = run_updates(reuse_buffers=True)
+        for off, on in zip(stats_off, stats_on):
+            assert off == on
+        params_off = list(agent_off.policy.parameters()) + list(
+            agent_off.value_net.parameters()
+        )
+        params_on = list(agent_on.policy.parameters()) + list(
+            agent_on.value_net.parameters()
+        )
+        assert len(params_off) == len(params_on)
+        for p_off, p_on in zip(params_off, params_on):
+            np.testing.assert_array_equal(p_off.data, p_on.data)
+
+    def test_enable_buffer_reuse_toggle(self):
+        agent = PPOAgent(4, 2, config=fast_config(), rng=0)
+        assert agent._arena is None
+        agent.enable_buffer_reuse()
+        assert agent._arena is not None
+        agent.enable_buffer_reuse(False)
+        assert agent._arena is None
+
+    def test_gradients_do_not_alias_arena_after_update(self):
+        # After update() the parameter .grad attributes must not point
+        # at arena-pooled memory (the arena may hand those buffers out
+        # again next minibatch).
+        _, agent = run_updates(reuse_buffers=True, updates=1)
+        arena = agent._arena
+        pooled = [buf for pool in arena._pools.values() for buf in pool]
+        params = list(agent.policy.parameters()) + list(agent.value_net.parameters())
+        for p in params:
+            if p.grad is None:
+                continue
+            assert not any(np.shares_memory(p.grad, buf) for buf in pooled)
+
+
+class TestArenaGradcheck:
+    def test_full_ppo_loss_gradcheck_under_arena(self):
+        # Finite-difference check of the full PPO objective (clipped
+        # surrogate + entropy + value regression) with every forward
+        # running through the arena allocator.  Tiny nets keep the
+        # central-difference sweep affordable.
+        agent = PPOAgent(
+            3, 2, config=PPOConfig(hidden=(4,), reuse_buffers=True), rng=1
+        )
+        rng = np.random.default_rng(5)
+        obs = rng.normal(size=(6, 3))
+        actions = rng.normal(size=(6, 2))
+        old_logp = Tensor(rng.normal(size=6) * 0.1)
+        adv = Tensor(rng.normal(size=6))
+        returns = Tensor(rng.normal(size=6))
+        cfg = agent.config
+        arena = agent._arena
+
+        def ppo_loss(*params):
+            arena.reset()
+            with use_arena(arena):
+                logp = agent.policy.log_prob(obs, actions)
+                ratio = (logp - old_logp).exp()
+                surr1 = ratio * adv
+                surr2 = ratio.clip(1.0 - cfg.clip_ratio, 1.0 + cfg.clip_ratio) * adv
+                actor = -(surr1.minimum(surr2)).mean()
+                actor = actor - cfg.entropy_coef * agent.policy.entropy()
+                values = agent.value_net(obs)
+                critic = ((values - returns) * (values - returns)).mean()
+                return actor + critic
+
+        params = list(agent.policy.parameters()) + list(agent.value_net.parameters())
+        assert gradcheck(ppo_loss, params, atol=1e-5, rtol=1e-3)

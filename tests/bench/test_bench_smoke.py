@@ -80,3 +80,44 @@ def test_cli_entry_point(tmp_path):
     report = json.loads(out.read_text())
     assert report["benchmark"] == "rollout"
     assert "steps/s" in proc.stdout
+
+
+def test_rollout_smoke_fingerprints_identical():
+    from repro.bench import run_rollout_smoke
+
+    report = run_rollout_smoke(num_envs=2, episodes=2, n_nodes=4, budget=20.0)
+    assert report["benchmark"] == "rollout_smoke"
+    assert set(report["fingerprints"]) == {
+        "fast_path",
+        "fast_path_rerun",
+        "per_replica_respond",
+        "autograd_forward",
+    }
+    assert report["fingerprints_identical"], report["fingerprints"]
+
+
+def test_rollout_smoke_cli_gate(tmp_path):
+    out = tmp_path / "rollout_smoke.json"
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.bench",
+            "rollout",
+            "--smoke",
+            "--num-envs",
+            "1,2",
+            "--n-nodes",
+            "4",
+            "--budget",
+            "20.0",
+            "--out",
+            str(out),
+        ],
+        capture_output=True,
+        text=True,
+        cwd=os.path.dirname(os.path.dirname(repro.__file__)),
+    )
+    assert proc.returncode == 0, proc.stderr
+    report = json.loads(out.read_text())
+    assert report["fingerprints_identical"]

@@ -1,0 +1,163 @@
+"""Per-layer and fused-Sequential ``infer`` ≡ ``forward`` bit-identity.
+
+The rollout hot path never builds an autograd graph: policies and value
+networks run :meth:`Sequential.infer`, which fuses ``Linear→Tanh`` /
+``Linear→Sigmoid`` pairs over cached buffers and dispatches every other
+layer to its own raw-numpy :meth:`Module.infer`.  These tests pin the
+contract that makes that safe — every layer type's infer output equals
+its autograd forward bit for bit, heterogeneous nets never ``TypeError``
+on the fast path, and the buffer cache never leaks state across calls or
+batch sizes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor
+from repro.nn.layers import (
+    AvgPool2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Linear,
+    LogSoftmax,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Softmax,
+    Tanh,
+)
+from repro.rl.policy import _fast_forward
+
+
+def forward_data(module, x):
+    """The autograd forward pass as a raw array (reference path)."""
+    return module(Tensor(np.asarray(x, dtype=np.float64))).data
+
+
+# Layers whose infer path is stateless: (constructor, input shape).
+STATELESS_CASES = [
+    ("linear", lambda: Linear(7, 4, rng=np.random.default_rng(0)), (5, 7)),
+    (
+        "linear_no_bias",
+        lambda: Linear(7, 4, bias=False, rng=np.random.default_rng(1)),
+        (5, 7),
+    ),
+    ("tanh", Tanh, (5, 7)),
+    ("relu", ReLU, (5, 7)),
+    ("sigmoid", Sigmoid, (5, 7)),
+    ("softmax", Softmax, (5, 7)),
+    ("log_softmax", LogSoftmax, (5, 7)),
+    ("flatten", Flatten, (5, 2, 3, 4)),
+    (
+        "conv2d",
+        lambda: Conv2d(2, 3, 3, stride=1, padding=1, rng=np.random.default_rng(2)),
+        (2, 2, 6, 6),
+    ),
+    ("max_pool", lambda: MaxPool2d(2), (2, 3, 6, 6)),
+    ("avg_pool", lambda: AvgPool2d(2), (2, 3, 6, 6)),
+]
+
+
+@pytest.mark.parametrize(
+    "factory,shape",
+    [case[1:] for case in STATELESS_CASES],
+    ids=[case[0] for case in STATELESS_CASES],
+)
+def test_layer_infer_matches_forward_bitwise(factory, shape):
+    layer = factory()
+    x = np.random.default_rng(42).normal(size=shape)
+    expected = forward_data(layer, x)
+    actual = layer.infer(x.copy())
+    np.testing.assert_array_equal(actual, expected)
+
+
+class TestDropoutInfer:
+    def test_train_mode_consumes_rng_like_forward(self):
+        a = Dropout(p=0.3, rng=np.random.default_rng(9))
+        b = Dropout(p=0.3, rng=np.random.default_rng(9))
+        x = np.random.default_rng(1).normal(size=(6, 5))
+        np.testing.assert_array_equal(b.infer(x.copy()), forward_data(a, x))
+        # Both paths advanced their mask streams identically: a second
+        # pass must still agree.
+        np.testing.assert_array_equal(b.infer(x.copy()), forward_data(a, x))
+
+    def test_eval_mode_is_identity_without_copy(self):
+        layer = Dropout(p=0.5).eval()
+        x = np.random.default_rng(2).normal(size=(4, 3))
+        assert layer.infer(x) is x
+
+
+class TestSequentialInfer:
+    def _mlp(self, act, seed):
+        rng = np.random.default_rng(seed)
+        return Sequential(
+            Linear(6, 8, rng=rng),
+            act(),
+            Linear(8, 8, rng=rng),
+            act(),
+            Linear(8, 3, rng=rng),
+        )
+
+    @pytest.mark.parametrize("act", [Tanh, Sigmoid, ReLU], ids=["tanh", "sigmoid", "relu"])
+    def test_mlp_matches_forward_bitwise(self, act):
+        net = self._mlp(act, seed=0)
+        x = np.random.default_rng(3).normal(size=(9, 6))
+        np.testing.assert_array_equal(net.infer(x.copy()), forward_data(net, x))
+
+    def test_heterogeneous_net_does_not_type_error(self):
+        # Regression: the old isinstance-dispatch fast path raised
+        # TypeError on anything but Linear/Tanh.  Every layer type must
+        # now ride the fast path, fused or not.
+        rng = np.random.default_rng(4)
+        net = Sequential(
+            Conv2d(1, 2, 3, rng=rng),
+            ReLU(),
+            MaxPool2d(2),
+            Flatten(),
+            Linear(8, 6, rng=rng),
+            Tanh(),
+            Dropout(p=0.25, rng=np.random.default_rng(7)),
+            Linear(6, 4, rng=rng),
+            Softmax(),
+        )
+        twin_dropout_rng = np.random.default_rng(7)
+        x = np.random.default_rng(5).normal(size=(3, 1, 6, 6))
+        expected = forward_data(net, x)
+        net.layer6._rng = twin_dropout_rng  # replay the same mask stream
+        np.testing.assert_array_equal(_fast_forward(net, x.copy()), expected)
+
+    def test_batch_size_changes_stay_bitwise(self):
+        # The fused steps cache one buffer per batch size; switching
+        # sizes (vectorized M=8 rollouts interleaved with M=1 probes)
+        # must neither crash nor contaminate results.
+        net = self._mlp(Tanh, seed=6)
+        rng = np.random.default_rng(8)
+        for m in (1, 8, 3, 8, 1):
+            x = rng.normal(size=(m, 6))
+            np.testing.assert_array_equal(net.infer(x.copy()), forward_data(net, x))
+
+    def test_returned_array_survives_next_call(self):
+        # The final step always allocates fresh: a returned output must
+        # not be overwritten by the next infer() on the same net.
+        net = self._mlp(Tanh, seed=10)
+        rng = np.random.default_rng(11)
+        x1, x2 = rng.normal(size=(2, 4, 6))
+        out1 = net.infer(x1)
+        saved = out1.copy()
+        net.infer(x2)
+        np.testing.assert_array_equal(out1, saved)
+
+    def test_single_layer_passthrough_net_allocates_fresh(self):
+        # Even a net whose last Linear feeds only pass-through layers
+        # (Dropout in eval mode) must hand back an escape-safe array.
+        net = Sequential(
+            Linear(5, 5, rng=np.random.default_rng(12)), Dropout(p=0.5)
+        ).eval()
+        rng = np.random.default_rng(13)
+        x1, x2 = rng.normal(size=(2, 3, 5))
+        out1 = net.infer(x1)
+        saved = out1.copy()
+        net.infer(x2)
+        np.testing.assert_array_equal(out1, saved)

@@ -109,3 +109,41 @@ class TestStaging:
         agent.flush_staged(0)
         agent.flush_staged(0)  # idempotent: nothing left to move
         assert len(agent.buffer) == 1
+
+
+class TestComputeValuesSkip:
+    """Eval rollouts skip the critic forward; actions must not notice."""
+
+    def test_act_without_values_matches_bitwise(self):
+        a = make_agent(seed=9)
+        b = make_agent(seed=9)
+        rng = np.random.default_rng(4)
+        for _ in range(10):
+            obs = rng.normal(size=6)
+            act_a, logp_a, _ = a.act(obs)
+            act_b, logp_b, val_b = b.act(obs, compute_values=False)
+            assert val_b is None
+            np.testing.assert_array_equal(act_b, act_a)
+            assert logp_b == logp_a
+
+    def test_act_batch_without_values_matches_bitwise(self):
+        a = make_agent(seed=9)
+        b = make_agent(seed=9)
+        obs = np.random.default_rng(5).normal(size=(4, 6))
+        acts_a, logps_a, _, norm_a = a.act_batch(obs)
+        acts_b, logps_b, vals_b, norm_b = b.act_batch(obs, compute_values=False)
+        assert vals_b is None
+        np.testing.assert_array_equal(acts_b, acts_a)
+        np.testing.assert_array_equal(logps_b, logps_a)
+        np.testing.assert_array_equal(norm_b, norm_a)
+
+
+class TestValueNetworkBatchIdentity:
+    def test_single_value_matches_batch_row(self):
+        agent = make_agent(seed=3)
+        rng = np.random.default_rng(6)
+        for _ in range(5):
+            obs = rng.normal(size=6)
+            single = agent.value_net.value(obs)
+            batch = agent.value_net.values(obs.reshape(1, -1))
+            assert single == batch[0]
